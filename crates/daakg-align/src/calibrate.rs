@@ -1,0 +1,103 @@
+//! Alignment-probability calibration with temperature scaling (Eq. 11–12).
+//!
+//! Raw cosine similarities are not calibrated probabilities. The paper
+//! formulates alignment as a bidirectional classification problem: entity
+//! `e` is classified over the candidates `E'` with a temperature-scaled
+//! softmax, and the alignment probability of a pair is the *minimum* of the
+//! two directional probabilities — the conservative estimate that keeps
+//! likely non-matches out of active learning.
+
+/// `Pr[e' | e]` (Eq. 11): softmax of the pair's similarity over the
+/// candidate similarities of `e`, with temperature `z`.
+///
+/// `pair_sim` must be one of the entries in `candidate_sims`
+/// (conceptually; numerically it is treated as its own logit).
+pub fn directional_probability(pair_sim: f32, candidate_sims: &[f32], z: f32) -> f32 {
+    assert!(z > 0.0, "temperature must be positive");
+    if candidate_sims.is_empty() {
+        return 1.0;
+    }
+    // Shift by max for numerical stability.
+    let max = candidate_sims
+        .iter()
+        .copied()
+        .fold(pair_sim, f32::max);
+    let denom: f32 = candidate_sims
+        .iter()
+        .map(|&s| ((s - max) / z).exp())
+        .sum();
+    let num = ((pair_sim - max) / z).exp();
+    num / denom.max(f32::MIN_POSITIVE)
+}
+
+/// `Pr[y*(q) = 1] = min(Pr[e'|e], Pr[e|e'])` (Eq. 12).
+pub fn alignment_probability(
+    pair_sim: f32,
+    left_to_right_sims: &[f32],
+    right_to_left_sims: &[f32],
+    z: f32,
+) -> f32 {
+    let fwd = directional_probability(pair_sim, left_to_right_sims, z);
+    let bwd = directional_probability(pair_sim, right_to_left_sims, z);
+    fwd.min(bwd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominant_candidate_approaches_one() {
+        // pair at 0.95, everything else at 0.1: with Z=0.05 the softmax is
+        // nearly one-hot.
+        let sims = vec![0.95, 0.1, 0.1, 0.05];
+        let p = directional_probability(0.95, &sims, 0.05);
+        assert!(p > 0.99, "p = {p}");
+    }
+
+    #[test]
+    fn ambiguous_candidates_split_mass() {
+        let sims = vec![0.9, 0.9];
+        let p = directional_probability(0.9, &sims, 0.05);
+        assert!((p - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn lower_temperature_is_more_discriminatory() {
+        let sims = vec![0.9, 0.7];
+        let sharp = directional_probability(0.9, &sims, 0.05);
+        let soft = directional_probability(0.9, &sims, 1.0);
+        assert!(sharp > soft);
+        assert!(soft > 0.5); // still favours the best candidate
+    }
+
+    #[test]
+    fn bidirectional_takes_the_minimum() {
+        // Forward is confident; backward is ambiguous.
+        let fwd = vec![0.9, 0.1];
+        let bwd = vec![0.9, 0.9];
+        let p = alignment_probability(0.9, &fwd, &bwd, 0.05);
+        let p_bwd = directional_probability(0.9, &bwd, 0.05);
+        assert!((p - p_bwd).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_candidates_yield_certainty() {
+        assert_eq!(directional_probability(0.5, &[], 0.1), 1.0);
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        let sims: Vec<f32> = (0..50).map(|i| (i as f32) / 50.0).collect();
+        for &s in &sims {
+            let p = directional_probability(s, &sims, 0.1);
+            assert!((0.0..=1.0).contains(&p));
+        }
+        // Probabilities over the full candidate set sum to one.
+        let total: f32 = sims
+            .iter()
+            .map(|&s| directional_probability(s, &sims, 0.1))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-4);
+    }
+}

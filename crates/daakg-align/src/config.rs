@@ -1,0 +1,157 @@
+//! Configuration of the joint alignment module, including the ablation
+//! toggles studied in Table 5.
+
+use daakg_embed::EmbedConfig;
+
+/// Hyper-parameters of the joint alignment model.
+///
+/// Values follow Sect. 7.1: similarity threshold `τ = 0.9`, temperatures
+/// `Z_ent = 0.05`, `Z_rel = Z_cls = 0.1`, focal parameter `γ = 2`.
+#[derive(Debug, Clone, Copy)]
+pub struct JointConfig {
+    /// Embedding model configuration (shared by both KGs).
+    pub embed: EmbedConfig,
+    /// Epochs of joint alignment training per round.
+    pub align_epochs: usize,
+    /// Learning rate for alignment training.
+    pub align_lr: f32,
+    /// Number of sampled negatives per labeled match.
+    pub align_negatives: usize,
+    /// Similarity threshold `τ` for semi-supervised pair mining (Eq. 10).
+    pub semi_threshold: f32,
+    /// Temperature `Z_ent` for entity alignment probabilities (Eq. 11).
+    pub z_ent: f32,
+    /// Temperature `Z_rel` for relation alignment probabilities.
+    pub z_rel: f32,
+    /// Temperature `Z_cls` for class alignment probabilities.
+    pub z_cls: f32,
+    /// Focal-loss focus parameter `γ` (Sect. 4.2, set to 2 as in Lin et al.).
+    pub focal_gamma: f32,
+    /// Fine-tuning epochs when new labels arrive.
+    pub fine_tune_epochs: usize,
+    /// Ablation: encode classes with the dedicated entity-class model
+    /// (`false` = "w/o class embeddings": classes are aligned through mean
+    /// embeddings only).
+    pub use_class_embeddings: bool,
+    /// Ablation: use weighted mean embeddings for schema alignment
+    /// (`false` = "w/o mean embeddings").
+    pub use_mean_embeddings: bool,
+    /// Ablation: leverage semi-supervised potential matches
+    /// (`false` = "w/o semi-supervision").
+    pub use_semi_supervision: bool,
+}
+
+impl Default for JointConfig {
+    fn default() -> Self {
+        Self {
+            embed: EmbedConfig::default(),
+            align_epochs: 40,
+            align_lr: 2e-2,
+            align_negatives: 4,
+            semi_threshold: 0.9,
+            z_ent: 0.05,
+            z_rel: 0.1,
+            z_cls: 0.1,
+            focal_gamma: 2.0,
+            fine_tune_epochs: 10,
+            use_class_embeddings: true,
+            use_mean_embeddings: true,
+            use_semi_supervision: true,
+        }
+    }
+}
+
+impl JointConfig {
+    /// Full DAAKG with the given embedding config.
+    pub fn with_embed(embed: EmbedConfig) -> Self {
+        Self {
+            embed,
+            ..Self::default()
+        }
+    }
+
+    /// Ablation "w/o class embeddings" (Table 5).
+    pub fn without_class_embeddings(mut self) -> Self {
+        self.use_class_embeddings = false;
+        self
+    }
+
+    /// Ablation "w/o mean embeddings" (Table 5).
+    pub fn without_mean_embeddings(mut self) -> Self {
+        self.use_mean_embeddings = false;
+        self
+    }
+
+    /// Ablation "w/o semi-supervision" (Table 5).
+    pub fn without_semi_supervision(mut self) -> Self {
+        self.use_semi_supervision = false;
+        self
+    }
+
+    /// A fast-running configuration for tests and examples.
+    pub fn fast() -> Self {
+        Self {
+            embed: EmbedConfig {
+                dim: 16,
+                class_dim: 8,
+                epochs: 10,
+                batch_size: 128,
+                ..EmbedConfig::default()
+            },
+            align_epochs: 15,
+            fine_tune_epochs: 5,
+            ..Self::default()
+        }
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        self.embed.validate()?;
+        if !(0.0..=1.0).contains(&self.semi_threshold) {
+            return Err("semi_threshold must be within [0, 1]".into());
+        }
+        if self.z_ent <= 0.0 || self.z_rel <= 0.0 || self.z_cls <= 0.0 {
+            return Err("temperatures must be positive".into());
+        }
+        if self.focal_gamma < 0.0 {
+            return Err("focal_gamma must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_settings() {
+        let c = JointConfig::default();
+        assert_eq!(c.semi_threshold, 0.9);
+        assert_eq!(c.z_ent, 0.05);
+        assert_eq!(c.z_rel, 0.1);
+        assert_eq!(c.focal_gamma, 2.0);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn ablation_builders() {
+        let c = JointConfig::default()
+            .without_class_embeddings()
+            .without_mean_embeddings()
+            .without_semi_supervision();
+        assert!(!c.use_class_embeddings);
+        assert!(!c.use_mean_embeddings);
+        assert!(!c.use_semi_supervision);
+    }
+
+    #[test]
+    fn invalid_temperature_rejected() {
+        let mut c = JointConfig::default();
+        c.z_ent = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = JointConfig::default();
+        c.semi_threshold = 1.5;
+        assert!(c.validate().is_err());
+    }
+}

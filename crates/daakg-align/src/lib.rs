@@ -1,0 +1,38 @@
+//! # daakg-align
+//!
+//! The embedding-based joint alignment module of DAAKG (Sect. 4.2).
+//!
+//! Given two KGs with entity–relation embedding models (from `daakg-embed`),
+//! this crate aligns entities, relations and classes simultaneously:
+//!
+//! * [`mapping`] — the learnable mapping matrices `A_ent`, `A_rel`, `A_cls`
+//!   transporting embeddings of `G` into the space of `G'` (Eq. 4),
+//! * [`weights`] — dangling-entity weights `w_e = max_{e'} S(e, e')`
+//!   (Eq. 6),
+//! * [`mean_embed`] — weighted mean embeddings for relations (Eq. 7) and
+//!   classes (Eq. 9) that transport entity-level evidence to the schema
+//!   level,
+//! * [`snapshot`] — a tape-free [`AlignmentSnapshot`] with all similarity
+//!   functions `S(·,·)`,
+//! * [`losses`] — the softmax alignment losses `O_ea`, `O_ra`, `O_ca`
+//!   (Eq. 5, 8), the focal fine-tuning variant, and the semi-supervised loss
+//!   `O_semi` (Eq. 10),
+//! * [`semi`] — potential-match mining with conflict resolution,
+//! * [`calibrate`] — temperature-scaled alignment probabilities
+//!   (Eq. 11–12),
+//! * [`joint`] — [`JointModel`], the orchestrating type whose
+//!   `train`/`fine_tune` drive the whole module.
+
+pub mod calibrate;
+pub mod config;
+pub mod joint;
+pub mod losses;
+pub mod mapping;
+pub mod mean_embed;
+pub mod semi;
+pub mod snapshot;
+pub mod weights;
+
+pub use config::JointConfig;
+pub use joint::{JointModel, LabeledMatches};
+pub use snapshot::AlignmentSnapshot;

@@ -1,0 +1,138 @@
+//! Tape-building alignment losses.
+//!
+//! * [`softmax_pair_loss`] — the alignment losses `O_ea`, `O_ra`, `O_ca`
+//!   (Eq. 5, 8 and the class analogue): for each labeled match and a
+//!   sampled non-match, a 2-way softmax over their similarities, maximizing
+//!   the match's probability. We use the cross-entropy form `−log p` (the
+//!   monotone, numerically stable version of the paper's `−softmax(...)`).
+//! * The focal variant (Sect. 4.2, fine-tuning): the softmax output is
+//!   changed to `(1 − p)^γ`, so misclassified newly-labeled pairs dominate
+//!   the gradient. We implement the standard focal cross-entropy
+//!   `(1 − p)^γ · (−log p)`.
+//! * [`semi_supervised_loss`] — `O_semi = −Σ S₀(x,x')·S(x,x')` (Eq. 10),
+//!   with the previous-round similarity `S₀` as a constant soft label.
+
+use daakg_autograd::{Graph, Tensor, Var};
+
+/// Logit scale applied before the 2-way softmax. Cosine similarities live in
+/// `[−1, 1]`; the scale plays the role of the softmax temperature `1/Z` so
+/// the loss is discriminative (Sect. 4.2 uses small temperatures).
+pub const LOGIT_SCALE: f32 = 10.0;
+
+/// 2-way softmax alignment loss over aligned positive / negative similarity
+/// columns (`m×1` each). With `focal_gamma = Some(γ)` the focal weighting is
+/// applied. Returns the mean loss (`1×1`).
+pub fn softmax_pair_loss(
+    g: &mut Graph,
+    pos_sims: Var,
+    neg_sims: Var,
+    focal_gamma: Option<f32>,
+) -> Var {
+    let logits = g.concat_cols(pos_sims, neg_sims);
+    let scaled = g.mul_scalar(logits, LOGIT_SCALE);
+    let probs = g.softmax_rows(scaled);
+    let p = g.slice_cols(probs, 0, 1);
+    // Clamp-free stability: p > 0 by construction of softmax; add epsilon
+    // through add_scalar to protect the log in degenerate f32 cases.
+    let p_safe = g.add_scalar(p, 1e-12);
+    let log_p = g.log(p_safe);
+    let nll = g.neg(log_p);
+    let weighted = match focal_gamma {
+        Some(gamma) => {
+            // (1 − p)^γ
+            let neg_p = g.neg(p);
+            let one_minus_p = g.add_scalar(neg_p, 1.0);
+            let focal = g.pow_scalar(one_minus_p, gamma);
+            g.mul(focal, nll)
+        }
+        None => nll,
+    };
+    g.mean_all(weighted)
+}
+
+/// The semi-supervised loss `O_semi(M_semi) = −Σ S₀·S` (Eq. 10).
+///
+/// `sims` are the current similarities of the mined pairs (`m×1`, on tape);
+/// `soft_labels` are the previous-round similarities `S₀` treated as
+/// constants (the optimizer does not update the model that produced them).
+pub fn semi_supervised_loss(g: &mut Graph, sims: Var, soft_labels: &[f32]) -> Var {
+    assert_eq!(
+        g.value(sims).rows(),
+        soft_labels.len(),
+        "one soft label per similarity"
+    );
+    let soft = g.leaf(Tensor::from_vec(soft_labels.len(), 1, soft_labels.to_vec()));
+    let prod = g.mul(soft, sims);
+    let mean = g.mean_all(prod);
+    g.neg(mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daakg_autograd::Graph;
+
+    fn loss_value(pos: &[f32], neg: &[f32], gamma: Option<f32>) -> f32 {
+        let mut g = Graph::new();
+        let p = g.leaf(Tensor::from_vec(pos.len(), 1, pos.to_vec()));
+        let n = g.leaf(Tensor::from_vec(neg.len(), 1, neg.to_vec()));
+        let l = softmax_pair_loss(&mut g, p, n, gamma);
+        g.value(l).item()
+    }
+
+    #[test]
+    fn confident_correct_pairs_have_low_loss() {
+        let good = loss_value(&[0.95], &[0.0], None);
+        let bad = loss_value(&[0.0], &[0.95], None);
+        assert!(good < bad);
+        assert!(good < 0.1, "good loss {good}");
+        assert!(bad > 1.0, "bad loss {bad}");
+    }
+
+    #[test]
+    fn focal_downweights_easy_examples() {
+        // Easy example: loss shrinks a lot under focal weighting.
+        let easy_plain = loss_value(&[0.9], &[0.0], None);
+        let easy_focal = loss_value(&[0.9], &[0.0], Some(2.0));
+        assert!(easy_focal < easy_plain * 0.5);
+        // Hard example: focal keeps most of the loss.
+        let hard_plain = loss_value(&[0.0], &[0.9], None);
+        let hard_focal = loss_value(&[0.0], &[0.9], Some(2.0));
+        assert!(hard_focal > hard_plain * 0.5);
+    }
+
+    #[test]
+    fn loss_gradient_pushes_pos_up_neg_down() {
+        let mut g = Graph::new();
+        let p = g.leaf(Tensor::from_vec(1, 1, vec![0.3]));
+        let n = g.leaf(Tensor::from_vec(1, 1, vec![0.4]));
+        let l = softmax_pair_loss(&mut g, p, n, None);
+        g.backward(l);
+        assert!(g.grad(p).unwrap().item() < 0.0); // decrease loss by raising pos
+        assert!(g.grad(n).unwrap().item() > 0.0);
+    }
+
+    #[test]
+    fn semi_loss_rewards_agreeing_similarities() {
+        let mut g = Graph::new();
+        let sims = g.leaf(Tensor::from_vec(2, 1, vec![0.9, 0.8]));
+        let l = semi_supervised_loss(&mut g, sims, &[0.95, 0.92]);
+        let high_agreement = g.value(l).item();
+
+        let mut g2 = Graph::new();
+        let sims2 = g2.leaf(Tensor::from_vec(2, 1, vec![0.1, 0.0]));
+        let l2 = semi_supervised_loss(&mut g2, sims2, &[0.95, 0.92]);
+        let low_agreement = g2.value(l2).item();
+        assert!(high_agreement < low_agreement);
+    }
+
+    #[test]
+    fn semi_loss_gradient_raises_sims() {
+        let mut g = Graph::new();
+        let sims = g.leaf(Tensor::from_vec(1, 1, vec![0.5]));
+        let l = semi_supervised_loss(&mut g, sims, &[0.9]);
+        g.backward(l);
+        // dL/dsim = −S0/m < 0: gradient descent raises the similarity.
+        assert!(g.grad(sims).unwrap().item() < 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! The learnable mapping matrices of the joint alignment model (Eq. 4).
+//!
+//! Embeddings of `G` are transported into the space of `G'` by right
+//! multiplication: a row embedding `e` maps to `e · A`. Three matrices are
+//! learned: `A_ent` (entity space, also used for mean embeddings), `A_rel`
+//! (relation space) and `A_cls` (class-embedding space).
+
+use daakg_autograd::{init, ParamStore, Tensor};
+use rand::rngs::StdRng;
+
+/// Parameter names of the mapping matrices.
+pub mod map_names {
+    /// Entity mapping matrix `A_ent` (`d_e × d_e`).
+    pub const A_ENT: &str = "map.a_ent";
+    /// Relation mapping matrix `A_rel` (`d_r × d_r`).
+    pub const A_REL: &str = "map.a_rel";
+    /// Class mapping matrix `A_cls` (`2d_c × 2d_c`).
+    pub const A_CLS: &str = "map.a_cls";
+}
+
+/// Initialize the three mapping matrices near the identity.
+pub fn init_mappings(
+    rng: &mut StdRng,
+    store: &mut ParamStore,
+    entity_dim: usize,
+    relation_dim: usize,
+    class_embed_dim: usize,
+) {
+    store.insert(map_names::A_ENT, init::near_identity(rng, entity_dim, 0.02));
+    store.insert(
+        map_names::A_REL,
+        init::near_identity(rng, relation_dim, 0.02),
+    );
+    store.insert(
+        map_names::A_CLS,
+        init::near_identity(rng, class_embed_dim, 0.02),
+    );
+}
+
+/// Map a row vector through a mapping matrix: `e · A`.
+pub fn map_row(row: &[f32], a: &Tensor) -> Vec<f32> {
+    let (d_in, d_out) = a.shape();
+    assert_eq!(row.len(), d_in, "mapping dimension mismatch");
+    let mut out = vec![0.0f32; d_out];
+    for (i, &v) in row.iter().enumerate() {
+        if v == 0.0 {
+            continue;
+        }
+        let arow = a.row(i);
+        for (o, &w) in out.iter_mut().zip(arow) {
+            *o += v * w;
+        }
+    }
+    out
+}
+
+/// Map every row of a matrix: `M · A`.
+pub fn map_matrix(m: &Tensor, a: &Tensor) -> Tensor {
+    m.matmul(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn init_creates_all_three() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        init_mappings(&mut rng, &mut store, 8, 4, 6);
+        assert_eq!(store.get(map_names::A_ENT).shape(), (8, 8));
+        assert_eq!(store.get(map_names::A_REL).shape(), (4, 4));
+        assert_eq!(store.get(map_names::A_CLS).shape(), (6, 6));
+    }
+
+    #[test]
+    fn identity_mapping_is_noop() {
+        let a = Tensor::identity(3);
+        let row = vec![1.0, -2.0, 0.5];
+        assert_eq!(map_row(&row, &a), row);
+        let m = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(map_matrix(&m, &a), m);
+    }
+
+    #[test]
+    fn map_row_matches_matmul() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let row = vec![0.5, -1.0];
+        let via_row = map_row(&row, &a);
+        let via_mat = Tensor::row_vector(&row).matmul(&a);
+        assert_eq!(via_row, via_mat.as_slice());
+    }
+}

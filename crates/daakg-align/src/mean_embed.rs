@@ -1,0 +1,168 @@
+//! Weighted mean embeddings for relations (Eq. 7) and classes (Eq. 9).
+//!
+//! For a relation `r`, each triple `(e, r, e')` determines a *local optimum*
+//! relation embedding — for translational decoders that optimum is the
+//! entity-space difference `e' − e` (for TransE exactly; for the other
+//! models it is the same first-order approximation the paper uses when it
+//! maps mean embeddings with `A_ent`). The mean embedding softly averages
+//! these local optima with weights `min(w_e, w_{e'})`, so triples touching
+//! dangling entities are soft-removed.
+//!
+//! For a class `c`, the mean embedding averages the embeddings of its
+//! member entities with weights `w_e`.
+
+use crate::weights::EntityWeights;
+use daakg_autograd::Tensor;
+use daakg_graph::KnowledgeGraph;
+
+/// Which side of the KG pair the weights refer to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The first KG `G`.
+    Left,
+    /// The second KG `G'`.
+    Right,
+}
+
+/// Mean relation embeddings `r̄` (Eq. 7): one row per relation, in entity
+/// space. Relations with zero total weight (or no triples) get zero rows.
+pub fn mean_relation_embeddings(
+    kg: &KnowledgeGraph,
+    entities: &Tensor,
+    weights: &EntityWeights,
+    side: Side,
+) -> Tensor {
+    let dim = entities.cols();
+    let mut out = Tensor::zeros(kg.num_relations(), dim);
+    let mut total_w = vec![0.0f32; kg.num_relations()];
+    for t in kg.triples() {
+        let w = match side {
+            Side::Left => weights.triple_weight_left(t.head.raw(), t.tail.raw()),
+            Side::Right => weights.triple_weight_right(t.head.raw(), t.tail.raw()),
+        };
+        if w <= 0.0 {
+            continue;
+        }
+        let h = entities.row(t.head.index());
+        let tl = entities.row(t.tail.index());
+        let dst = out.row_mut(t.rel.index());
+        for c in 0..dim {
+            dst[c] += w * (tl[c] - h[c]);
+        }
+        total_w[t.rel.index()] += w;
+    }
+    for r in 0..kg.num_relations() {
+        let z = total_w[r];
+        if z > 0.0 {
+            let inv = 1.0 / z;
+            for v in out.row_mut(r) {
+                *v *= inv;
+            }
+        }
+    }
+    out
+}
+
+/// Mean class embeddings `c̄` (Eq. 9): the weighted average of member-entity
+/// embeddings. Classes with no weighted members get zero rows.
+pub fn mean_class_embeddings(
+    kg: &KnowledgeGraph,
+    entities: &Tensor,
+    weights: &EntityWeights,
+    side: Side,
+) -> Tensor {
+    let dim = entities.cols();
+    let mut out = Tensor::zeros(kg.num_classes(), dim);
+    let mut total_w = vec![0.0f32; kg.num_classes()];
+    for a in kg.type_assertions() {
+        let w = match side {
+            Side::Left => weights.left[a.entity.index()],
+            Side::Right => weights.right[a.entity.index()],
+        };
+        if w <= 0.0 {
+            continue;
+        }
+        let e = entities.row(a.entity.index());
+        let dst = out.row_mut(a.class.index());
+        for c in 0..dim {
+            dst[c] += w * e[c];
+        }
+        total_w[a.class.index()] += w;
+    }
+    for c in 0..kg.num_classes() {
+        let z = total_w[c];
+        if z > 0.0 {
+            let inv = 1.0 / z;
+            for v in out.row_mut(c) {
+                *v *= inv;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daakg_graph::KgBuilder;
+
+    fn star_kg() -> KnowledgeGraph {
+        // hub -likes-> a, hub -likes-> b ; a, b of class "Thing".
+        let mut b = KgBuilder::new("t");
+        b.triple_by_name("hub", "likes", "a");
+        b.triple_by_name("hub", "likes", "b");
+        b.typing_by_name("a", "Thing");
+        b.typing_by_name("b", "Thing");
+        b.build()
+    }
+
+    #[test]
+    fn mean_relation_is_average_of_differences() {
+        let kg = star_kg();
+        // hub=0, a=1, b=2 by insertion order.
+        let ents = Tensor::from_rows(&[&[0.0, 0.0], &[2.0, 0.0], &[0.0, 4.0]]);
+        let w = EntityWeights::uniform(3, 0);
+        let m = mean_relation_embeddings(&kg, &ents, &w, Side::Left);
+        // diffs: a-hub = (2,0); b-hub = (0,4); mean = (1,2).
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn dangling_triples_are_soft_removed() {
+        let kg = star_kg();
+        let ents = Tensor::from_rows(&[&[0.0, 0.0], &[2.0, 0.0], &[0.0, 4.0]]);
+        // Entity b (index 2) is dangling: weight 0.
+        let w = EntityWeights {
+            left: vec![1.0, 1.0, 0.0],
+            right: vec![],
+        };
+        let m = mean_relation_embeddings(&kg, &ents, &w, Side::Left);
+        // Only the (hub, likes, a) triple counts.
+        assert_eq!(m.row(0), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_class_is_weighted_member_average() {
+        let kg = star_kg();
+        let ents = Tensor::from_rows(&[&[0.0, 0.0], &[2.0, 0.0], &[0.0, 4.0]]);
+        let w = EntityWeights {
+            left: vec![1.0, 3.0, 1.0],
+            right: vec![],
+        };
+        let m = mean_class_embeddings(&kg, &ents, &w, Side::Left);
+        // (3·(2,0) + 1·(0,4)) / 4 = (1.5, 1.0).
+        assert_eq!(m.row(0), &[1.5, 1.0]);
+    }
+
+    #[test]
+    fn zero_weight_class_gets_zero_row() {
+        let kg = star_kg();
+        let ents = Tensor::from_rows(&[&[1.0, 1.0], &[2.0, 0.0], &[0.0, 4.0]]);
+        let w = EntityWeights {
+            left: vec![0.0, 0.0, 0.0],
+            right: vec![],
+        };
+        let m = mean_class_embeddings(&kg, &ents, &w, Side::Left);
+        assert_eq!(m.row(0), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Semi-supervised potential-match mining (Sect. 4.2).
+//!
+//! Element pairs whose similarity exceeds the threshold `τ` become
+//! additional soft supervision. Conflicts (one element matched to several)
+//! are resolved by keeping the higher-scored pair, as in the paper.
+
+use daakg_graph::{ElementPair, FxHashMap, PairKind};
+
+/// A mined potential match with its soft label `S₀`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PotentialMatch {
+    /// The element pair.
+    pub pair: ElementPair,
+    /// The previous-round similarity, used as the soft label in Eq. (10).
+    pub soft_label: f32,
+}
+
+/// Mine `M_semi`: keep pairs with similarity above `threshold`, then drop
+/// conflicting pairs (lower similarity loses). The input can mix entity,
+/// relation and class pairs; conflicts are resolved per kind and per side.
+pub fn mine_potential_matches(
+    scored_pairs: impl IntoIterator<Item = (ElementPair, f32)>,
+    threshold: f32,
+) -> Vec<PotentialMatch> {
+    let mut candidates: Vec<(ElementPair, f32)> = scored_pairs
+        .into_iter()
+        .filter(|(_, s)| *s >= threshold)
+        .collect();
+    // Descending by score so the first claim on an element wins.
+    candidates.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    // Separate "used" sets per kind and side; keys are raw indices.
+    let mut used_left: FxHashMap<(PairKind, u32), ()> = FxHashMap::default();
+    let mut used_right: FxHashMap<(PairKind, u32), ()> = FxHashMap::default();
+    let mut out = Vec::new();
+    for (pair, score) in candidates {
+        let kind = pair.kind();
+        let (l, r) = match pair {
+            ElementPair::Entity(a, b) => (a.raw(), b.raw()),
+            ElementPair::Relation(a, b) => (a.raw(), b.raw()),
+            ElementPair::Class(a, b) => (a.raw(), b.raw()),
+        };
+        if used_left.contains_key(&(kind, l)) || used_right.contains_key(&(kind, r)) {
+            continue;
+        }
+        used_left.insert((kind, l), ());
+        used_right.insert((kind, r), ());
+        out.push(PotentialMatch {
+            pair,
+            soft_label: score,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daakg_graph::{ClassId, EntityId, RelationId};
+
+    fn ep(l: u32, r: u32) -> ElementPair {
+        ElementPair::Entity(EntityId::new(l), EntityId::new(r))
+    }
+
+    #[test]
+    fn threshold_filters() {
+        let mined = mine_potential_matches(vec![(ep(0, 0), 0.95), (ep(1, 1), 0.5)], 0.9);
+        assert_eq!(mined.len(), 1);
+        assert_eq!(mined[0].pair, ep(0, 0));
+        assert_eq!(mined[0].soft_label, 0.95);
+    }
+
+    #[test]
+    fn conflicts_resolved_by_score() {
+        // Entity 0 matched to both 5 (0.92) and 6 (0.97): keep 6.
+        let mined = mine_potential_matches(
+            vec![(ep(0, 5), 0.92), (ep(0, 6), 0.97), (ep(1, 5), 0.95)],
+            0.9,
+        );
+        let pairs: Vec<ElementPair> = mined.iter().map(|m| m.pair).collect();
+        assert!(pairs.contains(&ep(0, 6)));
+        assert!(pairs.contains(&ep(1, 5)));
+        assert!(!pairs.contains(&ep(0, 5)));
+    }
+
+    #[test]
+    fn kinds_do_not_conflict_with_each_other() {
+        let e = ElementPair::Entity(EntityId::new(0), EntityId::new(0));
+        let r = ElementPair::Relation(RelationId::new(0), RelationId::new(0));
+        let c = ElementPair::Class(ClassId::new(0), ClassId::new(0));
+        let mined = mine_potential_matches(vec![(e, 0.95), (r, 0.95), (c, 0.95)], 0.9);
+        assert_eq!(mined.len(), 3);
+    }
+
+    #[test]
+    fn deterministic_under_score_ties() {
+        let a = mine_potential_matches(vec![(ep(0, 5), 0.95), (ep(0, 6), 0.95)], 0.9);
+        let b = mine_potential_matches(vec![(ep(0, 6), 0.95), (ep(0, 5), 0.95)], 0.9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1);
+    }
+}

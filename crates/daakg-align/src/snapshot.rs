@@ -1,0 +1,319 @@
+//! A tape-free snapshot of the joint alignment model: every similarity
+//! function `S(·, ·)` of Sect. 4.2, evaluated over cached matrices.
+//!
+//! Downstream modules (inference power, active learning, evaluation) only
+//! ever talk to the model through a snapshot, which makes them independent
+//! of training internals and cheap to query.
+
+use crate::mapping::{map_matrix, map_names};
+use crate::mean_embed::{mean_class_embeddings, mean_relation_embeddings, Side};
+use crate::weights::EntityWeights;
+use daakg_autograd::tensor::cosine;
+use daakg_autograd::{ParamStore, Tensor};
+use daakg_embed::{EntityClassModel, KgEmbedding};
+use daakg_graph::{ElementPair, KnowledgeGraph};
+
+/// Cached matrices of one alignment round.
+#[derive(Debug, Clone)]
+pub struct AlignmentSnapshot {
+    /// Encoded entities of `G` (`n₁ × d`).
+    pub ents1: Tensor,
+    /// Encoded entities of `G'` (`n₂ × d`).
+    pub ents2: Tensor,
+    /// `ents1 · A_ent`: left entities transported into the right space.
+    pub mapped_ents1: Tensor,
+    /// Relation representations of `G` (base relations).
+    pub rels1: Tensor,
+    /// Relation representations of `G'`.
+    pub rels2: Tensor,
+    /// `rels1 · A_rel`.
+    pub mapped_rels1: Tensor,
+    /// Class embeddings of `G` (`[w_c | b_c]` per class; zero rows when the
+    /// class-embedding ablation is off).
+    pub cls1: Tensor,
+    /// Class embeddings of `G'`.
+    pub cls2: Tensor,
+    /// `cls1 · A_cls`.
+    pub mapped_cls1: Tensor,
+    /// Mean relation embeddings `r̄` of `G` (entity space).
+    pub mean_rels1: Tensor,
+    /// Mean relation embeddings of `G'`.
+    pub mean_rels2: Tensor,
+    /// `mean_rels1 · A_ent` (the paper maps mean embeddings with `A_ent`).
+    pub mapped_mean_rels1: Tensor,
+    /// Mean class embeddings `c̄` of `G`.
+    pub mean_cls1: Tensor,
+    /// Mean class embeddings of `G'`.
+    pub mean_cls2: Tensor,
+    /// `mean_cls1 · A_ent`.
+    pub mapped_mean_cls1: Tensor,
+    /// Entity weights of the round (Eq. 6).
+    pub weights: EntityWeights,
+    /// Whether mean embeddings participate in `S` (Table 5 ablation).
+    pub use_mean_embeddings: bool,
+    /// Whether dedicated class embeddings participate in `S`.
+    pub use_class_embeddings: bool,
+}
+
+impl AlignmentSnapshot {
+    /// Build a snapshot from the current parameters.
+    ///
+    /// `ec1` / `ec2` are the entity-class models (ignored when
+    /// `use_class_embeddings` is false).
+    #[allow(clippy::too_many_arguments)]
+    pub fn build(
+        kg1: &KnowledgeGraph,
+        kg2: &KnowledgeGraph,
+        model1: &dyn KgEmbedding,
+        model2: &dyn KgEmbedding,
+        ec1: &EntityClassModel,
+        ec2: &EntityClassModel,
+        store: &ParamStore,
+        weights: EntityWeights,
+        use_mean_embeddings: bool,
+        use_class_embeddings: bool,
+    ) -> Self {
+        let ents1 = model1.entity_matrix(store, "g1.");
+        let ents2 = model2.entity_matrix(store, "g2.");
+        let a_ent = store.get(map_names::A_ENT);
+        let mapped_ents1 = map_matrix(&ents1, a_ent);
+
+        let rels1 = model1.relation_matrix(store, "g1.");
+        let rels2 = model2.relation_matrix(store, "g2.");
+        let a_rel = store.get(map_names::A_REL);
+        let mapped_rels1 = map_matrix(&rels1, a_rel);
+
+        let (cls1, cls2, mapped_cls1) = if use_class_embeddings {
+            let c1 = ec1.class_matrix(store, "g1.");
+            let c2 = ec2.class_matrix(store, "g2.");
+            let a_cls = store.get(map_names::A_CLS);
+            let m1 = map_matrix(&c1, a_cls);
+            (c1, c2, m1)
+        } else {
+            let d = 2 * ec1.class_dim().max(1);
+            (
+                Tensor::zeros(kg1.num_classes(), d),
+                Tensor::zeros(kg2.num_classes(), d),
+                Tensor::zeros(kg1.num_classes(), d),
+            )
+        };
+
+        let mean_rels1 = mean_relation_embeddings(kg1, &ents1, &weights, Side::Left);
+        let mean_rels2 = mean_relation_embeddings(kg2, &ents2, &weights, Side::Right);
+        let mapped_mean_rels1 = map_matrix(&mean_rels1, a_ent);
+        let mean_cls1 = mean_class_embeddings(kg1, &ents1, &weights, Side::Left);
+        let mean_cls2 = mean_class_embeddings(kg2, &ents2, &weights, Side::Right);
+        let mapped_mean_cls1 = map_matrix(&mean_cls1, a_ent);
+
+        Self {
+            ents1,
+            ents2,
+            mapped_ents1,
+            rels1,
+            rels2,
+            mapped_rels1,
+            cls1,
+            cls2,
+            mapped_cls1,
+            mean_rels1,
+            mean_rels2,
+            mapped_mean_rels1,
+            mean_cls1,
+            mean_cls2,
+            mapped_mean_cls1,
+            weights,
+            use_mean_embeddings,
+            use_class_embeddings,
+        }
+    }
+
+    /// Entity similarity `S(e, e') = cos(A_ent·e, e')` (Eq. 4).
+    #[inline]
+    pub fn sim_entity(&self, e1: u32, e2: u32) -> f32 {
+        cosine(
+            self.mapped_ents1.row(e1 as usize),
+            self.ents2.row(e2 as usize),
+        )
+    }
+
+    /// Relation similarity
+    /// `S(r, r') = max(cos(A_rel·r, r'), cos(A_ent·r̄, r̄'))`.
+    pub fn sim_relation(&self, r1: u32, r2: u32) -> f32 {
+        let direct = cosine(
+            self.mapped_rels1.row(r1 as usize),
+            self.rels2.row(r2 as usize),
+        );
+        if !self.use_mean_embeddings {
+            return direct;
+        }
+        let via_mean = cosine(
+            self.mapped_mean_rels1.row(r1 as usize),
+            self.mean_rels2.row(r2 as usize),
+        );
+        direct.max(via_mean)
+    }
+
+    /// Class similarity
+    /// `S(c, c') = max(cos(A_cls·c, c'), cos(A_ent·c̄, c̄'))`.
+    pub fn sim_class(&self, c1: u32, c2: u32) -> f32 {
+        let direct = if self.use_class_embeddings {
+            cosine(self.mapped_cls1.row(c1 as usize), self.cls2.row(c2 as usize))
+        } else {
+            f32::NEG_INFINITY
+        };
+        let via_mean = if self.use_mean_embeddings || !self.use_class_embeddings {
+            cosine(
+                self.mapped_mean_cls1.row(c1 as usize),
+                self.mean_cls2.row(c2 as usize),
+            )
+        } else {
+            f32::NEG_INFINITY
+        };
+        let s = direct.max(via_mean);
+        if s == f32::NEG_INFINITY {
+            0.0
+        } else {
+            s
+        }
+    }
+
+    /// Similarity of an arbitrary element pair.
+    pub fn sim(&self, pair: ElementPair) -> f32 {
+        match pair {
+            ElementPair::Entity(l, r) => self.sim_entity(l.raw(), r.raw()),
+            ElementPair::Relation(l, r) => self.sim_relation(l.raw(), r.raw()),
+            ElementPair::Class(l, r) => self.sim_class(l.raw(), r.raw()),
+        }
+    }
+
+    /// Rank all right entities for a left entity, descending.
+    pub fn rank_entities(&self, e1: u32) -> Vec<(u32, f32)> {
+        let mut v: Vec<(u32, f32)> = (0..self.ents2.rows() as u32)
+            .map(|e2| (e2, self.sim_entity(e1, e2)))
+            .collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
+        v
+    }
+
+    /// Rank a restricted candidate set for a left entity, descending.
+    pub fn rank_entity_candidates(&self, e1: u32, candidates: &[u32]) -> Vec<(u32, f32)> {
+        let mut v: Vec<(u32, f32)> = candidates
+            .iter()
+            .map(|&e2| (e2, self.sim_entity(e1, e2)))
+            .collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
+        v
+    }
+
+    /// Rank all right relations for a left relation, descending.
+    pub fn rank_relations(&self, r1: u32) -> Vec<(u32, f32)> {
+        let mut v: Vec<(u32, f32)> = (0..self.rels2.rows() as u32)
+            .map(|r2| (r2, self.sim_relation(r1, r2)))
+            .collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
+        v
+    }
+
+    /// Rank all right classes for a left class, descending.
+    pub fn rank_classes(&self, c1: u32) -> Vec<(u32, f32)> {
+        let mut v: Vec<(u32, f32)> = (0..self.cls2.rows().max(self.mean_cls2.rows()) as u32)
+            .map(|c2| (c2, self.sim_class(c1, c2)))
+            .collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
+        v
+    }
+
+    /// Number of left / right entities.
+    pub fn entity_counts(&self) -> (usize, usize) {
+        (self.ents1.rows(), self.ents2.rows())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::init_mappings;
+    use daakg_embed::TransE;
+    use daakg_graph::kg::{example_dbpedia, example_wikidata};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build_snapshot() -> AlignmentSnapshot {
+        let kg1 = example_dbpedia();
+        let kg2 = example_wikidata();
+        let m1 = TransE::new(&kg1, 8);
+        let m2 = TransE::new(&kg2, 8);
+        let ec1 = EntityClassModel::new(kg1.num_classes(), 8, 4);
+        let ec2 = EntityClassModel::new(kg2.num_classes(), 8, 4);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        m1.init_params(&mut rng, &mut store, "g1.");
+        m2.init_params(&mut rng, &mut store, "g2.");
+        ec1.init_params(&mut rng, &mut store, "g1.");
+        ec2.init_params(&mut rng, &mut store, "g2.");
+        init_mappings(&mut rng, &mut store, 8, 8, 8);
+        let weights = EntityWeights::uniform(kg1.num_entities(), kg2.num_entities());
+        AlignmentSnapshot::build(
+            &kg1, &kg2, &m1, &m2, &ec1, &ec2, &store, weights, true, true,
+        )
+    }
+
+    #[test]
+    fn shapes_are_consistent() {
+        let s = build_snapshot();
+        assert_eq!(s.ents1.rows(), 6);
+        assert_eq!(s.mapped_ents1.shape(), s.ents1.shape());
+        assert_eq!(s.mean_rels1.rows(), s.rels1.rows());
+        assert_eq!(s.cls1.rows(), 4);
+        assert_eq!(s.mean_cls1.rows(), 4);
+    }
+
+    #[test]
+    fn similarities_are_bounded() {
+        let s = build_snapshot();
+        for e1 in 0..6u32 {
+            for e2 in 0..9u32 {
+                let v = s.sim_entity(e1, e2);
+                assert!((-1.0..=1.0).contains(&v), "cos out of range: {v}");
+            }
+        }
+        let r = s.sim_relation(0, 0);
+        assert!((-1.0..=1.0).contains(&r));
+        let c = s.sim_class(0, 0);
+        assert!((-1.0..=1.0).contains(&c));
+    }
+
+    #[test]
+    fn rankings_are_descending_and_complete() {
+        let s = build_snapshot();
+        let ranked = s.rank_entities(0);
+        assert_eq!(ranked.len(), 9);
+        for w in ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        let sub = s.rank_entity_candidates(0, &[1, 3, 5]);
+        assert_eq!(sub.len(), 3);
+    }
+
+    #[test]
+    fn sim_dispatches_by_pair_kind() {
+        use daakg_graph::{ClassId, EntityId, RelationId};
+        let s = build_snapshot();
+        let pe = s.sim(ElementPair::Entity(EntityId::new(0), EntityId::new(0)));
+        let pr = s.sim(ElementPair::Relation(RelationId::new(0), RelationId::new(0)));
+        let pc = s.sim(ElementPair::Class(ClassId::new(0), ClassId::new(0)));
+        assert_eq!(pe, s.sim_entity(0, 0));
+        assert_eq!(pr, s.sim_relation(0, 0));
+        assert_eq!(pc, s.sim_class(0, 0));
+    }
+
+    #[test]
+    fn mean_embeddings_can_raise_relation_similarity() {
+        let mut s = build_snapshot();
+        s.use_mean_embeddings = false;
+        let without = s.sim_relation(0, 0);
+        s.use_mean_embeddings = true;
+        let with = s.sim_relation(0, 0);
+        assert!(with >= without);
+    }
+}

@@ -1,0 +1,143 @@
+//! Dangling-entity weights (Eq. 6): `w_e = max_{e'∈E'} S(e, e')`.
+//!
+//! Dangling entities — those with no counterpart in the other KG — receive
+//! low weights because nothing on the other side is similar to them; the
+//! weights then soft-remove their triples from the mean-embedding
+//! computations (Eq. 7, 9).
+
+use daakg_autograd::tensor::cosine;
+use daakg_autograd::Tensor;
+
+/// Entity weights for both directions.
+#[derive(Debug, Clone, Default)]
+pub struct EntityWeights {
+    /// `w_e` for each entity of the left KG.
+    pub left: Vec<f32>,
+    /// `w_{e'}` for each entity of the right KG.
+    pub right: Vec<f32>,
+}
+
+impl EntityWeights {
+    /// Uniform weights of 1.0 (used before the first alignment round).
+    pub fn uniform(n_left: usize, n_right: usize) -> Self {
+        Self {
+            left: vec![1.0; n_left],
+            right: vec![1.0; n_right],
+        }
+    }
+
+    /// Compute `w_e = max_{e'} cos(A_ent·e, e')` and symmetrically
+    /// `w_{e'} = max_e cos(A_ent·e, e')` from the mapped left entity matrix
+    /// and the right entity matrix.
+    ///
+    /// Negative similarities are clamped to zero so weights stay valid
+    /// convex-combination coefficients.
+    pub fn compute(mapped_left: &Tensor, right: &Tensor) -> Self {
+        let n1 = mapped_left.rows();
+        let n2 = right.rows();
+        let mut left = vec![0.0f32; n1];
+        let mut right_w = vec![0.0f32; n2];
+        for i in 0..n1 {
+            let a = mapped_left.row(i);
+            for j in 0..n2 {
+                let s = cosine(a, right.row(j));
+                if s > left[i] {
+                    left[i] = s;
+                }
+                if s > right_w[j] {
+                    right_w[j] = s;
+                }
+            }
+        }
+        Self {
+            left,
+            right: right_w,
+        }
+    }
+
+    /// Like [`EntityWeights::compute`], but only over the candidate pairs of
+    /// a blocked pool: `candidates` lists `(left, right)` index pairs. Pairs
+    /// outside the pool cannot contribute, mirroring how the pipeline
+    /// restricts all O(n²) work to the pool (Sect. 6.1).
+    pub fn compute_over_pairs(
+        n_left: usize,
+        n_right: usize,
+        mapped_left: &Tensor,
+        right: &Tensor,
+        candidates: impl IntoIterator<Item = (u32, u32)>,
+    ) -> Self {
+        let mut w = Self {
+            left: vec![0.0; n_left],
+            right: vec![0.0; n_right],
+        };
+        for (i, j) in candidates {
+            let s = cosine(mapped_left.row(i as usize), right.row(j as usize)).max(0.0);
+            if s > w.left[i as usize] {
+                w.left[i as usize] = s;
+            }
+            if s > w.right[j as usize] {
+                w.right[j as usize] = s;
+            }
+        }
+        w
+    }
+
+    /// The pairwise triple weight `min(w_e, w_{e'})` used in Eq. (7) — here
+    /// for two entities of the *same* KG side (`left`).
+    pub fn triple_weight_left(&self, head: u32, tail: u32) -> f32 {
+        self.left[head as usize].min(self.left[tail as usize])
+    }
+
+    /// As [`Self::triple_weight_left`] for the right KG.
+    pub fn triple_weight_right(&self, head: u32, tail: u32) -> f32 {
+        self.right[head as usize].min(self.right[tail as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matched_entities_get_high_weight() {
+        // Left entity 0 is identical to right entity 1; left entity 1 is
+        // orthogonal to everything on the right (dangling).
+        let mapped_left = Tensor::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 0.0, 1.0]]);
+        let right = Tensor::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 0.0]]);
+        let w = EntityWeights::compute(&mapped_left, &right);
+        assert!((w.left[0] - 1.0).abs() < 1e-6);
+        assert!(w.left[1].abs() < 1e-6);
+        assert!((w.right[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uniform_weights() {
+        let w = EntityWeights::uniform(3, 2);
+        assert_eq!(w.left, vec![1.0; 3]);
+        assert_eq!(w.right, vec![1.0; 2]);
+        assert_eq!(w.triple_weight_left(0, 2), 1.0);
+    }
+
+    #[test]
+    fn triple_weight_is_min() {
+        let w = EntityWeights {
+            left: vec![0.9, 0.2],
+            right: vec![0.5, 0.7],
+        };
+        assert!((w.triple_weight_left(0, 1) - 0.2).abs() < 1e-6);
+        assert!((w.triple_weight_right(0, 1) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pool_restricted_weights_ignore_outside_pairs() {
+        let mapped_left = Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let right = Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        // Pool contains only the cross pair (0, 1): similarity 0.
+        let w = EntityWeights::compute_over_pairs(2, 2, &mapped_left, &right, [(0u32, 1u32)]);
+        assert_eq!(w.left[0], 0.0);
+        assert_eq!(w.left[1], 0.0); // not in pool at all
+        let w2 = EntityWeights::compute_over_pairs(2, 2, &mapped_left, &right, [(0, 0), (1, 1)]);
+        assert!((w2.left[0] - 1.0).abs() < 1e-6);
+        assert!((w2.right[1] - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,96 @@
+//! Parameter initialization schemes.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialization: `U(−a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. The standard choice for the linear
+/// layers and mapping matrices in the joint model.
+pub fn xavier_uniform(rng: &mut StdRng, rows: usize, cols: usize) -> Tensor {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    let data = (0..rows * cols).map(|_| rng.gen_range(-a..a)).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Uniform initialization in a fixed range; used by TransE-style embedding
+/// tables (`U(−6/√d, 6/√d)` as in Bordes et al.).
+pub fn uniform_embedding(rng: &mut StdRng, rows: usize, cols: usize) -> Tensor {
+    let a = 6.0 / (cols as f32).sqrt();
+    let data = (0..rows * cols).map(|_| rng.gen_range(-a..a)).collect();
+    let mut t = Tensor::from_vec(rows, cols, data);
+    t.normalize_rows(1e-12);
+    t
+}
+
+/// Uniform phases in `[0, 2π)` for RotatE relation embeddings.
+pub fn uniform_phases(rng: &mut StdRng, rows: usize, cols: usize) -> Tensor {
+    let two_pi = 2.0 * std::f32::consts::PI;
+    let data = (0..rows * cols).map(|_| rng.gen_range(0.0..two_pi)).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Near-identity initialization for alignment mapping matrices: identity
+/// plus small uniform noise, as is customary for transform-based alignment
+/// (MTransE-style) so training starts close to the identity map.
+pub fn near_identity(rng: &mut StdRng, n: usize, noise: f32) -> Tensor {
+    let mut t = Tensor::identity(n);
+    for v in t.as_mut_slice() {
+        *v += rng.gen_range(-noise..noise);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = xavier_uniform(&mut rng, 16, 48);
+        let a = (6.0 / 64.0f32).sqrt();
+        for &v in t.as_slice() {
+            assert!(v.abs() <= a);
+        }
+    }
+
+    #[test]
+    fn embedding_rows_are_unit_norm() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = uniform_embedding(&mut rng, 10, 8);
+        for r in 0..t.rows() {
+            let n: f32 = t.row(r).iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn phases_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = uniform_phases(&mut rng, 5, 7);
+        for &v in t.as_slice() {
+            assert!((0.0..2.0 * std::f32::consts::PI + 1e-6).contains(&v));
+        }
+    }
+
+    #[test]
+    fn near_identity_is_near_identity() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = near_identity(&mut rng, 4, 0.01);
+        for r in 0..4 {
+            for c in 0..4 {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                assert!((t.get(r, c) - expect).abs() <= 0.01);
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = xavier_uniform(&mut StdRng::seed_from_u64(7), 3, 3);
+        let b = xavier_uniform(&mut StdRng::seed_from_u64(7), 3, 3);
+        assert_eq!(a, b);
+    }
+}

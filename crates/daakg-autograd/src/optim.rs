@@ -1,0 +1,271 @@
+//! Named parameter storage and first-order optimizers.
+//!
+//! Training code keeps master copies of all learnable tensors in a
+//! [`ParamStore`] keyed by string names (`"ent_emb"`, `"A_ent"`, ...). Each
+//! step, the model clones whichever parameters it needs into a fresh
+//! [`Graph`](crate::Graph), runs backward, and hands `(name, gradient)` pairs
+//! to an [`Optimizer`].
+
+use crate::tensor::Tensor;
+use std::collections::BTreeMap;
+
+/// Named storage of learnable parameters.
+///
+/// Backed by a `BTreeMap` so parameter iteration order — and therefore
+/// optimizer state allocation and training — is deterministic.
+#[derive(Default, Clone)]
+pub struct ParamStore {
+    params: BTreeMap<String, Tensor>,
+}
+
+impl ParamStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or replace a parameter.
+    pub fn insert(&mut self, name: impl Into<String>, value: Tensor) {
+        self.params.insert(name.into(), value);
+    }
+
+    /// Immutable access; panics on unknown name (programming error).
+    pub fn get(&self, name: &str) -> &Tensor {
+        self.params
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown parameter {name:?}"))
+    }
+
+    /// Mutable access; panics on unknown name.
+    pub fn get_mut(&mut self, name: &str) -> &mut Tensor {
+        self.params
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("unknown parameter {name:?}"))
+    }
+
+    /// Whether a parameter exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.params.contains_key(name)
+    }
+
+    /// Iterate over `(name, tensor)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Tensor)> {
+        self.params.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of stored parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar parameters (for the paper's parameter
+    /// complexity discussion).
+    pub fn num_scalars(&self) -> usize {
+        self.params.values().map(Tensor::len).sum()
+    }
+}
+
+/// A first-order optimizer applying updates to a [`ParamStore`].
+pub trait Optimizer {
+    /// Apply one update for parameter `name` given its gradient.
+    fn step(&mut self, store: &mut ParamStore, name: &str, grad: &Tensor);
+}
+
+/// Plain stochastic gradient descent, `θ ← θ − lr·g`.
+#[derive(Debug, Clone, Copy)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Self { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore, name: &str, grad: &Tensor) {
+        store.get_mut(name).add_scaled(grad, -self.lr);
+    }
+}
+
+/// Adam hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AdamConfig {
+    /// Learning rate α.
+    pub lr: f32,
+    /// First-moment decay β₁.
+    pub beta1: f32,
+    /// Second-moment decay β₂.
+    pub beta2: f32,
+    /// Numerical-stability term ε.
+    pub eps: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        Self {
+            lr: 1e-2,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+}
+
+struct AdamState {
+    m: Tensor,
+    v: Tensor,
+    t: u64,
+}
+
+/// The Adam optimizer (Kingma & Ba) with per-parameter state.
+pub struct Adam {
+    cfg: AdamConfig,
+    state: BTreeMap<String, AdamState>,
+}
+
+impl Adam {
+    /// Adam with the given configuration.
+    pub fn new(cfg: AdamConfig) -> Self {
+        Self {
+            cfg,
+            state: BTreeMap::new(),
+        }
+    }
+
+    /// Adam with default betas and the given learning rate.
+    pub fn with_lr(lr: f32) -> Self {
+        Self::new(AdamConfig {
+            lr,
+            ..AdamConfig::default()
+        })
+    }
+
+    /// The configured learning rate.
+    pub fn lr(&self) -> f32 {
+        self.cfg.lr
+    }
+
+    /// Override the learning rate (e.g. for the fine-tuning phase).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.cfg.lr = lr;
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore, name: &str, grad: &Tensor) {
+        let param = store.get_mut(name);
+        assert_eq!(param.shape(), grad.shape(), "gradient shape mismatch");
+        let st = self.state.entry(name.to_owned()).or_insert_with(|| AdamState {
+            m: Tensor::zeros(grad.rows(), grad.cols()),
+            v: Tensor::zeros(grad.rows(), grad.cols()),
+            t: 0,
+        });
+        st.t += 1;
+        let (b1, b2) = (self.cfg.beta1, self.cfg.beta2);
+        let bc1 = 1.0 - b1.powi(st.t as i32);
+        let bc2 = 1.0 - b2.powi(st.t as i32);
+        let lr = self.cfg.lr;
+        let eps = self.cfg.eps;
+        let p = param.as_mut_slice();
+        let m = st.m.as_mut_slice();
+        let v = st.v.as_mut_slice();
+        let g = grad.as_slice();
+        for i in 0..p.len() {
+            m[i] = b1 * m[i] + (1.0 - b1) * g[i];
+            v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
+            let mh = m[i] / bc1;
+            let vh = v[i] / bc2;
+            p[i] -= lr * mh / (vh.sqrt() + eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn quadratic_loss(store: &ParamStore) -> (f32, Tensor) {
+        // loss = sum((x - target)^2), target = [1, -2].
+        let mut g = Graph::new();
+        let x = g.leaf(store.get("x").clone());
+        let target = g.leaf(Tensor::row_vector(&[1.0, -2.0]));
+        let d = g.sub(x, target);
+        let d2 = g.mul(d, d);
+        let loss = g.sum_all(d2);
+        g.backward(loss);
+        (g.value(loss).item(), g.grad(x).unwrap().clone())
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let mut store = ParamStore::new();
+        store.insert("x", Tensor::row_vector(&[5.0, 5.0]));
+        let mut opt = Sgd::new(0.1);
+        let (mut prev, _) = quadratic_loss(&store);
+        for _ in 0..50 {
+            let (l, g) = quadratic_loss(&store);
+            assert!(l <= prev + 1e-6);
+            prev = l;
+            opt.step(&mut store, "x", &g);
+        }
+        let x = store.get("x");
+        assert!((x.as_slice()[0] - 1.0).abs() < 1e-3);
+        assert!((x.as_slice()[1] + 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut store = ParamStore::new();
+        store.insert("x", Tensor::row_vector(&[5.0, 5.0]));
+        let mut opt = Adam::with_lr(0.2);
+        for _ in 0..300 {
+            let (_, g) = quadratic_loss(&store);
+            opt.step(&mut store, "x", &g);
+        }
+        let x = store.get("x");
+        assert!((x.as_slice()[0] - 1.0).abs() < 1e-2);
+        assert!((x.as_slice()[1] + 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn adam_state_is_per_parameter() {
+        let mut store = ParamStore::new();
+        store.insert("a", Tensor::scalar(1.0));
+        store.insert("b", Tensor::scalar(1.0));
+        let mut opt = Adam::with_lr(0.1);
+        // Update only "a" many times; "b" must be untouched.
+        for _ in 0..10 {
+            opt.step(&mut store, "a", &Tensor::scalar(1.0));
+        }
+        assert!(store.get("a").item() < 1.0);
+        assert_eq!(store.get("b").item(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parameter")]
+    fn unknown_parameter_panics() {
+        let store = ParamStore::new();
+        let _ = store.get("missing");
+    }
+
+    #[test]
+    fn num_scalars_counts_all() {
+        let mut store = ParamStore::new();
+        store.insert("m", Tensor::zeros(3, 4));
+        store.insert("v", Tensor::zeros(1, 5));
+        assert_eq!(store.num_scalars(), 17);
+        assert_eq!(store.len(), 2);
+        assert!(store.contains("m"));
+        assert!(!store.contains("w"));
+    }
+}

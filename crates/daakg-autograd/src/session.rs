@@ -1,0 +1,127 @@
+//! A training session binding tape leaves to named parameters.
+//!
+//! Models pull parameters onto the tape with [`TapeSession::param`]; after
+//! `backward`, [`TapeSession::step`] walks the recorded bindings and hands
+//! each parameter's gradient to the optimizer. Repeated `param` calls for
+//! the same name return the same node, so gradients from different parts of
+//! the model accumulate correctly.
+
+use crate::graph::{Graph, Var};
+use crate::optim::{Optimizer, ParamStore};
+use std::collections::BTreeMap;
+use std::ops::{Deref, DerefMut};
+
+/// A [`Graph`] plus the name → leaf bindings of the parameters in use.
+#[derive(Default)]
+pub struct TapeSession {
+    /// The underlying tape (also reachable through `Deref`).
+    pub graph: Graph,
+    bindings: BTreeMap<String, Var>,
+}
+
+impl TapeSession {
+    /// A fresh session with an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind the named parameter from `store` onto the tape, returning its
+    /// leaf. Subsequent calls with the same name return the cached leaf.
+    pub fn param(&mut self, store: &ParamStore, name: &str) -> Var {
+        if let Some(&v) = self.bindings.get(name) {
+            return v;
+        }
+        let v = self.graph.leaf(store.get(name).clone());
+        self.bindings.insert(name.to_owned(), v);
+        v
+    }
+
+    /// Names of all bound parameters, in deterministic order.
+    pub fn bound_names(&self) -> impl Iterator<Item = &str> {
+        self.bindings.keys().map(String::as_str)
+    }
+
+    /// Run backward from `loss` (delegates to [`Graph::backward`]).
+    pub fn backward(&mut self, loss: Var) {
+        self.graph.backward(loss);
+    }
+
+    /// Apply one optimizer step for every bound parameter that received a
+    /// gradient. Returns the number of parameters updated.
+    pub fn step(&mut self, store: &mut ParamStore, opt: &mut dyn Optimizer) -> usize {
+        let mut updated = 0;
+        for (name, &var) in &self.bindings {
+            if let Some(grad) = self.graph.grad(var) {
+                opt.step(store, name, grad);
+                updated += 1;
+            }
+        }
+        updated
+    }
+}
+
+impl Deref for TapeSession {
+    type Target = Graph;
+    fn deref(&self) -> &Graph {
+        &self.graph
+    }
+}
+
+impl DerefMut for TapeSession {
+    fn deref_mut(&mut self) -> &mut Graph {
+        &mut self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Sgd;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn param_is_cached_per_name() {
+        let mut store = ParamStore::new();
+        store.insert("w", Tensor::scalar(1.0));
+        let mut s = TapeSession::new();
+        let a = s.param(&store, "w");
+        let b = s.param(&store, "w");
+        assert_eq!(a, b);
+        assert_eq!(s.bound_names().collect::<Vec<_>>(), vec!["w"]);
+    }
+
+    #[test]
+    fn step_updates_only_touched_params() {
+        let mut store = ParamStore::new();
+        store.insert("w", Tensor::scalar(2.0));
+        store.insert("unused", Tensor::scalar(5.0));
+        let mut s = TapeSession::new();
+        let w = s.param(&store, "w");
+        let _unused = s.param(&store, "unused");
+        let sq = s.graph.mul(w, w);
+        let loss = s.graph.sum_all(sq);
+        s.backward(loss);
+        let mut opt = Sgd::new(0.1);
+        let updated = s.step(&mut store, &mut opt);
+        assert_eq!(updated, 1); // "unused" got no gradient
+        // w ← 2 − 0.1·(2·2) = 1.6
+        assert!((store.get("w").item() - 1.6).abs() < 1e-6);
+        assert_eq!(store.get("unused").item(), 5.0);
+    }
+
+    #[test]
+    fn shared_param_accumulates_gradients() {
+        let mut store = ParamStore::new();
+        store.insert("w", Tensor::scalar(3.0));
+        let mut s = TapeSession::new();
+        let w1 = s.param(&store, "w");
+        let w2 = s.param(&store, "w");
+        let sum = s.graph.add(w1, w2); // 2w
+        let loss = s.graph.sum_all(sum);
+        s.backward(loss);
+        let mut opt = Sgd::new(1.0);
+        s.step(&mut store, &mut opt);
+        // gradient is 2 (both uses), w ← 3 − 2 = 1
+        assert!((store.get("w").item() - 1.0).abs() < 1e-6);
+    }
+}

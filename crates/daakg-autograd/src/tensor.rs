@@ -1,0 +1,423 @@
+//! Dense row-major `f32` matrices.
+//!
+//! All shapes in the DAAKG models are rank ≤ 2, so [`Tensor`] is a matrix;
+//! a vector is represented as a `1×d` matrix. Storage is a single `Vec<f32>`
+//! for cache-friendly iteration (per the perf-book guidance on flat storage).
+
+use std::fmt;
+
+/// A dense `rows × cols` matrix of `f32` in row-major order.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({}x{})", self.rows, self.cols)?;
+        if self.data.len() <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Tensor {
+    /// A `rows × cols` tensor filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// A `rows × cols` tensor filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            data: vec![value; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// A `1×1` scalar tensor.
+    pub fn scalar(value: f32) -> Self {
+        Self::full(1, 1, value)
+    }
+
+    /// Build from an explicit data vector; `data.len()` must be
+    /// `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} != {rows}x{cols}",
+            data.len()
+        );
+        Self { data, rows, cols }
+    }
+
+    /// Build from row slices; all rows must have equal length.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Self {
+            data,
+            rows: rows.len(),
+            cols,
+        }
+    }
+
+    /// A `1×d` row vector from a slice.
+    pub fn row_vector(v: &[f32]) -> Self {
+        Self::from_vec(1, v.len(), v.to_vec())
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut t = Self::zeros(n, n);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major view of the data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat view.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// A mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The single value of a `1×1` tensor.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.shape(), (1, 1), "item() on non-scalar tensor");
+        self.data[0]
+    }
+
+    /// Elementwise in-place addition.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape());
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += scale * other` (axpy).
+    pub fn add_scaled(&mut self, other: &Tensor, scale: f32) {
+        assert_eq!(self.shape(), other.shape());
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += scale * b;
+        }
+    }
+
+    /// In-place multiplication by a scalar.
+    pub fn scale(&mut self, s: f32) {
+        for a in self.data.iter_mut() {
+            *a *= s;
+        }
+    }
+
+    /// Reset all elements to zero, keeping the allocation.
+    pub fn zero_out(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Matrix product `self · other`.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(m, n);
+        // i-k-j loop order: streams through `other` row-wise for cache
+        // friendliness.
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * n..(kk + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Dot product of two tensors viewed as flat vectors.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape(), other.shape());
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Frobenius (flat L2) norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Elementwise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+
+    /// Gather a new tensor whose rows are `self.row(i)` for each index.
+    pub fn gather_rows(&self, indices: &[u32]) -> Tensor {
+        let mut out = Tensor::zeros(indices.len(), self.cols);
+        for (o, &i) in indices.iter().enumerate() {
+            let i = i as usize;
+            assert!(i < self.rows, "gather index {i} out of {} rows", self.rows);
+            out.data[o * self.cols..(o + 1) * self.cols]
+                .copy_from_slice(&self.data[i * self.cols..(i + 1) * self.cols]);
+        }
+        out
+    }
+
+    /// L2-normalize each row in place. Rows with norm below `eps` are left
+    /// unchanged.
+    pub fn normalize_rows(&mut self, eps: f32) {
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            let n = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+            if n > eps {
+                for x in row.iter_mut() {
+                    *x /= n;
+                }
+            }
+        }
+    }
+
+    /// Euclidean distance between two rows of (possibly different) tensors.
+    pub fn row_distance(a: &Tensor, ra: usize, b: &Tensor, rb: usize) -> f32 {
+        assert_eq!(a.cols, b.cols);
+        a.row(ra)
+            .iter()
+            .zip(b.row(rb).iter())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f32>()
+            .sqrt()
+    }
+}
+
+/// Cosine similarity of two equal-length slices; `0.0` when either is a zero
+/// vector (the conservative convention used throughout the paper pipeline).
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut dot = 0.0f32;
+    let mut na = 0.0f32;
+    let mut nb = 0.0f32;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na <= f32::EPSILON || nb <= f32::EPSILON {
+        return 0.0;
+    }
+    dot / (na.sqrt() * nb.sqrt())
+}
+
+/// Euclidean distance of two equal-length slices.
+pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f32>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(t.shape(), (2, 2));
+        assert_eq!(t.get(0, 1), 2.0);
+        assert_eq!(t.row(1), &[3.0, 4.0]);
+        assert_eq!(Tensor::scalar(7.0).item(), 7.0);
+        assert_eq!(Tensor::identity(2).as_slice(), &[1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_validates_shape() {
+        let _ = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Tensor::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_rows(&[&[1.0, -2.0], &[0.5, 3.0]]);
+        let i = Tensor::identity(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let at = a.transpose();
+        assert_eq!(at.shape(), (3, 2));
+        assert_eq!(at.get(2, 1), 6.0);
+        assert_eq!(at.transpose(), a);
+    }
+
+    #[test]
+    fn gather_rows_copies_rows() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let g = a.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.shape(), (3, 2));
+        assert_eq!(g.row(0), &[5.0, 6.0]);
+        assert_eq!(g.row(1), &[1.0, 2.0]);
+        assert_eq!(g.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn normalize_rows_produces_unit_rows() {
+        let mut a = Tensor::from_rows(&[&[3.0, 4.0], &[0.0, 0.0]]);
+        a.normalize_rows(1e-12);
+        assert!((a.row(0)[0] - 0.6).abs() < 1e-6);
+        assert!((a.row(0)[1] - 0.8).abs() < 1e-6);
+        // Zero row untouched.
+        assert_eq!(a.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn cosine_properties() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Tensor::from_rows(&[&[1.0, 2.0]]);
+        let b = Tensor::from_rows(&[&[10.0, 20.0]]);
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a.as_slice(), &[6.0, 12.0]);
+        a.scale(2.0);
+        assert_eq!(a.as_slice(), &[12.0, 24.0]);
+        a.zero_out();
+        assert_eq!(a.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn distances() {
+        assert!((euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-6);
+        let a = Tensor::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
+        let b = Tensor::from_rows(&[&[3.0, 4.0]]);
+        assert!((Tensor::row_distance(&a, 0, &b, 0) - 5.0).abs() < 1e-6);
+    }
+}

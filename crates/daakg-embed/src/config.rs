@@ -1,0 +1,134 @@
+//! Hyper-parameters for embedding training.
+
+use crate::model::ModelKind;
+
+/// Hyper-parameters for a KG embedding model and its trainer.
+///
+/// Defaults are the scaled-down analogues of the paper's settings (Sect. 7.1:
+/// dim 100/200, margin-based losses, 𝜆 margins): we use a smaller dimension
+/// so the full experiment grid runs on a laptop-scale machine; the relative
+/// comparisons the paper makes are preserved.
+#[derive(Debug, Clone, Copy)]
+pub struct EmbedConfig {
+    /// Which entity–relation scoring model to use.
+    pub model: ModelKind,
+    /// Entity embedding dimension `d_e` (must be even for RotatE).
+    pub dim: usize,
+    /// Class embedding dimension `d_c` (paper picks 50 after search).
+    pub class_dim: usize,
+    /// Margin `λ_er` of the entity–relation loss, Eq. (1).
+    pub margin_er: f32,
+    /// Margin `λ_ec` of the entity–class loss, Eq. (3).
+    pub margin_ec: f32,
+    /// Number of negative samples per positive triple.
+    pub neg_samples: usize,
+    /// Mini-batch size (number of positive triples).
+    pub batch_size: usize,
+    /// Training epochs for the embedding objective.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// RNG seed controlling init and sampling.
+    pub seed: u64,
+}
+
+impl Default for EmbedConfig {
+    fn default() -> Self {
+        Self {
+            model: ModelKind::TransE,
+            dim: 32,
+            class_dim: 16,
+            margin_er: 1.0,
+            margin_ec: 0.5,
+            neg_samples: 4,
+            batch_size: 256,
+            epochs: 30,
+            lr: 5e-2,
+            seed: 42,
+        }
+    }
+}
+
+impl EmbedConfig {
+    /// Config with the given model kind and otherwise default settings.
+    pub fn for_model(model: ModelKind) -> Self {
+        Self {
+            model,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style override of the dimension.
+    pub fn with_dim(mut self, dim: usize) -> Self {
+        self.dim = dim;
+        self
+    }
+
+    /// Builder-style override of the epoch count.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Builder-style override of the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validate internal consistency (e.g. even dim for RotatE).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dim == 0 {
+            return Err("dim must be positive".into());
+        }
+        if self.model == ModelKind::RotatE && self.dim % 2 != 0 {
+            return Err(format!("RotatE requires an even dim, got {}", self.dim));
+        }
+        if self.neg_samples == 0 {
+            return Err("neg_samples must be positive".into());
+        }
+        if !(self.lr > 0.0) {
+            return Err("lr must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(EmbedConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rotate_requires_even_dim() {
+        let cfg = EmbedConfig::for_model(ModelKind::RotatE).with_dim(33);
+        assert!(cfg.validate().is_err());
+        let cfg = EmbedConfig::for_model(ModelKind::RotatE).with_dim(32);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_chain() {
+        let cfg = EmbedConfig::default().with_dim(8).with_epochs(3).with_seed(7);
+        assert_eq!(cfg.dim, 8);
+        assert_eq!(cfg.epochs, 3);
+        assert_eq!(cfg.seed, 7);
+    }
+
+    #[test]
+    fn degenerate_configs_rejected() {
+        let mut cfg = EmbedConfig::default();
+        cfg.dim = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = EmbedConfig::default();
+        cfg.neg_samples = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = EmbedConfig::default();
+        cfg.lr = 0.0;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,267 @@
+//! The entity–class embedding model of Eq. (2)–(3).
+//!
+//! Each class `c` is modelled as a *linear subspace* of a mapped entity
+//! space: a shared feed-forward network maps entity embeddings into a
+//! `d_c`-dimensional linear space, and each class carries an elementwise
+//! weight `w_c` and offset `b_c` defining the subspace
+//! `{ e | w_c ⊙ FFNN(e) − b_c ≈ 0 }`. Dimensions where `w_c` is (near) zero
+//! are unconstrained, so many entities can satisfy the constraint at once —
+//! the paper's resolution of the many-to-one problem.
+//!
+//! Scoring function (Eq. 2): `f_ec(e, c) = ‖ w_c ⊙ FFNN(e) − b_c ‖`.
+//! Loss (Eq. 3): margin ranking between member and non-member entities.
+
+use crate::model::names;
+use daakg_autograd::{init, ParamStore, TapeSession, Tensor, Var};
+use rand::rngs::StdRng;
+
+/// Parameter names used by the entity-class model.
+pub mod ec_names {
+    /// Shared FFNN weight matrix (`d_e × d_c`).
+    pub const FFNN_W: &str = "ec_ffnn_w";
+    /// Shared FFNN bias (`1 × d_c`).
+    pub const FFNN_B: &str = "ec_ffnn_b";
+    /// Per-class elementwise weight table (`|C| × d_c`).
+    pub const CLS_W: &str = "ec_cls_w";
+    /// Per-class offset table (`|C| × d_c`).
+    pub const CLS_B: &str = "ec_cls_b";
+}
+
+/// The entity–class scoring model (shared FFNN + per-class subspace).
+pub struct EntityClassModel {
+    num_classes: usize,
+    entity_dim: usize,
+    class_dim: usize,
+}
+
+impl EntityClassModel {
+    /// Build a model for `num_classes` classes over entity embeddings of
+    /// dimension `entity_dim`, mapping into a `class_dim` linear space.
+    pub fn new(num_classes: usize, entity_dim: usize, class_dim: usize) -> Self {
+        Self {
+            num_classes,
+            entity_dim,
+            class_dim,
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Class-space dimension `d_c`.
+    pub fn class_dim(&self) -> usize {
+        self.class_dim
+    }
+
+    /// Initialize parameters into `store` under `prefix`.
+    pub fn init_params(&self, rng: &mut StdRng, store: &mut ParamStore, prefix: &str) {
+        store.insert(
+            names::qualified(prefix, ec_names::FFNN_W),
+            init::xavier_uniform(rng, self.entity_dim, self.class_dim),
+        );
+        store.insert(
+            names::qualified(prefix, ec_names::FFNN_B),
+            Tensor::zeros(1, self.class_dim),
+        );
+        store.insert(
+            names::qualified(prefix, ec_names::CLS_W),
+            Tensor::full(self.num_classes.max(1), self.class_dim, 1.0),
+        );
+        store.insert(
+            names::qualified(prefix, ec_names::CLS_B),
+            init::xavier_uniform(rng, self.num_classes.max(1), self.class_dim),
+        );
+    }
+
+    /// Map a batch of entity representations (`m × d_e`, already on tape)
+    /// through the shared FFNN: `tanh(E·W + b)` (`m × d_c`).
+    pub fn map_entities(
+        &self,
+        s: &mut TapeSession,
+        store: &ParamStore,
+        prefix: &str,
+        ents: Var,
+    ) -> Var {
+        let w = s.param(store, &names::qualified(prefix, ec_names::FFNN_W));
+        let b = s.param(store, &names::qualified(prefix, ec_names::FFNN_B));
+        let lin = s.graph.matmul(ents, w);
+        let biased = s.graph.add_rowvec(lin, b);
+        s.graph.tanh(biased)
+    }
+
+    /// Scores `f_ec` (`m × 1`) for a batch of (entity row in `mapped`,
+    /// class id) pairs. `mapped` must come from [`Self::map_entities`] and
+    /// have exactly one row per element of `class_ids`.
+    pub fn score(
+        &self,
+        s: &mut TapeSession,
+        store: &ParamStore,
+        prefix: &str,
+        mapped: Var,
+        class_ids: &[u32],
+    ) -> Var {
+        let w_table = s.param(store, &names::qualified(prefix, ec_names::CLS_W));
+        let b_table = s.param(store, &names::qualified(prefix, ec_names::CLS_B));
+        let w = s.graph.gather_rows(w_table, class_ids);
+        let b = s.graph.gather_rows(b_table, class_ids);
+        let weighted = s.graph.mul(w, mapped);
+        let diff = s.graph.sub(weighted, b);
+        s.graph.rows_l2norm(diff)
+    }
+
+    /// Tape-free `f_ec(e, c)` over snapshot tensors.
+    pub fn score_one(
+        &self,
+        store: &ParamStore,
+        prefix: &str,
+        entity_row: &[f32],
+        class: u32,
+    ) -> f32 {
+        let w = store.get(&names::qualified(prefix, ec_names::FFNN_W));
+        let b = store.get(&names::qualified(prefix, ec_names::FFNN_B));
+        let cw = store.get(&names::qualified(prefix, ec_names::CLS_W));
+        let cb = store.get(&names::qualified(prefix, ec_names::CLS_B));
+        // mapped = tanh(e·W + b)
+        let mut mapped = vec![0.0f32; self.class_dim];
+        for c in 0..self.class_dim {
+            let mut acc = b.get(0, c);
+            for (i, &ev) in entity_row.iter().enumerate() {
+                acc += ev * w.get(i, c);
+            }
+            mapped[c] = acc.tanh();
+        }
+        let wrow = cw.row(class as usize);
+        let brow = cb.row(class as usize);
+        mapped
+            .iter()
+            .zip(wrow)
+            .zip(brow)
+            .map(|((m, w), b)| {
+                let d = m * w - b;
+                d * d
+            })
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// The *class embedding* used for schema alignment: the concatenation
+    /// `[w_c | b_c]` describing the subspace, mirroring how the paper
+    /// compares classes through their learned representations.
+    pub fn class_embedding(&self, store: &ParamStore, prefix: &str, class: u32) -> Vec<f32> {
+        let cw = store.get(&names::qualified(prefix, ec_names::CLS_W));
+        let cb = store.get(&names::qualified(prefix, ec_names::CLS_B));
+        let mut v = Vec::with_capacity(2 * self.class_dim);
+        v.extend_from_slice(cw.row(class as usize));
+        v.extend_from_slice(cb.row(class as usize));
+        v
+    }
+
+    /// All class embeddings stacked (`|C| × 2d_c`).
+    pub fn class_matrix(&self, store: &ParamStore, prefix: &str) -> Tensor {
+        let mut out = Tensor::zeros(self.num_classes, 2 * self.class_dim);
+        for c in 0..self.num_classes {
+            let emb = self.class_embedding(store, prefix, c as u32);
+            out.row_mut(c).copy_from_slice(&emb);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn tiny() -> (EntityClassModel, ParamStore) {
+        let m = EntityClassModel::new(3, 8, 4);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        m.init_params(&mut rng, &mut store, "g.");
+        (m, store)
+    }
+
+    #[test]
+    fn shapes() {
+        let (m, store) = tiny();
+        assert_eq!(store.get("g.ec_ffnn_w").shape(), (8, 4));
+        assert_eq!(store.get("g.ec_cls_w").shape(), (3, 4));
+        assert_eq!(m.class_matrix(&store, "g.").shape(), (3, 8));
+        assert_eq!(m.class_embedding(&store, "g.", 1).len(), 8);
+    }
+
+    #[test]
+    fn tape_score_matches_snapshot() {
+        let (m, store) = tiny();
+        let ent_row: Vec<f32> = (0..8).map(|i| 0.1 * i as f32 - 0.3).collect();
+        let mut g = TapeSession::new();
+        let ents = g.leaf(Tensor::row_vector(&ent_row));
+        let mapped = m.map_entities(&mut g, &store, "g.", ents);
+        let s = m.score(&mut g, &store, "g.", mapped, &[2]);
+        let snap = m.score_one(&store, "g.", &ent_row, 2);
+        assert!((g.value(s).item() - snap).abs() < 1e-5);
+    }
+
+    #[test]
+    fn member_entity_can_reach_zero_score() {
+        // If b_c = w_c ⊙ FFNN(e) exactly, the score is zero.
+        let (m, mut store) = tiny();
+        let ent_row: Vec<f32> = (0..8).map(|i| 0.05 * i as f32).collect();
+        // Compute mapped vector with current FFNN.
+        let mut g = TapeSession::new();
+        let ents = g.leaf(Tensor::row_vector(&ent_row));
+        let mapped_var = m.map_entities(&mut g, &store, "g.", ents);
+        let mapped = g.value(mapped_var).row(0).to_vec();
+        let mut cb = store.get("g.ec_cls_b").clone();
+        // w_c is all-ones initially, so set b_c = mapped.
+        cb.row_mut(0).copy_from_slice(&mapped);
+        store.insert("g.ec_cls_b", cb);
+        assert!(m.score_one(&store, "g.", &ent_row, 0) < 1e-6);
+        // Another entity should not be at zero.
+        let other: Vec<f32> = (0..8).map(|i| -0.2 * i as f32 + 0.7).collect();
+        assert!(m.score_one(&store, "g.", &other, 0) > 1e-4);
+    }
+
+    #[test]
+    fn many_entities_can_share_a_subspace() {
+        // Zero out w_c: every entity lies in the subspace (score = ||b_c||
+        // constant); with b_c = 0 too, f_ec = 0 for *all* entities — the
+        // many-to-one resolution in the limit.
+        let (m, mut store) = tiny();
+        let mut cw = store.get("g.ec_cls_w").clone();
+        for v in cw.row_mut(0) {
+            *v = 0.0;
+        }
+        store.insert("g.ec_cls_w", cw);
+        let mut cb = store.get("g.ec_cls_b").clone();
+        for v in cb.row_mut(0) {
+            *v = 0.0;
+        }
+        store.insert("g.ec_cls_b", cb);
+        for k in 0..5 {
+            let e: Vec<f32> = (0..8).map(|i| (i as f32) * 0.1 + k as f32).collect();
+            assert!(m.score_one(&store, "g.", &e, 0) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradients_flow_through_ffnn_and_class_tables() {
+        let (m, store) = tiny();
+        let mut g = TapeSession::new();
+        let ents = g.leaf(Tensor::from_rows(&[
+            &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8],
+            &[-0.1, -0.2, -0.3, -0.4, -0.5, -0.6, -0.7, -0.8],
+        ]));
+        let mapped = m.map_entities(&mut g, &store, "g.", ents);
+        let s = m.score(&mut g, &store, "g.", mapped, &[0, 1]);
+        let loss = g.sum_all(s);
+        g.backward(loss);
+        assert!(g
+            .grad(ents)
+            .unwrap()
+            .as_slice()
+            .iter()
+            .any(|v| v.abs() > 0.0));
+    }
+}

@@ -1,0 +1,201 @@
+//! The [`KgEmbedding`] trait implemented by all entity–relation models.
+
+use daakg_autograd::{Graph, ParamStore, TapeSession, Tensor, Var};
+use rand::rngs::StdRng;
+
+/// The entity–relation embedding model families evaluated in the paper
+/// (Sect. 7.1 chooses TransE, RotatE and CompGCN as base models).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Translation in real space (Bordes et al., 2013).
+    TransE,
+    /// Rotation in complex space (Sun et al., 2019).
+    RotatE,
+    /// Composition-based multi-relational GCN (Vashishth et al., 2020).
+    CompGcn,
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelKind::TransE => write!(f, "TransE"),
+            ModelKind::RotatE => write!(f, "RotatE"),
+            ModelKind::CompGcn => write!(f, "CompGCN"),
+        }
+    }
+}
+
+impl ModelKind {
+    /// All three kinds, in the order used by the paper's tables.
+    pub const ALL: [ModelKind; 3] = [ModelKind::TransE, ModelKind::RotatE, ModelKind::CompGcn];
+}
+
+/// The relation difference vector `r̃` and error bound `d` of Eq. (13)–(14).
+///
+/// For a labeled entity match connected to a neighbouring pair through
+/// relation `r`, the tail embedding is approximated as `e₁ + r̃` with error
+/// at most `d`. TransE yields `d = 0` exactly (Sect. 5.2); other models
+/// estimate `r̃, d` from `m` sampled solutions.
+#[derive(Debug, Clone)]
+pub struct RelationBound {
+    /// The mean difference vector `r̃`.
+    pub diff: Vec<f32>,
+    /// The error bound `d = max_i ‖e₂,ᵢ − ẽ₂‖`.
+    pub bound: f32,
+}
+
+impl RelationBound {
+    /// A zero bound around the given difference vector (exact solution).
+    pub fn exact(diff: Vec<f32>) -> Self {
+        Self { diff, bound: 0.0 }
+    }
+
+    /// Compute `(r̃, d)` from a set of sampled difference vectors
+    /// (Eq. (14)): the mean vector and the largest distance from it.
+    pub fn from_samples(samples: &[Vec<f32>]) -> Self {
+        assert!(!samples.is_empty(), "need at least one sample");
+        let dim = samples[0].len();
+        let mut mean = vec![0.0f32; dim];
+        for s in samples {
+            for (m, v) in mean.iter_mut().zip(s) {
+                *m += v;
+            }
+        }
+        let inv = 1.0 / samples.len() as f32;
+        for m in mean.iter_mut() {
+            *m *= inv;
+        }
+        let mut bound = 0.0f32;
+        for s in samples {
+            let d: f32 = s
+                .iter()
+                .zip(&mean)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+                .sqrt();
+            bound = bound.max(d);
+        }
+        Self { diff: mean, bound }
+    }
+}
+
+/// A KG entity–relation embedding model over a [`ParamStore`].
+///
+/// Parameter names are namespaced by a `prefix` (`"g1."` / `"g2."`) so two
+/// KGs can share one store. Models internally double the relation vocabulary
+/// with synthetic reverse relations: relation `r + num_base_relations` is
+/// `r⁻¹`.
+pub trait KgEmbedding: Send + Sync {
+    /// The model family.
+    fn kind(&self) -> ModelKind;
+
+    /// Entity embedding dimension (output of the encoder).
+    fn dim(&self) -> usize;
+
+    /// Dimension of the relation representation used for schema alignment.
+    fn relation_dim(&self) -> usize;
+
+    /// Number of entities.
+    fn num_entities(&self) -> usize;
+
+    /// Number of base (asserted) relations, excluding synthetic reverses.
+    fn num_base_relations(&self) -> usize;
+
+    /// Initialize all model parameters into `store` under `prefix`.
+    fn init_params(&self, rng: &mut StdRng, store: &mut ParamStore, prefix: &str);
+
+    /// Build the encoded entity matrix (`n×d`) on the tape.
+    ///
+    /// For table models this is the raw embedding leaf; for GNN models the
+    /// message-passing layers run here, so gradients flow through the
+    /// aggregation.
+    fn encode_entities(&self, s: &mut TapeSession, store: &ParamStore, prefix: &str) -> Var;
+
+    /// Build the relation representation matrix (`2·nr × d_r`) on the tape.
+    fn encode_relations(&self, s: &mut TapeSession, store: &ParamStore, prefix: &str) -> Var;
+
+    /// Triple scores `f_er` (`m×1`, lower is better) for index triples over
+    /// the encoded matrices.
+    fn score_triples(
+        &self,
+        g: &mut Graph,
+        ents: Var,
+        rels: Var,
+        heads: &[u32],
+        rel_ids: &[u32],
+        tails: &[u32],
+    ) -> Var;
+
+    /// A tape-free snapshot of the encoded entity matrix.
+    fn entity_matrix(&self, store: &ParamStore, prefix: &str) -> Tensor;
+
+    /// A tape-free snapshot of the relation representation matrix (base
+    /// relations only, `nr × d_r`).
+    fn relation_matrix(&self, store: &ParamStore, prefix: &str) -> Tensor;
+
+    /// Tape-free score of a single triple over snapshot matrices.
+    fn score_one(&self, ents: &Tensor, rels_full: &Tensor, h: u32, r: u32, t: u32) -> f32;
+
+    /// The relation difference vector `r̃` and bound `d` of Eq. (13)–(14)
+    /// for base relation `r`, estimated from `m_samples` solutions.
+    fn relation_bound(
+        &self,
+        store: &ParamStore,
+        prefix: &str,
+        r: u32,
+        rng: &mut StdRng,
+        m_samples: usize,
+    ) -> RelationBound;
+}
+
+/// Shared naming convention for parameters.
+pub mod names {
+    /// Entity embedding table.
+    pub const ENT: &str = "ent";
+    /// Relation embedding table (includes synthetic reverses).
+    pub const REL: &str = "rel";
+    /// GNN self-transform weight.
+    pub const W_SELF: &str = "w_self";
+    /// GNN message-transform weight.
+    pub const W_MSG: &str = "w_msg";
+
+    /// Join a prefix and a base name: `"g1." + "ent"`.
+    pub fn qualified(prefix: &str, base: &str) -> String {
+        let mut s = String::with_capacity(prefix.len() + base.len());
+        s.push_str(prefix);
+        s.push_str(base);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relation_bound_from_identical_samples_is_exact() {
+        let b = RelationBound::from_samples(&[vec![1.0, 2.0], vec![1.0, 2.0]]);
+        assert_eq!(b.diff, vec![1.0, 2.0]);
+        assert_eq!(b.bound, 0.0);
+    }
+
+    #[test]
+    fn relation_bound_from_spread_samples() {
+        let b = RelationBound::from_samples(&[vec![0.0, 0.0], vec![2.0, 0.0]]);
+        assert_eq!(b.diff, vec![1.0, 0.0]);
+        assert!((b.bound - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn model_kind_display() {
+        assert_eq!(ModelKind::TransE.to_string(), "TransE");
+        assert_eq!(ModelKind::RotatE.to_string(), "RotatE");
+        assert_eq!(ModelKind::CompGcn.to_string(), "CompGCN");
+        assert_eq!(ModelKind::ALL.len(), 3);
+    }
+
+    #[test]
+    fn qualified_names() {
+        assert_eq!(names::qualified("g1.", names::ENT), "g1.ent");
+    }
+}

@@ -1,0 +1,251 @@
+//! RotatE: rotation in complex space, `f_er(h, r, t) = ‖h ∘ r − t‖`.
+//!
+//! Entity embeddings are complex vectors stored as `[re | im]` halves of a
+//! real vector of even dimension `d`; relation embeddings are phase vectors
+//! `θ ∈ [0, 2π)^{d/2}` acting as unit rotations `e^{iθ}`.
+
+use crate::model::{names, KgEmbedding, ModelKind, RelationBound};
+use daakg_autograd::{init, Graph, ParamStore, TapeSession, Tensor, Var};
+use daakg_graph::KnowledgeGraph;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The RotatE model (Sun et al., 2019).
+pub struct RotatE {
+    num_entities: usize,
+    num_base_relations: usize,
+    dim: usize,
+}
+
+impl RotatE {
+    /// Build a RotatE model for the shape of `kg`. `dim` must be even.
+    pub fn new(kg: &KnowledgeGraph, dim: usize) -> Self {
+        Self::with_shape(kg.num_entities(), kg.num_relations(), dim)
+    }
+
+    /// Build from explicit counts.
+    pub fn with_shape(num_entities: usize, num_base_relations: usize, dim: usize) -> Self {
+        assert!(dim % 2 == 0, "RotatE requires an even dimension");
+        Self {
+            num_entities,
+            num_base_relations,
+            dim,
+        }
+    }
+
+    /// Rotate the complex vector `e = [re|im]` by phases `theta`.
+    fn rotate_vec(e: &[f32], theta: &[f32]) -> Vec<f32> {
+        let half = e.len() / 2;
+        debug_assert_eq!(theta.len(), half);
+        let mut out = vec![0.0f32; e.len()];
+        for i in 0..half {
+            let (s, c) = theta[i].sin_cos();
+            let re = e[i];
+            let im = e[half + i];
+            out[i] = re * c - im * s;
+            out[half + i] = re * s + im * c;
+        }
+        out
+    }
+}
+
+impl KgEmbedding for RotatE {
+    fn kind(&self) -> ModelKind {
+        ModelKind::RotatE
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn relation_dim(&self) -> usize {
+        self.dim / 2
+    }
+
+    fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    fn num_base_relations(&self) -> usize {
+        self.num_base_relations
+    }
+
+    fn init_params(&self, rng: &mut StdRng, store: &mut ParamStore, prefix: &str) {
+        store.insert(
+            names::qualified(prefix, names::ENT),
+            init::uniform_embedding(rng, self.num_entities, self.dim),
+        );
+        // Phases for base relations; the reverse of a rotation by θ is a
+        // rotation by −θ, but we learn reverse phases freely like the base
+        // ones (they are initialized independently).
+        store.insert(
+            names::qualified(prefix, names::REL),
+            init::uniform_phases(rng, 2 * self.num_base_relations, self.dim / 2),
+        );
+    }
+
+    fn encode_entities(&self, s: &mut TapeSession, store: &ParamStore, prefix: &str) -> Var {
+        s.param(store, &names::qualified(prefix, names::ENT))
+    }
+
+    fn encode_relations(&self, s: &mut TapeSession, store: &ParamStore, prefix: &str) -> Var {
+        s.param(store, &names::qualified(prefix, names::REL))
+    }
+
+    fn score_triples(
+        &self,
+        g: &mut Graph,
+        ents: Var,
+        rels: Var,
+        heads: &[u32],
+        rel_ids: &[u32],
+        tails: &[u32],
+    ) -> Var {
+        let half = self.dim / 2;
+        let h = g.gather_rows(ents, heads);
+        let theta = g.gather_rows(rels, rel_ids);
+        let t = g.gather_rows(ents, tails);
+
+        let h_re = g.slice_cols(h, 0, half);
+        let h_im = g.slice_cols(h, half, self.dim);
+        let cos = g.cos(theta);
+        let sin = g.sin(theta);
+
+        // (re + i·im)(cosθ + i·sinθ) = (re·cos − im·sin) + i(re·sin + im·cos)
+        let rc = g.mul(h_re, cos);
+        let is = g.mul(h_im, sin);
+        let out_re = g.sub(rc, is);
+        let rs = g.mul(h_re, sin);
+        let ic = g.mul(h_im, cos);
+        let out_im = g.add(rs, ic);
+
+        let rotated = g.concat_cols(out_re, out_im);
+        let diff = g.sub(rotated, t);
+        g.rows_l2norm(diff)
+    }
+
+    fn entity_matrix(&self, store: &ParamStore, prefix: &str) -> Tensor {
+        store.get(&names::qualified(prefix, names::ENT)).clone()
+    }
+
+    fn relation_matrix(&self, store: &ParamStore, prefix: &str) -> Tensor {
+        let full = store.get(&names::qualified(prefix, names::REL));
+        let indices: Vec<u32> = (0..self.num_base_relations as u32).collect();
+        full.gather_rows(&indices)
+    }
+
+    fn score_one(&self, ents: &Tensor, rels_full: &Tensor, h: u32, r: u32, t: u32) -> f32 {
+        let rotated = Self::rotate_vec(ents.row(h as usize), rels_full.row(r as usize));
+        rotated
+            .iter()
+            .zip(ents.row(t as usize))
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    fn relation_bound(
+        &self,
+        store: &ParamStore,
+        prefix: &str,
+        r: u32,
+        rng: &mut StdRng,
+        m_samples: usize,
+    ) -> RelationBound {
+        // The exact tail for a head e is e∘r, so the difference vector
+        // e∘r − e *depends on the head*: sample m heads and aggregate per
+        // Eq. (14). This is why RotatE's inference bounds are looser than
+        // TransE's (Table 6 ordering).
+        let ents = store.get(&names::qualified(prefix, names::ENT));
+        let theta = store
+            .get(&names::qualified(prefix, names::REL))
+            .row(r as usize)
+            .to_vec();
+        let m = m_samples.max(1);
+        let mut samples = Vec::with_capacity(m);
+        for _ in 0..m {
+            let e = rng.gen_range(0..self.num_entities);
+            let erow = ents.row(e);
+            let rotated = Self::rotate_vec(erow, &theta);
+            let diff: Vec<f32> = rotated.iter().zip(erow).map(|(a, b)| a - b).collect();
+            samples.push(diff);
+        }
+        RelationBound::from_samples(&samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn tiny_model() -> (RotatE, ParamStore) {
+        let model = RotatE::with_shape(5, 2, 8);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        model.init_params(&mut rng, &mut store, "x.");
+        (model, store)
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let e = vec![0.3, -0.4, 0.5, 0.1]; // re=[0.3,-0.4] im=[0.5,0.1]
+        let theta = vec![0.7, -1.2];
+        let out = RotatE::rotate_vec(&e, &theta);
+        let n_in: f32 = e.iter().map(|v| v * v).sum();
+        let n_out: f32 = out.iter().map(|v| v * v).sum();
+        assert!((n_in - n_out).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_phase_is_identity() {
+        let e = vec![1.0, 2.0, 3.0, 4.0];
+        let out = RotatE::rotate_vec(&e, &[0.0, 0.0]);
+        assert_eq!(out, e);
+    }
+
+    #[test]
+    fn tape_score_matches_snapshot_score() {
+        let (model, store) = tiny_model();
+        let mut g = TapeSession::new();
+        let ents = model.encode_entities(&mut g, &store, "x.");
+        let rels = model.encode_relations(&mut g, &store, "x.");
+        let s = model.score_triples(&mut g.graph, ents, rels, &[0, 2], &[0, 3], &[1, 4]);
+        let snap_e = model.entity_matrix(&store, "x.");
+        let snap_r = store.get("x.rel").clone();
+        assert!((g.value(s).get(0, 0) - model.score_one(&snap_e, &snap_r, 0, 0, 1)).abs() < 1e-5);
+        assert!((g.value(s).get(1, 0) - model.score_one(&snap_e, &snap_r, 2, 3, 4)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn exact_rotation_scores_zero() {
+        let (model, mut store) = tiny_model();
+        let mut ents = store.get("x.ent").clone();
+        let theta = store.get("x.rel").row(1).to_vec();
+        let rotated = RotatE::rotate_vec(ents.row(0), &theta);
+        ents.row_mut(1).copy_from_slice(&rotated);
+        store.insert("x.ent", ents);
+        let snap_e = model.entity_matrix(&store, "x.");
+        let snap_r = store.get("x.rel").clone();
+        assert!(model.score_one(&snap_e, &snap_r, 0, 1, 1) < 1e-6);
+    }
+
+    #[test]
+    fn relation_bound_is_positive_for_rotation() {
+        let (model, store) = tiny_model();
+        let mut rng = StdRng::seed_from_u64(3);
+        let b = model.relation_bound(&store, "x.", 0, &mut rng, 8);
+        // Differences vary with the head, so the bound is nonzero (unlike
+        // TransE).
+        assert!(b.bound > 0.0);
+        assert_eq!(b.diff.len(), 8);
+    }
+
+    #[test]
+    fn shapes() {
+        let (model, store) = tiny_model();
+        assert_eq!(model.relation_dim(), 4);
+        assert_eq!(store.get("x.rel").shape(), (4, 4));
+        assert_eq!(model.relation_matrix(&store, "x.").shape(), (2, 4));
+    }
+}

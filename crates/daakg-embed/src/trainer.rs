@@ -1,0 +1,319 @@
+//! Trainer for the standalone embedding objective: the margin losses
+//! `O_er(T)` (Eq. 1) and `O_ec(T_type)` (Eq. 3).
+//!
+//! The joint alignment objective (Sect. 4.2) builds on these and lives in
+//! `daakg-align`; this trainer is also reused there to warm up the
+//! embedding tables before alignment learning.
+
+use crate::config::EmbedConfig;
+use crate::entity_class::EntityClassModel;
+use crate::model::KgEmbedding;
+use crate::sampling::{ClassNegativeSampler, NegativeSampler, TripleArrays};
+use daakg_autograd::{Adam, ParamStore, TapeSession};
+use daakg_graph::KnowledgeGraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Summary of one training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainStats {
+    /// Mean margin loss per epoch (entity–relation objective).
+    pub er_losses: Vec<f32>,
+    /// Mean margin loss per epoch (entity–class objective).
+    pub ec_losses: Vec<f32>,
+}
+
+impl TrainStats {
+    /// Final entity–relation loss, if any epoch ran.
+    pub fn final_er_loss(&self) -> Option<f32> {
+        self.er_losses.last().copied()
+    }
+
+    /// Whether the loss decreased from the first to the last epoch.
+    pub fn improved(&self) -> bool {
+        match (self.er_losses.first(), self.er_losses.last()) {
+            (Some(first), Some(last)) => last <= first,
+            _ => false,
+        }
+    }
+}
+
+/// Trainer executing the embedding objectives for one KG.
+pub struct EmbedTrainer {
+    cfg: EmbedConfig,
+}
+
+impl EmbedTrainer {
+    /// A trainer with the given configuration.
+    pub fn new(cfg: EmbedConfig) -> Self {
+        cfg.validate().expect("invalid EmbedConfig");
+        Self { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EmbedConfig {
+        &self.cfg
+    }
+
+    /// Train the entity–relation objective `O_er` (Eq. 1) and, when the KG
+    /// has classes, the entity–class objective `O_ec` (Eq. 3).
+    ///
+    /// Parameters must already be initialized in `store` under `prefix`
+    /// (including the [`EntityClassModel`] parameters when `ec` is given).
+    pub fn train(
+        &self,
+        model: &dyn KgEmbedding,
+        ec: Option<&EntityClassModel>,
+        kg: &KnowledgeGraph,
+        store: &mut ParamStore,
+        prefix: &str,
+        opt: &mut Adam,
+    ) -> TrainStats {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let arrays = TripleArrays::with_reverses(kg);
+        let neg_sampler = NegativeSampler::new(kg.num_entities(), &arrays);
+        let cls_sampler = ClassNegativeSampler::new(kg);
+        let mut stats = TrainStats::default();
+
+        if arrays.is_empty() {
+            return stats;
+        }
+
+        let mut order: Vec<usize> = (0..arrays.len()).collect();
+        for _epoch in 0..self.cfg.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f64;
+            let mut batches = 0usize;
+            for chunk in order.chunks(self.cfg.batch_size) {
+                let batch = arrays.select(chunk);
+                let loss = self.er_step(model, &batch, &neg_sampler, store, prefix, opt, &mut rng);
+                epoch_loss += loss as f64;
+                batches += 1;
+            }
+            stats
+                .er_losses
+                .push((epoch_loss / batches.max(1) as f64) as f32);
+
+            if let Some(ec_model) = ec {
+                if kg.num_type_assertions() > 0 {
+                    let loss =
+                        self.ec_step(model, ec_model, kg, &cls_sampler, store, prefix, opt, &mut rng);
+                    stats.ec_losses.push(loss);
+                }
+            }
+        }
+        stats
+    }
+
+    /// One mini-batch step of `O_er` (Eq. 1):
+    /// `Σ |λ_er + f_er(pos) − f_er(neg)|₊`.
+    #[allow(clippy::too_many_arguments)]
+    fn er_step(
+        &self,
+        model: &dyn KgEmbedding,
+        batch: &TripleArrays,
+        sampler: &NegativeSampler,
+        store: &mut ParamStore,
+        prefix: &str,
+        opt: &mut Adam,
+        rng: &mut StdRng,
+    ) -> f32 {
+        let k = self.cfg.neg_samples;
+        let neg = sampler.corrupt_tails(rng, batch, k);
+
+        let mut s = TapeSession::new();
+        let ents = model.encode_entities(&mut s, store, prefix);
+        let rels = model.encode_relations(&mut s, store, prefix);
+
+        let pos_scores = model.score_triples(
+            &mut s.graph,
+            ents,
+            rels,
+            &batch.heads,
+            &batch.rels,
+            &batch.tails,
+        );
+        let neg_scores =
+            model.score_triples(&mut s.graph, ents, rels, &neg.heads, &neg.rels, &neg.tails);
+
+        // Repeat each positive score k times to align with its negatives.
+        let rep_idx: Vec<u32> = (0..batch.len() as u32)
+            .flat_map(|i| std::iter::repeat(i).take(k))
+            .collect();
+        let pos_rep = s.graph.gather_rows(pos_scores, &rep_idx);
+        let margin_pos = s.graph.add_scalar(pos_rep, self.cfg.margin_er);
+        let diff = s.graph.sub(margin_pos, neg_scores);
+        let hinge = s.graph.relu(diff);
+        let loss = s.graph.mean_all(hinge);
+        let loss_val = s.graph.value(loss).item();
+        s.backward(loss);
+        s.step(store, opt);
+        loss_val
+    }
+
+    /// One full pass of `O_ec` (Eq. 3) over the KG's type assertions:
+    /// `Σ |λ_ec + f_ec(e, c) − f_ec(e', c)|₊` with `e' ∉ c`.
+    #[allow(clippy::too_many_arguments)]
+    fn ec_step(
+        &self,
+        model: &dyn KgEmbedding,
+        ec_model: &EntityClassModel,
+        kg: &KnowledgeGraph,
+        sampler: &ClassNegativeSampler,
+        store: &mut ParamStore,
+        prefix: &str,
+        opt: &mut Adam,
+        rng: &mut StdRng,
+    ) -> f32 {
+        let assertions = kg.type_assertions();
+        let mut pos_entities = Vec::with_capacity(assertions.len());
+        let mut neg_entities = Vec::with_capacity(assertions.len());
+        let mut classes = Vec::with_capacity(assertions.len());
+        for a in assertions {
+            pos_entities.push(a.entity.raw());
+            classes.push(a.class.raw());
+            neg_entities.push(sampler.sample_non_member(rng, a.class.raw()));
+        }
+
+        let mut s = TapeSession::new();
+        let ents = model.encode_entities(&mut s, store, prefix);
+        let pos_rows = s.graph.gather_rows(ents, &pos_entities);
+        let neg_rows = s.graph.gather_rows(ents, &neg_entities);
+        let pos_mapped = ec_model.map_entities(&mut s, store, prefix, pos_rows);
+        let neg_mapped = ec_model.map_entities(&mut s, store, prefix, neg_rows);
+        let pos_scores = ec_model.score(&mut s, store, prefix, pos_mapped, &classes);
+        let neg_scores = ec_model.score(&mut s, store, prefix, neg_mapped, &classes);
+
+        let margin_pos = s.graph.add_scalar(pos_scores, self.cfg.margin_ec);
+        let diff = s.graph.sub(margin_pos, neg_scores);
+        let hinge = s.graph.relu(diff);
+        let loss = s.graph.mean_all(hinge);
+        let loss_val = s.graph.value(loss).item();
+        s.backward(loss);
+        s.step(store, opt);
+        loss_val
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelKind;
+    use crate::transe::TransE;
+    use daakg_graph::KgBuilder;
+
+    /// A small chain KG with enough structure to train on.
+    fn chain_kg(n: usize) -> KnowledgeGraph {
+        let mut b = KgBuilder::new("chain");
+        for i in 0..n {
+            let a = format!("e{i}");
+            let c = format!("e{}", (i + 1) % n);
+            b.triple_by_name(&a, "next", &c);
+            if i % 2 == 0 {
+                b.typing_by_name(&a, "Even");
+            } else {
+                b.typing_by_name(&a, "Odd");
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn transe_loss_decreases() {
+        let kg = chain_kg(20);
+        let model = TransE::new(&kg, 8);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        model.init_params(&mut rng, &mut store, "g.");
+        let cfg = EmbedConfig {
+            epochs: 10,
+            batch_size: 16,
+            lr: 0.05,
+            dim: 8,
+            ..EmbedConfig::default()
+        };
+        let trainer = EmbedTrainer::new(cfg);
+        let mut opt = Adam::with_lr(cfg.lr);
+        let stats = trainer.train(&model, None, &kg, &mut store, "g.", &mut opt);
+        assert_eq!(stats.er_losses.len(), 10);
+        assert!(
+            stats.improved(),
+            "loss did not improve: {:?}",
+            stats.er_losses
+        );
+    }
+
+    #[test]
+    fn entity_class_objective_trains() {
+        let kg = chain_kg(16);
+        let model = TransE::new(&kg, 8);
+        let ec = EntityClassModel::new(kg.num_classes(), 8, 4);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        model.init_params(&mut rng, &mut store, "g.");
+        ec.init_params(&mut rng, &mut store, "g.");
+        let cfg = EmbedConfig {
+            epochs: 8,
+            batch_size: 16,
+            dim: 8,
+            class_dim: 4,
+            ..EmbedConfig::default()
+        };
+        let trainer = EmbedTrainer::new(cfg);
+        let mut opt = Adam::with_lr(cfg.lr);
+        let stats = trainer.train(&model, Some(&ec), &kg, &mut store, "g.", &mut opt);
+        assert_eq!(stats.ec_losses.len(), 8);
+        let first = stats.ec_losses[0];
+        let last = *stats.ec_losses.last().unwrap();
+        assert!(last <= first, "ec loss did not improve: {first} -> {last}");
+        // After training, a member entity should score lower against its
+        // class than a non-member.
+        let ents = model.entity_matrix(&store, "g.");
+        let even = kg.class_by_name("Even").unwrap().raw();
+        let member = kg.entity_by_name("e0").unwrap().index();
+        let non_member = kg.entity_by_name("e1").unwrap().index();
+        let s_member = ec.score_one(&store, "g.", ents.row(member), even);
+        let s_non = ec.score_one(&store, "g.", ents.row(non_member), even);
+        assert!(
+            s_member < s_non,
+            "member {s_member} not closer than non-member {s_non}"
+        );
+    }
+
+    #[test]
+    fn empty_kg_is_a_noop() {
+        let kg = KgBuilder::new("empty").build();
+        let model = TransE::new(&kg, 8);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        model.init_params(&mut rng, &mut store, "g.");
+        let trainer = EmbedTrainer::new(EmbedConfig::default().with_dim(8));
+        let mut opt = Adam::with_lr(0.01);
+        let stats = trainer.train(&model, None, &kg, &mut store, "g.", &mut opt);
+        assert!(stats.er_losses.is_empty());
+    }
+
+    #[test]
+    fn all_model_kinds_train_one_epoch() {
+        let kg = chain_kg(10);
+        for kind in ModelKind::ALL {
+            let model = crate::build_model(kind, &kg, 8);
+            let mut store = ParamStore::new();
+            let mut rng = StdRng::seed_from_u64(0);
+            model.init_params(&mut rng, &mut store, "g.");
+            let cfg = EmbedConfig {
+                model: kind,
+                epochs: 2,
+                batch_size: 8,
+                dim: 8,
+                ..EmbedConfig::default()
+            };
+            let trainer = EmbedTrainer::new(cfg);
+            let mut opt = Adam::with_lr(0.02);
+            let stats = trainer.train(model.as_ref(), None, &kg, &mut store, "g.", &mut opt);
+            assert_eq!(stats.er_losses.len(), 2, "{kind} failed to train");
+            assert!(stats.er_losses.iter().all(|l| l.is_finite()));
+        }
+    }
+}

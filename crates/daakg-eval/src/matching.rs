@@ -1,0 +1,150 @@
+//! Set-based precision / recall / F1 with the greedy matching strategy.
+//!
+//! Following Leone et al. (2022), which the paper adopts for its F1 figures:
+//! all scored candidate pairs are sorted by descending similarity, then pairs
+//! are accepted greedily while both sides are still unmatched (global 1:1
+//! resolution). Precision and recall are then computed against the gold
+//! match set.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Precision / recall / F1 of a predicted match set.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MatchingScores {
+    /// |predicted ∩ gold| / |predicted|.
+    pub precision: f64,
+    /// |predicted ∩ gold| / |gold|.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Number of predicted pairs after greedy resolution.
+    pub predicted: usize,
+    /// Number of correct predictions.
+    pub correct: usize,
+    /// Size of the gold set.
+    pub gold: usize,
+}
+
+impl MatchingScores {
+    fn compute(predicted: usize, correct: usize, gold: usize) -> Self {
+        let precision = if predicted == 0 {
+            0.0
+        } else {
+            correct as f64 / predicted as f64
+        };
+        let recall = if gold == 0 {
+            0.0
+        } else {
+            correct as f64 / gold as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Self {
+            precision,
+            recall,
+            f1,
+            predicted,
+            correct,
+            gold,
+        }
+    }
+}
+
+/// Resolve scored candidates `(left, right, score)` into a 1:1 match set by
+/// global greedy selection, then score against `gold` pairs.
+///
+/// `min_score` discards candidates below the threshold *before* greedy
+/// resolution (pass `f32::NEG_INFINITY` to keep everything).
+pub fn greedy_matching<L, R>(
+    mut candidates: Vec<(L, R, f32)>,
+    gold: &[(L, R)],
+    min_score: f32,
+) -> MatchingScores
+where
+    L: Eq + Hash + Copy,
+    R: Eq + Hash + Copy,
+{
+    candidates.retain(|(_, _, s)| *s >= min_score);
+    // Descending by score; ties broken by nothing in particular but the sort
+    // is stable so input order decides, which keeps results deterministic.
+    candidates.sort_by(|a, b| b.2.total_cmp(&a.2));
+
+    let mut used_left: HashSet<L> = HashSet::new();
+    let mut used_right: HashSet<R> = HashSet::new();
+    let mut predicted: Vec<(L, R)> = Vec::new();
+    for (l, r, _) in candidates {
+        if used_left.contains(&l) || used_right.contains(&r) {
+            continue;
+        }
+        used_left.insert(l);
+        used_right.insert(r);
+        predicted.push((l, r));
+    }
+
+    let gold_set: HashSet<(L, R)> = gold.iter().copied().collect();
+    let correct = predicted.iter().filter(|p| gold_set.contains(p)).count();
+    MatchingScores::compute(predicted.len(), correct, gold_set.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let cands = vec![(0u32, 10u32, 0.9), (1, 11, 0.8)];
+        let gold = vec![(0, 10), (1, 11)];
+        let s = greedy_matching(cands, &gold, f32::NEG_INFINITY);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.f1, 1.0);
+        assert_eq!(s.correct, 2);
+    }
+
+    #[test]
+    fn greedy_resolves_conflicts_by_score() {
+        // Both left 0 and left 1 want right 10; the higher-scored wins.
+        let cands = vec![(0u32, 10u32, 0.9), (1, 10, 0.8), (1, 11, 0.5)];
+        let gold = vec![(0, 10), (1, 11)];
+        let s = greedy_matching(cands, &gold, f32::NEG_INFINITY);
+        assert_eq!(s.predicted, 2);
+        assert_eq!(s.correct, 2);
+        assert_eq!(s.f1, 1.0);
+    }
+
+    #[test]
+    fn threshold_filters_low_scores() {
+        let cands = vec![(0u32, 10u32, 0.9), (1, 11, 0.1)];
+        let gold = vec![(0, 10), (1, 11)];
+        let s = greedy_matching(cands, &gold, 0.5);
+        assert_eq!(s.predicted, 1);
+        assert_eq!(s.correct, 1);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 0.5);
+    }
+
+    #[test]
+    fn wrong_predictions_hurt_precision() {
+        let cands = vec![(0u32, 11u32, 0.9), (1, 10, 0.8)];
+        let gold = vec![(0, 10), (1, 11)];
+        let s = greedy_matching(cands, &gold, f32::NEG_INFINITY);
+        assert_eq!(s.correct, 0);
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = greedy_matching::<u32, u32>(vec![], &[], f32::NEG_INFINITY);
+        assert_eq!(s.precision, 0.0);
+        assert_eq!(s.recall, 0.0);
+        assert_eq!(s.f1, 0.0);
+
+        let s = greedy_matching::<u32, u32>(vec![(0, 0, 1.0)], &[], f32::NEG_INFINITY);
+        assert_eq!(s.recall, 0.0);
+        assert_eq!(s.gold, 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Ranking metrics: `H@k` and MRR.
+//!
+//! Both are computed over *rankings*: for each left element with a gold
+//! counterpart, a descending-similarity candidate list. Elements without a
+//! gold counterpart (dangling) are skipped, matching the OpenEA evaluation
+//! protocol used by the paper.
+
+/// A generic ranking: for each evaluated element, the 0-based rank of its
+/// gold counterpart, or `None` if the counterpart is absent from the list.
+#[derive(Debug, Clone, Default)]
+pub struct RankingScores {
+    ranks: Vec<Option<usize>>,
+}
+
+impl RankingScores {
+    /// Empty scores.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the rank of one element's gold counterpart (0-based), or
+    /// `None` when it is missing from the candidate list.
+    pub fn push(&mut self, rank: Option<usize>) {
+        self.ranks.push(rank);
+    }
+
+    /// Build from a list of candidate rankings and a gold-lookup closure.
+    ///
+    /// `items` yields `(gold_target, ranked_candidates)` per evaluated
+    /// element; candidates must be in descending-similarity order.
+    pub fn from_rankings<T: PartialEq + Copy>(
+        items: impl IntoIterator<Item = (T, Vec<T>)>,
+    ) -> Self {
+        let mut scores = Self::new();
+        for (gold, candidates) in items {
+            scores.push(candidates.iter().position(|c| *c == gold));
+        }
+        scores
+    }
+
+    /// Number of evaluated elements.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// True if nothing was evaluated.
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// `H@k`: fraction of elements whose gold counterpart ranks within the
+    /// top `k` (1-based cut-off).
+    pub fn hits_at(&self, k: usize) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        let hits = self
+            .ranks
+            .iter()
+            .filter(|r| matches!(r, Some(rank) if *rank < k))
+            .count();
+        hits as f64 / self.ranks.len() as f64
+    }
+
+    /// Mean Reciprocal Rank: average of `1/(rank+1)`; absent counterparts
+    /// contribute zero.
+    pub fn mrr(&self) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self
+            .ranks
+            .iter()
+            .map(|r| match r {
+                Some(rank) => 1.0 / (*rank as f64 + 1.0),
+                None => 0.0,
+            })
+            .sum();
+        total / self.ranks.len() as f64
+    }
+}
+
+/// Convenience: `H@k` over `(gold, candidates)` pairs.
+pub fn hits_at_k<T: PartialEq + Copy>(
+    items: impl IntoIterator<Item = (T, Vec<T>)>,
+    k: usize,
+) -> f64 {
+    RankingScores::from_rankings(items).hits_at(k)
+}
+
+/// Convenience: MRR over `(gold, candidates)` pairs.
+pub fn mean_reciprocal_rank<T: PartialEq + Copy>(
+    items: impl IntoIterator<Item = (T, Vec<T>)>,
+) -> f64 {
+    RankingScores::from_rankings(items).mrr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking() {
+        let items = vec![(1u32, vec![1, 2, 3]), (5, vec![5, 6])];
+        assert_eq!(hits_at_k(items.clone(), 1), 1.0);
+        assert_eq!(mean_reciprocal_rank(items), 1.0);
+    }
+
+    #[test]
+    fn mixed_ranking() {
+        // gold at rank 0, rank 1, and absent.
+        let items = vec![
+            (1u32, vec![1, 2]),
+            (3, vec![4, 3]),
+            (9, vec![7, 8]),
+        ];
+        let s = RankingScores::from_rankings(items);
+        assert!((s.hits_at(1) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.hits_at(2) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.mrr() - (1.0 + 0.5 + 0.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let s = RankingScores::new();
+        assert_eq!(s.hits_at(1), 0.0);
+        assert_eq!(s.mrr(), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn hits_is_monotone_in_k() {
+        let items: Vec<(u32, Vec<u32>)> = (0..10).map(|i| (i, (0..10).rev().collect())).collect();
+        let s = RankingScores::from_rankings(items);
+        let mut prev = 0.0;
+        for k in 1..=10 {
+            let h = s.hits_at(k);
+            assert!(h >= prev);
+            prev = h;
+        }
+        assert_eq!(s.hits_at(10), 1.0);
+    }
+}

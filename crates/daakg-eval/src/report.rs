@@ -1,0 +1,136 @@
+//! Fixed-width text tables for the experiment binaries.
+//!
+//! The bench binaries print the same rows and columns as the paper's tables;
+//! this helper keeps the formatting in one place (no external table crates,
+//! per the workspace dependency policy).
+
+use std::fmt::Write as _;
+
+/// A simple left-aligned text table with a header row.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row of already-formatted cells. Short rows are padded.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        let mut row: Vec<String> = cells.to_vec();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Append a row from string slices.
+    pub fn row_strs(&mut self, cells: &[&str]) -> &mut Self {
+        let owned: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        self.row(&owned)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string with column padding and a separator rule.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<width$}", width = widths[i]);
+            }
+            // Trim trailing padding for clean diffs.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let rule_len = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Format a metric in the paper's 3-decimal style (`0.654`).
+pub fn fmt3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a duration in seconds with adaptive units (`7.12s`, `2.37h`),
+/// mirroring Table 4's mixed second/hour formatting.
+pub fn fmt_duration(seconds: f64) -> String {
+    if seconds >= 3600.0 {
+        format!("{:.2}h", seconds / 3600.0)
+    } else if seconds >= 60.0 {
+        format!("{:.1}m", seconds / 60.0)
+    } else if seconds >= 1.0 {
+        format!("{seconds:.2}s")
+    } else {
+        format!("{:.1}ms", seconds * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_padded_columns() {
+        let mut t = TextTable::new(&["method", "H@1", "F1"]);
+        t.row_strs(&["DAAKG", "0.654", "0.741"]);
+        t.row_strs(&["KECG", "0.632", "0.692"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("method"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].contains("DAAKG"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row_strs(&["only"]);
+        let s = t.render();
+        assert!(s.contains("only"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt3(0.65432), "0.654");
+        assert_eq!(fmt_duration(7.123), "7.12s");
+        assert_eq!(fmt_duration(8532.0), "2.37h");
+        assert_eq!(fmt_duration(0.0042), "4.2ms");
+        assert_eq!(fmt_duration(90.0), "1.5m");
+    }
+}

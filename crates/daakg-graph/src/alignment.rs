@@ -1,0 +1,317 @@
+//! Gold-standard and predicted alignments between two KGs.
+
+use crate::fxhash::{fx_map, FxHashMap};
+use crate::ids::{ClassId, EntityId, RelationId};
+use crate::pair::{ElementPair, Label, PairKind};
+
+/// The gold alignment between two KGs: the complete set of true matches at
+/// the entity, relation and class level.
+///
+/// Benchmarks in the paper (OpenEA) assume 1:1 alignment — each element
+/// matches at most one element of the other KG — and all deep methods exploit
+/// this restriction (Sect. 7.2). The same invariant is enforced here.
+#[derive(Clone, Debug, Default)]
+pub struct GoldAlignment {
+    entity_l2r: FxHashMap<EntityId, EntityId>,
+    entity_r2l: FxHashMap<EntityId, EntityId>,
+    relation_l2r: FxHashMap<RelationId, RelationId>,
+    relation_r2l: FxHashMap<RelationId, RelationId>,
+    class_l2r: FxHashMap<ClassId, ClassId>,
+    class_r2l: FxHashMap<ClassId, ClassId>,
+}
+
+impl GoldAlignment {
+    /// An empty gold alignment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an entity match `(e, e')`. Panics if either side already has
+    /// a different counterpart (1:1 violation).
+    pub fn add_entity(&mut self, left: EntityId, right: EntityId) {
+        let prev = self.entity_l2r.insert(left, right);
+        assert!(
+            prev.is_none() || prev == Some(right),
+            "1:1 violation: {left} already matched"
+        );
+        let prev = self.entity_r2l.insert(right, left);
+        assert!(
+            prev.is_none() || prev == Some(left),
+            "1:1 violation: {right} already matched"
+        );
+    }
+
+    /// Register a relation match.
+    pub fn add_relation(&mut self, left: RelationId, right: RelationId) {
+        let prev = self.relation_l2r.insert(left, right);
+        assert!(prev.is_none() || prev == Some(right));
+        let prev = self.relation_r2l.insert(right, left);
+        assert!(prev.is_none() || prev == Some(left));
+    }
+
+    /// Register a class match.
+    pub fn add_class(&mut self, left: ClassId, right: ClassId) {
+        let prev = self.class_l2r.insert(left, right);
+        assert!(prev.is_none() || prev == Some(right));
+        let prev = self.class_r2l.insert(right, left);
+        assert!(prev.is_none() || prev == Some(left));
+    }
+
+    /// Gold counterpart of a left entity.
+    #[inline]
+    pub fn entity_match(&self, left: EntityId) -> Option<EntityId> {
+        self.entity_l2r.get(&left).copied()
+    }
+
+    /// Gold counterpart of a right entity.
+    #[inline]
+    pub fn entity_match_rev(&self, right: EntityId) -> Option<EntityId> {
+        self.entity_r2l.get(&right).copied()
+    }
+
+    /// Gold counterpart of a left relation.
+    #[inline]
+    pub fn relation_match(&self, left: RelationId) -> Option<RelationId> {
+        self.relation_l2r.get(&left).copied()
+    }
+
+    /// Gold counterpart of a right relation.
+    #[inline]
+    pub fn relation_match_rev(&self, right: RelationId) -> Option<RelationId> {
+        self.relation_r2l.get(&right).copied()
+    }
+
+    /// Gold counterpart of a left class.
+    #[inline]
+    pub fn class_match(&self, left: ClassId) -> Option<ClassId> {
+        self.class_l2r.get(&left).copied()
+    }
+
+    /// Gold counterpart of a right class.
+    #[inline]
+    pub fn class_match_rev(&self, right: ClassId) -> Option<ClassId> {
+        self.class_r2l.get(&right).copied()
+    }
+
+    /// Number of entity matches.
+    #[inline]
+    pub fn num_entity_matches(&self) -> usize {
+        self.entity_l2r.len()
+    }
+
+    /// Number of relation matches.
+    #[inline]
+    pub fn num_relation_matches(&self) -> usize {
+        self.relation_l2r.len()
+    }
+
+    /// Number of class matches.
+    #[inline]
+    pub fn num_class_matches(&self) -> usize {
+        self.class_l2r.len()
+    }
+
+    /// Total number of matches at all three levels.
+    #[inline]
+    pub fn num_matches(&self) -> usize {
+        self.num_entity_matches() + self.num_relation_matches() + self.num_class_matches()
+    }
+
+    /// True oracle label of an arbitrary element pair.
+    pub fn label(&self, pair: ElementPair) -> Label {
+        let is_match = match pair {
+            ElementPair::Entity(l, r) => self.entity_match(l) == Some(r),
+            ElementPair::Relation(l, r) => self.relation_match(l) == Some(r),
+            ElementPair::Class(l, r) => self.class_match(l) == Some(r),
+        };
+        Label::from_bool(is_match)
+    }
+
+    /// All entity matches in deterministic (sorted-by-left) order.
+    pub fn entity_matches(&self) -> Vec<(EntityId, EntityId)> {
+        let mut v: Vec<_> = self.entity_l2r.iter().map(|(&l, &r)| (l, r)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// All relation matches in deterministic order.
+    pub fn relation_matches(&self) -> Vec<(RelationId, RelationId)> {
+        let mut v: Vec<_> = self.relation_l2r.iter().map(|(&l, &r)| (l, r)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// All class matches in deterministic order.
+    pub fn class_matches(&self) -> Vec<(ClassId, ClassId)> {
+        let mut v: Vec<_> = self.class_l2r.iter().map(|(&l, &r)| (l, r)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// All matches as [`ElementPair`]s, entities first, then relations, then
+    /// classes, each block sorted.
+    pub fn all_matches(&self) -> Vec<ElementPair> {
+        let mut v = Vec::with_capacity(self.num_matches());
+        v.extend(
+            self.entity_matches()
+                .into_iter()
+                .map(|(l, r)| ElementPair::Entity(l, r)),
+        );
+        v.extend(
+            self.relation_matches()
+                .into_iter()
+                .map(|(l, r)| ElementPair::Relation(l, r)),
+        );
+        v.extend(
+            self.class_matches()
+                .into_iter()
+                .map(|(l, r)| ElementPair::Class(l, r)),
+        );
+        v
+    }
+}
+
+/// A predicted alignment: for each source element, a ranked list of candidate
+/// counterparts with similarity scores in descending order.
+///
+/// Produced by alignment models; consumed by `daakg-eval` for H@k / MRR and
+/// greedy-matching F1.
+#[derive(Clone, Debug, Default)]
+pub struct AlignmentResult {
+    /// Ranked candidates per left entity.
+    pub entity_rankings: FxHashMap<EntityId, Vec<(EntityId, f32)>>,
+    /// Ranked candidates per left relation.
+    pub relation_rankings: FxHashMap<RelationId, Vec<(RelationId, f32)>>,
+    /// Ranked candidates per left class.
+    pub class_rankings: FxHashMap<ClassId, Vec<(ClassId, f32)>>,
+}
+
+impl AlignmentResult {
+    /// An empty result.
+    pub fn new() -> Self {
+        Self {
+            entity_rankings: fx_map(),
+            relation_rankings: fx_map(),
+            class_rankings: fx_map(),
+        }
+    }
+
+    /// Insert a ranking for a left entity. Candidates are sorted by
+    /// descending score internally.
+    pub fn push_entity_ranking(&mut self, left: EntityId, mut cands: Vec<(EntityId, f32)>) {
+        cands.sort_by(|a, b| b.1.total_cmp(&a.1));
+        self.entity_rankings.insert(left, cands);
+    }
+
+    /// Insert a ranking for a left relation.
+    pub fn push_relation_ranking(&mut self, left: RelationId, mut cands: Vec<(RelationId, f32)>) {
+        cands.sort_by(|a, b| b.1.total_cmp(&a.1));
+        self.relation_rankings.insert(left, cands);
+    }
+
+    /// Insert a ranking for a left class.
+    pub fn push_class_ranking(&mut self, left: ClassId, mut cands: Vec<(ClassId, f32)>) {
+        cands.sort_by(|a, b| b.1.total_cmp(&a.1));
+        self.class_rankings.insert(left, cands);
+    }
+
+    /// Number of ranked source elements of the given kind.
+    pub fn len(&self, kind: PairKind) -> usize {
+        match kind {
+            PairKind::Entity => self.entity_rankings.len(),
+            PairKind::Relation => self.relation_rankings.len(),
+            PairKind::Class => self.class_rankings.len(),
+        }
+    }
+
+    /// True if no rankings of any kind are present.
+    pub fn is_empty(&self) -> bool {
+        self.entity_rankings.is_empty()
+            && self.relation_rankings.is_empty()
+            && self.class_rankings.is_empty()
+    }
+
+    /// The top-1 entity prediction for a left entity.
+    pub fn top_entity(&self, left: EntityId) -> Option<(EntityId, f32)> {
+        self.entity_rankings
+            .get(&left)
+            .and_then(|v| v.first().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gold_alignment_is_bidirectional() {
+        let mut g = GoldAlignment::new();
+        g.add_entity(EntityId::new(0), EntityId::new(5));
+        g.add_relation(RelationId::new(1), RelationId::new(2));
+        g.add_class(ClassId::new(3), ClassId::new(4));
+        assert_eq!(g.entity_match(EntityId::new(0)), Some(EntityId::new(5)));
+        assert_eq!(g.entity_match_rev(EntityId::new(5)), Some(EntityId::new(0)));
+        assert_eq!(g.entity_match(EntityId::new(9)), None);
+        assert_eq!(g.num_matches(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "1:1 violation")]
+    fn one_to_one_is_enforced() {
+        let mut g = GoldAlignment::new();
+        g.add_entity(EntityId::new(0), EntityId::new(5));
+        g.add_entity(EntityId::new(0), EntityId::new(6));
+    }
+
+    #[test]
+    fn labels_follow_gold() {
+        let mut g = GoldAlignment::new();
+        g.add_entity(EntityId::new(0), EntityId::new(5));
+        assert_eq!(
+            g.label(ElementPair::Entity(EntityId::new(0), EntityId::new(5))),
+            Label::Match
+        );
+        assert_eq!(
+            g.label(ElementPair::Entity(EntityId::new(0), EntityId::new(6))),
+            Label::NonMatch
+        );
+        assert_eq!(
+            g.label(ElementPair::Relation(RelationId::new(0), RelationId::new(0))),
+            Label::NonMatch
+        );
+    }
+
+    #[test]
+    fn all_matches_is_deterministic() {
+        let mut g = GoldAlignment::new();
+        g.add_entity(EntityId::new(2), EntityId::new(2));
+        g.add_entity(EntityId::new(1), EntityId::new(1));
+        g.add_class(ClassId::new(0), ClassId::new(0));
+        let pairs = g.all_matches();
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(
+            pairs[0],
+            ElementPair::Entity(EntityId::new(1), EntityId::new(1))
+        );
+        assert_eq!(pairs[2].kind(), PairKind::Class);
+    }
+
+    #[test]
+    fn result_rankings_sorted_descending() {
+        let mut r = AlignmentResult::new();
+        r.push_entity_ranking(
+            EntityId::new(0),
+            vec![
+                (EntityId::new(1), 0.1),
+                (EntityId::new(2), 0.9),
+                (EntityId::new(3), 0.5),
+            ],
+        );
+        let ranked = &r.entity_rankings[&EntityId::new(0)];
+        assert_eq!(ranked[0].0, EntityId::new(2));
+        assert_eq!(ranked[2].0, EntityId::new(1));
+        assert_eq!(r.top_entity(EntityId::new(0)), Some((EntityId::new(2), 0.9)));
+        assert_eq!(r.len(PairKind::Entity), 1);
+        assert!(!r.is_empty());
+    }
+}

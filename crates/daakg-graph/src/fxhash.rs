@@ -1,0 +1,158 @@
+//! A dependency-free implementation of the FxHash algorithm used by rustc.
+//!
+//! The DAAKG pipeline keeps many maps keyed by small integer ids
+//! ([`EntityId`](crate::EntityId) and friends). The standard library's
+//! SipHash 1-3 is robust against HashDoS but needlessly slow for trusted
+//! integer keys; FxHash is the conventional replacement (see the Rust
+//! Performance Book, "Hashing"). We re-implement the ~20-line algorithm here
+//! instead of pulling in an extra crate, per the workspace dependency policy.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` with the Fx hashing algorithm.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` with the Fx hashing algorithm.
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED64: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Firefox/rustc "Fx" hasher: a multiply-and-rotate word hasher.
+///
+/// Not HashDoS-resistant; only use for trusted keys (all ids in this
+/// workspace are produced internally).
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED64);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Process 8 bytes at a time, then the tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+            self.add_to_hash(word);
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = [0u8; 8];
+            word[..tail.len()].copy_from_slice(tail);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Convenience constructor for an empty [`FxHashMap`].
+#[inline]
+pub fn fx_map<K, V>() -> FxHashMap<K, V> {
+    FxHashMap::default()
+}
+
+/// Convenience constructor for an empty [`FxHashSet`].
+#[inline]
+pub fn fx_set<T>() -> FxHashSet<T> {
+    FxHashSet::default()
+}
+
+/// Convenience constructor for an [`FxHashMap`] with pre-reserved capacity.
+#[inline]
+pub fn fx_map_with_capacity<K, V>(cap: usize) -> FxHashMap<K, V> {
+    FxHashMap::with_capacity_and_hasher(cap, BuildHasherDefault::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_integers_hash_distinctly() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u64..10_000 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            seen.insert(h.finish());
+        }
+        // Fx is not cryptographic, but small consecutive integers must not
+        // collide for the map to behave.
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes_for_padding() {
+        // write(&[1,2,3]) must be deterministic and differ from write(&[1,2,4]).
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3]);
+        let mut c = FxHasher::default();
+        c.write(&[1, 2, 4]);
+        assert_eq!(a.finish(), b.finish());
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u32, &str> = fx_map();
+        m.insert(7, "seven");
+        m.insert(11, "eleven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        assert_eq!(m.get(&11), Some(&"eleven"));
+        assert_eq!(m.get(&13), None);
+    }
+
+    #[test]
+    fn long_byte_streams() {
+        let data: Vec<u8> = (0..=255).collect();
+        let mut a = FxHasher::default();
+        a.write(&data);
+        let mut b = FxHasher::default();
+        b.write(&data[..128]);
+        b.write(&data[128..]);
+        // Chunked writes are allowed to differ from a single write (Hasher
+        // contract does not require stream equivalence), but both must be
+        // deterministic.
+        let mut a2 = FxHasher::default();
+        a2.write(&data);
+        assert_eq!(a.finish(), a2.finish());
+        let _ = b.finish();
+    }
+}

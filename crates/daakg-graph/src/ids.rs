@@ -1,0 +1,196 @@
+//! Compact newtype ids for KG elements.
+//!
+//! Every element (entity, relation, class) of a [`KnowledgeGraph`]
+//! (crate::KnowledgeGraph) is addressed by a dense `u32` index, assigned in
+//! insertion order by the builder. Using `u32` instead of `usize` halves the
+//! size of hot index structures (per the Rust Performance Book's "Smaller
+//! Integers" advice) while still supporting 4 B elements.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a raw dense index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw dense index.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// The raw index widened for slice indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Dense id of an entity within one KG.
+    EntityId,
+    "e"
+);
+id_type!(
+    /// Dense id of a relation within one KG.
+    RelationId,
+    "r"
+);
+id_type!(
+    /// Dense id of a class within one KG.
+    ClassId,
+    "c"
+);
+
+/// A typed reference to any element of a KG (Sect. 2.1 calls entities,
+/// relations and classes uniformly *elements*).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ElementId {
+    /// An entity.
+    Entity(EntityId),
+    /// A relation.
+    Relation(RelationId),
+    /// A class.
+    Class(ClassId),
+}
+
+impl ElementId {
+    /// True if this element is an entity.
+    #[inline]
+    pub fn is_entity(self) -> bool {
+        matches!(self, ElementId::Entity(_))
+    }
+
+    /// True if this element is a relation.
+    #[inline]
+    pub fn is_relation(self) -> bool {
+        matches!(self, ElementId::Relation(_))
+    }
+
+    /// True if this element is a class.
+    #[inline]
+    pub fn is_class(self) -> bool {
+        matches!(self, ElementId::Class(_))
+    }
+
+    /// The entity id, if this is an entity.
+    #[inline]
+    pub fn as_entity(self) -> Option<EntityId> {
+        match self {
+            ElementId::Entity(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The relation id, if this is a relation.
+    #[inline]
+    pub fn as_relation(self) -> Option<RelationId> {
+        match self {
+            ElementId::Relation(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The class id, if this is a class.
+    #[inline]
+    pub fn as_class(self) -> Option<ClassId> {
+        match self {
+            ElementId::Class(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ElementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElementId::Entity(e) => write!(f, "{e}"),
+            ElementId::Relation(r) => write!(f, "{r}"),
+            ElementId::Class(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl From<EntityId> for ElementId {
+    fn from(e: EntityId) -> Self {
+        ElementId::Entity(e)
+    }
+}
+
+impl From<RelationId> for ElementId {
+    fn from(r: RelationId) -> Self {
+        ElementId::Relation(r)
+    }
+}
+
+impl From<ClassId> for ElementId {
+    fn from(c: ClassId) -> Self {
+        ElementId::Class(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let e = EntityId::new(42);
+        assert_eq!(e.raw(), 42);
+        assert_eq!(e.index(), 42usize);
+        assert_eq!(format!("{e}"), "e42");
+        assert_eq!(format!("{e:?}"), "e42");
+    }
+
+    #[test]
+    fn element_id_dispatch() {
+        let e: ElementId = EntityId::new(1).into();
+        let r: ElementId = RelationId::new(2).into();
+        let c: ElementId = ClassId::new(3).into();
+        assert!(e.is_entity() && !e.is_relation() && !e.is_class());
+        assert!(r.is_relation());
+        assert!(c.is_class());
+        assert_eq!(e.as_entity(), Some(EntityId::new(1)));
+        assert_eq!(e.as_relation(), None);
+        assert_eq!(r.as_relation(), Some(RelationId::new(2)));
+        assert_eq!(c.as_class(), Some(ClassId::new(3)));
+        assert_eq!(format!("{r}"), "r2");
+    }
+
+    #[test]
+    fn ordering_is_by_raw_index() {
+        assert!(EntityId::new(1) < EntityId::new(2));
+        let mut v = vec![ClassId::new(3), ClassId::new(1), ClassId::new(2)];
+        v.sort();
+        assert_eq!(v, vec![ClassId::new(1), ClassId::new(2), ClassId::new(3)]);
+    }
+}

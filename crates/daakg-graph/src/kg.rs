@@ -1,0 +1,536 @@
+//! The indexed knowledge-graph container and its builder.
+
+use crate::fxhash::FxHashMap;
+use crate::ids::{ClassId, EntityId, RelationId};
+
+/// A relational triple `(head, relation, tail)` between two entities.
+///
+/// Following Eq. (1) of the paper, reverse triples `(tail, r⁻¹, head)` are a
+/// *modelling* device added by the embedding layer, not stored here; the
+/// graph stores each asserted triple once.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Triple {
+    /// Head entity.
+    pub head: EntityId,
+    /// Relation.
+    pub rel: RelationId,
+    /// Tail entity.
+    pub tail: EntityId,
+}
+
+impl Triple {
+    /// Construct a triple.
+    #[inline]
+    pub fn new(head: EntityId, rel: RelationId, tail: EntityId) -> Self {
+        Self { head, rel, tail }
+    }
+}
+
+/// A class-membership assertion `(entity, type, class)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TypeAssertion {
+    /// The typed entity.
+    pub entity: EntityId,
+    /// The class it belongs to. One entity may belong to multiple classes.
+    pub class: ClassId,
+}
+
+impl TypeAssertion {
+    /// Construct a type assertion.
+    #[inline]
+    pub fn new(entity: EntityId, class: ClassId) -> Self {
+        Self { entity, class }
+    }
+}
+
+/// An immutable, fully indexed knowledge graph `G = (E, R, C, T)`.
+///
+/// Construct with [`KgBuilder`]. All neighbourhood queries are O(1) slice
+/// lookups after construction; the adjacency lists are sorted for
+/// deterministic iteration.
+#[derive(Clone, Debug)]
+pub struct KnowledgeGraph {
+    name: String,
+    entity_names: Vec<String>,
+    relation_names: Vec<String>,
+    class_names: Vec<String>,
+    triples: Vec<Triple>,
+    type_assertions: Vec<TypeAssertion>,
+
+    /// Outgoing `(relation, tail)` pairs per entity.
+    out_edges: Vec<Vec<(RelationId, EntityId)>>,
+    /// Incoming `(relation, head)` pairs per entity.
+    in_edges: Vec<Vec<(RelationId, EntityId)>>,
+    /// Classes per entity (many-to-one problem: usually several).
+    classes_of: Vec<Vec<ClassId>>,
+    /// Instances per class.
+    instances_of: Vec<Vec<EntityId>>,
+    /// Triple indices grouped by relation.
+    triples_by_rel: Vec<Vec<u32>>,
+    /// Type-assertion indices grouped by class.
+    types_by_class: Vec<Vec<u32>>,
+
+    entity_lookup: FxHashMap<String, EntityId>,
+    relation_lookup: FxHashMap<String, RelationId>,
+    class_lookup: FxHashMap<String, ClassId>,
+}
+
+impl KnowledgeGraph {
+    /// A builder for incremental construction.
+    pub fn builder(name: impl Into<String>) -> KgBuilder {
+        KgBuilder::new(name)
+    }
+
+    /// Human-readable name of this KG (e.g. `"DBpedia"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of entities `|E|`.
+    #[inline]
+    pub fn num_entities(&self) -> usize {
+        self.entity_names.len()
+    }
+
+    /// Number of relations `|R|`.
+    #[inline]
+    pub fn num_relations(&self) -> usize {
+        self.relation_names.len()
+    }
+
+    /// Number of classes `|C|`.
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Number of relational triples `|T|` (excluding type assertions).
+    #[inline]
+    pub fn num_triples(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Number of `(entity, type, class)` assertions `|T_type|`.
+    #[inline]
+    pub fn num_type_assertions(&self) -> usize {
+        self.type_assertions.len()
+    }
+
+    /// Iterate over all entity ids.
+    pub fn entities(&self) -> impl Iterator<Item = EntityId> + '_ {
+        (0..self.entity_names.len() as u32).map(EntityId::new)
+    }
+
+    /// Iterate over all relation ids.
+    pub fn relations(&self) -> impl Iterator<Item = RelationId> + '_ {
+        (0..self.relation_names.len() as u32).map(RelationId::new)
+    }
+
+    /// Iterate over all class ids.
+    pub fn classes(&self) -> impl Iterator<Item = ClassId> + '_ {
+        (0..self.class_names.len() as u32).map(ClassId::new)
+    }
+
+    /// All relational triples.
+    #[inline]
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// All type assertions.
+    #[inline]
+    pub fn type_assertions(&self) -> &[TypeAssertion] {
+        &self.type_assertions
+    }
+
+    /// Name of an entity.
+    #[inline]
+    pub fn entity_name(&self, e: EntityId) -> &str {
+        &self.entity_names[e.index()]
+    }
+
+    /// Name of a relation.
+    #[inline]
+    pub fn relation_name(&self, r: RelationId) -> &str {
+        &self.relation_names[r.index()]
+    }
+
+    /// Name of a class.
+    #[inline]
+    pub fn class_name(&self, c: ClassId) -> &str {
+        &self.class_names[c.index()]
+    }
+
+    /// Look up an entity by name.
+    pub fn entity_by_name(&self, name: &str) -> Option<EntityId> {
+        self.entity_lookup.get(name).copied()
+    }
+
+    /// Look up a relation by name.
+    pub fn relation_by_name(&self, name: &str) -> Option<RelationId> {
+        self.relation_lookup.get(name).copied()
+    }
+
+    /// Look up a class by name.
+    pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
+        self.class_lookup.get(name).copied()
+    }
+
+    /// Outgoing `(relation, tail)` edges of `e`, sorted.
+    #[inline]
+    pub fn out_edges(&self, e: EntityId) -> &[(RelationId, EntityId)] {
+        &self.out_edges[e.index()]
+    }
+
+    /// Incoming `(relation, head)` edges of `e`, sorted.
+    #[inline]
+    pub fn in_edges(&self, e: EntityId) -> &[(RelationId, EntityId)] {
+        &self.in_edges[e.index()]
+    }
+
+    /// Total degree (in + out, relational edges only).
+    #[inline]
+    pub fn degree(&self, e: EntityId) -> usize {
+        self.out_edges[e.index()].len() + self.in_edges[e.index()].len()
+    }
+
+    /// Classes the entity belongs to, sorted.
+    #[inline]
+    pub fn classes_of(&self, e: EntityId) -> &[ClassId] {
+        &self.classes_of[e.index()]
+    }
+
+    /// Instances of a class, sorted.
+    #[inline]
+    pub fn instances_of(&self, c: ClassId) -> &[EntityId] {
+        &self.instances_of[c.index()]
+    }
+
+    /// Indices into [`Self::triples`] that use relation `r`.
+    #[inline]
+    pub fn triples_with_relation(&self, r: RelationId) -> impl Iterator<Item = &Triple> + '_ {
+        self.triples_by_rel[r.index()]
+            .iter()
+            .map(move |&i| &self.triples[i as usize])
+    }
+
+    /// Number of triples using relation `r`.
+    #[inline]
+    pub fn relation_frequency(&self, r: RelationId) -> usize {
+        self.triples_by_rel[r.index()].len()
+    }
+
+    /// Type assertions targeting class `c`.
+    #[inline]
+    pub fn assertions_of_class(&self, c: ClassId) -> impl Iterator<Item = &TypeAssertion> + '_ {
+        self.types_by_class[c.index()]
+            .iter()
+            .map(move |&i| &self.type_assertions[i as usize])
+    }
+
+    /// Whether the triple `(h, r, t)` is asserted. O(deg(h)).
+    pub fn has_triple(&self, head: EntityId, rel: RelationId, tail: EntityId) -> bool {
+        self.out_edges[head.index()]
+            .binary_search(&(rel, tail))
+            .is_ok()
+    }
+
+    /// Whether `e` is asserted to belong to class `c`. O(log #classes(e)).
+    pub fn has_type(&self, e: EntityId, c: ClassId) -> bool {
+        self.classes_of[e.index()].binary_search(&c).is_ok()
+    }
+
+    /// Distinct relations appearing on the out- or in-edges of `e`.
+    pub fn relation_signature(&self, e: EntityId) -> Vec<RelationId> {
+        let mut rels: Vec<RelationId> = self.out_edges[e.index()]
+            .iter()
+            .chain(self.in_edges[e.index()].iter())
+            .map(|&(r, _)| r)
+            .collect();
+        rels.sort_unstable();
+        rels.dedup();
+        rels
+    }
+}
+
+/// Incremental builder for [`KnowledgeGraph`].
+///
+/// Elements are interned by name, so repeated `entity("x")` calls return the
+/// same id. Triples and type assertions are deduplicated at build time.
+#[derive(Debug, Default)]
+pub struct KgBuilder {
+    name: String,
+    entity_names: Vec<String>,
+    relation_names: Vec<String>,
+    class_names: Vec<String>,
+    entity_lookup: FxHashMap<String, EntityId>,
+    relation_lookup: FxHashMap<String, RelationId>,
+    class_lookup: FxHashMap<String, ClassId>,
+    triples: Vec<Triple>,
+    type_assertions: Vec<TypeAssertion>,
+}
+
+impl KgBuilder {
+    /// Start an empty builder for a KG with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Intern an entity by name, returning its id.
+    pub fn entity(&mut self, name: &str) -> EntityId {
+        if let Some(&id) = self.entity_lookup.get(name) {
+            return id;
+        }
+        let id = EntityId::new(self.entity_names.len() as u32);
+        self.entity_names.push(name.to_owned());
+        self.entity_lookup.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Intern a relation by name, returning its id.
+    pub fn relation(&mut self, name: &str) -> RelationId {
+        if let Some(&id) = self.relation_lookup.get(name) {
+            return id;
+        }
+        let id = RelationId::new(self.relation_names.len() as u32);
+        self.relation_names.push(name.to_owned());
+        self.relation_lookup.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Intern a class by name, returning its id.
+    pub fn class(&mut self, name: &str) -> ClassId {
+        if let Some(&id) = self.class_lookup.get(name) {
+            return id;
+        }
+        let id = ClassId::new(self.class_names.len() as u32);
+        self.class_names.push(name.to_owned());
+        self.class_lookup.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Add a triple by ids.
+    pub fn triple(&mut self, head: EntityId, rel: RelationId, tail: EntityId) -> &mut Self {
+        self.triples.push(Triple::new(head, rel, tail));
+        self
+    }
+
+    /// Add a triple by names, interning all three elements.
+    pub fn triple_by_name(&mut self, head: &str, rel: &str, tail: &str) -> &mut Self {
+        let h = self.entity(head);
+        let r = self.relation(rel);
+        let t = self.entity(tail);
+        self.triple(h, r, t)
+    }
+
+    /// Add a type assertion by ids.
+    pub fn typing(&mut self, entity: EntityId, class: ClassId) -> &mut Self {
+        self.type_assertions.push(TypeAssertion::new(entity, class));
+        self
+    }
+
+    /// Add a type assertion by names.
+    pub fn typing_by_name(&mut self, entity: &str, class: &str) -> &mut Self {
+        let e = self.entity(entity);
+        let c = self.class(class);
+        self.typing(e, c)
+    }
+
+    /// Number of entities interned so far.
+    pub fn num_entities(&self) -> usize {
+        self.entity_names.len()
+    }
+
+    /// Number of triples added so far (pre-dedup).
+    pub fn num_triples(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Finalize: deduplicate, sort, and build all indexes.
+    pub fn build(mut self) -> KnowledgeGraph {
+        self.triples
+            .sort_unstable_by_key(|t| (t.head, t.rel, t.tail));
+        self.triples.dedup();
+        self.type_assertions
+            .sort_unstable_by_key(|a| (a.entity, a.class));
+        self.type_assertions.dedup();
+
+        let ne = self.entity_names.len();
+        let nr = self.relation_names.len();
+        let nc = self.class_names.len();
+
+        let mut out_edges: Vec<Vec<(RelationId, EntityId)>> = vec![Vec::new(); ne];
+        let mut in_edges: Vec<Vec<(RelationId, EntityId)>> = vec![Vec::new(); ne];
+        let mut triples_by_rel: Vec<Vec<u32>> = vec![Vec::new(); nr];
+        for (i, t) in self.triples.iter().enumerate() {
+            out_edges[t.head.index()].push((t.rel, t.tail));
+            in_edges[t.tail.index()].push((t.rel, t.head));
+            triples_by_rel[t.rel.index()].push(i as u32);
+        }
+        for v in out_edges.iter_mut().chain(in_edges.iter_mut()) {
+            v.sort_unstable();
+            v.shrink_to_fit();
+        }
+
+        let mut classes_of: Vec<Vec<ClassId>> = vec![Vec::new(); ne];
+        let mut instances_of: Vec<Vec<EntityId>> = vec![Vec::new(); nc];
+        let mut types_by_class: Vec<Vec<u32>> = vec![Vec::new(); nc];
+        for (i, a) in self.type_assertions.iter().enumerate() {
+            classes_of[a.entity.index()].push(a.class);
+            instances_of[a.class.index()].push(a.entity);
+            types_by_class[a.class.index()].push(i as u32);
+        }
+        for v in classes_of.iter_mut() {
+            v.sort_unstable();
+            v.shrink_to_fit();
+        }
+        for v in instances_of.iter_mut() {
+            v.sort_unstable();
+            v.shrink_to_fit();
+        }
+
+        KnowledgeGraph {
+            name: self.name,
+            entity_names: self.entity_names,
+            relation_names: self.relation_names,
+            class_names: self.class_names,
+            triples: self.triples,
+            type_assertions: self.type_assertions,
+            out_edges,
+            in_edges,
+            classes_of,
+            instances_of,
+            triples_by_rel,
+            types_by_class,
+            entity_lookup: self.entity_lookup,
+            relation_lookup: self.relation_lookup,
+            class_lookup: self.class_lookup,
+        }
+    }
+}
+
+/// Build the small running-example KG from Fig. 1(a) of the paper (DBpedia
+/// side). Useful in unit tests and documentation examples.
+pub fn example_dbpedia() -> KnowledgeGraph {
+    let mut b = KgBuilder::new("DBpedia");
+    b.triple_by_name("Michael Jackson", "birthPlace", "Gary_Indiana");
+    b.triple_by_name("Michael Jackson", "deathPlace", "LosAngeles");
+    b.triple_by_name("Michael Jackson", "spouse", "DebbieRowe");
+    b.triple_by_name("Michael Jackson", "spouse", "LisaMariePresley");
+    b.triple_by_name("Gary_Indiana", "country", "UnitedStates");
+    b.triple_by_name("LosAngeles", "country", "UnitedStates");
+    b.typing_by_name("Michael Jackson", "Person");
+    b.typing_by_name("Gary_Indiana", "City");
+    b.typing_by_name("LosAngeles", "City");
+    b.typing_by_name("UnitedStates", "Populated place");
+    b.build()
+}
+
+/// Build the small running-example KG from Fig. 1(b) of the paper (Wikidata
+/// side).
+pub fn example_wikidata() -> KnowledgeGraph {
+    let mut b = KgBuilder::new("Wikidata");
+    b.triple_by_name("Q2831", "place of birth", "Gary");
+    b.triple_by_name("Q2831", "place of death", "LosAngeles");
+    b.triple_by_name("Q2831", "spouse", "Debbie Rowe");
+    b.triple_by_name("Q2831", "spouse", "Lisa Marie Presley");
+    b.triple_by_name("Q2831", "father", "Joe Jackson");
+    b.triple_by_name("Q2831", "mother", "Katherine Jackson");
+    b.triple_by_name("Gary", "country", "USA");
+    b.triple_by_name("LosAngeles", "country", "USA");
+    b.triple_by_name("Q2831", "country of citizenship", "USA");
+    b.typing_by_name("Q2831", "human");
+    b.typing_by_name("Gary", "city of the United States");
+    b.typing_by_name("LosAngeles", "city of the United States");
+    b.typing_by_name("USA", "country");
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_interns_by_name() {
+        let mut b = KgBuilder::new("t");
+        let a = b.entity("a");
+        let a2 = b.entity("a");
+        let c = b.entity("c");
+        assert_eq!(a, a2);
+        assert_ne!(a, c);
+        assert_eq!(b.num_entities(), 2);
+    }
+
+    #[test]
+    fn build_deduplicates_triples() {
+        let mut b = KgBuilder::new("t");
+        b.triple_by_name("a", "r", "b");
+        b.triple_by_name("a", "r", "b");
+        b.triple_by_name("a", "r", "c");
+        let kg = b.build();
+        assert_eq!(kg.num_triples(), 2);
+    }
+
+    #[test]
+    fn indexes_are_consistent() {
+        let kg = example_dbpedia();
+        let mj = kg.entity_by_name("Michael Jackson").unwrap();
+        let gary = kg.entity_by_name("Gary_Indiana").unwrap();
+        let bp = kg.relation_by_name("birthPlace").unwrap();
+        assert!(kg.has_triple(mj, bp, gary));
+        assert!(!kg.has_triple(gary, bp, mj));
+        // out edges of MJ = 4 triples
+        assert_eq!(kg.out_edges(mj).len(), 4);
+        assert_eq!(kg.in_edges(gary).len(), 1);
+        assert_eq!(kg.degree(gary), 2); // one in (birthPlace), one out (country)
+        let person = kg.class_by_name("Person").unwrap();
+        assert!(kg.has_type(mj, person));
+        assert_eq!(kg.instances_of(person), &[mj]);
+        assert_eq!(kg.classes_of(mj), &[person]);
+    }
+
+    #[test]
+    fn triples_with_relation_filters() {
+        let kg = example_dbpedia();
+        let spouse = kg.relation_by_name("spouse").unwrap();
+        let spouses: Vec<_> = kg.triples_with_relation(spouse).collect();
+        assert_eq!(spouses.len(), 2);
+        assert_eq!(kg.relation_frequency(spouse), 2);
+        for t in spouses {
+            assert_eq!(t.rel, spouse);
+        }
+    }
+
+    #[test]
+    fn relation_signature_covers_both_directions() {
+        let kg = example_dbpedia();
+        let gary = kg.entity_by_name("Gary_Indiana").unwrap();
+        let sig = kg.relation_signature(gary);
+        let bp = kg.relation_by_name("birthPlace").unwrap();
+        let country = kg.relation_by_name("country").unwrap();
+        assert!(sig.contains(&bp));
+        assert!(sig.contains(&country));
+        assert_eq!(sig.len(), 2);
+    }
+
+    #[test]
+    fn example_graphs_have_expected_shapes() {
+        let d = example_dbpedia();
+        let w = example_wikidata();
+        assert_eq!(d.num_entities(), 6);
+        assert_eq!(w.num_relations(), 7);
+        assert!(w.num_entities() > d.num_entities()); // dangling Joe/Katherine
+        assert_eq!(d.num_type_assertions(), 4);
+    }
+
+    #[test]
+    fn empty_graph_is_valid() {
+        let kg = KgBuilder::new("empty").build();
+        assert_eq!(kg.num_entities(), 0);
+        assert_eq!(kg.num_triples(), 0);
+        assert_eq!(kg.entities().count(), 0);
+    }
+}

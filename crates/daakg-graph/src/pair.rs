@@ -1,0 +1,205 @@
+//! Element pairs `q = (x, x')` across two KGs and their oracle labels.
+//!
+//! The left component always refers to an element of the first KG `G` and
+//! the right component to an element of the second KG `G'` (Sect. 2.1). Only
+//! same-kind pairs exist: entity–entity, relation–relation, class–class.
+
+use crate::ids::{ClassId, ElementId, EntityId, RelationId};
+use std::fmt;
+
+/// The kind of an element pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PairKind {
+    /// Entity–entity pair.
+    Entity,
+    /// Relation–relation pair.
+    Relation,
+    /// Class–class pair.
+    Class,
+}
+
+impl fmt::Display for PairKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PairKind::Entity => write!(f, "entity"),
+            PairKind::Relation => write!(f, "relation"),
+            PairKind::Class => write!(f, "class"),
+        }
+    }
+}
+
+/// A pair of same-kind elements from two KGs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ElementPair {
+    /// `(e, e')` with `e ∈ E`, `e' ∈ E'`.
+    Entity(EntityId, EntityId),
+    /// `(r, r')` with `r ∈ R`, `r' ∈ R'`.
+    Relation(RelationId, RelationId),
+    /// `(c, c')` with `c ∈ C`, `c' ∈ C'`.
+    Class(ClassId, ClassId),
+}
+
+impl ElementPair {
+    /// The pair kind.
+    #[inline]
+    pub fn kind(self) -> PairKind {
+        match self {
+            ElementPair::Entity(..) => PairKind::Entity,
+            ElementPair::Relation(..) => PairKind::Relation,
+            ElementPair::Class(..) => PairKind::Class,
+        }
+    }
+
+    /// The left element as a generic [`ElementId`].
+    #[inline]
+    pub fn left(self) -> ElementId {
+        match self {
+            ElementPair::Entity(l, _) => ElementId::Entity(l),
+            ElementPair::Relation(l, _) => ElementId::Relation(l),
+            ElementPair::Class(l, _) => ElementId::Class(l),
+        }
+    }
+
+    /// The right element as a generic [`ElementId`].
+    #[inline]
+    pub fn right(self) -> ElementId {
+        match self {
+            ElementPair::Entity(_, r) => ElementId::Entity(r),
+            ElementPair::Relation(_, r) => ElementId::Relation(r),
+            ElementPair::Class(_, r) => ElementId::Class(r),
+        }
+    }
+
+    /// The entity pair components, if this is an entity pair.
+    #[inline]
+    pub fn as_entity(self) -> Option<(EntityId, EntityId)> {
+        match self {
+            ElementPair::Entity(l, r) => Some((l, r)),
+            _ => None,
+        }
+    }
+
+    /// The relation pair components, if this is a relation pair.
+    #[inline]
+    pub fn as_relation(self) -> Option<(RelationId, RelationId)> {
+        match self {
+            ElementPair::Relation(l, r) => Some((l, r)),
+            _ => None,
+        }
+    }
+
+    /// The class pair components, if this is a class pair.
+    #[inline]
+    pub fn as_class(self) -> Option<(ClassId, ClassId)> {
+        match self {
+            ElementPair::Class(l, r) => Some((l, r)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ElementPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.left(), self.right())
+    }
+}
+
+/// The oracle label `y*(q)` of an element pair: `1` for a match, `-1` for a
+/// non-match (Sect. 2.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Label {
+    /// `y*(q) = 1`: both elements refer to the same real-world thing.
+    Match,
+    /// `y*(q) = -1`: the elements refer to different things.
+    NonMatch,
+}
+
+impl Label {
+    /// The numeric label used by the paper: `+1.0` or `-1.0`.
+    #[inline]
+    pub fn value(self) -> f32 {
+        match self {
+            Label::Match => 1.0,
+            Label::NonMatch => -1.0,
+        }
+    }
+
+    /// True iff this is [`Label::Match`].
+    #[inline]
+    pub fn is_match(self) -> bool {
+        matches!(self, Label::Match)
+    }
+
+    /// Construct from a boolean "is a match".
+    #[inline]
+    pub fn from_bool(is_match: bool) -> Self {
+        if is_match {
+            Label::Match
+        } else {
+            Label::NonMatch
+        }
+    }
+}
+
+/// A labeled element pair, the unit of supervision in active alignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LabeledPair {
+    /// The pair.
+    pub pair: ElementPair,
+    /// Its oracle label.
+    pub label: Label,
+}
+
+impl LabeledPair {
+    /// Construct a labeled pair.
+    #[inline]
+    pub fn new(pair: ElementPair, label: Label) -> Self {
+        Self { pair, label }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_and_accessors() {
+        let p = ElementPair::Entity(EntityId::new(1), EntityId::new(2));
+        assert_eq!(p.kind(), PairKind::Entity);
+        assert_eq!(p.as_entity(), Some((EntityId::new(1), EntityId::new(2))));
+        assert_eq!(p.as_relation(), None);
+        assert_eq!(p.left(), ElementId::Entity(EntityId::new(1)));
+        assert_eq!(p.right(), ElementId::Entity(EntityId::new(2)));
+
+        let r = ElementPair::Relation(RelationId::new(3), RelationId::new(4));
+        assert_eq!(r.kind(), PairKind::Relation);
+        assert_eq!(
+            r.as_relation(),
+            Some((RelationId::new(3), RelationId::new(4)))
+        );
+
+        let c = ElementPair::Class(ClassId::new(5), ClassId::new(6));
+        assert_eq!(c.kind(), PairKind::Class);
+        assert_eq!(c.as_class(), Some((ClassId::new(5), ClassId::new(6))));
+        assert_eq!(format!("{c}"), "(c5, c6)");
+    }
+
+    #[test]
+    fn label_values_match_paper_convention() {
+        assert_eq!(Label::Match.value(), 1.0);
+        assert_eq!(Label::NonMatch.value(), -1.0);
+        assert!(Label::Match.is_match());
+        assert!(!Label::NonMatch.is_match());
+        assert_eq!(Label::from_bool(true), Label::Match);
+        assert_eq!(Label::from_bool(false), Label::NonMatch);
+    }
+
+    #[test]
+    fn pairs_are_usable_as_map_keys() {
+        use crate::fxhash::fx_map;
+        let mut m = fx_map::<ElementPair, f32>();
+        let p = ElementPair::Class(ClassId::new(0), ClassId::new(1));
+        m.insert(p, 0.5);
+        assert_eq!(m[&p], 0.5);
+    }
+}

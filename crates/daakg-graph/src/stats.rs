@@ -1,0 +1,104 @@
+//! Summary statistics of a KG, used by the Table 2 reproduction.
+
+use crate::kg::KnowledgeGraph;
+use std::fmt;
+
+/// Counts describing a single KG, plus simple degree statistics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KgStats {
+    /// `|E|`.
+    pub entities: usize,
+    /// `|R|`.
+    pub relations: usize,
+    /// `|C|`.
+    pub classes: usize,
+    /// `|T|` (relational triples).
+    pub triples: usize,
+    /// `|T_type|` (type assertions).
+    pub type_assertions: usize,
+    /// Mean relational degree over entities.
+    pub mean_degree: f64,
+    /// Maximum relational degree.
+    pub max_degree: usize,
+    /// Fraction of entities with at least one class.
+    pub typed_fraction: f64,
+}
+
+impl KgStats {
+    /// Compute statistics for a KG.
+    pub fn of(kg: &KnowledgeGraph) -> Self {
+        let n = kg.num_entities();
+        let mut total_degree = 0usize;
+        let mut max_degree = 0usize;
+        let mut typed = 0usize;
+        for e in kg.entities() {
+            let d = kg.degree(e);
+            total_degree += d;
+            max_degree = max_degree.max(d);
+            if !kg.classes_of(e).is_empty() {
+                typed += 1;
+            }
+        }
+        KgStats {
+            entities: n,
+            relations: kg.num_relations(),
+            classes: kg.num_classes(),
+            triples: kg.num_triples(),
+            type_assertions: kg.num_type_assertions(),
+            mean_degree: if n == 0 {
+                0.0
+            } else {
+                total_degree as f64 / n as f64
+            },
+            max_degree,
+            typed_fraction: if n == 0 { 0.0 } else { typed as f64 / n as f64 },
+        }
+    }
+}
+
+impl fmt::Display for KgStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "|E|={} |R|={} |C|={} |T|={} |T_type|={} deg(mean)={:.2} deg(max)={} typed={:.1}%",
+            self.entities,
+            self.relations,
+            self.classes,
+            self.triples,
+            self.type_assertions,
+            self.mean_degree,
+            self.max_degree,
+            100.0 * self.typed_fraction
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kg::example_dbpedia;
+
+    #[test]
+    fn stats_of_example() {
+        let kg = example_dbpedia();
+        let s = KgStats::of(&kg);
+        assert_eq!(s.entities, 6);
+        assert_eq!(s.triples, 6);
+        assert_eq!(s.type_assertions, 4);
+        // Every triple contributes 2 to total degree.
+        assert!((s.mean_degree - 12.0 / 6.0).abs() < 1e-12);
+        assert_eq!(s.max_degree, 4); // Michael Jackson: 4 out-edges
+        assert!((s.typed_fraction - 4.0 / 6.0).abs() < 1e-12);
+        let rendered = format!("{s}");
+        assert!(rendered.contains("|E|=6"));
+    }
+
+    #[test]
+    fn stats_of_empty() {
+        let kg = crate::kg::KgBuilder::new("e").build();
+        let s = KgStats::of(&kg);
+        assert_eq!(s.entities, 0);
+        assert_eq!(s.mean_degree, 0.0);
+        assert_eq!(s.typed_fraction, 0.0);
+    }
+}
