@@ -18,14 +18,8 @@ pub fn directional_probability(pair_sim: f32, candidate_sims: &[f32], z: f32) ->
         return 1.0;
     }
     // Shift by max for numerical stability.
-    let max = candidate_sims
-        .iter()
-        .copied()
-        .fold(pair_sim, f32::max);
-    let denom: f32 = candidate_sims
-        .iter()
-        .map(|&s| ((s - max) / z).exp())
-        .sum();
+    let max = candidate_sims.iter().copied().fold(pair_sim, f32::max);
+    let denom: f32 = candidate_sims.iter().map(|&s| ((s - max) / z).exp()).sum();
     let num = ((pair_sim - max) / z).exp();
     num / denom.max(f32::MIN_POSITIVE)
 }

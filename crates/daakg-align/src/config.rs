@@ -147,11 +147,15 @@ mod tests {
 
     #[test]
     fn invalid_temperature_rejected() {
-        let mut c = JointConfig::default();
-        c.z_ent = 0.0;
+        let c = JointConfig {
+            z_ent: 0.0,
+            ..JointConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = JointConfig::default();
-        c.semi_threshold = 1.5;
+        let c = JointConfig {
+            semi_threshold: 1.5,
+            ..JointConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

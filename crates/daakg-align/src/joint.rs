@@ -1,0 +1,556 @@
+//! The orchestrating joint alignment model (Sect. 4.2).
+//!
+//! [`JointModel`] owns the embedding models of both KGs, the entity-class
+//! models, the mapping matrices and the parameter store, and drives the
+//! training schedule:
+//!
+//! 1. **warm-up** — both KGs train their standalone embedding objectives
+//!    (`O_er`, `O_ec`) with [`EmbedTrainer`];
+//! 2. **alignment rounds** — each round builds an [`AlignmentSnapshot`],
+//!    recomputes the dangling weights (Eq. 6), then optimizes the softmax
+//!    alignment losses `O_ea`/`O_ra`/`O_ca` (Eq. 5, 8) over the labeled
+//!    matches with sampled negatives, plus the semi-supervised loss
+//!    `O_semi` (Eq. 10) over mined potential matches;
+//! 3. **fine-tuning** — when new labels arrive (active learning), a short
+//!    focal-loss pass (`(1−p)^γ·(−log p)`) concentrates on the freshly
+//!    labeled, still-misclassified pairs.
+//!
+//! Semi-supervised mining uses the snapshot's batched top-k engine, so a
+//! round costs one blocked matmul over the query block instead of a naive
+//! `O(n²·d)` cosine sweep.
+
+use crate::config::JointConfig;
+use crate::losses::{semi_supervised_loss, softmax_pair_loss};
+use crate::mapping::{init_mappings, map_names};
+use crate::semi::{mine_potential_matches, PotentialMatch};
+use crate::snapshot::AlignmentSnapshot;
+use crate::weights::EntityWeights;
+use daakg_autograd::{Adam, ParamStore, TapeSession, Var};
+use daakg_embed::{build_model, EmbedTrainer, EntityClassModel, KgEmbedding};
+use daakg_graph::{ElementPair, GoldAlignment, KnowledgeGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Labeled matches driving the supervised alignment losses: positive
+/// element pairs per kind, stored as raw `(left, right)` indices.
+#[derive(Debug, Clone, Default)]
+pub struct LabeledMatches {
+    /// Matched entity pairs.
+    pub entities: Vec<(u32, u32)>,
+    /// Matched relation pairs.
+    pub relations: Vec<(u32, u32)>,
+    /// Matched class pairs.
+    pub classes: Vec<(u32, u32)>,
+}
+
+impl LabeledMatches {
+    /// No labels.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All matches of a gold alignment (the fully-supervised setting).
+    pub fn from_gold(gold: &GoldAlignment) -> Self {
+        let mut out = Self::new();
+        for (l, r) in gold.entity_matches() {
+            out.entities.push((l.raw(), r.raw()));
+        }
+        for (l, r) in gold.relation_matches() {
+            out.relations.push((l.raw(), r.raw()));
+        }
+        for (l, r) in gold.class_matches() {
+            out.classes.push((l.raw(), r.raw()));
+        }
+        out
+    }
+
+    /// Record one labeled match of any kind.
+    pub fn push(&mut self, pair: ElementPair) {
+        match pair {
+            ElementPair::Entity(l, r) => self.entities.push((l.raw(), r.raw())),
+            ElementPair::Relation(l, r) => self.relations.push((l.raw(), r.raw())),
+            ElementPair::Class(l, r) => self.classes.push((l.raw(), r.raw())),
+        }
+    }
+
+    /// Total number of labeled pairs across kinds.
+    pub fn len(&self) -> usize {
+        self.entities.len() + self.relations.len() + self.classes.len()
+    }
+
+    /// True when no labels exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The joint alignment model: everything needed to train and snapshot.
+pub struct JointModel {
+    cfg: JointConfig,
+    model1: Box<dyn KgEmbedding>,
+    model2: Box<dyn KgEmbedding>,
+    ec1: EntityClassModel,
+    ec2: EntityClassModel,
+    store: ParamStore,
+    weights: EntityWeights,
+    /// Potential matches mined in the latest round (for inspection).
+    last_mined: Vec<PotentialMatch>,
+}
+
+impl JointModel {
+    /// Build models for both KGs and initialize all parameters.
+    pub fn new(cfg: JointConfig, kg1: &KnowledgeGraph, kg2: &KnowledgeGraph) -> Self {
+        cfg.validate().expect("invalid JointConfig");
+        let dim = cfg.embed.dim;
+        let model1 = build_model(cfg.embed.model, kg1, dim);
+        let model2 = build_model(cfg.embed.model, kg2, dim);
+        let ec1 = EntityClassModel::new(kg1.num_classes(), dim, cfg.embed.class_dim);
+        let ec2 = EntityClassModel::new(kg2.num_classes(), dim, cfg.embed.class_dim);
+
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(cfg.embed.seed);
+        model1.init_params(&mut rng, &mut store, "g1.");
+        model2.init_params(&mut rng, &mut store, "g2.");
+        ec1.init_params(&mut rng, &mut store, "g1.");
+        ec2.init_params(&mut rng, &mut store, "g2.");
+        init_mappings(
+            &mut rng,
+            &mut store,
+            dim,
+            model1.relation_dim(),
+            2 * cfg.embed.class_dim,
+        );
+
+        let weights = EntityWeights::uniform(kg1.num_entities(), kg2.num_entities());
+        Self {
+            cfg,
+            model1,
+            model2,
+            ec1,
+            ec2,
+            store,
+            weights,
+            last_mined: Vec::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &JointConfig {
+        &self.cfg
+    }
+
+    /// Read access to the parameter store.
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Potential matches mined during the latest training round.
+    pub fn last_mined(&self) -> &[PotentialMatch] {
+        &self.last_mined
+    }
+
+    /// A tape-free snapshot of the current model state.
+    pub fn snapshot(&self, kg1: &KnowledgeGraph, kg2: &KnowledgeGraph) -> AlignmentSnapshot {
+        AlignmentSnapshot::build(
+            kg1,
+            kg2,
+            self.model1.as_ref(),
+            self.model2.as_ref(),
+            &self.ec1,
+            &self.ec2,
+            &self.store,
+            self.weights.clone(),
+            self.cfg.use_mean_embeddings,
+            self.cfg.use_class_embeddings,
+        )
+    }
+
+    /// Full training: embedding warm-up, then `align_epochs` alignment
+    /// rounds over the labeled matches. Returns the final snapshot.
+    pub fn train(
+        &mut self,
+        kg1: &KnowledgeGraph,
+        kg2: &KnowledgeGraph,
+        labels: &LabeledMatches,
+    ) -> AlignmentSnapshot {
+        // Phase 1: standalone embedding objectives for both KGs.
+        let trainer = EmbedTrainer::new(self.cfg.embed);
+        let mut opt = Adam::with_lr(self.cfg.embed.lr);
+        let ec1 = self.cfg.use_class_embeddings.then_some(&self.ec1);
+        let ec2 = self.cfg.use_class_embeddings.then_some(&self.ec2);
+        trainer.train(
+            self.model1.as_ref(),
+            ec1,
+            kg1,
+            &mut self.store,
+            "g1.",
+            &mut opt,
+        );
+        trainer.train(
+            self.model2.as_ref(),
+            ec2,
+            kg2,
+            &mut self.store,
+            "g2.",
+            &mut opt,
+        );
+
+        // Phase 2: alignment rounds.
+        let mut opt = Adam::with_lr(self.cfg.align_lr);
+        let mut rng = StdRng::seed_from_u64(self.cfg.embed.seed ^ 0xA11C);
+        for epoch in 0..self.cfg.align_epochs {
+            // Refresh weights + mined pairs a few times per run, not every
+            // epoch: snapshots cost a full encode of both KGs.
+            if epoch % 5 == 0 {
+                self.refresh_round_state(kg1, kg2);
+            }
+            self.alignment_step(kg2, labels, &mut opt, &mut rng, None);
+        }
+        self.refresh_round_state(kg1, kg2);
+        self.snapshot(kg1, kg2)
+    }
+
+    /// Focal fine-tuning on (newly) labeled matches — the active-learning
+    /// update path. Returns the refreshed snapshot.
+    pub fn fine_tune(
+        &mut self,
+        kg1: &KnowledgeGraph,
+        kg2: &KnowledgeGraph,
+        labels: &LabeledMatches,
+    ) -> AlignmentSnapshot {
+        let mut opt = Adam::with_lr(self.cfg.align_lr);
+        let mut rng = StdRng::seed_from_u64(self.cfg.embed.seed ^ 0xF0CA);
+        let gamma = Some(self.cfg.focal_gamma);
+        for _ in 0..self.cfg.fine_tune_epochs {
+            self.alignment_step(kg2, labels, &mut opt, &mut rng, gamma);
+        }
+        self.refresh_round_state(kg1, kg2);
+        self.snapshot(kg1, kg2)
+    }
+
+    /// Rebuild the snapshot-derived round state: dangling-entity weights
+    /// (Eq. 6) and, when enabled, the mined potential matches (Eq. 10).
+    fn refresh_round_state(&mut self, kg1: &KnowledgeGraph, kg2: &KnowledgeGraph) {
+        let snap = self.snapshot(kg1, kg2);
+        let engine = snap.entity_engine();
+        // Eq. 6 weights through the batched engine (block maxima).
+        self.weights = EntityWeights::from_engine(engine);
+        let queries: Vec<u32> = (0..kg1.num_entities() as u32).collect();
+
+        self.last_mined = if self.cfg.use_semi_supervision {
+            let top = snap.top_k_entities_block(&queries, 1);
+            let scored = queries.iter().zip(top).filter_map(|(&q, mut best)| {
+                best.pop().map(|(e2, s)| {
+                    (
+                        ElementPair::Entity(
+                            daakg_graph::EntityId::new(q),
+                            daakg_graph::EntityId::new(e2),
+                        ),
+                        s,
+                    )
+                })
+            });
+            mine_potential_matches(scored, self.cfg.semi_threshold)
+        } else {
+            Vec::new()
+        };
+    }
+
+    /// One optimizer step of the alignment objective: softmax pair losses
+    /// for all labeled kinds plus the semi-supervised term.
+    fn alignment_step(
+        &mut self,
+        kg2: &KnowledgeGraph,
+        labels: &LabeledMatches,
+        opt: &mut Adam,
+        rng: &mut StdRng,
+        focal_gamma: Option<f32>,
+    ) -> f32 {
+        let mut s = TapeSession::new();
+        let mut losses: Vec<Var> = Vec::new();
+
+        // --- entity alignment O_ea (Eq. 5) ---
+        if !labels.entities.is_empty() {
+            let ents1 = self.model1.encode_entities(&mut s, &self.store, "g1.");
+            let ents2 = self.model2.encode_entities(&mut s, &self.store, "g2.");
+            let a_ent = s.param(&self.store, map_names::A_ENT);
+            let mapped = s.graph.matmul(ents1, a_ent);
+            let n2 = kg2.num_entities() as u32;
+            let (pos, neg) = pair_sims(
+                &mut s,
+                mapped,
+                ents2,
+                &labels.entities,
+                self.cfg.align_negatives,
+                n2,
+                rng,
+            );
+            losses.push(softmax_pair_loss(&mut s.graph, pos, neg, focal_gamma));
+
+            // --- semi-supervised O_semi (Eq. 10), entity pairs only ---
+            if !self.last_mined.is_empty() {
+                let mut pairs = Vec::new();
+                let mut soft = Vec::new();
+                for m in &self.last_mined {
+                    if let Some((l, r)) = m.pair.as_entity() {
+                        pairs.push((l.raw(), r.raw()));
+                        soft.push(m.soft_label);
+                    }
+                }
+                if !pairs.is_empty() {
+                    let lrows: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+                    let rrows: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+                    let l = s.graph.gather_rows(mapped, &lrows);
+                    let r = s.graph.gather_rows(ents2, &rrows);
+                    let sims = s.graph.cosine_rows(l, r);
+                    losses.push(semi_supervised_loss(&mut s.graph, sims, &soft));
+                }
+            }
+        }
+
+        // --- relation alignment O_ra (Eq. 8) ---
+        if !labels.relations.is_empty() {
+            let rels1 = self.model1.encode_relations(&mut s, &self.store, "g1.");
+            let rels2 = self.model2.encode_relations(&mut s, &self.store, "g2.");
+            let a_rel = s.param(&self.store, map_names::A_REL);
+            let mapped = s.graph.matmul(rels1, a_rel);
+            let nr2 = self.model2.num_base_relations() as u32;
+            let (pos, neg) = pair_sims(
+                &mut s,
+                mapped,
+                rels2,
+                &labels.relations,
+                self.cfg.align_negatives,
+                nr2,
+                rng,
+            );
+            losses.push(softmax_pair_loss(&mut s.graph, pos, neg, focal_gamma));
+        }
+
+        // --- class alignment O_ca ---
+        if self.cfg.use_class_embeddings && !labels.classes.is_empty() && self.ec1.num_classes() > 0
+        {
+            let cls1 = class_matrix_on_tape(&mut s, &self.store, &self.ec1, "g1.");
+            let cls2 = class_matrix_on_tape(&mut s, &self.store, &self.ec2, "g2.");
+            let a_cls = s.param(&self.store, map_names::A_CLS);
+            let mapped = s.graph.matmul(cls1, a_cls);
+            let nc2 = self.ec2.num_classes() as u32;
+            let (pos, neg) = pair_sims(
+                &mut s,
+                mapped,
+                cls2,
+                &labels.classes,
+                self.cfg.align_negatives,
+                nc2,
+                rng,
+            );
+            losses.push(softmax_pair_loss(&mut s.graph, pos, neg, focal_gamma));
+        }
+
+        let Some(total) = sum_losses(&mut s, losses) else {
+            return 0.0;
+        };
+        let value = s.graph.value(total).item();
+        s.backward(total);
+        s.step(&mut self.store, opt);
+        value
+    }
+}
+
+/// Gather (positive, negative) similarity columns for the softmax loss:
+/// each labeled pair contributes `align_negatives` rows, pairing the
+/// positive similarity with a sampled-negative similarity.
+fn pair_sims(
+    s: &mut TapeSession,
+    mapped_left: Var,
+    right: Var,
+    pairs: &[(u32, u32)],
+    negatives: usize,
+    num_right: u32,
+    rng: &mut StdRng,
+) -> (Var, Var) {
+    let k = negatives.max(1);
+    let mut lrows = Vec::with_capacity(pairs.len() * k);
+    let mut pos_rrows = Vec::with_capacity(pairs.len() * k);
+    let mut neg_rrows = Vec::with_capacity(pairs.len() * k);
+    for &(l, r) in pairs {
+        for _ in 0..k {
+            lrows.push(l);
+            pos_rrows.push(r);
+            // Rejection-sample a right element different from the match.
+            let mut neg = rng.gen_range(0..num_right);
+            for _ in 0..8 {
+                if neg != r {
+                    break;
+                }
+                neg = rng.gen_range(0..num_right);
+            }
+            neg_rrows.push(neg);
+        }
+    }
+    let l = s.graph.gather_rows(mapped_left, &lrows);
+    let rp = s.graph.gather_rows(right, &pos_rrows);
+    let rn = s.graph.gather_rows(right, &neg_rrows);
+    let pos = s.graph.cosine_rows(l, rp);
+    let l2 = s.graph.gather_rows(mapped_left, &lrows);
+    let neg = s.graph.cosine_rows(l2, rn);
+    (pos, neg)
+}
+
+/// Put the dedicated class-embedding matrix `[w_c | b_c]` on the tape.
+fn class_matrix_on_tape(
+    s: &mut TapeSession,
+    store: &ParamStore,
+    ec: &EntityClassModel,
+    prefix: &str,
+) -> Var {
+    // The class matrix is a direct function of the stored class parameters;
+    // re-materialize it as a leaf per step (cheap: `n_c × 2d_c`), exactly
+    // how the snapshot path consumes it. Gradients flow to the mapping
+    // matrix; the class tables themselves train through `O_ec`.
+    let m = ec.class_matrix(store, prefix);
+    s.graph.leaf(m)
+}
+
+/// Sum a list of scalar losses on the tape; `None` when empty.
+fn sum_losses(s: &mut TapeSession, losses: Vec<Var>) -> Option<Var> {
+    let mut iter = losses.into_iter();
+    let first = iter.next()?;
+    Some(iter.fold(first, |acc, l| s.graph.add(acc, l)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daakg_embed::EmbedConfig;
+    use daakg_graph::kg::{example_dbpedia, example_wikidata};
+    use daakg_graph::{ClassId, EntityId, RelationId};
+
+    fn tiny_cfg() -> JointConfig {
+        JointConfig {
+            embed: EmbedConfig {
+                dim: 8,
+                class_dim: 4,
+                epochs: 3,
+                batch_size: 16,
+                ..EmbedConfig::default()
+            },
+            align_epochs: 6,
+            fine_tune_epochs: 2,
+            ..JointConfig::default()
+        }
+    }
+
+    fn example_labels(kg1: &KnowledgeGraph, kg2: &KnowledgeGraph) -> LabeledMatches {
+        // Gold matches of the paper's Fig. 1 running example.
+        let mut labels = LabeledMatches::new();
+        for (a, b) in [
+            ("Michael Jackson", "Q2831"),
+            ("Gary_Indiana", "Gary"),
+            ("LosAngeles", "LosAngeles"),
+            ("UnitedStates", "USA"),
+        ] {
+            let (l, r) = (
+                kg1.entity_by_name(a).unwrap(),
+                kg2.entity_by_name(b).unwrap(),
+            );
+            labels.push(ElementPair::Entity(l, r));
+        }
+        for (a, b) in [
+            ("spouse", "spouse"),
+            ("country", "country"),
+            ("birthPlace", "place of birth"),
+        ] {
+            let (l, r) = (
+                kg1.relation_by_name(a).unwrap(),
+                kg2.relation_by_name(b).unwrap(),
+            );
+            labels.push(ElementPair::Relation(l, r));
+        }
+        for (a, b) in [("Person", "human"), ("City", "city of the United States")] {
+            let (l, r) = (kg1.class_by_name(a).unwrap(), kg2.class_by_name(b).unwrap());
+            labels.push(ElementPair::Class(l, r));
+        }
+        labels
+    }
+
+    #[test]
+    fn labeled_matches_collects_by_kind() {
+        let mut m = LabeledMatches::new();
+        assert!(m.is_empty());
+        m.push(ElementPair::Entity(EntityId::new(0), EntityId::new(1)));
+        m.push(ElementPair::Relation(
+            RelationId::new(2),
+            RelationId::new(3),
+        ));
+        m.push(ElementPair::Class(ClassId::new(4), ClassId::new(5)));
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.entities, vec![(0, 1)]);
+        assert_eq!(m.relations, vec![(2, 3)]);
+        assert_eq!(m.classes, vec![(4, 5)]);
+    }
+
+    #[test]
+    fn train_raises_labeled_pair_similarity() {
+        let kg1 = example_dbpedia();
+        let kg2 = example_wikidata();
+        let labels = example_labels(&kg1, &kg2);
+        assert!(!labels.is_empty());
+
+        let mut model = JointModel::new(tiny_cfg(), &kg1, &kg2);
+        let before = model.snapshot(&kg1, &kg2);
+        let snap = model.train(&kg1, &kg2, &labels);
+
+        let (l, r) = labels.entities[0];
+        let sim_before = before.sim_entity(l, r);
+        let sim_after = snap.sim_entity(l, r);
+        assert!(
+            sim_after > sim_before - 1e-3,
+            "training degraded the labeled pair: {sim_before} -> {sim_after}"
+        );
+        // The labeled pair should rank near the top for its query.
+        let top = snap.top_k_entities(l, 3);
+        assert!(
+            top.iter().any(|&(e2, _)| e2 == r),
+            "labeled match not in top-3: {top:?}"
+        );
+    }
+
+    #[test]
+    fn fine_tune_runs_and_snapshots() {
+        let kg1 = example_dbpedia();
+        let kg2 = example_wikidata();
+        let labels = example_labels(&kg1, &kg2);
+        let mut model = JointModel::new(tiny_cfg(), &kg1, &kg2);
+        model.train(&kg1, &kg2, &labels);
+        let snap = model.fine_tune(&kg1, &kg2, &labels);
+        let (n1, n2) = snap.entity_counts();
+        assert_eq!(n1, kg1.num_entities());
+        assert_eq!(n2, kg2.num_entities());
+        // Weights were refreshed from a real snapshot: all in [0, 1].
+        for w in snap.weights.left.iter().chain(&snap.weights.right) {
+            assert!((0.0..=1.0 + 1e-5).contains(w), "weight out of range: {w}");
+        }
+    }
+
+    #[test]
+    fn semi_supervision_toggle_controls_mining() {
+        let kg1 = example_dbpedia();
+        let kg2 = example_wikidata();
+        let labels = example_labels(&kg1, &kg2);
+        let mut cfg = tiny_cfg();
+        cfg.use_semi_supervision = false;
+        let mut model = JointModel::new(cfg, &kg1, &kg2);
+        model.train(&kg1, &kg2, &labels);
+        assert!(model.last_mined().is_empty());
+    }
+
+    #[test]
+    fn empty_labels_train_without_panicking() {
+        let kg1 = example_dbpedia();
+        let kg2 = example_wikidata();
+        let mut model = JointModel::new(tiny_cfg(), &kg1, &kg2);
+        let snap = model.train(&kg1, &kg2, &LabeledMatches::new());
+        assert_eq!(snap.entity_counts().0, kg1.num_entities());
+    }
+}

@@ -12,8 +12,10 @@
 //! * [`mean_embed`] — weighted mean embeddings for relations (Eq. 7) and
 //!   classes (Eq. 9) that transport entity-level evidence to the schema
 //!   level,
+//! * [`batched`] — the batched similarity engine: pre-normalized
+//!   matrices, block matmul scoring, bounded-heap top-k selection,
 //! * [`snapshot`] — a tape-free [`AlignmentSnapshot`] with all similarity
-//!   functions `S(·,·)`,
+//!   functions `S(·,·)`, ranking served by the batched engine,
 //! * [`losses`] — the softmax alignment losses `O_ea`, `O_ra`, `O_ca`
 //!   (Eq. 5, 8), the focal fine-tuning variant, and the semi-supervised loss
 //!   `O_semi` (Eq. 10),
@@ -23,6 +25,7 @@
 //! * [`joint`] — [`JointModel`], the orchestrating type whose
 //!   `train`/`fine_tune` drive the whole module.
 
+pub mod batched;
 pub mod calibrate;
 pub mod config;
 pub mod joint;
@@ -33,6 +36,7 @@ pub mod semi;
 pub mod snapshot;
 pub mod weights;
 
+pub use batched::BatchedSimilarity;
 pub use config::JointConfig;
 pub use joint::{JointModel, LabeledMatches};
 pub use snapshot::AlignmentSnapshot;

@@ -51,8 +51,7 @@ pub fn mean_relation_embeddings(
         }
         total_w[t.rel.index()] += w;
     }
-    for r in 0..kg.num_relations() {
-        let z = total_w[r];
+    for (r, &z) in total_w.iter().enumerate() {
         if z > 0.0 {
             let inv = 1.0 / z;
             for v in out.row_mut(r) {
@@ -89,8 +88,7 @@ pub fn mean_class_embeddings(
         }
         total_w[a.class.index()] += w;
     }
-    for c in 0..kg.num_classes() {
-        let z = total_w[c];
+    for (c, &z) in total_w.iter().enumerate() {
         if z > 0.0 {
             let inv = 1.0 / z;
             for v in out.row_mut(c) {

@@ -5,6 +5,7 @@
 //! ever talk to the model through a snapshot, which makes them independent
 //! of training internals and cheap to query.
 
+use crate::batched::BatchedSimilarity;
 use crate::mapping::{map_matrix, map_names};
 use crate::mean_embed::{mean_class_embeddings, mean_relation_embeddings, Side};
 use crate::weights::EntityWeights;
@@ -53,6 +54,9 @@ pub struct AlignmentSnapshot {
     pub use_mean_embeddings: bool,
     /// Whether dedicated class embeddings participate in `S`.
     pub use_class_embeddings: bool,
+    /// Batched entity-similarity engine over `(mapped_ents1, ents2)`,
+    /// pre-normalized once at snapshot construction.
+    entity_engine: BatchedSimilarity,
 }
 
 impl AlignmentSnapshot {
@@ -105,6 +109,8 @@ impl AlignmentSnapshot {
         let mean_cls2 = mean_class_embeddings(kg2, &ents2, &weights, Side::Right);
         let mapped_mean_cls1 = map_matrix(&mean_cls1, a_ent);
 
+        let entity_engine = BatchedSimilarity::new(&mapped_ents1, &ents2);
+
         Self {
             ents1,
             ents2,
@@ -124,6 +130,7 @@ impl AlignmentSnapshot {
             weights,
             use_mean_embeddings,
             use_class_embeddings,
+            entity_engine,
         }
     }
 
@@ -157,7 +164,10 @@ impl AlignmentSnapshot {
     /// `S(c, c') = max(cos(A_cls·c, c'), cos(A_ent·c̄, c̄'))`.
     pub fn sim_class(&self, c1: u32, c2: u32) -> f32 {
         let direct = if self.use_class_embeddings {
-            cosine(self.mapped_cls1.row(c1 as usize), self.cls2.row(c2 as usize))
+            cosine(
+                self.mapped_cls1.row(c1 as usize),
+                self.cls2.row(c2 as usize),
+            )
         } else {
             f32::NEG_INFINITY
         };
@@ -186,8 +196,42 @@ impl AlignmentSnapshot {
         }
     }
 
+    /// The batched entity-similarity engine (pre-normalized matrices).
+    ///
+    /// Exposed so callers that rank many queries — evaluation sweeps,
+    /// semi-supervised mining — can use the block-scoring entry points
+    /// directly instead of going through per-query methods.
+    pub fn entity_engine(&self) -> &BatchedSimilarity {
+        &self.entity_engine
+    }
+
     /// Rank all right entities for a left entity, descending.
+    ///
+    /// Served by the batched engine: normalization was paid once at
+    /// snapshot construction and the score loop is branch-free. For top-k
+    /// consumers prefer [`AlignmentSnapshot::top_k_entities`], which skips
+    /// the full sort.
     pub fn rank_entities(&self, e1: u32) -> Vec<(u32, f32)> {
+        self.entity_engine.rank_all(e1)
+    }
+
+    /// Best `k` right entities for a left entity, descending — bounded-heap
+    /// selection, `O(n log k)` after the batched score pass.
+    pub fn top_k_entities(&self, e1: u32, k: usize) -> Vec<(u32, f32)> {
+        self.entity_engine.top_k(e1, k)
+    }
+
+    /// Best `k` right entities for *each* query, scoring whole query blocks
+    /// with one matmul per block.
+    pub fn top_k_entities_block(&self, queries: &[u32], k: usize) -> Vec<Vec<(u32, f32)>> {
+        self.entity_engine.top_k_block(queries, k)
+    }
+
+    /// Reference implementation of [`AlignmentSnapshot::rank_entities`]:
+    /// per-candidate cosine (recomputing norms) plus a full stable sort.
+    /// Retained as the correctness oracle for the batched path; the bench
+    /// harness also times it as the baseline.
+    pub fn rank_entities_naive(&self, e1: u32) -> Vec<(u32, f32)> {
         let mut v: Vec<(u32, f32)> = (0..self.ents2.rows() as u32)
             .map(|e2| (e2, self.sim_entity(e1, e2)))
             .collect();
@@ -197,12 +241,7 @@ impl AlignmentSnapshot {
 
     /// Rank a restricted candidate set for a left entity, descending.
     pub fn rank_entity_candidates(&self, e1: u32, candidates: &[u32]) -> Vec<(u32, f32)> {
-        let mut v: Vec<(u32, f32)> = candidates
-            .iter()
-            .map(|&e2| (e2, self.sim_entity(e1, e2)))
-            .collect();
-        v.sort_by(|a, b| b.1.total_cmp(&a.1));
-        v
+        self.entity_engine.rank_candidates(e1, candidates)
     }
 
     /// Rank all right relations for a left relation, descending.
@@ -260,19 +299,21 @@ mod tests {
 
     #[test]
     fn shapes_are_consistent() {
+        let kg1 = example_dbpedia();
         let s = build_snapshot();
-        assert_eq!(s.ents1.rows(), 6);
+        assert_eq!(s.ents1.rows(), kg1.num_entities());
         assert_eq!(s.mapped_ents1.shape(), s.ents1.shape());
         assert_eq!(s.mean_rels1.rows(), s.rels1.rows());
-        assert_eq!(s.cls1.rows(), 4);
-        assert_eq!(s.mean_cls1.rows(), 4);
+        assert_eq!(s.cls1.rows(), kg1.num_classes());
+        assert_eq!(s.mean_cls1.rows(), kg1.num_classes());
     }
 
     #[test]
     fn similarities_are_bounded() {
         let s = build_snapshot();
-        for e1 in 0..6u32 {
-            for e2 in 0..9u32 {
+        let (n1, n2) = s.entity_counts();
+        for e1 in 0..n1 as u32 {
+            for e2 in 0..n2 as u32 {
                 let v = s.sim_entity(e1, e2);
                 assert!((-1.0..=1.0).contains(&v), "cos out of range: {v}");
             }
@@ -287,7 +328,7 @@ mod tests {
     fn rankings_are_descending_and_complete() {
         let s = build_snapshot();
         let ranked = s.rank_entities(0);
-        assert_eq!(ranked.len(), 9);
+        assert_eq!(ranked.len(), s.entity_counts().1);
         for w in ranked.windows(2) {
             assert!(w[0].1 >= w[1].1);
         }
@@ -296,11 +337,43 @@ mod tests {
     }
 
     #[test]
+    fn batched_ranking_matches_naive_oracle() {
+        let s = build_snapshot();
+        for e1 in 0..6u32 {
+            let fast = s.rank_entities(e1);
+            let slow = s.rank_entities_naive(e1);
+            assert_eq!(fast.len(), slow.len());
+            for (rank, (f, n)) in fast.iter().zip(&slow).enumerate() {
+                // Same candidate at each rank, or an fp-tolerance tie swap.
+                assert!(
+                    f.0 == n.0 || (f.1 - n.1).abs() < 1e-5,
+                    "query {e1} rank {rank}: batched {f:?} vs naive {n:?}"
+                );
+                assert!((f.1 - n.1).abs() < 1e-5);
+            }
+            let top = s.top_k_entities(e1, 4);
+            assert_eq!(top.len(), 4);
+            for (t, f) in top.iter().zip(&fast) {
+                assert!(t.0 == f.0 || (t.1 - f.1).abs() < 1e-5);
+            }
+        }
+        let block = s.top_k_entities_block(&[0, 1, 2, 3, 4, 5], 4);
+        assert_eq!(block.len(), 6);
+        for (q, ranking) in block.iter().enumerate() {
+            let single = s.top_k_entities(q as u32, 4);
+            assert_eq!(ranking, &single);
+        }
+    }
+
+    #[test]
     fn sim_dispatches_by_pair_kind() {
         use daakg_graph::{ClassId, EntityId, RelationId};
         let s = build_snapshot();
         let pe = s.sim(ElementPair::Entity(EntityId::new(0), EntityId::new(0)));
-        let pr = s.sim(ElementPair::Relation(RelationId::new(0), RelationId::new(0)));
+        let pr = s.sim(ElementPair::Relation(
+            RelationId::new(0),
+            RelationId::new(0),
+        ));
         let pc = s.sim(ElementPair::Class(ClassId::new(0), ClassId::new(0)));
         assert_eq!(pe, s.sim_entity(0, 0));
         assert_eq!(pr, s.sim_relation(0, 0));

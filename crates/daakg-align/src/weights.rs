@@ -37,15 +37,15 @@ impl EntityWeights {
         let n2 = right.rows();
         let mut left = vec![0.0f32; n1];
         let mut right_w = vec![0.0f32; n2];
-        for i in 0..n1 {
+        for (i, lw) in left.iter_mut().enumerate() {
             let a = mapped_left.row(i);
-            for j in 0..n2 {
+            for (j, rw) in right_w.iter_mut().enumerate() {
                 let s = cosine(a, right.row(j));
-                if s > left[i] {
-                    left[i] = s;
+                if s > *lw {
+                    *lw = s;
                 }
-                if s > right_w[j] {
-                    right_w[j] = s;
+                if s > *rw {
+                    *rw = s;
                 }
             }
         }
@@ -53,6 +53,36 @@ impl EntityWeights {
             left,
             right: right_w,
         }
+    }
+
+    /// [`EntityWeights::compute`] served by a pre-normalized
+    /// [`BatchedSimilarity`](crate::batched::BatchedSimilarity) engine:
+    /// row maxima of the similarity matrix give `w_e`, column maxima give
+    /// `w_{e'}`, computed block-by-block so no `n₁ × n₂` matrix is ever
+    /// materialized. This is the production path of Eq. 6 — `compute`
+    /// remains the naive reference.
+    pub fn from_engine(engine: &crate::batched::BatchedSimilarity) -> Self {
+        let n1 = engine.num_queries();
+        let n2 = engine.num_candidates();
+        let mut left = vec![0.0f32; n1];
+        let mut right = vec![0.0f32; n2];
+        let queries: Vec<u32> = (0..n1 as u32).collect();
+        for chunk in queries.chunks(64) {
+            let block = engine.score_block(chunk);
+            for (bi, &q) in chunk.iter().enumerate() {
+                for (j, &s) in block.row(bi).iter().enumerate() {
+                    // Negative similarities clamp to zero, as in `compute`.
+                    let s = s.max(0.0);
+                    if s > left[q as usize] {
+                        left[q as usize] = s;
+                    }
+                    if s > right[j] {
+                        right[j] = s;
+                    }
+                }
+            }
+        }
+        Self { left, right }
     }
 
     /// Like [`EntityWeights::compute`], but only over the candidate pairs of
@@ -97,6 +127,33 @@ impl EntityWeights {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn from_engine_matches_naive_compute() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let mk = |rows: usize, rng: &mut StdRng| {
+            let data = (0..rows * 6).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            Tensor::from_vec(rows, 6, data)
+        };
+        // More rows than one 64-query block so the chunking is exercised.
+        let mapped_left = mk(130, &mut rng);
+        let right = mk(70, &mut rng);
+        let naive = EntityWeights::compute(&mapped_left, &right);
+        let engine = crate::batched::BatchedSimilarity::new(&mapped_left, &right);
+        let fast = EntityWeights::from_engine(&engine);
+        assert_eq!(naive.left.len(), fast.left.len());
+        assert_eq!(naive.right.len(), fast.right.len());
+        for (a, b) in naive
+            .left
+            .iter()
+            .zip(&fast.left)
+            .chain(naive.right.iter().zip(&fast.right))
+        {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
 
     #[test]
     fn matched_entities_get_high_weight() {

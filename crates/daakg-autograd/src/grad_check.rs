@@ -27,11 +27,7 @@ pub struct CheckReport {
 /// `f` receives a graph and the input leaf and must return a scalar (`1×1`)
 /// node. The input is perturbed elementwise with step `eps` (central
 /// differences).
-pub fn check_gradient(
-    input: &Tensor,
-    eps: f32,
-    f: impl Fn(&mut Graph, Var) -> Var,
-) -> CheckReport {
+pub fn check_gradient(input: &Tensor, eps: f32, f: impl Fn(&mut Graph, Var) -> Var) -> CheckReport {
     // Analytic gradient.
     let mut g = Graph::new();
     let x = g.leaf(input.clone());

@@ -515,8 +515,10 @@ impl Graph {
             }
             Op::MatMul(a, b) => {
                 let (a, b) = (*a, *b);
-                let ga = g.matmul(&self.value(b).transpose());
-                let gb = self.value(a).transpose().matmul(g);
+                // Fused kernels: ∇A = g·Bᵀ and ∇B = Aᵀ·g without
+                // materializing either transpose.
+                let ga = g.matmul_transpose(self.value(b));
+                let gb = self.value(a).tr_matmul(g);
                 self.accumulate(a, ga);
                 self.accumulate(b, gb);
             }

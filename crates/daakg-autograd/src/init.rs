@@ -26,7 +26,9 @@ pub fn uniform_embedding(rng: &mut StdRng, rows: usize, cols: usize) -> Tensor {
 /// Uniform phases in `[0, 2π)` for RotatE relation embeddings.
 pub fn uniform_phases(rng: &mut StdRng, rows: usize, cols: usize) -> Tensor {
     let two_pi = 2.0 * std::f32::consts::PI;
-    let data = (0..rows * cols).map(|_| rng.gen_range(0.0..two_pi)).collect();
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(0.0..two_pi))
+        .collect();
     Tensor::from_vec(rows, cols, data)
 }
 

@@ -164,11 +164,14 @@ impl Optimizer for Adam {
     fn step(&mut self, store: &mut ParamStore, name: &str, grad: &Tensor) {
         let param = store.get_mut(name);
         assert_eq!(param.shape(), grad.shape(), "gradient shape mismatch");
-        let st = self.state.entry(name.to_owned()).or_insert_with(|| AdamState {
-            m: Tensor::zeros(grad.rows(), grad.cols()),
-            v: Tensor::zeros(grad.rows(), grad.cols()),
-            t: 0,
-        });
+        let st = self
+            .state
+            .entry(name.to_owned())
+            .or_insert_with(|| AdamState {
+                m: Tensor::zeros(grad.rows(), grad.cols()),
+                v: Tensor::zeros(grad.rows(), grad.cols()),
+                t: 0,
+            });
         st.t += 1;
         let (b1, b2) = (self.cfg.beta1, self.cfg.beta2);
         let bc1 = 1.0 - b1.powi(st.t as i32);

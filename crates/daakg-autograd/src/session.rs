@@ -104,7 +104,7 @@ mod tests {
         let mut opt = Sgd::new(0.1);
         let updated = s.step(&mut store, &mut opt);
         assert_eq!(updated, 1); // "unused" got no gradient
-        // w ← 2 − 0.1·(2·2) = 1.6
+                                // w ← 2 − 0.1·(2·2) = 1.6
         assert!((store.get("w").item() - 1.6).abs() < 1e-6);
         assert_eq!(store.get("unused").item(), 5.0);
     }

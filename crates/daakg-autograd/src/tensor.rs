@@ -195,6 +195,11 @@ impl Tensor {
     }
 
     /// Matrix product `self · other`.
+    ///
+    /// Dense cache-blocked kernel, row-band parallel above
+    /// [`PAR_MIN_FLOPS`]. The inner loop is a branch-free axpy so it
+    /// vectorizes; callers with genuinely sparse left operands should use
+    /// [`Tensor::matmul_sparse_aware`] instead, which keeps the zero-skip.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols, other.rows,
@@ -203,20 +208,157 @@ impl Tensor {
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Tensor::zeros(m, n);
-        // i-k-j loop order: streams through `other` row-wise for cache
-        // friendliness.
+        if m * k * n == 0 {
+            return out;
+        }
+        let a = &self.data;
+        let b = &other.data;
+        let kernel = |first_row: usize, band: &mut [f32]| {
+            let band_rows = band.len() / n;
+            // j-panels keep the touched slice of each `b` row resident;
+            // k-panels bound the number of `b` rows cycled per pass, so the
+            // working set (KB × JB floats of `b`) stays cache-sized.
+            for jb in (0..n).step_by(Self::MM_JB) {
+                let je = (jb + Self::MM_JB).min(n);
+                for kb in (0..k).step_by(Self::MM_KB) {
+                    let ke = (kb + Self::MM_KB).min(k);
+                    for bi in 0..band_rows {
+                        let i = first_row + bi;
+                        let a_row = &a[i * k + kb..i * k + ke];
+                        let out_row = &mut band[bi * n + jb..bi * n + je];
+                        for (kk, &av) in a_row.iter().enumerate() {
+                            let b_row = &b[(kb + kk) * n + jb..(kb + kk) * n + je];
+                            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                                *o += av * bv;
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        if m * k * n >= Self::PAR_MIN_FLOPS {
+            daakg_parallel::par_row_chunks_mut(&mut out.data, n, kernel);
+        } else {
+            kernel(0, &mut out.data);
+        }
+        out
+    }
+
+    /// k-panel height of the blocked matmul kernel.
+    const MM_KB: usize = 64;
+    /// j-panel width of the blocked matmul kernel (`MM_KB × MM_JB` f32 of
+    /// the right operand ≈ 64 KiB, within L2 on any target machine).
+    const MM_JB: usize = 256;
+    /// Minimum multiply-add count before a product is worth spreading over
+    /// threads; below this the spawn cost dominates.
+    const PAR_MIN_FLOPS: usize = 1 << 16;
+
+    /// Sparsity-aware matrix product: identical result to
+    /// [`Tensor::matmul`], but the inner loop skips zero entries of `self`.
+    /// Worth it only when the left operand is mostly zeros (e.g. one-hot
+    /// selector matrices); on dense inputs the branch defeats
+    /// vectorization, which is why the dense path no longer carries it.
+    pub fn matmul_sparse_aware(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(m, n);
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
             let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
+            for (kk, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
                     continue;
                 }
                 let b_row = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
+                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += av * bv;
                 }
             }
+        }
+        out
+    }
+
+    /// Fused `self · otherᵀ` without materializing the transpose.
+    ///
+    /// Both operands are walked row-wise — every output element is a dot
+    /// product of two contiguous rows — so this is strictly more
+    /// cache-friendly than `matmul(&other.transpose())` and allocates no
+    /// intermediate. Used by the batched similarity engine (query block ·
+    /// candidate matrixᵀ) and the backward pass of `MatMul`.
+    pub fn matmul_transpose(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transpose shape mismatch: {}x{} · ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Tensor::zeros(m, n);
+        if m * k * n == 0 {
+            return out;
+        }
+        let a = &self.data;
+        let b = &other.data;
+        let kernel = |first_row: usize, band: &mut [f32]| {
+            let band_rows = band.len() / n;
+            for bi in 0..band_rows {
+                let i = first_row + bi;
+                let a_row = &a[i * k..(i + 1) * k];
+                let out_row = &mut band[bi * n..(bi + 1) * n];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = &b[j * k..(j + 1) * k];
+                    *o = dot_unrolled(a_row, b_row);
+                }
+            }
+        };
+        if m * k * n >= Self::PAR_MIN_FLOPS {
+            daakg_parallel::par_row_chunks_mut(&mut out.data, n, kernel);
+        } else {
+            kernel(0, &mut out.data);
+        }
+        out
+    }
+
+    /// Fused `selfᵀ · other` without materializing the transpose.
+    ///
+    /// `self` is `m×k`, `other` is `m×n`, the result is `k×n`: the sum of
+    /// rank-1 updates `selfᵀ[·,i] · other[i,·]`. Parallelism splits the
+    /// *output* rows (columns of `self`), so bands write disjoint memory.
+    /// Used by the backward pass of `MatMul` (`∇B = Aᵀ·g`).
+    pub fn tr_matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "tr_matmul shape mismatch: ({}x{})ᵀ · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(k, n);
+        if m * k * n == 0 {
+            return out;
+        }
+        let a = &self.data;
+        let b = &other.data;
+        let kernel = |first_row: usize, band: &mut [f32]| {
+            let band_rows = band.len() / n;
+            for i in 0..m {
+                let b_row = &b[i * n..(i + 1) * n];
+                for bk in 0..band_rows {
+                    let kk = first_row + bk;
+                    let av = a[i * k + kk];
+                    let out_row = &mut band[bk * n..(bk + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        };
+        if m * k * n >= Self::PAR_MIN_FLOPS {
+            daakg_parallel::par_row_chunks_mut(&mut out.data, n, kernel);
+        } else {
+            kernel(0, &mut out.data);
         }
         out
     }
@@ -299,6 +441,29 @@ impl Tensor {
     }
 }
 
+/// Dot product with an 8-lane unrolled accumulator: the strictly-sequential
+/// `zip().sum()` reduction cannot be vectorized (FP addition is not
+/// associative, so LLVM must preserve order); 8 independent partial sums
+/// give the autovectorizer a SIMD-shaped reduction. Result differs from the
+/// sequential sum only by fp reassociation.
+#[inline]
+pub fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 8];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for l in 0..8 {
+            acc[l] += xa[l] * xb[l];
+        }
+    }
+    let mut s = (acc[0] + acc[4]) + (acc[1] + acc[5]) + ((acc[2] + acc[6]) + (acc[3] + acc[7]));
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        s += x * y;
+    }
+    s
+}
+
 /// Cosine similarity of two equal-length slices; `0.0` when either is a zero
 /// vector (the conservative convention used throughout the paper pipeline).
 pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
@@ -354,6 +519,101 @@ mod tests {
         let c = a.matmul(&b);
         assert_eq!(c.shape(), (2, 2));
         assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    /// Reference triple-loop product used as the oracle for the blocked
+    /// kernels.
+    fn matmul_oracle(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut out = Tensor::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a.get(i, kk) * b.get(kk, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    fn random_tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect();
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_matches_oracle_on_random_shapes() {
+        // Shapes straddling the k/j panel sizes and the parallel threshold.
+        for (seed, (m, k, n)) in [(3, 7, 5), (65, 64, 63), (1, 300, 2), (130, 70, 260)]
+            .into_iter()
+            .enumerate()
+        {
+            let a = random_tensor(m, k, seed as u64);
+            let b = random_tensor(k, n, seed as u64 + 100);
+            let fast = a.matmul(&b);
+            let slow = matmul_oracle(&a, &b);
+            // Blocked summation reorders additions; allow fp slack scaled
+            // by the reduction length.
+            assert_close(&fast, &slow, 1e-4 * k as f32);
+        }
+    }
+
+    #[test]
+    fn sparse_aware_matmul_matches_dense() {
+        let mut a = random_tensor(20, 30, 9);
+        // Zero out most of the left operand.
+        for (i, v) in a.as_mut_slice().iter_mut().enumerate() {
+            if i % 5 != 0 {
+                *v = 0.0;
+            }
+        }
+        let b = random_tensor(30, 10, 10);
+        assert_close(&a.matmul_sparse_aware(&b), &a.matmul(&b), 1e-4);
+    }
+
+    #[test]
+    fn matmul_transpose_matches_materialized_transpose() {
+        for (seed, (m, k, n)) in [(2, 8, 3), (40, 33, 70), (1, 1, 1)].into_iter().enumerate() {
+            let a = random_tensor(m, k, seed as u64 + 20);
+            let b = random_tensor(n, k, seed as u64 + 40);
+            let fused = a.matmul_transpose(&b);
+            let slow = a.matmul(&b.transpose());
+            assert_close(&fused, &slow, 1e-4 * k as f32);
+        }
+    }
+
+    #[test]
+    fn tr_matmul_matches_materialized_transpose() {
+        for (seed, (m, k, n)) in [(5, 4, 6), (64, 50, 48), (1, 7, 1)].into_iter().enumerate() {
+            let a = random_tensor(m, k, seed as u64 + 60);
+            let b = random_tensor(m, n, seed as u64 + 80);
+            let fused = a.tr_matmul(&b);
+            let slow = a.transpose().matmul(&b);
+            assert_close(&fused, &slow, 1e-4 * m as f32);
+        }
+    }
+
+    #[test]
+    fn fused_products_validate_shapes() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        // A·Bᵀ needs equal cols: fine. Aᵀ·B needs equal rows: fine.
+        assert_eq!(a.matmul_transpose(&b).shape(), (2, 2));
+        assert_eq!(a.tr_matmul(&b).shape(), (3, 3));
     }
 
     #[test]

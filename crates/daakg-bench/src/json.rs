@@ -1,0 +1,215 @@
+//! A tiny JSON value model and serializer.
+//!
+//! The workspace dependency policy is "no external crates" (the build
+//! environment is offline), so `BENCH_core.json` is written by this ~100
+//! line module instead of serde. Output is deterministic: object keys keep
+//! insertion order, floats render with enough precision to round-trip.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A finite number (non-finite values serialize as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// An empty object.
+    pub fn object() -> Self {
+        JsonValue::Obj(Vec::new())
+    }
+
+    /// Insert a key into an object (panics on non-objects); returns `self`
+    /// for chaining.
+    pub fn set(mut self, key: &str, value: impl Into<JsonValue>) -> Self {
+        match &mut self {
+            JsonValue::Obj(entries) => entries.push((key.to_string(), value.into())),
+            other => panic!("set() on non-object JSON value: {other:?}"),
+        }
+        self
+    }
+
+    /// Serialize with two-space indentation and a trailing newline.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(x) => {
+                if x.is_finite() {
+                    // Integral values print without a fraction for
+                    // readability; others with round-trip precision.
+                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                        let _ = write!(out, "{}", *x as i64);
+                    } else {
+                        let _ = write!(out, "{x}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            JsonValue::Obj(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(x: f64) -> Self {
+        JsonValue::Num(x)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(x: usize) -> Self {
+        JsonValue::Num(x as f64)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::Str(s)
+    }
+}
+
+impl From<Vec<JsonValue>> for JsonValue {
+    fn from(items: Vec<JsonValue>) -> Self {
+        JsonValue::Arr(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_nested_structure() {
+        let v = JsonValue::object()
+            .set("name", "rank_full_10k")
+            .set("ok", true)
+            .set("speedup", 7.25)
+            .set(
+                "sizes",
+                JsonValue::Arr(vec![1000usize.into(), 10000usize.into()]),
+            );
+        let s = v.to_pretty_string();
+        assert!(s.contains("\"name\": \"rank_full_10k\""));
+        assert!(s.contains("\"speedup\": 7.25"));
+        assert!(s.contains("10000"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn integral_floats_have_no_fraction() {
+        assert_eq!(JsonValue::Num(5.0).to_pretty_string(), "5\n");
+        assert_eq!(JsonValue::Num(5.5).to_pretty_string(), "5.5\n");
+    }
+
+    #[test]
+    fn escapes_special_characters() {
+        let s = JsonValue::Str("a\"b\\c\nd".into()).to_pretty_string();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"\n");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(JsonValue::Num(f64::NAN).to_pretty_string(), "null\n");
+        assert_eq!(JsonValue::Num(f64::INFINITY).to_pretty_string(), "null\n");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(JsonValue::object().to_pretty_string(), "{}\n");
+        assert_eq!(JsonValue::Arr(vec![]).to_pretty_string(), "[]\n");
+    }
+}

@@ -1,1 +1,49 @@
-//! placeholder (implemented later)
+//! # daakg-bench
+//!
+//! Reproducible benchmark harness for the DAAKG workspace.
+//!
+//! The paper's pipeline is dominated by dense embedding math — snapshot
+//! construction, entity ranking, trainer steps — so this crate times those
+//! exact hot paths on synthetic KGs of controlled size and writes the
+//! results as machine-readable JSON (`BENCH_core.json`), so the perf
+//! trajectory of the repository is tracked PR over PR.
+//!
+//! * [`synth`] — deterministic synthetic KG generation at any scale,
+//! * [`json`] — a tiny dependency-free JSON value writer,
+//! * [`scenarios`] — the timed scenarios: dense matmul, snapshot build,
+//!   full entity ranking at 1k / 10k entities (naive oracle vs batched
+//!   engine, with equivalence verification), one training epoch.
+//!
+//! Run the binary with `cargo run --release -p daakg-bench`; see the
+//! top-level README for how to interpret the output.
+
+pub mod json;
+pub mod scenarios;
+pub mod synth;
+
+pub use json::JsonValue;
+pub use scenarios::{run_all, BenchConfig, ScenarioResult};
+
+use std::time::Instant;
+
+/// Time one closure invocation in milliseconds.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Best-of-`reps` timing (milliseconds) after one untimed warm-up run.
+///
+/// Minimum — not mean — is the right statistic for a throughput kernel on
+/// a shared machine: noise is strictly additive.
+pub fn time_best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut out = f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let (o, ms) = time_once(&mut f);
+        out = o;
+        best = best.min(ms);
+    }
+    (out, best)
+}

@@ -1,0 +1,94 @@
+//! The `daakg-bench` binary: run the core scenarios and write
+//! `BENCH_core.json`.
+//!
+//! ```text
+//! cargo run --release -p daakg-bench            # full sizes
+//! cargo run --release -p daakg-bench -- --quick # smoke sizes
+//! cargo run --release -p daakg-bench -- --out results/BENCH_core.json
+//! ```
+//!
+//! Exit status is non-zero when any scenario fails its oracle
+//! verification, so CI can gate on correctness of the fast paths.
+
+use daakg_bench::scenarios::{results_to_json, run_all, BenchConfig};
+use daakg_eval::report::{fmt_duration, TextTable};
+
+fn main() {
+    let mut cfg = BenchConfig::default();
+    let mut out_path = String::from("BENCH_core.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cfg = BenchConfig::quick(),
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: daakg-bench [--quick] [--out PATH]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "daakg-bench: {} worker thread(s), dim {}",
+        daakg_parallel::num_threads(),
+        cfg.dim
+    );
+    let results = run_all(&cfg);
+
+    let mut table = TextTable::new(&["scenario", "time", "baseline", "speedup", "verified"]);
+    let mut all_verified = true;
+    for r in &results {
+        let time = r
+            .get_metric("batched_ms")
+            .or_else(|| r.get_metric("blocked_ms"))
+            .or_else(|| r.get_metric("build_ms"))
+            .or_else(|| r.get_metric("epoch_ms"))
+            .map(|ms| fmt_duration(ms / 1e3))
+            .unwrap_or_default();
+        let baseline = r
+            .get_metric("naive_ms")
+            .map(|ms| fmt_duration(ms / 1e3))
+            .unwrap_or_else(|| "-".into());
+        let speedup = r
+            .get_metric("speedup")
+            .map(|s| format!("{s:.2}x"))
+            .unwrap_or_else(|| "-".into());
+        let verified = match r.get_flag("verified") {
+            Some(true) => "yes",
+            Some(false) => {
+                all_verified = false;
+                "NO"
+            }
+            None => "-",
+        };
+        table.row(&[
+            r.name.clone(),
+            time,
+            baseline,
+            speedup,
+            verified.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let doc = results_to_json(&cfg, &results);
+    if let Err(e) = std::fs::write(&out_path, doc.to_pretty_string()) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    if !all_verified {
+        eprintln!("ERROR: at least one scenario failed oracle verification");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,420 @@
+//! The timed scenarios and the harness that runs them.
+//!
+//! Every scenario exercises a real pipeline hot path with synthetic data of
+//! controlled size and reports milliseconds plus scenario-specific
+//! metrics. The ranking scenarios run the retained naive oracle and the
+//! batched engine side by side, *verify the results agree* (same rank
+//! order up to fp-tolerance score ties), and report the speedup — the
+//! number the acceptance gate of this subsystem tracks.
+
+use crate::json::JsonValue;
+use crate::synth::{synthetic_pair, SynthSpec};
+use crate::{time_best_of, time_once};
+use daakg_align::mapping::init_mappings;
+use daakg_align::weights::EntityWeights;
+use daakg_align::AlignmentSnapshot;
+use daakg_autograd::{Adam, ParamStore, Tensor};
+use daakg_embed::{EmbedConfig, EmbedTrainer, EntityClassModel, KgEmbedding, TransE};
+use daakg_graph::KnowledgeGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of one scenario: a name, numeric metrics, boolean flags.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Scenario identifier (stable across PRs; consumed by trend tooling).
+    pub name: String,
+    /// `(metric, value)` pairs, insertion-ordered.
+    pub metrics: Vec<(String, f64)>,
+    /// `(flag, value)` pairs (e.g. `verified`).
+    pub flags: Vec<(String, bool)>,
+}
+
+impl ScenarioResult {
+    fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            metrics: Vec::new(),
+            flags: Vec::new(),
+        }
+    }
+
+    fn metric(mut self, key: &str, value: f64) -> Self {
+        self.metrics.push((key.to_string(), value));
+        self
+    }
+
+    fn flag(mut self, key: &str, value: bool) -> Self {
+        self.flags.push((key.to_string(), value));
+        self
+    }
+
+    /// Numeric metric lookup.
+    pub fn get_metric(&self, key: &str) -> Option<f64> {
+        self.metrics.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+
+    /// Boolean flag lookup.
+    pub fn get_flag(&self, key: &str) -> Option<bool> {
+        self.flags.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let mut metrics = JsonValue::object();
+        for (k, v) in &self.metrics {
+            metrics = metrics.set(k, *v);
+        }
+        let mut obj = JsonValue::object()
+            .set("name", self.name.as_str())
+            .set("metrics", metrics);
+        for (k, v) in &self.flags {
+            obj = obj.set(k, *v);
+        }
+        obj
+    }
+}
+
+/// Benchmark sizing. [`BenchConfig::default`] is the reportable
+/// configuration; [`BenchConfig::quick`] is a seconds-scale variant for
+/// tests and smoke runs.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Side length of the dense matmul scenario.
+    pub matmul_size: usize,
+    /// Entity count of the snapshot-build scenario.
+    pub snapshot_entities: usize,
+    /// Entity counts of the full-ranking scenarios.
+    pub rank_sizes: [usize; 2],
+    /// Queries ranked per full-ranking scenario.
+    pub rank_queries: usize,
+    /// Retained candidates per query (top-k).
+    pub rank_k: usize,
+    /// Entity count of the one-epoch training scenario.
+    pub train_entities: usize,
+    /// Embedding dimension used across scenarios.
+    pub dim: usize,
+    /// Timing repetitions (best-of).
+    pub reps: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            matmul_size: 256,
+            snapshot_entities: 2000,
+            rank_sizes: [1000, 10_000],
+            rank_queries: 64,
+            rank_k: 10,
+            train_entities: 3000,
+            dim: 32,
+            reps: 3,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// Seconds-scale sizing for tests and smoke runs.
+    pub fn quick() -> Self {
+        Self {
+            matmul_size: 48,
+            snapshot_entities: 200,
+            rank_sizes: [150, 400],
+            rank_queries: 16,
+            rank_k: 5,
+            train_entities: 200,
+            dim: 16,
+            reps: 1,
+        }
+    }
+}
+
+/// Run every scenario and collect the results.
+pub fn run_all(cfg: &BenchConfig) -> Vec<ScenarioResult> {
+    vec![
+        dense_matmul(cfg),
+        snapshot_build(cfg),
+        rank_full(cfg, cfg.rank_sizes[0]),
+        rank_full(cfg, cfg.rank_sizes[1]),
+        train_epoch(cfg),
+    ]
+}
+
+/// Assemble the top-level `BENCH_core.json` document.
+pub fn results_to_json(cfg: &BenchConfig, results: &[ScenarioResult]) -> JsonValue {
+    JsonValue::object()
+        .set("bench", "daakg-core")
+        .set("schema_version", 1usize)
+        .set("threads", daakg_parallel::num_threads())
+        .set("dim", cfg.dim)
+        .set(
+            "scenarios",
+            JsonValue::Arr(results.iter().map(ScenarioResult::to_json).collect()),
+        )
+}
+
+// ---------------------------------------------------------------------
+// Scenario: dense matmul (blocked kernel vs naive triple loop)
+// ---------------------------------------------------------------------
+
+fn random_tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// The pre-optimization reference kernel: naive i-j-k triple loop.
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Tensor::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a.get(i, kk) * b.get(kk, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+fn dense_matmul(cfg: &BenchConfig) -> ScenarioResult {
+    let s = cfg.matmul_size;
+    let a = random_tensor(s, s, 11);
+    let b = random_tensor(s, s, 12);
+
+    let (blocked, blocked_ms) = time_best_of(cfg.reps, || a.matmul(&b));
+    let (naive, naive_ms) = time_best_of(cfg.reps, || naive_matmul(&a, &b));
+    let (_, fused_t_ms) = time_best_of(cfg.reps, || a.matmul_transpose(&b));
+
+    let tol = 1e-3 * s as f32;
+    let verified = blocked
+        .as_slice()
+        .iter()
+        .zip(naive.as_slice())
+        .all(|(x, y)| (x - y).abs() <= tol);
+
+    ScenarioResult::new(&format!("dense_matmul_{s}"))
+        .metric("blocked_ms", blocked_ms)
+        .metric("naive_ms", naive_ms)
+        .metric("matmul_transpose_ms", fused_t_ms)
+        .metric("speedup", naive_ms / blocked_ms.max(1e-9))
+        .flag("verified", verified)
+}
+
+// ---------------------------------------------------------------------
+// Scenario: snapshot build
+// ---------------------------------------------------------------------
+
+/// Shared fixture: a synthetic KG pair with trained-shape (randomly
+/// initialized) TransE + entity-class models and mapping matrices.
+struct PairFixture {
+    kg1: KnowledgeGraph,
+    kg2: KnowledgeGraph,
+    m1: TransE,
+    m2: TransE,
+    ec1: EntityClassModel,
+    ec2: EntityClassModel,
+    store: ParamStore,
+}
+
+impl PairFixture {
+    fn build(entities: usize, dim: usize, seed: u64) -> Self {
+        let spec = SynthSpec::with_entities(entities, seed);
+        let (kg1, kg2, _gold) = synthetic_pair(spec, 0.15);
+        let m1 = TransE::new(&kg1, dim);
+        let m2 = TransE::new(&kg2, dim);
+        let class_dim = (dim / 2).max(2);
+        let ec1 = EntityClassModel::new(kg1.num_classes(), dim, class_dim);
+        let ec2 = EntityClassModel::new(kg2.num_classes(), dim, class_dim);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        m1.init_params(&mut rng, &mut store, "g1.");
+        m2.init_params(&mut rng, &mut store, "g2.");
+        ec1.init_params(&mut rng, &mut store, "g1.");
+        ec2.init_params(&mut rng, &mut store, "g2.");
+        init_mappings(&mut rng, &mut store, dim, dim, 2 * class_dim);
+        Self {
+            kg1,
+            kg2,
+            m1,
+            m2,
+            ec1,
+            ec2,
+            store,
+        }
+    }
+
+    fn snapshot(&self) -> AlignmentSnapshot {
+        let weights = EntityWeights::uniform(self.kg1.num_entities(), self.kg2.num_entities());
+        AlignmentSnapshot::build(
+            &self.kg1,
+            &self.kg2,
+            &self.m1,
+            &self.m2,
+            &self.ec1,
+            &self.ec2,
+            &self.store,
+            weights,
+            true,
+            true,
+        )
+    }
+}
+
+fn snapshot_build(cfg: &BenchConfig) -> ScenarioResult {
+    let fixture = PairFixture::build(cfg.snapshot_entities, cfg.dim, 21);
+    let (snap, build_ms) = time_best_of(cfg.reps, || fixture.snapshot());
+    let (n1, n2) = snap.entity_counts();
+    ScenarioResult::new(&format!("snapshot_build_{}", cfg.snapshot_entities))
+        .metric("build_ms", build_ms)
+        .metric("left_entities", n1 as f64)
+        .metric("right_entities", n2 as f64)
+}
+
+// ---------------------------------------------------------------------
+// Scenario: full entity ranking, naive oracle vs batched engine
+// ---------------------------------------------------------------------
+
+fn rank_full(cfg: &BenchConfig, entities: usize) -> ScenarioResult {
+    let fixture = PairFixture::build(entities, cfg.dim, 31);
+    let snap = fixture.snapshot();
+    let queries: Vec<u32> = (0..cfg.rank_queries.min(entities) as u32).collect();
+    let k = cfg.rank_k;
+
+    // Naive retained path: per-query cosine scan + full sort, truncated to
+    // the consumed top-k.
+    let (naive_top, naive_ms) = time_best_of(cfg.reps, || {
+        queries
+            .iter()
+            .map(|&q| {
+                let mut full = snap.rank_entities_naive(q);
+                full.truncate(k);
+                full
+            })
+            .collect::<Vec<_>>()
+    });
+
+    // Batched path: block-matmul scoring + bounded-heap top-k.
+    let (batched_top, batched_ms) =
+        time_best_of(cfg.reps, || snap.top_k_entities_block(&queries, k));
+
+    // Verification: identical rank order; fp-tolerance ties may swap, in
+    // which case the *scores* must agree at the swapped positions.
+    let mut verified = naive_top.len() == batched_top.len();
+    'outer: for (nq, bq) in naive_top.iter().zip(&batched_top) {
+        if nq.len() != bq.len() {
+            verified = false;
+            break;
+        }
+        for (n, b) in nq.iter().zip(bq) {
+            // Positions must hold the same candidate, or — when two
+            // candidates tie within fp tolerance — a swapped candidate
+            // whose score matches at this rank.
+            if (n.1 - b.1).abs() >= 1e-4 {
+                verified = false;
+                break 'outer;
+            }
+        }
+    }
+
+    ScenarioResult::new(&format!("rank_full_{}", short_count(entities)))
+        .metric("naive_ms", naive_ms)
+        .metric("batched_ms", batched_ms)
+        .metric("speedup", naive_ms / batched_ms.max(1e-9))
+        .metric("queries", queries.len() as f64)
+        .metric("candidates", snap.entity_counts().1 as f64)
+        .metric("k", k as f64)
+        .flag("verified", verified)
+}
+
+fn short_count(n: usize) -> String {
+    if n.is_multiple_of(1000) && n >= 1000 {
+        format!("{}k", n / 1000)
+    } else {
+        n.to_string()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scenario: one training epoch
+// ---------------------------------------------------------------------
+
+fn train_epoch(cfg: &BenchConfig) -> ScenarioResult {
+    let spec = SynthSpec::with_entities(cfg.train_entities, 41);
+    let kg = crate::synth::synthetic_kg(spec);
+    let model = TransE::new(&kg, cfg.dim);
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(41);
+    model.init_params(&mut rng, &mut store, "g.");
+    let embed_cfg = EmbedConfig {
+        epochs: 1,
+        batch_size: 512,
+        dim: cfg.dim,
+        ..EmbedConfig::default()
+    };
+    let trainer = EmbedTrainer::new(embed_cfg);
+    let mut opt = Adam::with_lr(embed_cfg.lr);
+    let (stats, epoch_ms) =
+        time_once(|| trainer.train(&model, None, &kg, &mut store, "g.", &mut opt));
+    ScenarioResult::new(&format!("train_epoch_{}", short_count(cfg.train_entities)))
+        .metric("epoch_ms", epoch_ms)
+        .metric("triples", kg.num_triples() as f64)
+        .metric(
+            "final_loss",
+            stats.final_er_loss().unwrap_or(f32::NAN) as f64,
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_config_runs_all_scenarios_verified() {
+        let cfg = BenchConfig::quick();
+        let results = run_all(&cfg);
+        assert_eq!(results.len(), 5);
+        for r in &results {
+            for (k, v) in &r.metrics {
+                assert!(v.is_finite(), "{}:{k} not finite", r.name);
+            }
+            if let Some(verified) = r.get_flag("verified") {
+                assert!(verified, "{} failed verification", r.name);
+            }
+        }
+        // Both rank scenarios must verify against the oracle.
+        let rank_results: Vec<_> = results
+            .iter()
+            .filter(|r| r.name.starts_with("rank_full"))
+            .collect();
+        assert_eq!(rank_results.len(), 2);
+        for r in rank_results {
+            assert_eq!(r.get_flag("verified"), Some(true));
+            assert!(r.get_metric("speedup").unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn json_document_has_expected_shape() {
+        let cfg = BenchConfig::quick();
+        let results = vec![ScenarioResult::new("demo")
+            .metric("ms", 1.5)
+            .flag("verified", true)];
+        let doc = results_to_json(&cfg, &results);
+        let s = doc.to_pretty_string();
+        assert!(s.contains("\"bench\": \"daakg-core\""));
+        assert!(s.contains("\"demo\""));
+        assert!(s.contains("\"verified\": true"));
+    }
+
+    #[test]
+    fn short_count_formats() {
+        assert_eq!(short_count(10_000), "10k");
+        assert_eq!(short_count(1000), "1k");
+        assert_eq!(short_count(400), "400");
+    }
+}

@@ -20,7 +20,7 @@ use crate::model::{names, KgEmbedding, ModelKind, RelationBound};
 use daakg_autograd::{init, Graph, ParamStore, TapeSession, Tensor, Var};
 use daakg_graph::KnowledgeGraph;
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::seq::SliceRandom;
 
 /// The CompGCN model.
 pub struct CompGcn {
@@ -156,7 +156,9 @@ impl KgEmbedding for CompGcn {
         let h = s.graph.gather_rows(x, &self.edge_heads);
         let r = s.graph.gather_rows(rel, &self.edge_rels);
         let msgs = s.graph.sub(h, r);
-        let agg = s.graph.scatter_mean(msgs, &self.edge_tails, self.num_entities);
+        let agg = s
+            .graph
+            .scatter_mean(msgs, &self.edge_tails, self.num_entities);
         let xs = s.graph.matmul(x, w_self);
         let am = s.graph.matmul(agg, w_msg);
         let pre = s.graph.add(xs, am);
@@ -229,10 +231,14 @@ impl KgEmbedding for CompGcn {
                 bound: 1.0, // no evidence: maximally loose unit bound
             };
         }
-        let m = m_samples.max(1).min(examples.len().max(1));
+        let m = m_samples.max(1).min(examples.len());
+        // Sample WITHOUT replacement: with few examples, replacement could
+        // draw the same pair repeatedly and collapse the bound to zero.
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        order.shuffle(rng);
         let mut samples = Vec::with_capacity(m);
-        for _ in 0..m {
-            let (h, t) = examples[rng.gen_range(0..examples.len())];
+        for &ix in order.iter().take(m) {
+            let (h, t) = examples[ix];
             let diff: Vec<f32> = enc
                 .row(t as usize)
                 .iter()

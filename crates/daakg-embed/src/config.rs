@@ -81,13 +81,13 @@ impl EmbedConfig {
         if self.dim == 0 {
             return Err("dim must be positive".into());
         }
-        if self.model == ModelKind::RotatE && self.dim % 2 != 0 {
+        if self.model == ModelKind::RotatE && !self.dim.is_multiple_of(2) {
             return Err(format!("RotatE requires an even dim, got {}", self.dim));
         }
         if self.neg_samples == 0 {
             return Err("neg_samples must be positive".into());
         }
-        if !(self.lr > 0.0) {
+        if self.lr.is_nan() || self.lr <= 0.0 {
             return Err("lr must be positive".into());
         }
         Ok(())
@@ -113,7 +113,10 @@ mod tests {
 
     #[test]
     fn builders_chain() {
-        let cfg = EmbedConfig::default().with_dim(8).with_epochs(3).with_seed(7);
+        let cfg = EmbedConfig::default()
+            .with_dim(8)
+            .with_epochs(3)
+            .with_seed(7);
         assert_eq!(cfg.dim, 8);
         assert_eq!(cfg.epochs, 3);
         assert_eq!(cfg.seed, 7);
@@ -121,14 +124,20 @@ mod tests {
 
     #[test]
     fn degenerate_configs_rejected() {
-        let mut cfg = EmbedConfig::default();
-        cfg.dim = 0;
+        let cfg = EmbedConfig {
+            dim: 0,
+            ..EmbedConfig::default()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = EmbedConfig::default();
-        cfg.neg_samples = 0;
+        let cfg = EmbedConfig {
+            neg_samples: 0,
+            ..EmbedConfig::default()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = EmbedConfig::default();
-        cfg.lr = 0.0;
+        let cfg = EmbedConfig {
+            lr: 0.0,
+            ..EmbedConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 }

@@ -125,12 +125,12 @@ impl EntityClassModel {
         let cb = store.get(&names::qualified(prefix, ec_names::CLS_B));
         // mapped = tanh(e·W + b)
         let mut mapped = vec![0.0f32; self.class_dim];
-        for c in 0..self.class_dim {
+        for (c, m) in mapped.iter_mut().enumerate() {
             let mut acc = b.get(0, c);
             for (i, &ev) in entity_row.iter().enumerate() {
                 acc += ev * w.get(i, c);
             }
-            mapped[c] = acc.tanh();
+            *m = acc.tanh();
         }
         let wrow = cw.row(class as usize);
         let brow = cb.row(class as usize);

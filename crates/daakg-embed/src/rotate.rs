@@ -25,7 +25,7 @@ impl RotatE {
 
     /// Build from explicit counts.
     pub fn with_shape(num_entities: usize, num_base_relations: usize, dim: usize) -> Self {
-        assert!(dim % 2 == 0, "RotatE requires an even dimension");
+        assert!(dim.is_multiple_of(2), "RotatE requires an even dimension");
         Self {
             num_entities,
             num_base_relations,

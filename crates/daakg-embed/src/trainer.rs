@@ -97,8 +97,16 @@ impl EmbedTrainer {
 
             if let Some(ec_model) = ec {
                 if kg.num_type_assertions() > 0 {
-                    let loss =
-                        self.ec_step(model, ec_model, kg, &cls_sampler, store, prefix, opt, &mut rng);
+                    let loss = self.ec_step(
+                        model,
+                        ec_model,
+                        kg,
+                        &cls_sampler,
+                        store,
+                        prefix,
+                        opt,
+                        &mut rng,
+                    );
                     stats.ec_losses.push(loss);
                 }
             }
@@ -139,7 +147,7 @@ impl EmbedTrainer {
 
         // Repeat each positive score k times to align with its negatives.
         let rep_idx: Vec<u32> = (0..batch.len() as u32)
-            .flat_map(|i| std::iter::repeat(i).take(k))
+            .flat_map(|i| std::iter::repeat_n(i, k))
             .collect();
         let pos_rep = s.graph.gather_rows(pos_scores, &rep_idx);
         let margin_pos = s.graph.add_scalar(pos_rep, self.cfg.margin_er);

@@ -276,7 +276,10 @@ mod tests {
             Label::NonMatch
         );
         assert_eq!(
-            g.label(ElementPair::Relation(RelationId::new(0), RelationId::new(0))),
+            g.label(ElementPair::Relation(
+                RelationId::new(0),
+                RelationId::new(0)
+            )),
             Label::NonMatch
         );
     }
@@ -310,7 +313,10 @@ mod tests {
         let ranked = &r.entity_rankings[&EntityId::new(0)];
         assert_eq!(ranked[0].0, EntityId::new(2));
         assert_eq!(ranked[2].0, EntityId::new(1));
-        assert_eq!(r.top_entity(EntityId::new(0)), Some((EntityId::new(2), 0.9)));
+        assert_eq!(
+            r.top_entity(EntityId::new(0)),
+            Some((EntityId::new(2), 0.9))
+        );
         assert_eq!(r.len(PairKind::Entity), 1);
         assert!(!r.is_empty());
     }

@@ -1,0 +1,368 @@
+//! # daakg-parallel
+//!
+//! Dependency-free data parallelism on `std::thread::scope`, standing in
+//! for rayon (the build environment is offline, so external crates cannot
+//! be fetched). The API is deliberately small — chunked for-each, chunked
+//! map, and a parallel merge sort — because those are the only shapes the
+//! DAAKG hot paths need: row-band matmul kernels, per-query ranking
+//! evaluation, and the greedy-matching pre-sort.
+//!
+//! All entry points degrade to plain sequential execution when the
+//! machine (or the `DAAKG_THREADS` override) offers a single thread, so
+//! single-core CI boxes pay no thread-spawn overhead.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Number of worker threads to use.
+///
+/// Resolution order: the `DAAKG_THREADS` environment variable (clamped to
+/// `1..=256`), then [`std::thread::available_parallelism`], then 1.
+///
+/// Resolved **once per process** and cached: this is consulted by every
+/// parallel kernel invocation (every sufficiently large matmul), so it
+/// must not re-take the env lock on the hot path. Consequently, changing
+/// `DAAKG_THREADS` after the first parallel call has no effect.
+pub fn num_threads() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        if let Ok(v) = std::env::var("DAAKG_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.clamp(1, 256);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Split `len` items into at most `parts` contiguous ranges of near-equal
+/// size (the first `len % parts` ranges get one extra item). Empty input
+/// yields no ranges.
+pub fn split_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Run `f(range)` over a partition of `0..len`, in parallel when more than
+/// one worker thread is available. `f` must be `Sync` because several
+/// threads call it concurrently on disjoint ranges.
+pub fn par_ranges<F>(len: usize, f: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    let threads = num_threads();
+    if threads <= 1 || len < 2 {
+        if len > 0 {
+            f(0..len);
+        }
+        return;
+    }
+    let ranges = split_ranges(len, threads);
+    std::thread::scope(|scope| {
+        // First range runs on the calling thread to save one spawn.
+        let mut iter = ranges.into_iter();
+        let own = iter.next();
+        for r in iter {
+            let f = &f;
+            scope.spawn(move || f(r));
+        }
+        if let Some(r) = own {
+            f(r);
+        }
+    });
+}
+
+/// Mutable chunked for-each: split `data` into near-equal contiguous chunks
+/// and run `f(chunk_start_index, chunk)` on each, in parallel.
+pub fn par_chunks_mut<T, F>(data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let threads = num_threads();
+    let len = data.len();
+    if threads <= 1 || len < 2 {
+        if len > 0 {
+            f(0, data);
+        }
+        return;
+    }
+    let ranges = split_ranges(len, threads);
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut consumed = 0;
+        for r in ranges {
+            let (chunk, tail) = rest.split_at_mut(r.len());
+            rest = tail;
+            let f = &f;
+            let start = consumed;
+            scope.spawn(move || f(start, chunk));
+            consumed += r.len();
+        }
+    });
+}
+
+/// Row-aligned mutable chunked for-each for flat row-major matrices:
+/// `data.len()` must be a multiple of `row_len`; the matrix is split into
+/// near-equal *row bands* and `f(first_row, band)` runs on each band, in
+/// parallel. This is the work distributor for the blocked matmul kernels.
+pub fn par_row_chunks_mut<T, F>(data: &mut [T], row_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(row_len > 0, "row_len must be positive");
+    assert_eq!(data.len() % row_len, 0, "data not row-aligned");
+    let rows = data.len() / row_len;
+    let threads = num_threads();
+    if threads <= 1 || rows < 2 {
+        if rows > 0 {
+            f(0, data);
+        }
+        return;
+    }
+    let ranges = split_ranges(rows, threads);
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        for r in ranges {
+            let (band, tail) = rest.split_at_mut(r.len() * row_len);
+            rest = tail;
+            let f = &f;
+            let first_row = r.start;
+            scope.spawn(move || f(first_row, band));
+        }
+    });
+}
+
+/// Parallel index map: compute `f(i)` for `i` in `0..len` and collect the
+/// results in order.
+pub fn par_map<T, F>(len: usize, f: F) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out = vec![T::default(); len];
+    par_chunks_mut(&mut out, |start, chunk| {
+        for (off, slot) in chunk.iter_mut().enumerate() {
+            *slot = f(start + off);
+        }
+    });
+    out
+}
+
+/// Parallel comparison sort: chunk-sort on worker threads, then fold the
+/// sorted runs together with pairwise merges. Falls back to
+/// `slice::sort_by` below the cutoff or on single-threaded machines.
+///
+/// The merge is stable (left run wins ties), and chunks are contiguous, so
+/// the overall sort is stable like `slice::sort_by`.
+pub fn par_sort_by<T, F>(data: &mut [T], compare: F)
+where
+    T: Send + Clone,
+    F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+{
+    const SEQ_CUTOFF: usize = 8 * 1024;
+    let threads = num_threads();
+    if threads <= 1 || data.len() <= SEQ_CUTOFF {
+        data.sort_by(compare);
+        return;
+    }
+    let ranges = split_ranges(data.len(), threads);
+    // Sort each chunk in parallel.
+    {
+        let compare = &compare;
+        std::thread::scope(|scope| {
+            let mut rest: &mut [T] = data;
+            for r in &ranges {
+                let (chunk, tail) = rest.split_at_mut(r.len());
+                rest = tail;
+                scope.spawn(move || chunk.sort_by(compare));
+            }
+        });
+    }
+    // Pairwise-merge sorted runs until one remains.
+    let mut runs: Vec<Vec<T>> = ranges
+        .iter()
+        .map(|r| data[r.start..r.end].to_vec())
+        .collect();
+    while runs.len() > 1 {
+        let mut next: Vec<Vec<T>> = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut iter = runs.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => next.push(merge_by(a, b, &compare)),
+                None => next.push(a),
+            }
+        }
+        runs = next;
+    }
+    if let Some(merged) = runs.pop() {
+        data.clone_from_slice(&merged);
+    }
+}
+
+fn merge_by<T: Clone, F: Fn(&T, &T) -> std::cmp::Ordering>(
+    a: Vec<T>,
+    b: Vec<T>,
+    compare: &F,
+) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut ai, mut bi) = (0, 0);
+    while ai < a.len() && bi < b.len() {
+        // `<=` keeps the merge stable: the left (earlier) run wins ties.
+        if compare(&a[ai], &b[bi]) != std::cmp::Ordering::Greater {
+            out.push(a[ai].clone());
+            ai += 1;
+        } else {
+            out.push(b[bi].clone());
+            bi += 1;
+        }
+    }
+    out.extend_from_slice(&a[ai..]);
+    out.extend_from_slice(&b[bi..]);
+    out
+}
+
+/// A monotonically increasing work counter usable from parallel closures
+/// (e.g. to report progress from long benchmark scenarios).
+#[derive(Debug, Default)]
+pub struct WorkCounter(AtomicUsize);
+
+impl WorkCounter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` units of completed work; returns the new total.
+    pub fn add(&self, n: usize) -> usize {
+        self.0.fetch_add(n, Ordering::Relaxed) + n
+    }
+
+    /// The current total.
+    pub fn get(&self) -> usize {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_ranges_covers_exactly() {
+        for len in [0usize, 1, 2, 7, 100, 101] {
+            for parts in [1usize, 2, 3, 8] {
+                let rs = split_ranges(len, parts);
+                let total: usize = rs.iter().map(|r| r.len()).sum();
+                assert_eq!(total, len, "len={len} parts={parts}");
+                let mut expect = 0;
+                for r in &rs {
+                    assert_eq!(r.start, expect);
+                    assert!(!r.is_empty());
+                    expect = r.end;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_item_once() {
+        let mut v = vec![0u32; 1000];
+        par_chunks_mut(&mut v, |start, chunk| {
+            for (off, x) in chunk.iter_mut().enumerate() {
+                *x += (start + off) as u32;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u32);
+        }
+    }
+
+    #[test]
+    fn par_row_chunks_are_row_aligned() {
+        let row_len = 7;
+        let rows = 23;
+        let mut v = vec![0usize; rows * row_len];
+        par_row_chunks_mut(&mut v, row_len, |first_row, band| {
+            assert_eq!(band.len() % row_len, 0, "band not row aligned");
+            for (off, x) in band.iter_mut().enumerate() {
+                *x = first_row * row_len + off;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i);
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map(257, |i| i * 2);
+        assert_eq!(out.len(), 257);
+        for (i, &x) in out.iter().enumerate() {
+            assert_eq!(x, i * 2);
+        }
+    }
+
+    #[test]
+    fn par_ranges_covers_all_indices() {
+        use std::sync::Mutex;
+        let hits = Mutex::new(vec![0u8; 999]);
+        par_ranges(999, |r| {
+            let mut h = hits.lock().unwrap();
+            for i in r {
+                h[i] += 1;
+            }
+        });
+        assert!(hits.lock().unwrap().iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn par_sort_matches_std_sort() {
+        // Deterministic pseudo-random data, above and below the cutoff.
+        for n in [10usize, 1000, 20_000] {
+            let mut a: Vec<u64> = (0..n as u64)
+                .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17))
+                .collect();
+            let mut b = a.clone();
+            a.sort();
+            par_sort_by(&mut b, |x, y| x.cmp(y));
+            assert_eq!(a, b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn par_sort_is_stable() {
+        // Sort by key only; payload order within equal keys must persist.
+        let mut v: Vec<(u32, usize)> = (0..30_000).map(|i| ((i % 7) as u32, i)).collect();
+        par_sort_by(&mut v, |a, b| a.0.cmp(&b.0));
+        for w in v.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "stability violated: {:?}", w);
+            }
+        }
+    }
+
+    #[test]
+    fn work_counter_accumulates() {
+        let c = WorkCounter::new();
+        assert_eq!(c.add(3), 3);
+        assert_eq!(c.add(4), 7);
+        assert_eq!(c.get(), 7);
+    }
+}

@@ -1,1 +1,49 @@
-//! placeholder (implemented later)
+//! # daakg
+//!
+//! Facade crate for the DAAKG reproduction workspace: one `use daakg::...`
+//! away from the whole pipeline. The crate graph underneath:
+//!
+//! ```text
+//!            daakg-graph          (KGs, ids, gold alignments, IO)
+//!                 │
+//!        ┌────────┴────────┐
+//!   daakg-embed       daakg-align (models / joint alignment + batched
+//!        │                 │       top-k similarity engine)
+//!        └───────┬─────────┘
+//!           daakg-autograd        (tensors, blocked parallel matmul, tape)
+//!                 │
+//!          daakg-parallel         (std::thread::scope data parallelism)
+//!
+//!   daakg-eval  (H@k / MRR / F1)       daakg-bench  (perf harness)
+//! ```
+//!
+//! The `quickstart` example (repo `examples/quickstart.rs`) walks the whole
+//! path: build two KGs → train the joint model → snapshot → rank → score
+//! with `daakg-eval`.
+
+pub use daakg_align as align;
+pub use daakg_autograd as autograd;
+pub use daakg_bench as bench;
+pub use daakg_embed as embed;
+pub use daakg_eval as eval;
+pub use daakg_graph as graph;
+pub use daakg_parallel as parallel;
+
+// The most commonly used types, re-exported flat.
+pub use daakg_align::{
+    AlignmentSnapshot, BatchedSimilarity, JointConfig, JointModel, LabeledMatches,
+};
+pub use daakg_autograd::{Graph, ParamStore, TapeSession, Tensor};
+pub use daakg_embed::{EmbedConfig, KgEmbedding, ModelKind};
+pub use daakg_graph::{GoldAlignment, KgBuilder, KnowledgeGraph};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_resolve() {
+        let kg = crate::KgBuilder::new("t").build();
+        assert_eq!(kg.num_entities(), 0);
+        let t = crate::Tensor::identity(2);
+        assert_eq!(t.shape(), (2, 2));
+    }
+}
