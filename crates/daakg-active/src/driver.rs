@@ -1,0 +1,433 @@
+//! The active-learning driver: select → label → infer → retrain rounds.
+
+use crate::oracle::Oracle;
+use crate::select::{generate_candidates, select_batch, PowerContext, Strategy};
+use daakg_align::{AlignmentSnapshot, JointModel, LabeledMatches};
+use daakg_eval::{CostCurve, CostPoint, RankingScores};
+use daakg_graph::{ElementPair, EntityId, FxHashSet, GoldAlignment, KnowledgeGraph};
+use daakg_infer::{InferConfig, InferenceEngine, KnownMatches, RelationMatches};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of the active loop.
+#[derive(Debug, Clone, Copy)]
+pub struct ActiveConfig {
+    /// Number of select → label → infer → retrain rounds.
+    pub rounds: usize,
+    /// Questions asked per round.
+    pub batch_size: usize,
+    /// Candidate right entities per unresolved left entity.
+    pub per_query: usize,
+    /// Ranking depth for the per-round H@1 / MRR evaluation (ranks beyond
+    /// it count as misses, so the MRR is the truncated variant).
+    pub eval_depth: usize,
+    /// Inferred matches at or above this confidence are accepted as
+    /// resolved: they enter fine-tuning as hard labels and stop being
+    /// asked about.
+    pub accept_confidence: f32,
+    /// RNG seed (drives the random baseline).
+    pub seed: u64,
+    /// Inference-closure configuration.
+    pub infer: InferConfig,
+}
+
+impl Default for ActiveConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 5,
+            batch_size: 10,
+            per_query: 2,
+            eval_depth: 10,
+            // Resolving a pair without asking removes it from the
+            // question pool for good, so acceptance demands strong
+            // evidence; weaker derivations still train as soft labels.
+            accept_confidence: 0.5,
+            seed: 7,
+            infer: InferConfig::default(),
+        }
+    }
+}
+
+impl ActiveConfig {
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        self.infer.validate()?;
+        if self.batch_size == 0 {
+            return Err("batch_size must be at least 1".into());
+        }
+        if self.per_query == 0 {
+            return Err("per_query must be at least 1".into());
+        }
+        if self.eval_depth == 0 {
+            return Err("eval_depth must be at least 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.accept_confidence) {
+            return Err("accept_confidence must be within [0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+/// Truncated H@1 / MRR of a snapshot against a gold alignment, computed
+/// with one batched top-k sweep over the gold left entities.
+pub fn evaluate_snapshot(
+    snap: &AlignmentSnapshot,
+    gold: &GoldAlignment,
+    depth: usize,
+) -> (f64, f64) {
+    evaluate_alignment(snap, &KnownMatches::new(), gold, depth)
+}
+
+/// Truncated H@1 / MRR of the *system output*: a left entity whose match
+/// is already resolved (labeled, or confidently inferred) is answered from
+/// `known` — rank 0 when the resolution is correct, a miss when it claimed
+/// the wrong counterpart — and only the unresolved remainder is answered
+/// from the model's ranking. This is the quantity annotation-cost curves
+/// plot: what the whole system would output after spending the budget, not
+/// what the embedding model would re-guess on pairs a human already
+/// confirmed.
+pub fn evaluate_alignment(
+    snap: &AlignmentSnapshot,
+    known: &KnownMatches,
+    gold: &GoldAlignment,
+    depth: usize,
+) -> (f64, f64) {
+    let matches = gold.entity_matches();
+    if matches.is_empty() {
+        return (0.0, 0.0);
+    }
+    let unresolved: Vec<u32> = matches
+        .iter()
+        .filter(|&&(l, _)| known.left_match(l.raw()).is_none())
+        .map(|&(l, _)| l.raw())
+        .collect();
+    let rankings = snap.top_k_entities_block(&unresolved, depth);
+    let mut by_left = unresolved.iter().zip(&rankings);
+    let mut scores = RankingScores::new();
+    for &(l, r) in &matches {
+        match known.left_match(l.raw()) {
+            Some(resolved) => scores.push((resolved == r.raw()).then_some(0)),
+            None => {
+                let (_, ranking) = by_left.next().expect("one ranking per unresolved left");
+                scores.push(ranking.iter().position(|&(c, _)| c == r.raw()));
+            }
+        }
+    }
+    (scores.hits_at(1), scores.mrr())
+}
+
+/// The select → label → infer → retrain loop (Alg. 1 of the paper).
+///
+/// Each round: generate candidates from the current snapshot, select a
+/// question batch with the configured [`Strategy`], ask the [`Oracle`],
+/// propagate the labeled matches through the [`InferenceEngine`], feed
+/// labels and inferred matches back into the [`JointModel`] via focal
+/// fine-tuning, and record a [`CostPoint`].
+pub struct ActiveLoop {
+    cfg: ActiveConfig,
+    strategy: Strategy,
+}
+
+impl ActiveLoop {
+    /// Build a loop with the given configuration and strategy.
+    pub fn new(cfg: ActiveConfig, strategy: Strategy) -> Self {
+        cfg.validate().expect("invalid ActiveConfig");
+        Self { cfg, strategy }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ActiveConfig {
+        &self.cfg
+    }
+
+    /// Run the loop. `initial` seeds the supervised set (and is trained on
+    /// from scratch before the first round); `eval_gold` is the held-out
+    /// alignment the curve is scored against; `rels` is the relation
+    /// alignment inference fires through.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run(
+        &self,
+        model: &mut JointModel,
+        kg1: &KnowledgeGraph,
+        kg2: &KnowledgeGraph,
+        rels: &RelationMatches,
+        oracle: &mut dyn Oracle,
+        eval_gold: &GoldAlignment,
+        initial: &LabeledMatches,
+    ) -> CostCurve {
+        let mut labels = initial.clone();
+        let mut snap = model.train(kg1, kg2, &labels);
+        let engine = InferenceEngine::new(kg1, kg2, self.cfg.infer);
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+
+        // Resolved pairs: labeled positives plus accepted inferred matches.
+        let mut known = KnownMatches::from_pairs(labels.entities.iter().copied());
+        // Every pair ever put to the oracle (never re-asked).
+        let mut asked: FxHashSet<(u32, u32)> = labels.entities.iter().copied().collect();
+        // Inferred matches accepted in any round so far. They seed later
+        // closures (inference compounds hop by hop across rounds) and are
+        // re-injected into every fine-tune so they stay supervised.
+        let mut accepted_all: Vec<(u32, u32, f32)> = Vec::new();
+
+        let mut curve = CostCurve::new();
+        let (h1, mrr) = evaluate_alignment(&snap, &known, eval_gold, self.cfg.eval_depth);
+        curve.push(CostPoint {
+            questions: oracle.questions(),
+            labeled: labels.entities.len(),
+            inferred: 0,
+            h1,
+            mrr,
+        });
+
+        for _ in 0..self.cfg.rounds {
+            let candidates = generate_candidates(&snap, &known, &asked, self.cfg.per_query);
+            if candidates.is_empty() {
+                break;
+            }
+            let ctx = PowerContext {
+                engine: &engine,
+                known: &known,
+                rels,
+                sim: &snap,
+            };
+            let batch = select_batch(
+                self.strategy,
+                &candidates,
+                self.cfg.batch_size,
+                &ctx,
+                &mut rng,
+            );
+            if batch.is_empty() {
+                break;
+            }
+
+            for c in &batch {
+                asked.insert((c.left, c.right));
+                let answer = oracle.ask(ElementPair::Entity(
+                    EntityId::new(c.left),
+                    EntityId::new(c.right),
+                ));
+                if answer.is_match() && known.insert(c.left, c.right) {
+                    labels.entities.push((c.left, c.right));
+                }
+            }
+
+            // Propagate everything resolved so far — labels plus the
+            // inferred matches accepted in earlier rounds, so inference
+            // compounds across rounds instead of stalling one hop behind
+            // each accepted pair. Keep derivations that are new,
+            // unrefuted, and 1:1-consistent with `known`.
+            let mut seeds: Vec<(u32, u32)> = labels.entities.clone();
+            seeds.extend(accepted_all.iter().map(|&(l, r, _)| (l, r)));
+            let inferred = engine.closure(&seeds, &known, rels, &snap);
+            let mut newly_accepted = 0usize;
+            let mut soft: Vec<(u32, u32, f32)> = Vec::new();
+            for m in &inferred {
+                if asked.contains(&(m.left, m.right)) {
+                    // The oracle already refuted this pair (matches would
+                    // be in `known` and thus blocked from derivation).
+                    continue;
+                }
+                if m.confidence >= self.cfg.accept_confidence {
+                    if known.insert(m.left, m.right) {
+                        accepted_all.push((m.left, m.right, m.confidence));
+                        newly_accepted += 1;
+                    }
+                } else {
+                    soft.push((m.left, m.right, m.confidence));
+                }
+            }
+
+            // Feed labels + inferred matches back into joint training: all
+            // accepted pairs (hard) and this round's weak derivations
+            // (soft).
+            let mut injected = accepted_all.clone();
+            injected.extend(soft);
+            snap = model.fine_tune_with_inferred(
+                kg1,
+                kg2,
+                &labels,
+                &injected,
+                self.cfg.accept_confidence,
+            );
+
+            let (h1, mrr) = evaluate_alignment(&snap, &known, eval_gold, self.cfg.eval_depth);
+            curve.push(CostPoint {
+                questions: oracle.questions(),
+                labeled: labels.entities.len(),
+                inferred: newly_accepted,
+                h1,
+                mrr,
+            });
+        }
+        curve
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::GoldOracle;
+    use daakg_align::JointConfig;
+    use daakg_graph::kg::{example_dbpedia, example_wikidata};
+    use daakg_graph::ElementPair;
+
+    fn tiny_cfg() -> JointConfig {
+        JointConfig::default()
+    }
+
+    fn example_setup() -> (
+        KnowledgeGraph,
+        KnowledgeGraph,
+        GoldAlignment,
+        LabeledMatches,
+        RelationMatches,
+    ) {
+        let kg1 = example_dbpedia();
+        let kg2 = example_wikidata();
+        let mut gold = GoldAlignment::new();
+        for (a, b) in [
+            ("Michael Jackson", "Q2831"),
+            ("Gary_Indiana", "Gary"),
+            ("LosAngeles", "LosAngeles"),
+            ("UnitedStates", "USA"),
+        ] {
+            gold.add_entity(
+                kg1.entity_by_name(a).unwrap(),
+                kg2.entity_by_name(b).unwrap(),
+            );
+        }
+        let mut labels = LabeledMatches::new();
+        let (l, r) = gold.entity_matches()[0];
+        labels.push(ElementPair::Entity(l, r));
+        let mut rels = RelationMatches::new();
+        for (a, b) in [
+            ("spouse", "spouse"),
+            ("country", "country"),
+            ("birthPlace", "place of birth"),
+            ("deathPlace", "place of death"),
+        ] {
+            rels.insert(
+                kg1.relation_by_name(a).unwrap().raw(),
+                kg2.relation_by_name(b).unwrap().raw(),
+            );
+        }
+        (kg1, kg2, gold, labels, rels)
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(ActiveConfig::default().validate().is_ok());
+        assert!(ActiveConfig {
+            batch_size: 0,
+            ..ActiveConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ActiveConfig {
+            accept_confidence: 1.5,
+            ..ActiveConfig::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn loop_runs_all_strategies_and_spends_budget() {
+        let (kg1, kg2, gold, labels, rels) = example_setup();
+        for strategy in [Strategy::InferencePower, Strategy::Margin, Strategy::Random] {
+            let mut joint_cfg = tiny_cfg();
+            joint_cfg.embed.dim = 8;
+            joint_cfg.embed.class_dim = 4;
+            joint_cfg.embed.epochs = 2;
+            joint_cfg.align_epochs = 3;
+            joint_cfg.fine_tune_epochs = 1;
+            let mut model = JointModel::new(joint_cfg, &kg1, &kg2);
+            let mut oracle = GoldOracle::new(&gold);
+            let cfg = ActiveConfig {
+                rounds: 2,
+                batch_size: 2,
+                infer: InferConfig {
+                    sim_gate: -1.0,
+                    ..InferConfig::default()
+                },
+                ..ActiveConfig::default()
+            };
+            let curve = ActiveLoop::new(cfg, strategy).run(
+                &mut model,
+                &kg1,
+                &kg2,
+                &rels,
+                &mut oracle,
+                &gold,
+                &labels,
+            );
+            assert!(
+                curve.len() >= 2,
+                "{strategy:?}: at least the round-0 point plus one round"
+            );
+            assert!(curve.total_questions() > 0, "{strategy:?}: budget unspent");
+            assert!(
+                curve.total_questions() <= cfg.rounds * cfg.batch_size,
+                "{strategy:?}: overspent budget"
+            );
+            for p in curve.points() {
+                assert!((0.0..=1.0).contains(&p.h1));
+                assert!((0.0..=1.0).contains(&p.mrr));
+                assert!(p.mrr + 1e-9 >= p.h1, "MRR dominates H@1");
+            }
+        }
+    }
+
+    #[test]
+    fn loop_stops_when_everything_is_resolved() {
+        let (kg1, kg2, gold, _, rels) = example_setup();
+        // Seed with ALL gold matches: every left entity with a counterpart
+        // is resolved; remaining candidates are only dangling entities.
+        let labels = LabeledMatches::from_gold(&gold);
+        let mut joint_cfg = tiny_cfg();
+        joint_cfg.embed.dim = 8;
+        joint_cfg.embed.class_dim = 4;
+        joint_cfg.embed.epochs = 2;
+        joint_cfg.align_epochs = 2;
+        joint_cfg.fine_tune_epochs = 1;
+        let mut model = JointModel::new(joint_cfg, &kg1, &kg2);
+        let mut oracle = GoldOracle::new(&gold);
+        let cfg = ActiveConfig {
+            rounds: 50,
+            batch_size: 4,
+            ..ActiveConfig::default()
+        };
+        let curve = ActiveLoop::new(cfg, Strategy::Margin).run(
+            &mut model,
+            &kg1,
+            &kg2,
+            &rels,
+            &mut oracle,
+            &gold,
+            &labels,
+        );
+        // The candidate pool (left entities × per_query) is finite and
+        // shrinking; 50 rounds must terminate early by exhaustion.
+        assert!(curve.len() < 50);
+    }
+
+    #[test]
+    fn evaluate_snapshot_scores_perfect_gold_seeding() {
+        let (kg1, kg2, gold, _, _) = example_setup();
+        let labels = LabeledMatches::from_gold(&gold);
+        let mut joint_cfg = tiny_cfg();
+        joint_cfg.embed.dim = 8;
+        joint_cfg.embed.class_dim = 4;
+        joint_cfg.embed.epochs = 3;
+        joint_cfg.align_epochs = 8;
+        let mut model = JointModel::new(joint_cfg, &kg1, &kg2);
+        let snap = model.train(&kg1, &kg2, &labels);
+        let (h1, mrr) = evaluate_snapshot(&snap, &gold, 10);
+        assert!((0.0..=1.0).contains(&h1));
+        assert!(mrr >= h1);
+        // Empty gold scores zero.
+        let empty = GoldAlignment::new();
+        assert_eq!(evaluate_snapshot(&snap, &empty, 10), (0.0, 0.0));
+    }
+}

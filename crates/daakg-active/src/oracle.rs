@@ -1,0 +1,57 @@
+//! Question oracles: the annotator abstraction of the active loop.
+
+use daakg_graph::{ElementPair, GoldAlignment, Label};
+
+/// An annotator that answers match/non-match questions, counting every
+/// question asked (the budget the cost curves are plotted against).
+pub trait Oracle {
+    /// Answer one question.
+    fn ask(&mut self, pair: ElementPair) -> Label;
+    /// Total questions answered so far.
+    fn questions(&self) -> usize;
+}
+
+/// The simulated oracle of the paper's experiments: answers from a gold
+/// alignment, never erring.
+#[derive(Debug)]
+pub struct GoldOracle<'a> {
+    gold: &'a GoldAlignment,
+    asked: usize,
+}
+
+impl<'a> GoldOracle<'a> {
+    /// Wrap a gold alignment.
+    pub fn new(gold: &'a GoldAlignment) -> Self {
+        Self { gold, asked: 0 }
+    }
+}
+
+impl Oracle for GoldOracle<'_> {
+    fn ask(&mut self, pair: ElementPair) -> Label {
+        self.asked += 1;
+        self.gold.label(pair)
+    }
+
+    fn questions(&self) -> usize {
+        self.asked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daakg_graph::EntityId;
+
+    #[test]
+    fn gold_oracle_answers_and_counts() {
+        let mut gold = GoldAlignment::new();
+        gold.add_entity(EntityId::new(0), EntityId::new(3));
+        let mut oracle = GoldOracle::new(&gold);
+        assert_eq!(oracle.questions(), 0);
+        let yes = oracle.ask(ElementPair::Entity(EntityId::new(0), EntityId::new(3)));
+        let no = oracle.ask(ElementPair::Entity(EntityId::new(0), EntityId::new(4)));
+        assert!(yes.is_match());
+        assert!(!no.is_match());
+        assert_eq!(oracle.questions(), 2);
+    }
+}

@@ -138,15 +138,15 @@ pub struct BatchedSimilarity {
 }
 
 /// Normalize each row to unit L2 norm, zeroing rows whose *squared* norm
-/// is ≤ `f32::EPSILON` — the exact degenerate-row guard of
+/// is ≤ `f32::EPSILON` or non-finite — the exact degenerate-row guard of
 /// [`daakg_autograd::tensor::cosine`], so batched scores agree with the
-/// naive convention even for tiny-but-nonzero rows (which `cosine` treats
-/// as zero vectors).
+/// naive convention both for tiny-but-nonzero rows (which `cosine` treats
+/// as zero vectors) and for rows containing NaN/infinite components.
 fn normalize_rows_cosine_convention(t: &mut Tensor) {
     for r in 0..t.rows() {
         let row = t.row_mut(r);
         let sq: f32 = row.iter().map(|x| x * x).sum();
-        if sq <= f32::EPSILON {
+        if !sq.is_finite() || sq <= f32::EPSILON {
             row.fill(0.0);
         } else {
             let inv = 1.0 / sq.sqrt();
@@ -603,5 +603,95 @@ mod tests {
         let engine = BatchedSimilarity::new(&q, &c);
         assert!(engine.top_k(0, 0).is_empty());
         assert_eq!(engine.top_k(0, 10).len(), 5);
+    }
+
+    #[test]
+    fn block_top_k_handles_k_zero_and_k_beyond_n() {
+        let q = random_matrix(70, 8, 91); // spans two query blocks
+        let c = random_matrix(9, 8, 92);
+        let engine = BatchedSimilarity::new(&q, &c);
+        let queries: Vec<u32> = (0..70).collect();
+
+        let empty = engine.top_k_block(&queries, 0);
+        assert_eq!(empty.len(), 70);
+        assert!(empty.iter().all(|r| r.is_empty()), "k = 0 returns nothing");
+
+        // k far beyond n must degrade to the complete ranking and agree
+        // with the naive oracle at every position.
+        let over = engine.top_k_block(&queries, 50);
+        for (qi, ranking) in over.iter().enumerate() {
+            assert_eq!(ranking.len(), 9, "k ≥ n yields all candidates");
+            let slow = naive_rank(&q, &c, qi);
+            for (rank, (f, s)) in ranking.iter().zip(&slow).enumerate() {
+                assert_eq!(f.0, s.0, "q{qi} rank {rank}");
+                assert!((f.1 - s.1).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_scores_agree_with_naive_oracle_everywhere() {
+        // Build a candidate matrix of only 3 distinct rows repeated, so
+        // nearly every score is duplicated; ordering must still match the
+        // stable naive sort exactly (ascending candidate index on ties).
+        let base = random_matrix(3, 6, 7);
+        let rows: Vec<&[f32]> = (0..24).map(|j| base.row(j % 3)).collect();
+        let c = Tensor::from_rows(&rows);
+        let q = random_matrix(5, 6, 8);
+        let engine = BatchedSimilarity::new(&q, &c);
+        let queries: Vec<u32> = (0..5).collect();
+        for k in [1usize, 4, 24, 30] {
+            let block = engine.top_k_block(&queries, k);
+            for (qi, fast) in block.iter().enumerate() {
+                let slow = naive_rank(&q, &c, qi);
+                assert_eq!(fast.len(), k.min(24));
+                for (rank, (f, s)) in fast.iter().zip(&slow).enumerate() {
+                    assert_eq!(f.0, s.0, "k {k} q{qi} rank {rank}: tie order diverged");
+                    assert!((f.1 - s.1).abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_rows_agree_with_naive_oracle() {
+        // NaN and ±inf rows follow the degenerate-row convention: they
+        // score exactly 0.0 against everything (and everything scores 0.0
+        // against them), in both the batched engine and `cosine`.
+        let mut q = random_matrix(4, 8, 55);
+        q.row_mut(1).fill(f32::NAN);
+        q.row_mut(2)[3] = f32::INFINITY;
+        let mut c = random_matrix(12, 8, 56);
+        c.row_mut(0).fill(f32::NEG_INFINITY);
+        c.row_mut(5)[0] = f32::NAN;
+        let engine = BatchedSimilarity::new(&q, &c);
+
+        for i in 0..4u32 {
+            for j in 0..12u32 {
+                let fast = engine.score(i, j);
+                let slow = cosine(q.row(i as usize), c.row(j as usize));
+                assert!(fast.is_finite(), "engine produced non-finite score");
+                assert!(slow.is_finite(), "cosine produced non-finite score");
+                assert!((fast - slow).abs() < 1e-5, "({i},{j}): {fast} vs {slow}");
+            }
+        }
+        // Degenerate queries score 0.0 flat.
+        for j in 0..12u32 {
+            assert_eq!(engine.score(1, j), 0.0);
+            assert_eq!(engine.score(2, j), 0.0);
+        }
+
+        // Full agreement of the ranking paths, including k ≥ n.
+        let queries: Vec<u32> = (0..4).collect();
+        for k in [1usize, 3, 12, 20] {
+            let block = engine.top_k_block(&queries, k);
+            for (qi, fast) in block.iter().enumerate() {
+                let slow = naive_rank(&q, &c, qi);
+                for (rank, (f, s)) in fast.iter().zip(&slow).enumerate() {
+                    assert_eq!(f.0, s.0, "k {k} q{qi} rank {rank}");
+                    assert!((f.1 - s.1).abs() < 1e-5);
+                }
+            }
+        }
     }
 }

@@ -218,11 +218,48 @@ impl JointModel {
         kg2: &KnowledgeGraph,
         labels: &LabeledMatches,
     ) -> AlignmentSnapshot {
+        self.fine_tune_with_inferred(kg1, kg2, labels, &[], 1.0)
+    }
+
+    /// Active-learning update with inferred matches injected alongside the
+    /// labels: entity pairs inferred with confidence at or above `accept`
+    /// join the supervised set as hard positives for the focal pass, the
+    /// rest join the semi-supervised mined set with their confidence as
+    /// the soft label (Eq. 10). Returns the refreshed snapshot.
+    ///
+    /// `inferred` holds `(left, right, confidence)` raw entity pairs, as
+    /// produced by the `daakg-infer` closure.
+    pub fn fine_tune_with_inferred(
+        &mut self,
+        kg1: &KnowledgeGraph,
+        kg2: &KnowledgeGraph,
+        labels: &LabeledMatches,
+        inferred: &[(u32, u32, f32)],
+        accept: f32,
+    ) -> AlignmentSnapshot {
+        let mut augmented = labels.clone();
+        let mut soft: Vec<(ElementPair, f32)> = self
+            .last_mined
+            .iter()
+            .map(|m| (m.pair, m.soft_label))
+            .collect();
+        for &(l, r, c) in inferred {
+            let pair =
+                ElementPair::Entity(daakg_graph::EntityId::new(l), daakg_graph::EntityId::new(r));
+            if c >= accept {
+                augmented.entities.push((l, r));
+            } else {
+                soft.push((pair, c));
+            }
+        }
+        // Re-mine so injected soft pairs obey the 1:1 conflict resolution.
+        self.last_mined = mine_potential_matches(soft, 0.0);
+
         let mut opt = Adam::with_lr(self.cfg.align_lr);
         let mut rng = StdRng::seed_from_u64(self.cfg.embed.seed ^ 0xF0CA);
         let gamma = Some(self.cfg.focal_gamma);
         for _ in 0..self.cfg.fine_tune_epochs {
-            self.alignment_step(kg2, labels, &mut opt, &mut rng, gamma);
+            self.alignment_step(kg2, &augmented, &mut opt, &mut rng, gamma);
         }
         self.refresh_round_state(kg1, kg2);
         self.snapshot(kg1, kg2)
@@ -543,6 +580,25 @@ mod tests {
         let mut model = JointModel::new(cfg, &kg1, &kg2);
         model.train(&kg1, &kg2, &labels);
         assert!(model.last_mined().is_empty());
+    }
+
+    #[test]
+    fn fine_tune_with_inferred_injects_hard_and_soft_labels() {
+        let kg1 = example_dbpedia();
+        let kg2 = example_wikidata();
+        let labels = example_labels(&kg1, &kg2);
+        let mut model = JointModel::new(tiny_cfg(), &kg1, &kg2);
+        model.train(&kg1, &kg2, &labels);
+
+        // Inject one confident inferred pair (hard label) and one weak one
+        // (soft label); the update must run and refresh the snapshot.
+        let (l, r) = labels.entities[1];
+        let weak = labels.entities[2];
+        let inferred = vec![(l, r, 0.9f32), (weak.0, weak.1, 0.2f32)];
+        let snap = model.fine_tune_with_inferred(&kg1, &kg2, &labels, &inferred, 0.5);
+        assert_eq!(snap.entity_counts().0, kg1.num_entities());
+        let sim = snap.sim_entity(l, r);
+        assert!((-1.0..=1.0).contains(&sim));
     }
 
     #[test]

@@ -197,7 +197,7 @@ impl Tensor {
     /// Matrix product `self · other`.
     ///
     /// Dense cache-blocked kernel, row-band parallel above
-    /// [`PAR_MIN_FLOPS`]. The inner loop is a branch-free axpy so it
+    /// `PAR_MIN_FLOPS`. The inner loop is a branch-free axpy so it
     /// vectorizes; callers with genuinely sparse left operands should use
     /// [`Tensor::matmul_sparse_aware`] instead, which keeps the zero-skip.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
@@ -476,7 +476,10 @@ pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
         na += x * x;
         nb += y * y;
     }
-    if na <= f32::EPSILON || nb <= f32::EPSILON {
+    // Degenerate rows — (near-)zero norm, or any non-finite component —
+    // score 0.0 against everything, so rankings over them are stable
+    // instead of NaN-ordered.
+    if !na.is_finite() || na <= f32::EPSILON || !nb.is_finite() || nb <= f32::EPSILON {
         return 0.0;
     }
     dot / (na.sqrt() * nb.sqrt())

@@ -1,0 +1,358 @@
+//! The bench regression gate: compare two bench JSON documents and report
+//! every scenario that regressed beyond a tolerance.
+//!
+//! The gate is designed for the CI shape where the *baseline* is the
+//! committed full-size `BENCH_core.json` (produced on the builder machine)
+//! and the *candidate* is a fresh `BENCH_smoke.json` from the quick
+//! profile — different machine, different scenario sizes. Raw wall-clock
+//! times are therefore never compared across files; the rules all work on
+//! signals that survive both gaps:
+//!
+//! 1. **Coverage** — every scenario *family* (name minus the trailing size
+//!    token, e.g. `rank_full_10k` → `rank_full`) present in the baseline
+//!    must still exist in the candidate. A silently dropped scenario is a
+//!    regression of the harness itself.
+//! 2. **Verification** — a family whose baseline entry passed oracle
+//!    verification must still pass it. A `verified: false` anywhere in the
+//!    candidate fails regardless of the baseline.
+//! 3. **Relative speedup, same scale** — when a scenario name matches
+//!    *exactly* (same sizes, e.g. comparing two core runs locally), its
+//!    `speedup` must not drop below `baseline · (1 − tolerance)`.
+//! 4. **Speedup floor, cross scale** — when only the family matches, the
+//!    candidate's `speedup` — a same-run, same-machine ratio of the naive
+//!    oracle to the fast path — must stay above `1 − tolerance`: whatever
+//!    the hardware, the optimized path must not lose to its own baseline.
+
+use crate::json::JsonValue;
+
+/// The comparable essence of one scenario entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSummary {
+    /// Full scenario name (`rank_full_10k`).
+    pub name: String,
+    /// Size-independent family (`rank_full`).
+    pub family: String,
+    /// The naive-vs-fast `speedup` metric, when the scenario reports one.
+    pub speedup: Option<f64>,
+    /// The oracle-verification flag, when the scenario reports one.
+    pub verified: Option<bool>,
+}
+
+/// One detected regression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The offending scenario (candidate name, or baseline name when the
+    /// scenario disappeared).
+    pub scenario: String,
+    /// Human-readable explanation.
+    pub reason: String,
+}
+
+/// Strip the trailing size token (`_10k`, `_256`, `_1k`, …) off a scenario
+/// name to obtain its family.
+pub fn family_of(name: &str) -> &str {
+    match name.rfind('_') {
+        Some(i) if is_size_token(&name[i + 1..]) => &name[..i],
+        _ => name,
+    }
+}
+
+fn is_size_token(token: &str) -> bool {
+    let digits = token.strip_suffix('k').unwrap_or(token);
+    !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit())
+}
+
+/// Extract the scenario summaries of a bench document.
+pub fn summarize(doc: &JsonValue) -> Result<Vec<ScenarioSummary>, String> {
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(JsonValue::as_array)
+        .ok_or("document has no \"scenarios\" array")?;
+    let mut out = Vec::with_capacity(scenarios.len());
+    for s in scenarios {
+        let name = s
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or("scenario without a \"name\"")?
+            .to_string();
+        let family = family_of(&name).to_string();
+        let speedup = s
+            .get("metrics")
+            .and_then(|m| m.get("speedup"))
+            .and_then(JsonValue::as_f64);
+        let verified = s.get("verified").and_then(JsonValue::as_bool);
+        out.push(ScenarioSummary {
+            name,
+            family,
+            speedup,
+            verified,
+        });
+    }
+    Ok(out)
+}
+
+/// Apply the gate rules; an empty result means no regression.
+pub fn compare(
+    baseline: &[ScenarioSummary],
+    candidate: &[ScenarioSummary],
+    tolerance: f64,
+) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+
+    // Rule 2 (unconditional half): failed verification in the candidate.
+    for c in candidate {
+        if c.verified == Some(false) {
+            regressions.push(Regression {
+                scenario: c.name.clone(),
+                reason: "failed oracle verification".into(),
+            });
+        }
+    }
+
+    // Pair each baseline entry with exactly one candidate entry: exact
+    // names claim their candidate first, then the leftovers pair up
+    // positionally within each family (rank_full appears once per size).
+    // Claiming prevents one candidate from satisfying two baseline rows
+    // while another candidate escapes the gate entirely.
+    let mut claimed = vec![false; candidate.len()];
+    let mut pairing: Vec<Option<(usize, bool)>> = vec![None; baseline.len()];
+    for (bi, b) in baseline.iter().enumerate() {
+        if let Some(ci) = candidate
+            .iter()
+            .position(|c| c.name == b.name)
+            .filter(|&ci| !claimed[ci])
+        {
+            claimed[ci] = true;
+            pairing[bi] = Some((ci, true));
+        }
+    }
+    for (bi, b) in baseline.iter().enumerate() {
+        if pairing[bi].is_some() {
+            continue;
+        }
+        let unclaimed_family = candidate
+            .iter()
+            .enumerate()
+            .find(|&(ci, c)| c.family == b.family && !claimed[ci]);
+        if let Some((ci, _)) = unclaimed_family {
+            claimed[ci] = true;
+            pairing[bi] = Some((ci, false));
+        }
+    }
+
+    for (b, matched) in baseline.iter().zip(&pairing) {
+        let Some(&(ci, exact)) = matched.as_ref() else {
+            // Rule 1: scenario family disappeared.
+            regressions.push(Regression {
+                scenario: b.name.clone(),
+                reason: "scenario missing from candidate run".into(),
+            });
+            continue;
+        };
+        let c = &candidate[ci];
+
+        // Rule 2: verification regressed.
+        if b.verified == Some(true) && c.verified.is_none() {
+            regressions.push(Regression {
+                scenario: c.name.clone(),
+                reason: "oracle verification disappeared".into(),
+            });
+        }
+
+        // Rules 3 / 4: speedup regression.
+        if let (Some(bs), Some(cs)) = (b.speedup, c.speedup) {
+            if exact {
+                let floor = bs * (1.0 - tolerance);
+                if cs < floor {
+                    regressions.push(Regression {
+                        scenario: c.name.clone(),
+                        reason: format!(
+                            "speedup {cs:.2}x below {floor:.2}x \
+                             (baseline {bs:.2}x − {:.0}% tolerance)",
+                            tolerance * 100.0
+                        ),
+                    });
+                }
+            } else {
+                let floor = 1.0 - tolerance;
+                if cs < floor {
+                    regressions.push(Regression {
+                        scenario: c.name.clone(),
+                        reason: format!(
+                            "speedup {cs:.2}x below the {floor:.2}x floor: \
+                             the fast path lost to its naive oracle"
+                        ),
+                    });
+                }
+            }
+        } else if b.speedup.is_some() && c.speedup.is_none() {
+            regressions.push(Regression {
+                scenario: c.name.clone(),
+                reason: "speedup metric disappeared".into(),
+            });
+        }
+    }
+    regressions
+}
+
+/// Parse two bench documents and run the gate.
+pub fn compare_docs(
+    baseline: &JsonValue,
+    candidate: &JsonValue,
+    tolerance: f64,
+) -> Result<Vec<Regression>, String> {
+    if !(0.0..1.0).contains(&tolerance) {
+        return Err(format!("tolerance must be in [0, 1), got {tolerance}"));
+    }
+    Ok(compare(
+        &summarize(baseline)?,
+        &summarize(candidate)?,
+        tolerance,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(entries: &[(&str, Option<f64>, Option<bool>)]) -> JsonValue {
+        let scenarios: Vec<JsonValue> = entries
+            .iter()
+            .map(|&(name, speedup, verified)| {
+                let mut metrics = JsonValue::object().set("ms", 1.0);
+                if let Some(s) = speedup {
+                    metrics = metrics.set("speedup", s);
+                }
+                let mut obj = JsonValue::object()
+                    .set("name", name)
+                    .set("metrics", metrics);
+                if let Some(v) = verified {
+                    obj = obj.set("verified", v);
+                }
+                obj
+            })
+            .collect();
+        JsonValue::object()
+            .set("bench", "daakg-core")
+            .set("scenarios", JsonValue::Arr(scenarios))
+    }
+
+    #[test]
+    fn family_strips_size_tokens() {
+        assert_eq!(family_of("rank_full_10k"), "rank_full");
+        assert_eq!(family_of("rank_full_150"), "rank_full");
+        assert_eq!(family_of("dense_matmul_256"), "dense_matmul");
+        assert_eq!(family_of("active_round_1k"), "active_round");
+        assert_eq!(family_of("train_epoch_3k"), "train_epoch");
+        // Non-size suffixes survive.
+        assert_eq!(family_of("snapshot_build"), "snapshot_build");
+        assert_eq!(family_of("weird_name_x2k"), "weird_name_x2k");
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let base = doc(&[("rank_full_1k", Some(9.5), Some(true))]);
+        let regs = compare_docs(&base, &base, 0.3).unwrap();
+        assert!(regs.is_empty(), "{regs:?}");
+    }
+
+    #[test]
+    fn same_name_speedup_drop_beyond_tolerance_fails() {
+        let base = doc(&[("rank_full_1k", Some(10.0), Some(true))]);
+        let ok = doc(&[("rank_full_1k", Some(7.5), Some(true))]);
+        assert!(compare_docs(&base, &ok, 0.3).unwrap().is_empty());
+        let bad = doc(&[("rank_full_1k", Some(6.9), Some(true))]);
+        let regs = compare_docs(&base, &bad, 0.3).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].reason.contains("speedup"), "{regs:?}");
+    }
+
+    #[test]
+    fn cross_scale_compares_against_the_floor_not_the_baseline() {
+        // Core at 10k has speedup 14.6; smoke at 400 has 4.5 — fine, the
+        // floor is 0.7. A smoke speedup of 0.5 means the fast path lost.
+        let base = doc(&[("rank_full_10k", Some(14.6), Some(true))]);
+        let smoke_ok = doc(&[("rank_full_400", Some(4.5), Some(true))]);
+        assert!(compare_docs(&base, &smoke_ok, 0.3).unwrap().is_empty());
+        let smoke_bad = doc(&[("rank_full_400", Some(0.5), Some(true))]);
+        let regs = compare_docs(&base, &smoke_bad, 0.3).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].reason.contains("floor"), "{regs:?}");
+    }
+
+    #[test]
+    fn verification_failure_and_disappearance_fail() {
+        let base = doc(&[("rank_full_1k", Some(10.0), Some(true))]);
+        let unverified = doc(&[("rank_full_150", Some(5.0), Some(false))]);
+        let regs = compare_docs(&base, &unverified, 0.3).unwrap();
+        assert!(
+            regs.iter().any(|r| r.reason.contains("failed oracle")),
+            "{regs:?}"
+        );
+        let flagless = doc(&[("rank_full_150", Some(5.0), None)]);
+        let regs = compare_docs(&base, &flagless, 0.3).unwrap();
+        assert!(
+            regs.iter().any(|r| r.reason.contains("disappeared")),
+            "{regs:?}"
+        );
+    }
+
+    #[test]
+    fn missing_scenario_family_fails() {
+        let base = doc(&[
+            ("rank_full_1k", Some(10.0), Some(true)),
+            ("active_round_1k", None, Some(true)),
+        ]);
+        let cand = doc(&[("rank_full_150", Some(5.0), Some(true))]);
+        let regs = compare_docs(&base, &cand, 0.3).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].scenario, "active_round_1k");
+        assert!(regs[0].reason.contains("missing"));
+    }
+
+    #[test]
+    fn repeated_families_pair_in_order() {
+        let base = doc(&[
+            ("rank_full_1k", Some(9.0), Some(true)),
+            ("rank_full_10k", Some(14.0), Some(true)),
+        ]);
+        let cand = doc(&[
+            ("rank_full_150", Some(4.0), Some(true)),
+            ("rank_full_400", Some(8.0), Some(true)),
+        ]);
+        assert!(compare_docs(&base, &cand, 0.3).unwrap().is_empty());
+        // Dropping the second rank scenario is caught.
+        let short = doc(&[("rank_full_150", Some(4.0), Some(true))]);
+        let regs = compare_docs(&base, &short, 0.3).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].scenario, "rank_full_10k");
+    }
+
+    #[test]
+    fn exact_match_cannot_shadow_a_positional_family_member() {
+        // One candidate name collides with a baseline name: the exact
+        // match must claim it, and the *other* candidate must still be
+        // paired (and gated) positionally — not left unexamined while the
+        // claimed entry satisfies two baseline rows.
+        let base = doc(&[
+            ("rank_full_1k", Some(9.0), Some(true)),
+            ("rank_full_10k", Some(14.0), Some(true)),
+        ]);
+        let cand = doc(&[
+            ("rank_full_10k", Some(13.0), Some(true)),
+            ("rank_full_400", Some(0.5), Some(true)),
+        ]);
+        let regs = compare_docs(&base, &cand, 0.3).unwrap();
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].scenario, "rank_full_400");
+        assert!(regs[0].reason.contains("floor"));
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let base = doc(&[("a_1k", Some(1.0), None)]);
+        assert!(compare_docs(&base, &base, 1.5).is_err());
+        let not_bench = JsonValue::object().set("x", 1.0);
+        assert!(compare_docs(&not_bench, &base, 0.3).is_err());
+    }
+}

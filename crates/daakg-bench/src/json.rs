@@ -1,9 +1,10 @@
-//! A tiny JSON value model and serializer.
+//! A tiny JSON value model, serializer and parser.
 //!
 //! The workspace dependency policy is "no external crates" (the build
-//! environment is offline), so `BENCH_core.json` is written by this ~100
-//! line module instead of serde. Output is deterministic: object keys keep
-//! insertion order, floats render with enough precision to round-trip.
+//! environment is offline), so `BENCH_core.json` is written — and, for the
+//! regression gate, read back — by this module instead of serde. Output is
+//! deterministic: object keys keep insertion order, floats render with
+//! enough precision to round-trip.
 
 use std::fmt::Write as _;
 
@@ -38,6 +39,63 @@ impl JsonValue {
             other => panic!("set() on non-object JSON value: {other:?}"),
         }
         self
+    }
+
+    /// Parse a JSON document (the full grammar, not just what
+    /// [`JsonValue::to_pretty_string`] emits).
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing content at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Member lookup on an object (`None` on other variants or a missing
+    /// key; duplicate keys resolve to the first occurrence).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
     }
 
     /// Serialize with two-space indentation and a trailing newline.
@@ -105,6 +163,190 @@ impl JsonValue {
                 out.push('}');
             }
         }
+    }
+}
+
+/// Recursive-descent JSON parser over raw bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', found {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(entries));
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            // Unpaired surrogates degrade to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one UTF-8 scalar: its width comes from the
+                    // lead byte, and only that span is validated — never
+                    // the whole remaining input (which would make string
+                    // parsing quadratic).
+                    let width = match b {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(format!("invalid UTF-8 lead byte at {}", self.pos)),
+                    };
+                    let span = self
+                        .bytes
+                        .get(self.pos..self.pos + width)
+                        .ok_or("truncated UTF-8 sequence")?;
+                    let s = std::str::from_utf8(span).map_err(|e| e.to_string())?;
+                    out.push_str(s);
+                    self.pos += width;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
     }
 }
 
@@ -211,5 +453,74 @@ mod tests {
     fn empty_containers() {
         assert_eq!(JsonValue::object().to_pretty_string(), "{}\n");
         assert_eq!(JsonValue::Arr(vec![]).to_pretty_string(), "[]\n");
+    }
+
+    #[test]
+    fn parse_round_trips_serializer_output() {
+        let v = JsonValue::object()
+            .set("name", "rank_full_10k")
+            .set("ok", true)
+            .set("null", JsonValue::Null)
+            .set("speedup", 7.25)
+            .set("text", "a\"b\\c\nd")
+            .set(
+                "sizes",
+                JsonValue::Arr(vec![1000usize.into(), 10000usize.into()]),
+            );
+        let parsed = JsonValue::parse(&v.to_pretty_string()).unwrap();
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn parse_accessors_navigate_documents() {
+        let doc = JsonValue::parse(
+            r#"{"scenarios": [{"name": "a", "verified": true,
+                "metrics": {"speedup": 2.5e0}}], "threads": 4}"#,
+        )
+        .unwrap();
+        let scenarios = doc.get("scenarios").unwrap().as_array().unwrap();
+        assert_eq!(scenarios.len(), 1);
+        assert_eq!(scenarios[0].get("name").unwrap().as_str(), Some("a"));
+        assert_eq!(scenarios[0].get("verified").unwrap().as_bool(), Some(true));
+        let speedup = scenarios[0]
+            .get("metrics")
+            .unwrap()
+            .get("speedup")
+            .unwrap()
+            .as_f64();
+        assert_eq!(speedup, Some(2.5));
+        assert_eq!(doc.get("threads").unwrap().as_f64(), Some(4.0));
+        assert!(doc.get("missing").is_none());
+        assert!(doc.get("threads").unwrap().get("x").is_none());
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_unicode() {
+        let v = JsonValue::parse(r#""A\n\t\"x\" café ü""#).unwrap();
+        assert_eq!(v.as_str(), Some("A\n\t\"x\" café ü"));
+    }
+
+    #[test]
+    fn parse_handles_numbers() {
+        for (text, want) in [
+            ("0", 0.0),
+            ("-12", -12.0),
+            ("3.5", 3.5),
+            ("1e3", 1000.0),
+            ("-2.5E-2", -0.025),
+        ] {
+            assert_eq!(
+                JsonValue::parse(text).unwrap().as_f64(),
+                Some(want),
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "{\"a\":}", "\"x"] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad:?} must not parse");
+        }
     }
 }

@@ -9,18 +9,26 @@
 //! trajectory of the repository is tracked PR over PR.
 //!
 //! * [`synth`] — deterministic synthetic KG generation at any scale,
-//! * [`json`] — a tiny dependency-free JSON value writer,
+//! * [`json`] — a tiny dependency-free JSON value writer and parser,
 //! * [`scenarios`] — the timed scenarios: dense matmul, snapshot build,
 //!   full entity ranking at 1k / 10k entities (naive oracle vs batched
-//!   engine, with equivalence verification), one training epoch.
+//!   engine, with equivalence verification), one training epoch, and one
+//!   active-learning round (selection + oracle + inference closure,
+//!   verified against the dense reference propagation),
+//! * [`compare`] — the regression gate: `daakg-bench -- --compare BASE NEW
+//!   --tolerance 0.30` exits non-zero when any verified scenario regresses
+//!   beyond tolerance, which is what CI runs instead of archiving results
+//!   nobody reads.
 //!
 //! Run the binary with `cargo run --release -p daakg-bench`; see the
 //! top-level README for how to interpret the output.
 
+pub mod compare;
 pub mod json;
 pub mod scenarios;
 pub mod synth;
 
+pub use compare::{compare_docs, Regression};
 pub use json::JsonValue;
 pub use scenarios::{run_all, BenchConfig, ScenarioResult};
 

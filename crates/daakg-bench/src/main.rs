@@ -1,21 +1,28 @@
 //! The `daakg-bench` binary: run the core scenarios and write
-//! `BENCH_core.json`.
+//! `BENCH_core.json`, or gate two existing result files against each other.
 //!
 //! ```text
 //! cargo run --release -p daakg-bench            # full sizes
 //! cargo run --release -p daakg-bench -- --quick # smoke sizes
 //! cargo run --release -p daakg-bench -- --out results/BENCH_core.json
+//! cargo run --release -p daakg-bench -- --compare BENCH_core.json BENCH_smoke.json --tolerance 0.30
 //! ```
 //!
 //! Exit status is non-zero when any scenario fails its oracle
-//! verification, so CI can gate on correctness of the fast paths.
+//! verification, or — in `--compare` mode — when any verified scenario
+//! regresses beyond the tolerance, so CI can gate on both correctness and
+//! performance of the fast paths.
 
+use daakg_bench::compare::compare_docs;
+use daakg_bench::json::JsonValue;
 use daakg_bench::scenarios::{results_to_json, run_all, BenchConfig};
 use daakg_eval::report::{fmt_duration, TextTable};
 
 fn main() {
     let mut cfg = BenchConfig::default();
     let mut out_path = String::from("BENCH_core.json");
+    let mut compare_paths: Option<(String, String)> = None;
+    let mut tolerance = 0.30f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -26,8 +33,32 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--compare" => {
+                let base = args.next();
+                let new = args.next();
+                match (base, new) {
+                    (Some(b), Some(n)) => compare_paths = Some((b, n)),
+                    _ => {
+                        eprintln!("--compare requires BASELINE and CANDIDATE paths");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--tolerance" => {
+                let raw = args.next().unwrap_or_else(|| {
+                    eprintln!("--tolerance requires a value");
+                    std::process::exit(2);
+                });
+                tolerance = raw.parse().unwrap_or_else(|e| {
+                    eprintln!("invalid tolerance {raw:?}: {e}");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
-                eprintln!("usage: daakg-bench [--quick] [--out PATH]");
+                eprintln!(
+                    "usage: daakg-bench [--quick] [--out PATH]\n       \
+                     daakg-bench --compare BASELINE CANDIDATE [--tolerance T]"
+                );
                 return;
             }
             other => {
@@ -35,6 +66,11 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    if let Some((base_path, new_path)) = compare_paths {
+        run_compare(&base_path, &new_path, tolerance);
+        return;
     }
 
     eprintln!(
@@ -52,6 +88,7 @@ fn main() {
             .or_else(|| r.get_metric("blocked_ms"))
             .or_else(|| r.get_metric("build_ms"))
             .or_else(|| r.get_metric("epoch_ms"))
+            .or_else(|| r.get_metric("round_ms"))
             .map(|ms| fmt_duration(ms / 1e3))
             .unwrap_or_default();
         let baseline = r
@@ -91,4 +128,40 @@ fn main() {
         eprintln!("ERROR: at least one scenario failed oracle verification");
         std::process::exit(1);
     }
+}
+
+/// Load two bench documents, run the regression gate, and exit non-zero on
+/// any regression.
+fn run_compare(base_path: &str, new_path: &str, tolerance: f64) {
+    let load = |path: &str| -> JsonValue {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("failed to read {path}: {e}");
+            std::process::exit(2);
+        });
+        JsonValue::parse(&text).unwrap_or_else(|e| {
+            eprintln!("failed to parse {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let base = load(base_path);
+    let new = load(new_path);
+    let regressions = compare_docs(&base, &new, tolerance).unwrap_or_else(|e| {
+        eprintln!("comparison failed: {e}");
+        std::process::exit(2);
+    });
+    println!(
+        "bench gate: {base_path} (baseline) vs {new_path} (candidate), tolerance {:.0}%",
+        tolerance * 100.0
+    );
+    if regressions.is_empty() {
+        println!("OK: no scenario regressed");
+        return;
+    }
+    let mut table = TextTable::new(&["scenario", "regression"]);
+    for r in &regressions {
+        table.row(&[r.scenario.clone(), r.reason.clone()]);
+    }
+    println!("{}", table.render());
+    eprintln!("ERROR: {} regression(s) detected", regressions.len());
+    std::process::exit(1);
 }

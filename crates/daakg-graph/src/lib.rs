@@ -11,13 +11,13 @@
 //!
 //! This crate provides:
 //!
-//! * compact integer [`ids`](crate::ids) for entities / relations / classes,
+//! * compact integer [`ids`] for entities / relations / classes,
 //! * the indexed [`KnowledgeGraph`] container with O(1) neighbourhood access,
-//! * [`pair`](crate::pair) types for element pairs and oracle labels,
-//! * [`alignment`](crate::alignment) gold-standard and predicted alignments,
-//! * a fast, dependency-free [`fxhash`](crate::fxhash) hasher for the hot
+//! * [`pair`] types for element pairs and oracle labels,
+//! * [`alignment`] gold-standard and predicted alignments,
+//! * a fast, dependency-free [`fxhash`] hasher for the hot
 //!   integer-keyed maps used throughout the workspace,
-//! * plain-text [`io`](crate::io) serialization for datasets.
+//! * plain-text [`io`] serialization for datasets.
 
 pub mod alignment;
 pub mod fxhash;

@@ -1,0 +1,113 @@
+//! Relation functionality statistics.
+//!
+//! The functionality of a relation measures how close it is to a function
+//! of its head: `funct(r) = |distinct heads of r| / |triples of r|`. When
+//! `funct(r) = 1` every head occurs once, so knowing a head (almost)
+//! determines the tail — exactly the situation in which a matched head
+//! pair lets the tails be inferred. The inverse functionality
+//! `funct⁻¹(r) = |distinct tails| / |triples|` plays the symmetric role
+//! for head inference from matched tails.
+
+use daakg_graph::{FxHashSet, KnowledgeGraph, RelationId};
+
+/// Per-relation functionality and inverse functionality of one KG.
+#[derive(Debug, Clone)]
+pub struct Functionality {
+    funct: Vec<f32>,
+    inv_funct: Vec<f32>,
+}
+
+impl Functionality {
+    /// Compute both statistics for every relation of `kg`.
+    ///
+    /// Relations with no triples get functionality 1.0 (vacuously
+    /// functional), keeping the propagation weights well-defined.
+    pub fn of(kg: &KnowledgeGraph) -> Self {
+        let mut funct = Vec::with_capacity(kg.num_relations());
+        let mut inv_funct = Vec::with_capacity(kg.num_relations());
+        for r in kg.relations() {
+            let mut heads: FxHashSet<u32> = FxHashSet::default();
+            let mut tails: FxHashSet<u32> = FxHashSet::default();
+            let mut n = 0usize;
+            for t in kg.triples_with_relation(r) {
+                heads.insert(t.head.raw());
+                tails.insert(t.tail.raw());
+                n += 1;
+            }
+            if n == 0 {
+                funct.push(1.0);
+                inv_funct.push(1.0);
+            } else {
+                funct.push(heads.len() as f32 / n as f32);
+                inv_funct.push(tails.len() as f32 / n as f32);
+            }
+        }
+        Self { funct, inv_funct }
+    }
+
+    /// `funct(r)`: distinct heads over triples, in `(0, 1]`.
+    #[inline]
+    pub fn funct(&self, r: RelationId) -> f32 {
+        self.funct[r.index()]
+    }
+
+    /// `funct⁻¹(r)`: distinct tails over triples, in `(0, 1]`.
+    #[inline]
+    pub fn inv_funct(&self, r: RelationId) -> f32 {
+        self.inv_funct[r.index()]
+    }
+
+    /// Number of relations covered.
+    pub fn len(&self) -> usize {
+        self.funct.len()
+    }
+
+    /// True when the KG has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.funct.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daakg_graph::kg::example_dbpedia;
+    use daakg_graph::KgBuilder;
+
+    #[test]
+    fn functional_relation_scores_one() {
+        // birthPlace in the example: one triple, one head, one tail.
+        let kg = example_dbpedia();
+        let f = Functionality::of(&kg);
+        let bp = kg.relation_by_name("birthPlace").unwrap();
+        assert_eq!(f.funct(bp), 1.0);
+        assert_eq!(f.inv_funct(bp), 1.0);
+        assert_eq!(f.len(), kg.num_relations());
+    }
+
+    #[test]
+    fn multi_valued_relation_scores_below_one() {
+        // spouse: two triples sharing the head Michael Jackson.
+        let kg = example_dbpedia();
+        let f = Functionality::of(&kg);
+        let spouse = kg.relation_by_name("spouse").unwrap();
+        assert_eq!(f.funct(spouse), 0.5);
+        assert_eq!(f.inv_funct(spouse), 1.0);
+        // country: two heads, one shared tail.
+        let country = kg.relation_by_name("country").unwrap();
+        assert_eq!(f.funct(country), 1.0);
+        assert_eq!(f.inv_funct(country), 0.5);
+    }
+
+    #[test]
+    fn empty_relation_defaults_to_one() {
+        let mut b = KgBuilder::new("t");
+        b.relation("unused");
+        b.entity("a");
+        let kg = b.build();
+        let f = Functionality::of(&kg);
+        let r = kg.relation_by_name("unused").unwrap();
+        assert_eq!(f.funct(r), 1.0);
+        assert_eq!(f.inv_funct(r), 1.0);
+    }
+}

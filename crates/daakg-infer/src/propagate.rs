@@ -1,0 +1,555 @@
+//! Functionality-weighted match propagation and inference power.
+//!
+//! Given a set of labeled entity matches (the *seeds*) and a relation
+//! alignment, one inference step derives new candidate matches through
+//! shared relation structure: if `(e, e')` match, `(e, r, t) ∈ G`,
+//! `(e', r', t') ∈ G'` and `(r, r')` are aligned, then `(t, t')` is a
+//! candidate match whose confidence is the parent confidence discounted by
+//! how *functional* `r` and `r'` are and how similar `t` and `t'` already
+//! look to the model. The step is iterated to a fixpoint under a depth cap
+//! — the one-hop closure of the paper's reasoning rules.
+//!
+//! The same machinery scores unlabeled questions: the **inference power**
+//! of a candidate pair is the total confidence of the *new* matches its
+//! closure would unlock, which is what the active-learning selector
+//! maximizes per question asked.
+
+use crate::functionality::Functionality;
+use crate::{EntitySim, InferConfig, KnownMatches, RelationMatches};
+use daakg_graph::{EntityId, FxHashMap, FxHashSet, KnowledgeGraph, RelationId};
+
+/// One inferred match with its derivation confidence and depth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InferredMatch {
+    /// Left entity (raw index into `G`).
+    pub left: u32,
+    /// Right entity (raw index into `G'`).
+    pub right: u32,
+    /// Max-product derivation confidence in `(0, 1]`.
+    pub confidence: f32,
+    /// Number of inference steps of the best derivation.
+    pub depth: u32,
+}
+
+/// The alignment inference engine over one KG pair.
+///
+/// Construction precomputes both relation functionality tables; every
+/// closure query after that is a bounded breadth-first relaxation over the
+/// adjacency lists of the two graphs.
+pub struct InferenceEngine<'a> {
+    kg1: &'a KnowledgeGraph,
+    kg2: &'a KnowledgeGraph,
+    funct1: Functionality,
+    funct2: Functionality,
+    cfg: InferConfig,
+}
+
+impl<'a> InferenceEngine<'a> {
+    /// Build the engine for a KG pair.
+    pub fn new(kg1: &'a KnowledgeGraph, kg2: &'a KnowledgeGraph, cfg: InferConfig) -> Self {
+        cfg.validate().expect("invalid InferConfig");
+        Self {
+            kg1,
+            kg2,
+            funct1: Functionality::of(kg1),
+            funct2: Functionality::of(kg2),
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &InferConfig {
+        &self.cfg
+    }
+
+    /// Functionality tables of the left / right KG.
+    pub fn functionality(&self) -> (&Functionality, &Functionality) {
+        (&self.funct1, &self.funct2)
+    }
+
+    /// Propagate the labeled `seeds` through relation structure to a
+    /// fixpoint and return every *inferred* match (the seeds themselves are
+    /// excluded), sorted by descending confidence.
+    pub fn propagate(
+        &self,
+        seeds: &[(u32, u32)],
+        rels: &RelationMatches,
+        sim: &dyn EntitySim,
+    ) -> Vec<InferredMatch> {
+        self.closure(seeds, &KnownMatches::new(), rels, sim)
+    }
+
+    /// Inference power of labeling `pair` as a match: the total confidence
+    /// of the new matches its closure would unlock, skipping everything in
+    /// `known` (already labeled or already inferred, so not *new*).
+    pub fn inference_power(
+        &self,
+        pair: (u32, u32),
+        known: &KnownMatches,
+        rels: &RelationMatches,
+        sim: &dyn EntitySim,
+    ) -> f32 {
+        self.closure(&[pair], known, rels, sim)
+            .iter()
+            .map(|m| m.confidence)
+            .sum()
+    }
+
+    /// The depth-capped closure of `seeds`, skipping pairs blocked by
+    /// `known` (already present, or claiming an entity `known` has matched
+    /// under the 1:1 restriction).
+    ///
+    /// Confidence semantics: `conf(q) = max` over derivation paths of
+    /// length ≤ `max_depth` of the product of per-step weights, where one
+    /// step from `(e, e')` to `(t, t')` via the matched relations `(r, r')`
+    /// weighs `funct(r) · funct(r') · (1 + S(t, t')) / 2` (forward; the
+    /// backward step uses the inverse functionalities). Pairs below
+    /// `min_confidence` are pruned, pairs whose similarity is below
+    /// `sim_gate` are never derived, and relation groups wider than
+    /// `max_fanout` on either side are skipped (hub protection).
+    pub fn closure(
+        &self,
+        seeds: &[(u32, u32)],
+        known: &KnownMatches,
+        rels: &RelationMatches,
+        sim: &dyn EntitySim,
+    ) -> Vec<InferredMatch> {
+        let seed_set: FxHashSet<(u32, u32)> = seeds.iter().copied().collect();
+        // Best (confidence, depth) per derived pair.
+        let mut best: FxHashMap<(u32, u32), (f32, u32)> = FxHashMap::default();
+        // Pairs whose confidence improved last level, to expand next.
+        let mut frontier: Vec<((u32, u32), f32)> = seeds.iter().map(|&p| (p, 1.0f32)).collect();
+
+        for depth in 1..=self.cfg.max_depth {
+            let mut improved: FxHashMap<(u32, u32), f32> = FxHashMap::default();
+            for &(pair, conf) in &frontier {
+                self.expand(pair, conf, rels, sim, &mut |child, c| {
+                    if c < self.cfg.min_confidence
+                        || seed_set.contains(&child)
+                        || known.blocks(child)
+                    {
+                        return;
+                    }
+                    let cur = best.get(&child).map_or(f32::NEG_INFINITY, |&(b, _)| b);
+                    if c > cur {
+                        best.insert(child, (c, depth));
+                        let e = improved.entry(child).or_insert(f32::NEG_INFINITY);
+                        if c > *e {
+                            *e = c;
+                        }
+                    }
+                });
+            }
+            if improved.is_empty() {
+                break;
+            }
+            frontier = improved.into_iter().collect();
+            // Deterministic expansion order (hash maps iterate arbitrarily).
+            frontier.sort_unstable_by_key(|&(pair, _)| pair);
+        }
+
+        let mut out: Vec<InferredMatch> = best
+            .into_iter()
+            .map(|((l, r), (confidence, depth))| InferredMatch {
+                left: l,
+                right: r,
+                confidence,
+                depth,
+            })
+            .collect();
+        out.sort_unstable_by(|a, b| {
+            b.confidence
+                .total_cmp(&a.confidence)
+                .then((a.left, a.right).cmp(&(b.left, b.right)))
+        });
+        out
+    }
+
+    /// Reference implementation of [`InferenceEngine::closure`]: a
+    /// level-synchronous dense relaxation that re-expands *every* derived
+    /// pair at every level instead of tracking an improvement frontier.
+    /// Retained as the correctness oracle for the optimized path — the
+    /// bench `active_round` scenario verifies both agree exactly.
+    pub fn closure_reference(
+        &self,
+        seeds: &[(u32, u32)],
+        known: &KnownMatches,
+        rels: &RelationMatches,
+        sim: &dyn EntitySim,
+    ) -> Vec<InferredMatch> {
+        let seed_set: FxHashSet<(u32, u32)> = seeds.iter().copied().collect();
+        let mut best: FxHashMap<(u32, u32), (f32, u32)> = FxHashMap::default();
+        for depth in 1..=self.cfg.max_depth {
+            // Expand seeds plus every pair derived so far, from scratch.
+            let mut sources: Vec<((u32, u32), f32)> = seeds.iter().map(|&p| (p, 1.0f32)).collect();
+            sources.extend(best.iter().map(|(&p, &(c, _))| (p, c)));
+            let mut changed = false;
+            let mut updates: Vec<((u32, u32), f32)> = Vec::new();
+            for &(pair, conf) in &sources {
+                self.expand(pair, conf, rels, sim, &mut |child, c| {
+                    if c < self.cfg.min_confidence
+                        || seed_set.contains(&child)
+                        || known.blocks(child)
+                    {
+                        return;
+                    }
+                    updates.push((child, c));
+                });
+            }
+            for (child, c) in updates {
+                let cur = best.get(&child).map_or(f32::NEG_INFINITY, |&(b, _)| b);
+                if c > cur {
+                    best.insert(child, (c, depth));
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut out: Vec<InferredMatch> = best
+            .into_iter()
+            .map(|((l, r), (confidence, depth))| InferredMatch {
+                left: l,
+                right: r,
+                confidence,
+                depth,
+            })
+            .collect();
+        out.sort_unstable_by(|a, b| {
+            b.confidence
+                .total_cmp(&a.confidence)
+                .then((a.left, a.right).cmp(&(b.left, b.right)))
+        });
+        out
+    }
+
+    /// One inference step from a matched pair: derive candidate child pairs
+    /// through every aligned relation group, forward (out-edges, tails
+    /// inferred, weighted by `funct`) and backward (in-edges, heads
+    /// inferred, weighted by `funct⁻¹`).
+    fn expand(
+        &self,
+        (e1, e2): (u32, u32),
+        conf: f32,
+        rels: &RelationMatches,
+        sim: &dyn EntitySim,
+        emit: &mut dyn FnMut((u32, u32), f32),
+    ) {
+        if e1 as usize >= self.kg1.num_entities() || e2 as usize >= self.kg2.num_entities() {
+            return;
+        }
+        let out1 = self.kg1.out_edges(EntityId::new(e1));
+        let out2 = self.kg2.out_edges(EntityId::new(e2));
+        self.expand_side(out1, out2, conf, rels, sim, true, emit);
+        let in1 = self.kg1.in_edges(EntityId::new(e1));
+        let in2 = self.kg2.in_edges(EntityId::new(e2));
+        self.expand_side(in1, in2, conf, rels, sim, false, emit);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn expand_side(
+        &self,
+        edges1: &[(RelationId, EntityId)],
+        edges2: &[(RelationId, EntityId)],
+        conf: f32,
+        rels: &RelationMatches,
+        sim: &dyn EntitySim,
+        forward: bool,
+        emit: &mut dyn FnMut((u32, u32), f32),
+    ) {
+        for group1 in relation_runs(edges1) {
+            let r1 = group1[0].0;
+            let Some(r2_raw) = rels.forward(r1.raw()) else {
+                continue;
+            };
+            let r2 = RelationId::new(r2_raw);
+            let group2 = relation_run(edges2, r2);
+            if group2.is_empty()
+                || group1.len() > self.cfg.max_fanout
+                || group2.len() > self.cfg.max_fanout
+            {
+                continue;
+            }
+            let w = if forward {
+                self.funct1.funct(r1) * self.funct2.funct(r2)
+            } else {
+                self.funct1.inv_funct(r1) * self.funct2.inv_funct(r2)
+            };
+            if w <= 0.0 {
+                continue;
+            }
+            for &(_, t1) in group1 {
+                for &(_, t2) in group2 {
+                    let s = sim.entity_sim(t1.raw(), t2.raw());
+                    // NaN similarities are gated out too.
+                    if s < self.cfg.sim_gate || s.is_nan() {
+                        continue;
+                    }
+                    let gate = ((1.0 + s) * 0.5).clamp(0.0, 1.0);
+                    emit((t1.raw(), t2.raw()), conf * w * gate);
+                }
+            }
+        }
+    }
+}
+
+/// Split a sorted `(relation, entity)` edge list into its per-relation runs.
+fn relation_runs(
+    edges: &[(RelationId, EntityId)],
+) -> impl Iterator<Item = &[(RelationId, EntityId)]> {
+    let mut rest = edges;
+    std::iter::from_fn(move || {
+        let first = rest.first()?.0;
+        let len = rest.partition_point(|&(r, _)| r == first);
+        let (run, tail) = rest.split_at(len);
+        rest = tail;
+        Some(run)
+    })
+}
+
+/// The contiguous run of edges with relation `r` in a sorted edge list.
+fn relation_run(edges: &[(RelationId, EntityId)], r: RelationId) -> &[(RelationId, EntityId)] {
+    let lo = edges.partition_point(|&(er, _)| er < r);
+    let hi = edges.partition_point(|&(er, _)| er <= r);
+    &edges[lo..hi]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UniformSim;
+    use daakg_graph::KgBuilder;
+
+    /// Two mirrored chain KGs: `a0 -r-> a1 -r-> a2 -r-> a3` on each side,
+    /// every relation perfectly functional.
+    fn chain_pair(n: usize) -> (KnowledgeGraph, KnowledgeGraph) {
+        let mut b1 = KgBuilder::new("left");
+        let mut b2 = KgBuilder::new("right");
+        for i in 0..n - 1 {
+            b1.triple_by_name(&format!("a{i}"), "r", &format!("a{}", i + 1));
+            b2.triple_by_name(&format!("b{i}"), "s", &format!("b{}", i + 1));
+        }
+        (b1.build(), b2.build())
+    }
+
+    fn chain_rels(kg1: &KnowledgeGraph, kg2: &KnowledgeGraph) -> RelationMatches {
+        let r = kg1.relation_by_name("r").unwrap().raw();
+        let s = kg2.relation_by_name("s").unwrap().raw();
+        RelationMatches::from_pairs([(r, s)])
+    }
+
+    #[test]
+    fn propagation_walks_the_chain_to_the_depth_cap() {
+        let (kg1, kg2) = chain_pair(6);
+        let rels = chain_rels(&kg1, &kg2);
+        let cfg = InferConfig {
+            max_depth: 3,
+            min_confidence: 0.0,
+            sim_gate: -1.0,
+            max_fanout: 8,
+        };
+        let engine = InferenceEngine::new(&kg1, &kg2, cfg);
+        // Seeding (a0, b0) must infer (a1,b1), (a2,b2), (a3,b3) — and stop
+        // at the depth cap before (a4, b4).
+        let sim = UniformSim(1.0);
+        let inferred = engine.propagate(&[(0, 0)], &rels, &sim);
+        let pairs: Vec<(u32, u32)> = inferred.iter().map(|m| (m.left, m.right)).collect();
+        assert_eq!(pairs, vec![(1, 1), (2, 2), (3, 3)]);
+        // Perfectly functional chain at sim 1.0: confidence stays 1.0.
+        for m in &inferred {
+            assert!((m.confidence - 1.0).abs() < 1e-6, "{m:?}");
+            assert_eq!(m.depth, m.left);
+        }
+    }
+
+    #[test]
+    fn backward_propagation_uses_in_edges() {
+        let (kg1, kg2) = chain_pair(4);
+        let rels = chain_rels(&kg1, &kg2);
+        let engine = InferenceEngine::new(&kg1, &kg2, InferConfig::default());
+        let sim = UniformSim(1.0);
+        // Seed the chain *end*: matches must flow backwards through heads.
+        let inferred = engine.propagate(&[(3, 3)], &rels, &sim);
+        let pairs: Vec<(u32, u32)> = inferred.iter().map(|m| (m.left, m.right)).collect();
+        assert!(pairs.contains(&(2, 2)), "{pairs:?}");
+        assert!(pairs.contains(&(1, 1)), "{pairs:?}");
+    }
+
+    #[test]
+    fn sim_gate_blocks_dissimilar_children() {
+        let (kg1, kg2) = chain_pair(4);
+        let rels = chain_rels(&kg1, &kg2);
+        let cfg = InferConfig {
+            sim_gate: 0.5,
+            ..InferConfig::default()
+        };
+        let engine = InferenceEngine::new(&kg1, &kg2, cfg);
+        let inferred = engine.propagate(&[(0, 0)], &rels, &UniformSim(0.0));
+        assert!(inferred.is_empty(), "gated pairs must not be derived");
+    }
+
+    #[test]
+    fn confidence_decays_with_similarity_and_depth() {
+        let (kg1, kg2) = chain_pair(5);
+        let rels = chain_rels(&kg1, &kg2);
+        let cfg = InferConfig {
+            max_depth: 3,
+            min_confidence: 0.0,
+            sim_gate: -1.0,
+            max_fanout: 8,
+        };
+        let engine = InferenceEngine::new(&kg1, &kg2, cfg);
+        let inferred = engine.propagate(&[(0, 0)], &rels, &UniformSim(0.0));
+        // Gate factor (1+0)/2 = 0.5 per step on a fully functional chain.
+        let by_pair: FxHashMap<(u32, u32), f32> = inferred
+            .iter()
+            .map(|m| ((m.left, m.right), m.confidence))
+            .collect();
+        assert!((by_pair[&(1, 1)] - 0.5).abs() < 1e-6);
+        assert!((by_pair[&(2, 2)] - 0.25).abs() < 1e-6);
+        assert!((by_pair[&(3, 3)] - 0.125).abs() < 1e-6);
+    }
+
+    #[test]
+    fn min_confidence_prunes_the_tail() {
+        let (kg1, kg2) = chain_pair(6);
+        let rels = chain_rels(&kg1, &kg2);
+        let cfg = InferConfig {
+            max_depth: 5,
+            min_confidence: 0.2,
+            sim_gate: -1.0,
+            max_fanout: 8,
+        };
+        let engine = InferenceEngine::new(&kg1, &kg2, cfg);
+        let inferred = engine.propagate(&[(0, 0)], &rels, &UniformSim(0.0));
+        // 0.5, 0.25 survive; 0.125 < 0.2 is pruned (and cuts the chain).
+        assert_eq!(inferred.len(), 2);
+    }
+
+    #[test]
+    fn fanout_cap_skips_hub_relation_groups() {
+        let mut b1 = KgBuilder::new("l");
+        let mut b2 = KgBuilder::new("r");
+        for i in 0..5 {
+            b1.triple_by_name("hub", "r", &format!("t{i}"));
+            b2.triple_by_name("hub2", "s", &format!("u{i}"));
+        }
+        let kg1 = b1.build();
+        let kg2 = b2.build();
+        let rels = RelationMatches::from_pairs([(0, 0)]);
+        let cfg = InferConfig {
+            max_fanout: 3,
+            sim_gate: -1.0,
+            min_confidence: 0.0,
+            ..InferConfig::default()
+        };
+        let engine = InferenceEngine::new(&kg1, &kg2, cfg);
+        let hub = kg1.entity_by_name("hub").unwrap().raw();
+        let hub2 = kg2.entity_by_name("hub2").unwrap().raw();
+        let inferred = engine.propagate(&[(hub, hub2)], &rels, &UniformSim(1.0));
+        assert!(inferred.is_empty(), "5-wide group exceeds the cap of 3");
+    }
+
+    #[test]
+    fn known_matches_are_not_re_inferred() {
+        let (kg1, kg2) = chain_pair(4);
+        let rels = chain_rels(&kg1, &kg2);
+        let engine = InferenceEngine::new(&kg1, &kg2, InferConfig::default());
+        let mut known = KnownMatches::new();
+        known.insert(1, 1);
+        let sim = UniformSim(1.0);
+        let inferred = engine.closure(&[(0, 0)], &known, &rels, &sim);
+        assert!(
+            !inferred.iter().any(|m| (m.left, m.right) == (1, 1)),
+            "known pairs must be skipped"
+        );
+        // (1,1) blocked means nothing is expanded *through* it either:
+        // the chain is cut and (2,2)/(3,3) stay underivable from (0,0).
+        assert!(inferred.is_empty(), "{inferred:?}");
+    }
+
+    #[test]
+    fn inference_power_counts_unlocked_confidence() {
+        let (kg1, kg2) = chain_pair(5);
+        let rels = chain_rels(&kg1, &kg2);
+        let cfg = InferConfig {
+            max_depth: 3,
+            min_confidence: 0.0,
+            sim_gate: -1.0,
+            max_fanout: 8,
+        };
+        let engine = InferenceEngine::new(&kg1, &kg2, cfg);
+        let sim = UniformSim(1.0);
+        let known = KnownMatches::new();
+        // The chain head unlocks three downstream matches at conf 1.0 each.
+        let p_head = engine.inference_power((0, 0), &known, &rels, &sim);
+        assert!((p_head - 3.0).abs() < 1e-6, "{p_head}");
+        // The tail pair unlocks the same three matches backwards through
+        // the in-edges (inverse functionality is also 1.0 on a chain).
+        let p_tail = engine.inference_power((4, 4), &known, &rels, &sim);
+        assert!((p_tail - 3.0).abs() < 1e-6, "{p_tail}");
+        // With everything already known, power drops to zero.
+        let mut all_known = KnownMatches::new();
+        for i in 0..5 {
+            all_known.insert(i, i);
+        }
+        assert_eq!(engine.inference_power((0, 0), &all_known, &rels, &sim), 0.0);
+    }
+
+    #[test]
+    fn optimized_closure_matches_reference() {
+        // A denser random-ish pair: two relations, branching structure.
+        let mut b1 = KgBuilder::new("l");
+        let mut b2 = KgBuilder::new("r");
+        for (h, r, t) in [
+            ("a0", "p", "a1"),
+            ("a0", "q", "a2"),
+            ("a1", "p", "a3"),
+            ("a2", "q", "a3"),
+            ("a3", "p", "a4"),
+            ("a1", "q", "a4"),
+        ] {
+            b1.triple_by_name(h, r, t);
+        }
+        for (h, r, t) in [
+            ("b0", "p2", "b1"),
+            ("b0", "q2", "b2"),
+            ("b1", "p2", "b3"),
+            ("b2", "q2", "b3"),
+            ("b3", "p2", "b4"),
+            ("b1", "q2", "b4"),
+        ] {
+            b2.triple_by_name(h, r, t);
+        }
+        let kg1 = b1.build();
+        let kg2 = b2.build();
+        let rels = RelationMatches::from_pairs([
+            (
+                kg1.relation_by_name("p").unwrap().raw(),
+                kg2.relation_by_name("p2").unwrap().raw(),
+            ),
+            (
+                kg1.relation_by_name("q").unwrap().raw(),
+                kg2.relation_by_name("q2").unwrap().raw(),
+            ),
+        ]);
+        let cfg = InferConfig {
+            max_depth: 4,
+            min_confidence: 0.01,
+            sim_gate: -1.0,
+            max_fanout: 16,
+        };
+        let engine = InferenceEngine::new(&kg1, &kg2, cfg);
+        let sim = UniformSim(0.4);
+        let known = KnownMatches::new();
+        let fast = engine.closure(&[(0, 0)], &known, &rels, &sim);
+        let slow = engine.closure_reference(&[(0, 0)], &known, &rels, &sim);
+        assert_eq!(fast.len(), slow.len());
+        for (f, s) in fast.iter().zip(&slow) {
+            assert_eq!((f.left, f.right), (s.left, s.right));
+            assert_eq!(f.confidence, s.confidence, "{f:?} vs {s:?}");
+        }
+        assert!(!fast.is_empty());
+    }
+}

@@ -14,28 +14,36 @@
 //!                 │
 //!          daakg-parallel         (std::thread::scope data parallelism)
 //!
-//!   daakg-eval  (H@k / MRR / F1)       daakg-bench  (perf harness)
+//!   daakg-infer   (functionality-weighted match propagation, inference power)
+//!        │
+//!   daakg-active  (question selection, simulated oracle, the active loop)
+//!
+//!   daakg-eval  (H@k / MRR / F1, cost curves)   daakg-bench  (perf harness)
 //! ```
 //!
 //! The `quickstart` example (repo `examples/quickstart.rs`) walks the whole
 //! path: build two KGs → train the joint model → snapshot → rank → score
-//! with `daakg-eval`.
+//! with `daakg-eval` → run the active loop against a simulated oracle.
 
+pub use daakg_active as active;
 pub use daakg_align as align;
 pub use daakg_autograd as autograd;
 pub use daakg_bench as bench;
 pub use daakg_embed as embed;
 pub use daakg_eval as eval;
 pub use daakg_graph as graph;
+pub use daakg_infer as infer;
 pub use daakg_parallel as parallel;
 
 // The most commonly used types, re-exported flat.
+pub use daakg_active::{ActiveConfig, ActiveLoop, GoldOracle, Strategy};
 pub use daakg_align::{
     AlignmentSnapshot, BatchedSimilarity, JointConfig, JointModel, LabeledMatches,
 };
 pub use daakg_autograd::{Graph, ParamStore, TapeSession, Tensor};
 pub use daakg_embed::{EmbedConfig, KgEmbedding, ModelKind};
 pub use daakg_graph::{GoldAlignment, KgBuilder, KnowledgeGraph};
+pub use daakg_infer::{InferConfig, InferenceEngine, RelationMatches};
 
 #[cfg(test)]
 mod tests {

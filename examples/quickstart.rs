@@ -1,5 +1,7 @@
 //! End-to-end quickstart: build two small KGs, train the joint alignment
-//! model, snapshot it, rank candidates, and print H@k / MRR / F1.
+//! model, snapshot it, rank candidates, print H@k / MRR / F1 — then run
+//! the deep *active* alignment loop against a simulated oracle and print
+//! its annotation-cost curve.
 //!
 //! Run with:
 //!
@@ -7,12 +9,14 @@
 //! cargo run --release -p daakg --example quickstart
 //! ```
 
+use daakg::active::{ActiveConfig, ActiveLoop, GoldOracle, Strategy};
 use daakg::align::joint::LabeledMatches;
 use daakg::eval::matching::greedy_matching;
 use daakg::eval::ranking::RankingScores;
 use daakg::eval::report::{fmt3, TextTable};
 use daakg::graph::kg::{example_dbpedia, example_wikidata};
-use daakg::graph::ElementPair;
+use daakg::graph::{ElementPair, GoldAlignment};
+use daakg::infer::RelationMatches;
 use daakg::{EmbedConfig, JointConfig, JointModel};
 
 fn main() {
@@ -113,4 +117,55 @@ fn main() {
     for (e2, s) in snapshot.top_k_entities(gold_ids[0].0, 3) {
         println!("  {:<28} {}", kg2.entity_name(e2.into()), fmt3(s as f64));
     }
+
+    // 6. Deep active alignment: start over with just one labeled pair and
+    //    let the loop decide which questions to put to a (simulated) human
+    //    oracle. Relation matches let the inference engine propagate each
+    //    "yes" through shared structure.
+    println!("\nactive loop (inference-power selection, simulated oracle):");
+    let mut gold_alignment = GoldAlignment::new();
+    for &(l, r) in &gold_ids {
+        gold_alignment.add_entity(l.into(), r.into());
+    }
+    let mut rels = RelationMatches::new();
+    for (a, b) in [
+        ("spouse", "spouse"),
+        ("country", "country"),
+        ("birthPlace", "place of birth"),
+        ("deathPlace", "place of death"),
+    ] {
+        rels.insert(
+            kg1.relation_by_name(a).expect("left relation").raw(),
+            kg2.relation_by_name(b).expect("right relation").raw(),
+        );
+    }
+    let mut seed_labels = LabeledMatches::new();
+    seed_labels.push(ElementPair::Entity(
+        gold_ids[0].0.into(),
+        gold_ids[0].1.into(),
+    ));
+
+    let mut active_model = JointModel::new(cfg, &kg1, &kg2);
+    let mut oracle = GoldOracle::new(&gold_alignment);
+    let active_cfg = ActiveConfig {
+        rounds: 3,
+        batch_size: 2,
+        ..ActiveConfig::default()
+    };
+    let curve = ActiveLoop::new(active_cfg, Strategy::InferencePower).run(
+        &mut active_model,
+        &kg1,
+        &kg2,
+        &rels,
+        &mut oracle,
+        &gold_alignment,
+        &seed_labels,
+    );
+    println!("{}", curve.render());
+    println!(
+        "final H@1 {} after {} question(s), AUC {}",
+        fmt3(curve.final_h1()),
+        curve.total_questions(),
+        fmt3(curve.auc_h1())
+    );
 }
