@@ -25,8 +25,8 @@ use crate::mapping::{init_mappings, map_names};
 use crate::semi::{mine_potential_matches, PotentialMatch};
 use crate::snapshot::AlignmentSnapshot;
 use crate::weights::EntityWeights;
-use daakg_autograd::{Adam, ParamStore, TapeSession, Var};
-use daakg_embed::{build_model, EmbedTrainer, EntityClassModel, KgEmbedding};
+use daakg_autograd::{unique_rows, Adam, ParamStore, TapeSession, Var};
+use daakg_embed::{build_model, EmbedTrainer, EntityClassModel, KgEmbedding, TrainMode};
 use daakg_graph::{ElementPair, GoldAlignment, KnowledgeGraph};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -200,14 +200,41 @@ impl JointModel {
         let mut rng = StdRng::seed_from_u64(self.cfg.embed.seed ^ 0xA11C);
         for epoch in 0..self.cfg.align_epochs {
             // Refresh weights + mined pairs a few times per run, not every
-            // epoch: snapshots cost a full encode of both KGs.
+            // epoch: snapshots cost a full encode of both KGs. Snapshots
+            // read whole tables, so pending lazy rows catch up first.
             if epoch % 5 == 0 {
+                opt.flush(&mut self.store);
                 self.refresh_round_state(kg1, kg2);
             }
             self.alignment_step(kg2, labels, &mut opt, &mut rng, None);
         }
+        opt.flush(&mut self.store);
         self.refresh_round_state(kg1, kg2);
         self.snapshot(kg1, kg2)
+    }
+
+    /// Run `epochs` alignment epochs over the labeled matches with a fresh
+    /// optimizer, returning the loss per epoch. This is the core of the
+    /// "alignment round" hot path (also driven by [`JointModel::train`])
+    /// exposed for benchmarking and incremental training; round state is
+    /// refreshed once at the start and lazily-deferred parameter rows are
+    /// flushed before returning.
+    pub fn align_rounds(
+        &mut self,
+        kg1: &KnowledgeGraph,
+        kg2: &KnowledgeGraph,
+        labels: &LabeledMatches,
+        epochs: usize,
+    ) -> Vec<f32> {
+        let mut opt = Adam::with_lr(self.cfg.align_lr);
+        let mut rng = StdRng::seed_from_u64(self.cfg.embed.seed ^ 0xA11C);
+        self.refresh_round_state(kg1, kg2);
+        let mut losses = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            losses.push(self.alignment_step(kg2, labels, &mut opt, &mut rng, None));
+        }
+        opt.flush(&mut self.store);
+        losses
     }
 
     /// Focal fine-tuning on (newly) labeled matches — the active-learning
@@ -261,6 +288,7 @@ impl JointModel {
         for _ in 0..self.cfg.fine_tune_epochs {
             self.alignment_step(kg2, &augmented, &mut opt, &mut rng, gamma);
         }
+        opt.flush(&mut self.store);
         self.refresh_round_state(kg1, kg2);
         self.snapshot(kg1, kg2)
     }
@@ -295,6 +323,18 @@ impl JointModel {
 
     /// One optimizer step of the alignment objective: softmax pair losses
     /// for all labeled kinds plus the semi-supervised term.
+    ///
+    /// Two constructions share identical sampling (all negatives are drawn
+    /// **before** the tape is built, so the RNG sequence matches across
+    /// modes):
+    ///
+    /// * **dense** (the retained oracle, also the fallback for encoder
+    ///   models without raw tables): map the *whole* left table through the
+    ///   mapping matrix, then gather pair rows — `O(n·d²)` per step;
+    /// * **sparse** ([`TrainMode::Sparse`] + table models): gather only the
+    ///   labeled/mined/negative rows via external gathers, map just those —
+    ///   `O(pairs·k·d²)` per step — and apply sparse row-updates to the
+    ///   embedding tables with lazy Adam.
     fn alignment_step(
         &mut self,
         kg2: &KnowledgeGraph,
@@ -303,84 +343,138 @@ impl JointModel {
         rng: &mut StdRng,
         focal_gamma: Option<f32>,
     ) -> f32 {
+        let k = self.cfg.align_negatives;
+        let use_classes = self.cfg.use_class_embeddings
+            && !labels.classes.is_empty()
+            && self.ec1.num_classes() > 0;
+
+        // Presample every negative before building the tape.
+        let ent_rows = (!labels.entities.is_empty())
+            .then(|| PairRows::sample(&labels.entities, k, kg2.num_entities() as u32, rng));
+        let rel_rows = (!labels.relations.is_empty()).then(|| {
+            PairRows::sample(
+                &labels.relations,
+                k,
+                self.model2.num_base_relations() as u32,
+                rng,
+            )
+        });
+        let cls_rows = use_classes
+            .then(|| PairRows::sample(&labels.classes, k, self.ec2.num_classes() as u32, rng));
+
+        // Mined potential matches feeding the semi-supervised term.
+        let mut mined_l: Vec<u32> = Vec::new();
+        let mut mined_r: Vec<u32> = Vec::new();
+        let mut mined_soft: Vec<f32> = Vec::new();
+        if ent_rows.is_some() {
+            for m in &self.last_mined {
+                if let Some((l, r)) = m.pair.as_entity() {
+                    mined_l.push(l.raw());
+                    mined_r.push(r.raw());
+                    mined_soft.push(m.soft_label);
+                }
+            }
+        }
+
+        let tables = if self.cfg.embed.mode == TrainMode::Sparse {
+            self.model1
+                .table_params("g1.")
+                .zip(self.model2.table_params("g2."))
+        } else {
+            None
+        };
+
+        // Lazy sparse-Adam rows the tape will read must be current first.
+        if let Some((tp1, tp2)) = &tables {
+            if let Some(rows) = &ent_rows {
+                opt.refresh_rows(
+                    &mut self.store,
+                    &tp1.ent,
+                    &unique_rows(&[&rows.left_once, &mined_l]),
+                );
+                opt.refresh_rows(
+                    &mut self.store,
+                    &tp2.ent,
+                    &unique_rows(&[&rows.pos_rrows, &rows.neg_rrows, &mined_r]),
+                );
+            }
+            if let Some(rows) = &rel_rows {
+                opt.refresh_rows(&mut self.store, &tp1.rel, &unique_rows(&[&rows.left_once]));
+                opt.refresh_rows(
+                    &mut self.store,
+                    &tp2.rel,
+                    &unique_rows(&[&rows.pos_rrows, &rows.neg_rrows]),
+                );
+            }
+        }
+
         let mut s = TapeSession::new();
         let mut losses: Vec<Var> = Vec::new();
 
         // --- entity alignment O_ea (Eq. 5) ---
-        if !labels.entities.is_empty() {
-            let ents1 = self.model1.encode_entities(&mut s, &self.store, "g1.");
-            let ents2 = self.model2.encode_entities(&mut s, &self.store, "g2.");
+        if let Some(rows) = &ent_rows {
             let a_ent = s.param(&self.store, map_names::A_ENT);
-            let mapped = s.graph.matmul(ents1, a_ent);
-            let n2 = kg2.num_entities() as u32;
-            let (pos, neg) = pair_sims(
-                &mut s,
-                mapped,
-                ents2,
-                &labels.entities,
-                self.cfg.align_negatives,
-                n2,
-                rng,
-            );
-            losses.push(softmax_pair_loss(&mut s.graph, pos, neg, focal_gamma));
+            match &tables {
+                Some((tp1, tp2)) => {
+                    let (pos, neg) =
+                        rows.sparse_sims(&mut s, &self.store, &tp1.ent, &tp2.ent, a_ent);
+                    losses.push(softmax_pair_loss(&mut s.graph, pos, neg, focal_gamma));
 
-            // --- semi-supervised O_semi (Eq. 10), entity pairs only ---
-            if !self.last_mined.is_empty() {
-                let mut pairs = Vec::new();
-                let mut soft = Vec::new();
-                for m in &self.last_mined {
-                    if let Some((l, r)) = m.pair.as_entity() {
-                        pairs.push((l.raw(), r.raw()));
-                        soft.push(m.soft_label);
+                    // --- semi-supervised O_semi (Eq. 10) ---
+                    if !mined_l.is_empty() {
+                        let ml = s.gather_param(&self.store, &tp1.ent, &mined_l);
+                        let mm = s.graph.matmul(ml, a_ent);
+                        let mr = s.gather_param(&self.store, &tp2.ent, &mined_r);
+                        let sims = s.graph.cosine_rows(mm, mr);
+                        losses.push(semi_supervised_loss(&mut s.graph, sims, &mined_soft));
                     }
                 }
-                if !pairs.is_empty() {
-                    let lrows: Vec<u32> = pairs.iter().map(|p| p.0).collect();
-                    let rrows: Vec<u32> = pairs.iter().map(|p| p.1).collect();
-                    let l = s.graph.gather_rows(mapped, &lrows);
-                    let r = s.graph.gather_rows(ents2, &rrows);
-                    let sims = s.graph.cosine_rows(l, r);
-                    losses.push(semi_supervised_loss(&mut s.graph, sims, &soft));
+                None => {
+                    let ents1 = self.model1.encode_entities(&mut s, &self.store, "g1.");
+                    let ents2 = self.model2.encode_entities(&mut s, &self.store, "g2.");
+                    let mapped = s.graph.matmul(ents1, a_ent);
+                    let (pos, neg) = rows.sims_on_tape(&mut s, mapped, ents2);
+                    losses.push(softmax_pair_loss(&mut s.graph, pos, neg, focal_gamma));
+
+                    if !mined_l.is_empty() {
+                        let l = s.graph.gather_rows(mapped, &mined_l);
+                        let r = s.graph.gather_rows(ents2, &mined_r);
+                        let sims = s.graph.cosine_rows(l, r);
+                        losses.push(semi_supervised_loss(&mut s.graph, sims, &mined_soft));
+                    }
                 }
             }
         }
 
         // --- relation alignment O_ra (Eq. 8) ---
-        if !labels.relations.is_empty() {
-            let rels1 = self.model1.encode_relations(&mut s, &self.store, "g1.");
-            let rels2 = self.model2.encode_relations(&mut s, &self.store, "g2.");
+        if let Some(rows) = &rel_rows {
             let a_rel = s.param(&self.store, map_names::A_REL);
-            let mapped = s.graph.matmul(rels1, a_rel);
-            let nr2 = self.model2.num_base_relations() as u32;
-            let (pos, neg) = pair_sims(
-                &mut s,
-                mapped,
-                rels2,
-                &labels.relations,
-                self.cfg.align_negatives,
-                nr2,
-                rng,
-            );
-            losses.push(softmax_pair_loss(&mut s.graph, pos, neg, focal_gamma));
+            match &tables {
+                Some((tp1, tp2)) => {
+                    let (pos, neg) =
+                        rows.sparse_sims(&mut s, &self.store, &tp1.rel, &tp2.rel, a_rel);
+                    losses.push(softmax_pair_loss(&mut s.graph, pos, neg, focal_gamma));
+                }
+                None => {
+                    let rels1 = self.model1.encode_relations(&mut s, &self.store, "g1.");
+                    let rels2 = self.model2.encode_relations(&mut s, &self.store, "g2.");
+                    let mapped = s.graph.matmul(rels1, a_rel);
+                    let (pos, neg) = rows.sims_on_tape(&mut s, mapped, rels2);
+                    losses.push(softmax_pair_loss(&mut s.graph, pos, neg, focal_gamma));
+                }
+            }
         }
 
         // --- class alignment O_ca ---
-        if self.cfg.use_class_embeddings && !labels.classes.is_empty() && self.ec1.num_classes() > 0
-        {
+        //
+        // Class matrices are small derived leaves (gradients train the
+        // mapping matrix only), so the dense construction stays.
+        if let Some(rows) = &cls_rows {
             let cls1 = class_matrix_on_tape(&mut s, &self.store, &self.ec1, "g1.");
             let cls2 = class_matrix_on_tape(&mut s, &self.store, &self.ec2, "g2.");
             let a_cls = s.param(&self.store, map_names::A_CLS);
             let mapped = s.graph.matmul(cls1, a_cls);
-            let nc2 = self.ec2.num_classes() as u32;
-            let (pos, neg) = pair_sims(
-                &mut s,
-                mapped,
-                cls2,
-                &labels.classes,
-                self.cfg.align_negatives,
-                nc2,
-                rng,
-            );
+            let (pos, neg) = rows.sims_on_tape(&mut s, mapped, cls2);
             losses.push(softmax_pair_loss(&mut s.graph, pos, neg, focal_gamma));
         }
 
@@ -394,44 +488,90 @@ impl JointModel {
     }
 }
 
-/// Gather (positive, negative) similarity columns for the softmax loss:
-/// each labeled pair contributes `align_negatives` rows, pairing the
-/// positive similarity with a sampled-negative similarity.
-fn pair_sims(
-    s: &mut TapeSession,
-    mapped_left: Var,
-    right: Var,
-    pairs: &[(u32, u32)],
-    negatives: usize,
-    num_right: u32,
-    rng: &mut StdRng,
-) -> (Var, Var) {
-    let k = negatives.max(1);
-    let mut lrows = Vec::with_capacity(pairs.len() * k);
-    let mut pos_rrows = Vec::with_capacity(pairs.len() * k);
-    let mut neg_rrows = Vec::with_capacity(pairs.len() * k);
-    for &(l, r) in pairs {
-        for _ in 0..k {
-            lrows.push(l);
-            pos_rrows.push(r);
-            // Rejection-sample a right element different from the match.
-            let mut neg = rng.gen_range(0..num_right);
-            for _ in 0..8 {
-                if neg != r {
-                    break;
+/// Presampled row indices for the softmax pair loss: each labeled pair
+/// contributes `align_negatives` rows pairing the positive similarity with
+/// a sampled-negative similarity. Sampling happens before the tape exists,
+/// so the dense and sparse constructions consume the RNG identically.
+struct PairRows {
+    /// Left row per pair-negative slot (`left_once[rep[i]]`, expanded).
+    lrows: Vec<u32>,
+    /// Left row of each labeled pair, once.
+    left_once: Vec<u32>,
+    /// Expansion map: slot `i` belongs to pair `rep[i]`.
+    rep: Vec<u32>,
+    pos_rrows: Vec<u32>,
+    neg_rrows: Vec<u32>,
+}
+
+impl PairRows {
+    fn sample(pairs: &[(u32, u32)], negatives: usize, num_right: u32, rng: &mut StdRng) -> Self {
+        let k = negatives.max(1);
+        let mut lrows = Vec::with_capacity(pairs.len() * k);
+        let mut left_once = Vec::with_capacity(pairs.len());
+        let mut rep = Vec::with_capacity(pairs.len() * k);
+        let mut pos_rrows = Vec::with_capacity(pairs.len() * k);
+        let mut neg_rrows = Vec::with_capacity(pairs.len() * k);
+        for (p, &(l, r)) in pairs.iter().enumerate() {
+            left_once.push(l);
+            for _ in 0..k {
+                lrows.push(l);
+                rep.push(p as u32);
+                pos_rrows.push(r);
+                // Rejection-sample a right element different from the match.
+                let mut neg = rng.gen_range(0..num_right);
+                for _ in 0..8 {
+                    if neg != r {
+                        break;
+                    }
+                    neg = rng.gen_range(0..num_right);
                 }
-                neg = rng.gen_range(0..num_right);
+                neg_rrows.push(neg);
             }
-            neg_rrows.push(neg);
+        }
+        Self {
+            lrows,
+            left_once,
+            rep,
+            pos_rrows,
+            neg_rrows,
         }
     }
-    let l = s.graph.gather_rows(mapped_left, &lrows);
-    let rp = s.graph.gather_rows(right, &pos_rrows);
-    let rn = s.graph.gather_rows(right, &neg_rrows);
-    let pos = s.graph.cosine_rows(l, rp);
-    let l2 = s.graph.gather_rows(mapped_left, &lrows);
-    let neg = s.graph.cosine_rows(l2, rn);
-    (pos, neg)
+
+    /// The dense-construction similarity columns: gather the presampled
+    /// rows from the mapped left matrix and the right matrix on the tape.
+    fn sims_on_tape(&self, s: &mut TapeSession, mapped_left: Var, right: Var) -> (Var, Var) {
+        let l = s.graph.gather_rows(mapped_left, &self.lrows);
+        let rp = s.graph.gather_rows(right, &self.pos_rrows);
+        let rn = s.graph.gather_rows(right, &self.neg_rrows);
+        let pos = s.graph.cosine_rows(l, rp);
+        let l2 = s.graph.gather_rows(mapped_left, &self.lrows);
+        let neg = s.graph.cosine_rows(l2, rn);
+        (pos, neg)
+    }
+
+    /// The sparse-construction similarity columns: map each pair's left
+    /// row through the mapping matrix **once**, expand to the pair×k
+    /// slots via a cheap tape gather, and cosine against externally
+    /// gathered right rows. Same math as [`PairRows::sims_on_tape`] over a
+    /// fully mapped table, at `O(pairs·d²)` instead of `O(n·d²)` — and
+    /// without the k-fold redundant mapping of repeated left rows.
+    fn sparse_sims(
+        &self,
+        s: &mut TapeSession,
+        store: &ParamStore,
+        left_table: &str,
+        right_table: &str,
+        a_map: Var,
+    ) -> (Var, Var) {
+        let l_raw = s.gather_param(store, left_table, &self.left_once);
+        let mapped_once = s.graph.matmul(l_raw, a_map);
+        let mapped = s.graph.gather_rows(mapped_once, &self.rep);
+        let rp = s.gather_param(store, right_table, &self.pos_rrows);
+        let rn = s.gather_param(store, right_table, &self.neg_rrows);
+        let pos = s.graph.cosine_rows(mapped, rp);
+        let neg = s.graph.cosine_rows(mapped, rn);
+        (pos, neg)
+    }
 }
 
 /// Put the dedicated class-embedding matrix `[w_c | b_c]` on the tape.
@@ -599,6 +739,30 @@ mod tests {
         assert_eq!(snap.entity_counts().0, kg1.num_entities());
         let sim = snap.sim_entity(l, r);
         assert!((-1.0..=1.0).contains(&sim));
+    }
+
+    #[test]
+    fn sparse_alignment_rounds_track_the_dense_oracle() {
+        let kg1 = example_dbpedia();
+        let kg2 = example_wikidata();
+        let labels = example_labels(&kg1, &kg2);
+        let run = |mode: daakg_embed::TrainMode| {
+            let mut cfg = tiny_cfg();
+            cfg.embed.mode = mode;
+            let mut model = JointModel::new(cfg, &kg1, &kg2);
+            model.align_rounds(&kg1, &kg2, &labels, 8)
+        };
+        let dense = run(daakg_embed::TrainMode::Dense);
+        let sparse = run(daakg_embed::TrainMode::Sparse);
+        assert_eq!(dense.len(), sparse.len());
+        // Same sampling, same math, different gather/matmul association:
+        // the loss trajectories must track each other closely.
+        for (e, (d, s)) in dense.iter().zip(&sparse).enumerate() {
+            assert!(
+                (d - s).abs() <= 0.05 * d.abs().max(1.0),
+                "epoch {e}: dense loss {d} vs sparse loss {s}"
+            );
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! handle, which avoids self-referential lifetimes entirely (index-based
 //! arena, a standard Rust graph pattern).
 
+use crate::sparse::SparseGrad;
 use crate::tensor::Tensor;
 
 /// Handle to a node on a [`Graph`] tape.
@@ -30,6 +31,19 @@ enum Op {
     MatMul(Var, Var),
     Transpose(Var),
     Gather(Var, Vec<u32>),
+    /// Gather from an *external* parameter (not a tape node): the table
+    /// never enters the tape, and its gradient accumulates as a
+    /// [`SparseGrad`] over the touched rows only.
+    GatherExternal(u32, Vec<u32>),
+    /// Fused external gather-combine-norm: output row `i` is the L2 norm
+    /// of `Σ_t sign_t · table_t[indices_t[i]]`. One tape node replaces the
+    /// gather/add/sub/norm chain of translational scoring — no
+    /// intermediate batch tensors on either pass. `diff` caches the signed
+    /// row sums for the backward.
+    GatherL2External {
+        terms: Vec<(u32, Vec<u32>, f32)>,
+        diff: Tensor,
+    },
     ScatterMean {
         src: Var,
         targets: Vec<u32>,
@@ -62,6 +76,30 @@ struct Node {
     op: Op,
 }
 
+/// An external parameter referenced by [`Graph::gather_external`]: the
+/// table stays owned by the caller; the graph only tracks its name, width
+/// and the sparse gradient accumulated during backward.
+struct ExternalParam {
+    name: String,
+    cols: usize,
+    rows: usize,
+    grad: Option<SparseGrad>,
+}
+
+/// One term of a fused external gather-combine
+/// ([`Graph::gather_l2_external`]): contributes
+/// `sign · table[indices[i]]` to batch row `i`.
+pub struct GatherTerm<'a> {
+    /// External parameter name (the optimizer key).
+    pub name: &'a str,
+    /// The parameter table (stays owned by the caller).
+    pub table: &'a Tensor,
+    /// One table row per batch row.
+    pub indices: &'a [u32],
+    /// Coefficient of this term (`+1.0` / `-1.0` for `h + r − t`).
+    pub sign: f32,
+}
+
 /// A dynamic computation graph (tape).
 ///
 /// Graphs are cheap to create; the training loops build a fresh graph per
@@ -69,6 +107,7 @@ struct Node {
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    externals: Vec<ExternalParam>,
 }
 
 const NORM_EPS: f32 = 1e-12;
@@ -76,7 +115,7 @@ const NORM_EPS: f32 = 1e-12;
 impl Graph {
     /// An empty tape.
     pub fn new() -> Self {
-        Self { nodes: Vec::new() }
+        Self::default()
     }
 
     /// Number of nodes recorded so far.
@@ -195,6 +234,110 @@ impl Graph {
     pub fn gather_rows(&mut self, table: Var, indices: &[u32]) -> Var {
         let out = self.value(table).gather_rows(indices);
         self.push(out, Op::Gather(table, indices.to_vec()))
+    }
+
+    /// Gather rows of an **external** parameter table by index, without
+    /// putting the table itself on the tape: output row `i` is
+    /// `table.row(indices[i])`.
+    ///
+    /// This is the sparse training hot path. The backward pass accumulates
+    /// a [`SparseGrad`] holding only the touched rows — no dense gradient
+    /// the size of the table is ever allocated — retrievable after
+    /// [`Graph::backward`] via [`Graph::external_grad`] /
+    /// [`Graph::take_external_grads`]. Repeated calls with the same `name`
+    /// accumulate into the same sparse gradient; the caller guarantees the
+    /// same tensor is passed for a given name within one tape.
+    pub fn gather_external(&mut self, name: &str, table: &Tensor, indices: &[u32]) -> Var {
+        let slot = self.register_external(name, table);
+        let out = table.gather_rows(indices);
+        self.push(out, Op::GatherExternal(slot as u32, indices.to_vec()))
+    }
+
+    /// Fused sparse scoring: output row `i` is the **L2 norm** of the
+    /// signed sum `Σ_t sign_t · table_t[indices_t[i]]` over external
+    /// parameter tables — the whole translational score `‖h + r − t‖` as
+    /// one tape node. Arithmetic matches the decomposed
+    /// gather/add/sub/[`Graph::rows_l2norm`] chain exactly (same element
+    /// order), but neither pass materializes a batch×dim intermediate per
+    /// op, which is what makes the sparse training path fast.
+    pub fn gather_l2_external(&mut self, terms: &[GatherTerm]) -> Var {
+        assert!(!terms.is_empty(), "at least one gather term");
+        let cols = terms[0].table.cols();
+        let m = terms[0].indices.len();
+        let mut op_terms = Vec::with_capacity(terms.len());
+        for t in terms {
+            assert_eq!(t.table.cols(), cols, "gather term width mismatch");
+            assert_eq!(t.indices.len(), m, "gather term length mismatch");
+            let slot = self.register_external(t.name, t.table);
+            op_terms.push((slot as u32, t.indices.to_vec(), t.sign));
+        }
+        let mut diff = Tensor::zeros(m, cols);
+        for (term, op_term) in terms.iter().zip(&op_terms) {
+            let sign = op_term.2;
+            for (i, &idx) in op_term.1.iter().enumerate() {
+                let src = term.table.row(idx as usize);
+                for (d, v) in diff.row_mut(i).iter_mut().zip(src) {
+                    *d += sign * v;
+                }
+            }
+        }
+        let mut out = Tensor::zeros(m, 1);
+        for i in 0..m {
+            let n = diff.row(i).iter().map(|x| x * x).sum::<f32>().sqrt();
+            out.set(i, 0, n);
+        }
+        self.push(
+            out,
+            Op::GatherL2External {
+                terms: op_terms,
+                diff,
+            },
+        )
+    }
+
+    fn register_external(&mut self, name: &str, table: &Tensor) -> usize {
+        match self.externals.iter().position(|e| e.name == name) {
+            Some(i) => {
+                assert_eq!(
+                    self.externals[i].cols,
+                    table.cols(),
+                    "external parameter {name:?} re-registered with a different width"
+                );
+                i
+            }
+            None => {
+                self.externals.push(ExternalParam {
+                    name: name.to_owned(),
+                    cols: table.cols(),
+                    rows: table.rows(),
+                    grad: None,
+                });
+                self.externals.len() - 1
+            }
+        }
+    }
+
+    /// The sparse gradient accumulated for the named external parameter,
+    /// available after [`Graph::backward`].
+    pub fn external_grad(&self, name: &str) -> Option<&SparseGrad> {
+        self.externals
+            .iter()
+            .find(|e| e.name == name)
+            .and_then(|e| e.grad.as_ref())
+    }
+
+    /// Names of all external parameters registered on this tape.
+    pub fn external_names(&self) -> impl Iterator<Item = &str> {
+        self.externals.iter().map(|e| e.name.as_str())
+    }
+
+    /// Take ownership of every accumulated external sparse gradient as
+    /// `(name, grad)` pairs, leaving the registrations in place.
+    pub fn take_external_grads(&mut self) -> Vec<(String, SparseGrad)> {
+        self.externals
+            .iter_mut()
+            .filter_map(|e| e.grad.take().map(|g| (e.name.clone(), g)))
+            .collect()
     }
 
     /// Scatter rows of `src` into `out_rows` buckets and average: output row
@@ -444,17 +587,21 @@ impl Graph {
         for n in self.nodes.iter_mut() {
             n.grad = None;
         }
+        for e in self.externals.iter_mut() {
+            e.grad = None;
+        }
         self.nodes[loss.index()].grad = Some(Tensor::scalar(1.0));
 
         for i in (0..self.nodes.len()).rev() {
+            // Take the gradient out so propagate can borrow self mutably
+            // (it only touches parents, which have smaller indices), then
+            // put it back: the node keeps its gradient for inspection.
             let g = match self.nodes[i].grad.take() {
                 Some(g) => g,
                 None => continue,
             };
-            // Put it back (the node keeps its gradient for inspection).
-            self.nodes[i].grad = Some(g.clone());
-            // Split borrows: we only mutate parents with smaller indices.
             self.propagate(i, &g);
+            self.nodes[i].grad = Some(g);
         }
     }
 
@@ -467,6 +614,43 @@ impl Graph {
     }
 
     fn propagate(&mut self, idx: usize, g: &Tensor) {
+        // External ops only touch `self.externals`; handle them first with
+        // split field borrows so their payloads need no cloning.
+        match &self.nodes[idx].op {
+            Op::GatherExternal(slot, indices) => {
+                let e = &mut self.externals[*slot as usize];
+                let (cols, rows) = (e.cols, e.rows);
+                let sg = e
+                    .grad
+                    .get_or_insert_with(|| SparseGrad::with_rows(cols, rows));
+                sg.add_gathered(indices, g);
+                return;
+            }
+            Op::GatherL2External { terms, diff } => {
+                // ∂‖x‖/∂x = x/‖x‖ per row; each term scatters
+                // `sign · g/‖x‖ · diff[row]` into its table's sparse grad.
+                // Terms run in reverse so accumulation order matches the
+                // decomposed chain's reverse-tape walk.
+                let norms = &self.nodes[idx].value;
+                for &(slot, ref indices, sign) in terms.iter().rev() {
+                    let e = &mut self.externals[slot as usize];
+                    let (cols, rows) = (e.cols, e.rows);
+                    let sg = e
+                        .grad
+                        .get_or_insert_with(|| SparseGrad::with_rows(cols, rows));
+                    for (i, &idx_row) in indices.iter().enumerate() {
+                        let n = norms.get(i, 0);
+                        if n <= NORM_EPS {
+                            continue;
+                        }
+                        let scale = sign * (g.get(i, 0) / n);
+                        sg.add_row_scaled(idx_row, diff.row(i), scale);
+                    }
+                }
+                return;
+            }
+            _ => {}
+        }
         // Clone the small bits of op metadata we need, to end the borrow.
         match &self.nodes[idx].op {
             Op::Leaf => {}
@@ -539,6 +723,9 @@ impl Graph {
                     }
                 }
                 self.accumulate(table, gt);
+            }
+            Op::GatherExternal(..) | Op::GatherL2External { .. } => {
+                unreachable!("handled by the split-borrow fast path above")
             }
             Op::ScatterMean {
                 src,
@@ -853,6 +1040,106 @@ mod tests {
             g.grad(table).unwrap().as_slice(),
             &[0.0, 0.0, 2.0, 2.0, 1.0, 1.0]
         );
+    }
+
+    #[test]
+    fn gather_external_accumulates_sparse_rows_only() {
+        let table = Tensor::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let mut g = Graph::new();
+        let picked = g.gather_external("tbl", &table, &[1, 1, 2]);
+        let loss = g.sum_all(picked);
+        g.backward(loss);
+        let sg = g.external_grad("tbl").expect("sparse grad accumulated");
+        // Row 1 picked twice, row 2 once, row 0 untouched (not stored).
+        assert_eq!(sg.nnz_rows(), 2);
+        assert_eq!(sg.row(1), Some(&[2.0, 2.0][..]));
+        assert_eq!(sg.row(2), Some(&[1.0, 1.0][..]));
+        assert_eq!(sg.row(0), None);
+        // The densified sparse grad matches the tape-leaf gather backward.
+        let mut g2 = Graph::new();
+        let leaf = g2.leaf(table.clone());
+        let picked2 = g2.gather_rows(leaf, &[1, 1, 2]);
+        let loss2 = g2.sum_all(picked2);
+        g2.backward(loss2);
+        assert_eq!(&sg.to_dense(3), g2.grad(leaf).unwrap());
+    }
+
+    #[test]
+    fn fused_gather_l2_matches_decomposed_chain() {
+        // ‖h + r − t‖ fused vs gather/add/sub/rows_l2norm, forward and
+        // backward, including a repeated index (head row 1 is also a tail).
+        let ents = Tensor::from_rows(&[&[1.0, 2.0], &[0.5, -1.0], &[3.0, 0.0]]);
+        let rels = Tensor::from_rows(&[&[0.1, 0.2], &[-0.3, 0.4]]);
+        let heads = [0u32, 1];
+        let rids = [1u32, 0];
+        let tails = [2u32, 1];
+
+        let mut fused = Graph::new();
+        let score = fused.gather_l2_external(&[
+            GatherTerm {
+                name: "ent",
+                table: &ents,
+                indices: &heads,
+                sign: 1.0,
+            },
+            GatherTerm {
+                name: "rel",
+                table: &rels,
+                indices: &rids,
+                sign: 1.0,
+            },
+            GatherTerm {
+                name: "ent",
+                table: &ents,
+                indices: &tails,
+                sign: -1.0,
+            },
+        ]);
+        let loss = fused.sum_all(score);
+        fused.backward(loss);
+
+        let mut chain = Graph::new();
+        let e = chain.leaf(ents.clone());
+        let r = chain.leaf(rels.clone());
+        let h = chain.gather_rows(e, &heads);
+        let rr = chain.gather_rows(r, &rids);
+        let t = chain.gather_rows(e, &tails);
+        let hr = chain.add(h, rr);
+        let d = chain.sub(hr, t);
+        let n = chain.rows_l2norm(d);
+        let loss2 = chain.sum_all(n);
+        chain.backward(loss2);
+
+        assert_eq!(fused.value(score), chain.value(n), "forward mismatch");
+        let ge = chain.grad(e).unwrap();
+        let gr = chain.grad(r).unwrap();
+        assert_eq!(
+            &fused.external_grad("ent").unwrap().to_dense(3),
+            ge,
+            "entity grad mismatch"
+        );
+        assert_eq!(
+            &fused.external_grad("rel").unwrap().to_dense(2),
+            gr,
+            "relation grad mismatch"
+        );
+    }
+
+    #[test]
+    fn gather_external_same_name_merges_across_calls() {
+        let table = Tensor::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let mut g = Graph::new();
+        let a = g.gather_external("tbl", &table, &[0, 1]);
+        let b = g.gather_external("tbl", &table, &[1, 2]);
+        let s = g.add(a, b);
+        let loss = g.sum_all(s);
+        g.backward(loss);
+        let sg = g.external_grad("tbl").unwrap();
+        assert_eq!(sg.to_dense(3).as_slice(), &[1.0, 2.0, 1.0]);
+        let taken = g.take_external_grads();
+        assert_eq!(taken.len(), 1);
+        assert_eq!(taken[0].0, "tbl");
+        assert!(g.external_grad("tbl").is_none());
     }
 
     #[test]

@@ -12,7 +12,12 @@
 //! * [`Tensor`]: a dense, row-major `f32` matrix (vectors are `1×d`),
 //! * [`Graph`]: a tape of operations supporting [`Graph::backward`],
 //! * gather/scatter ops so embedding-table updates stay sparse-friendly,
-//! * [`optim`]: SGD and Adam over a named [`ParamStore`],
+//! * [`sparse`]: [`SparseGrad`] row-gradients plus
+//!   [`Graph::gather_external`], so a mini-batch backward touches only the
+//!   sampled embedding rows instead of materializing table-sized tensors,
+//! * [`optim`]: SGD and Adam over a named [`ParamStore`], including lazy
+//!   sparse Adam with deferred-decay semantics that reproduce the dense
+//!   trajectory exactly (see the [`Adam`] docs for the contract),
 //! * [`grad_check`]: central finite-difference gradient verification used by
 //!   the property-based test-suite.
 //!
@@ -36,9 +41,11 @@ pub mod graph;
 pub mod init;
 pub mod optim;
 pub mod session;
+pub mod sparse;
 pub mod tensor;
 
-pub use graph::{Graph, Var};
-pub use optim::{Adam, AdamConfig, Optimizer, ParamStore, Sgd};
-pub use session::TapeSession;
+pub use graph::{GatherTerm, Graph, Var};
+pub use optim::{unique_rows, Adam, AdamConfig, Optimizer, ParamStore, Sgd};
+pub use session::{NamedGrads, TapeSession};
+pub use sparse::SparseGrad;
 pub use tensor::Tensor;

@@ -6,6 +6,7 @@
 //! [`Graph`](crate::Graph), runs backward, and hands `(name, gradient)` pairs
 //! to an [`Optimizer`].
 
+use crate::sparse::SparseGrad;
 use crate::tensor::Tensor;
 use std::collections::BTreeMap;
 
@@ -70,10 +71,31 @@ impl ParamStore {
     }
 }
 
+/// Sorted, deduplicated union of index slices — the set of parameter rows
+/// a batch touches, in the shape [`Adam::refresh_rows`] and the sparse
+/// training paths consume.
+pub fn unique_rows(parts: &[&[u32]]) -> Vec<u32> {
+    let mut v: Vec<u32> = parts.iter().flat_map(|p| p.iter().copied()).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
 /// A first-order optimizer applying updates to a [`ParamStore`].
 pub trait Optimizer {
     /// Apply one update for parameter `name` given its gradient.
     fn step(&mut self, store: &mut ParamStore, name: &str, grad: &Tensor);
+
+    /// Apply one update given a sparse row-gradient.
+    ///
+    /// The default densifies and delegates to [`Optimizer::step`];
+    /// optimizers with a genuinely sparse update rule (row-local state)
+    /// override it to touch only the gradient's rows.
+    fn step_sparse(&mut self, store: &mut ParamStore, name: &str, grad: &SparseGrad) {
+        let rows = store.get(name).rows();
+        let dense = grad.to_dense(rows);
+        self.step(store, name, &dense);
+    }
 }
 
 /// Plain stochastic gradient descent, `θ ← θ − lr·g`.
@@ -93,6 +115,19 @@ impl Sgd {
 impl Optimizer for Sgd {
     fn step(&mut self, store: &mut ParamStore, name: &str, grad: &Tensor) {
         store.get_mut(name).add_scaled(grad, -self.lr);
+    }
+
+    fn step_sparse(&mut self, store: &mut ParamStore, name: &str, grad: &SparseGrad) {
+        // SGD is stateless, so the sparse update is trivially exact: rows
+        // with zero gradient would not have moved anyway.
+        let param = store.get_mut(name);
+        assert_eq!(param.cols(), grad.cols(), "gradient width mismatch");
+        for (id, row) in grad.iter() {
+            let dst = param.row_mut(id as usize);
+            for (p, g) in dst.iter_mut().zip(row) {
+                *p -= self.lr * g;
+            }
+        }
     }
 }
 
@@ -124,9 +159,40 @@ struct AdamState {
     m: Tensor,
     v: Tensor,
     t: u64,
+    /// Lazy-update bookkeeping: `row_t[r]` is the step count through which
+    /// row `r` has been fully applied. `None` means every row is current
+    /// (the pure dense history).
+    row_t: Option<Vec<u64>>,
 }
 
 /// The Adam optimizer (Kingma & Ba) with per-parameter state.
+///
+/// # Sparse / lazy updates and the deferred-decay contract
+///
+/// Dense Adam moves **every** element at **every** step: even a row with a
+/// zero gradient decays its moments (`m ← β₁·m`, `v ← β₂·v`) and takes a
+/// bias-corrected momentum step. [`Adam::step_sparse`] defers exactly that
+/// work: untouched rows keep their *old* parameter values and a per-row
+/// step watermark; when a row is next touched (or explicitly refreshed),
+/// the skipped zero-gradient sub-steps are replayed in order, reproducing
+/// the dense trajectory bit-for-bit before the new gradient is applied.
+///
+/// The contract callers must uphold:
+///
+/// 1. **Refresh before read.** Parameter rows a forward pass will *read*
+///    must be brought current first — [`Adam::refresh_rows`] for the rows a
+///    batch gathers, or [`Adam::flush`] before any full-table read (a
+///    snapshot, a matmul over the whole table, serialization).
+/// 2. **Flush before hand-off.** [`Adam::flush`] makes the store equal to
+///    what the dense oracle would have produced; call it at the end of
+///    training (the trainers do this) before anyone consumes the store.
+/// 3. Mixing is safe: a dense [`Adam::step`] on a lazily-updated parameter
+///    first flushes its pending rows, so dense and sparse steps may
+///    interleave freely.
+///
+/// Rows whose moments are exactly zero (never touched since the state was
+/// created) replay for free: the zero-gradient update is a numerical no-op,
+/// so the catch-up skips the arithmetic and only moves the watermark.
 pub struct Adam {
     cfg: AdamConfig,
     state: BTreeMap<String, AdamState>,
@@ -158,20 +224,151 @@ impl Adam {
     pub fn set_lr(&mut self, lr: f32) {
         self.cfg.lr = lr;
     }
+
+    /// One Adam update for row `r` at step `s`; `grad_row = None` is the
+    /// zero-gradient replay (identical arithmetic to a dense step with
+    /// `g = 0`, so lazily-updated rows match the dense trajectory exactly).
+    fn row_update(
+        cfg: &AdamConfig,
+        s: u64,
+        p: &mut [f32],
+        m: &mut [f32],
+        v: &mut [f32],
+        grad_row: Option<&[f32]>,
+    ) {
+        let (b1, b2) = (cfg.beta1, cfg.beta2);
+        let bc1 = 1.0 - b1.powi(s as i32);
+        let bc2 = 1.0 - b2.powi(s as i32);
+        for i in 0..p.len() {
+            let g = grad_row.map_or(0.0, |gr| gr[i]);
+            m[i] = b1 * m[i] + (1.0 - b1) * g;
+            v[i] = b2 * v[i] + (1.0 - b2) * g * g;
+            let mh = m[i] / bc1;
+            let vh = v[i] / bc2;
+            p[i] -= cfg.lr * mh / (vh.sqrt() + cfg.eps);
+        }
+    }
+
+    /// Replay the zero-gradient steps `(from, to]` for one row. Skips the
+    /// arithmetic when the row's moments are all zero (every update would
+    /// be an exact no-op).
+    fn catch_up_row(
+        cfg: &AdamConfig,
+        from: u64,
+        to: u64,
+        p: &mut [f32],
+        m: &mut [f32],
+        v: &mut [f32],
+    ) {
+        if from >= to || (m.iter().all(|x| *x == 0.0) && v.iter().all(|x| *x == 0.0)) {
+            return;
+        }
+        for s in (from + 1)..=to {
+            Self::row_update(cfg, s, p, m, v, None);
+        }
+    }
+
+    /// Bring the given rows of a lazily-updated parameter current, so a
+    /// forward pass may read them. No-op for parameters without pending
+    /// lazy state (or without any state at all).
+    pub fn refresh_rows(&mut self, store: &mut ParamStore, name: &str, rows: &[u32]) {
+        let Some(st) = self.state.get_mut(name) else {
+            return;
+        };
+        let Some(row_t) = st.row_t.as_mut() else {
+            return;
+        };
+        let t = st.t;
+        let param = store.get_mut(name);
+        for &r in rows {
+            let r = r as usize;
+            if row_t[r] >= t {
+                continue;
+            }
+            Self::catch_up_row(
+                &self.cfg,
+                row_t[r],
+                t,
+                param.row_mut(r),
+                st.m.row_mut(r),
+                st.v.row_mut(r),
+            );
+            row_t[r] = t;
+        }
+    }
+
+    /// Bring **every** pending row of the named parameter current and drop
+    /// its lazy bookkeeping. See the deferred-decay contract above.
+    pub fn flush_param(&mut self, store: &mut ParamStore, name: &str) {
+        let Some(st) = self.state.get_mut(name) else {
+            return;
+        };
+        let Some(row_t) = st.row_t.take() else {
+            return;
+        };
+        let t = st.t;
+        let param = store.get_mut(name);
+        for (r, &wm) in row_t.iter().enumerate() {
+            if wm >= t {
+                continue;
+            }
+            Self::catch_up_row(
+                &self.cfg,
+                wm,
+                t,
+                param.row_mut(r),
+                st.m.row_mut(r),
+                st.v.row_mut(r),
+            );
+        }
+    }
+
+    /// Flush every parameter with pending lazy updates: afterwards the
+    /// store holds exactly what dense Adam would have produced.
+    pub fn flush(&mut self, store: &mut ParamStore) {
+        let names: Vec<String> = self
+            .state
+            .iter()
+            .filter(|(_, st)| st.row_t.is_some())
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in names {
+            self.flush_param(store, &name);
+        }
+    }
+
+    /// Number of rows of `name` whose lazy update is still pending
+    /// (diagnostics / tests).
+    pub fn pending_rows(&self, name: &str) -> usize {
+        self.state
+            .get(name)
+            .and_then(|st| st.row_t.as_ref().map(|rt| (st.t, rt)))
+            .map(|(t, rt)| rt.iter().filter(|&&wm| wm < t).count())
+            .unwrap_or(0)
+    }
+
+    fn state_for<'a>(
+        state: &'a mut BTreeMap<String, AdamState>,
+        name: &str,
+        shape: (usize, usize),
+    ) -> &'a mut AdamState {
+        state.entry(name.to_owned()).or_insert_with(|| AdamState {
+            m: Tensor::zeros(shape.0, shape.1),
+            v: Tensor::zeros(shape.0, shape.1),
+            t: 0,
+            row_t: None,
+        })
+    }
 }
 
 impl Optimizer for Adam {
     fn step(&mut self, store: &mut ParamStore, name: &str, grad: &Tensor) {
+        // A dense step reads and writes every row, so pending lazy rows
+        // must catch up first (keeps dense/sparse interleaving exact).
+        self.flush_param(store, name);
         let param = store.get_mut(name);
         assert_eq!(param.shape(), grad.shape(), "gradient shape mismatch");
-        let st = self
-            .state
-            .entry(name.to_owned())
-            .or_insert_with(|| AdamState {
-                m: Tensor::zeros(grad.rows(), grad.cols()),
-                v: Tensor::zeros(grad.rows(), grad.cols()),
-                t: 0,
-            });
+        let st = Self::state_for(&mut self.state, name, grad.shape());
         st.t += 1;
         let (b1, b2) = (self.cfg.beta1, self.cfg.beta2);
         let bc1 = 1.0 - b1.powi(st.t as i32);
@@ -188,6 +385,23 @@ impl Optimizer for Adam {
             let mh = m[i] / bc1;
             let vh = v[i] / bc2;
             p[i] -= lr * mh / (vh.sqrt() + eps);
+        }
+    }
+
+    fn step_sparse(&mut self, store: &mut ParamStore, name: &str, grad: &SparseGrad) {
+        let param = store.get_mut(name);
+        assert_eq!(param.cols(), grad.cols(), "gradient width mismatch");
+        let rows = param.rows();
+        let st = Self::state_for(&mut self.state, name, (rows, param.cols()));
+        st.t += 1;
+        let t = st.t;
+        let row_t = st.row_t.get_or_insert_with(|| vec![t - 1; rows]);
+        for (id, grow) in grad.iter() {
+            let r = id as usize;
+            let (p, m, v) = (param.row_mut(r), st.m.row_mut(r), st.v.row_mut(r));
+            Self::catch_up_row(&self.cfg, row_t[r], t - 1, p, m, v);
+            Self::row_update(&self.cfg, t, p, m, v, Some(grow));
+            row_t[r] = t;
         }
     }
 }
@@ -252,6 +466,156 @@ mod tests {
         }
         assert!(store.get("a").item() < 1.0);
         assert_eq!(store.get("b").item(), 1.0);
+    }
+
+    /// Deterministic pseudo-random f32 in [-1, 1) from a counter.
+    fn prand(state: &mut u64) -> f32 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*state >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+    }
+
+    fn random_tensor(rows: usize, cols: usize, seed: &mut u64) -> Tensor {
+        Tensor::from_vec(rows, cols, (0..rows * cols).map(|_| prand(seed)).collect())
+    }
+
+    /// A sequence of sparse batches: each step touches a few (possibly
+    /// repeated) rows of an 8-row table.
+    fn sparse_batches(steps: usize, rows: u32, cols: usize, seed: &mut u64) -> Vec<SparseGrad> {
+        (0..steps)
+            .map(|s| {
+                let mut g = SparseGrad::new(cols);
+                let touches = 1 + (s % 3);
+                for i in 0..touches {
+                    let row = ((prand(seed).abs() * rows as f32) as u32).min(rows - 1);
+                    let vals: Vec<f32> = (0..cols).map(|_| prand(seed)).collect();
+                    g.add_row(row, &vals);
+                    if i == 0 {
+                        // Exercise repeated-row accumulation.
+                        g.add_row(row, &vals);
+                    }
+                }
+                g
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sparse_adam_with_flush_matches_dense_exactly() {
+        let mut seed = 7u64;
+        let init = random_tensor(8, 3, &mut seed);
+        let batches = sparse_batches(20, 8, 3, &mut seed);
+
+        // Dense oracle: every step applies the densified gradient.
+        let mut dense_store = ParamStore::new();
+        dense_store.insert("w", init.clone());
+        let mut dense_opt = Adam::with_lr(0.05);
+        for b in &batches {
+            let g = b.to_dense(8);
+            dense_opt.step(&mut dense_store, "w", &g);
+        }
+
+        // Sparse path: lazy row updates, flushed at the end.
+        let mut sparse_store = ParamStore::new();
+        sparse_store.insert("w", init);
+        let mut sparse_opt = Adam::with_lr(0.05);
+        for b in &batches {
+            sparse_opt.step_sparse(&mut sparse_store, "w", b);
+        }
+        sparse_opt.flush(&mut sparse_store);
+        assert_eq!(sparse_opt.pending_rows("w"), 0);
+
+        let d = dense_store.get("w").as_slice();
+        let s = sparse_store.get("w").as_slice();
+        for (i, (a, b)) in d.iter().zip(s).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-6,
+                "row-major element {i} diverged: dense={a} sparse={b}"
+            );
+        }
+    }
+
+    #[test]
+    fn refresh_rows_brings_read_rows_current() {
+        let mut seed = 99u64;
+        let init = random_tensor(4, 2, &mut seed);
+        let mut dense_store = ParamStore::new();
+        dense_store.insert("w", init.clone());
+        let mut dense_opt = Adam::with_lr(0.1);
+        let mut sparse_store = ParamStore::new();
+        sparse_store.insert("w", init);
+        let mut sparse_opt = Adam::with_lr(0.1);
+
+        // Step 1 touches row 0 only; row 2 lags in the sparse store.
+        let mut g = SparseGrad::new(2);
+        g.add_row(0, &[1.0, -1.0]);
+        dense_opt.step(&mut dense_store, "w", &g.to_dense(4));
+        sparse_opt.step_sparse(&mut sparse_store, "w", &g);
+        // Step 2 touches rows 0 and 2; refresh row 2 before "reading" it.
+        let mut g2 = SparseGrad::new(2);
+        g2.add_row(0, &[0.5, 0.5]);
+        g2.add_row(2, &[-2.0, 1.0]);
+        sparse_opt.refresh_rows(&mut sparse_store, "w", &[0, 2]);
+        assert_eq!(
+            sparse_store.get("w").row(2),
+            dense_store.get("w").row(2),
+            "refreshed row must equal the dense trajectory"
+        );
+        dense_opt.step(&mut dense_store, "w", &g2.to_dense(4));
+        sparse_opt.step_sparse(&mut sparse_store, "w", &g2);
+        sparse_opt.flush(&mut sparse_store);
+        for r in 0..4 {
+            let (d, s) = (dense_store.get("w").row(r), sparse_store.get("w").row(r));
+            for (a, b) in d.iter().zip(s) {
+                assert!((a - b).abs() <= 1e-6, "row {r}: dense={a} sparse={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_step_flushes_pending_lazy_rows_first() {
+        let mut seed = 3u64;
+        let init = random_tensor(3, 2, &mut seed);
+        let mut a_store = ParamStore::new();
+        a_store.insert("w", init.clone());
+        let mut a_opt = Adam::with_lr(0.1);
+        let mut b_store = ParamStore::new();
+        b_store.insert("w", init);
+        let mut b_opt = Adam::with_lr(0.1);
+
+        let mut sg = SparseGrad::new(2);
+        sg.add_row(1, &[1.0, 2.0]);
+        let dense_follow = Tensor::from_rows(&[&[0.1, 0.1], &[0.0, -0.3], &[0.2, 0.0]]);
+
+        // Path A: sparse then dense (interleaved).
+        a_opt.step_sparse(&mut a_store, "w", &sg);
+        a_opt.step(&mut a_store, "w", &dense_follow);
+        // Path B: both steps dense (the oracle).
+        b_opt.step(&mut b_store, "w", &sg.to_dense(3));
+        b_opt.step(&mut b_store, "w", &dense_follow);
+
+        for (x, y) in a_store
+            .get("w")
+            .as_slice()
+            .iter()
+            .zip(b_store.get("w").as_slice())
+        {
+            assert!((x - y).abs() <= 1e-6, "interleaved {x} vs dense {y}");
+        }
+    }
+
+    #[test]
+    fn sgd_sparse_step_touches_only_given_rows() {
+        let mut store = ParamStore::new();
+        store.insert("w", Tensor::full(3, 2, 1.0));
+        let mut opt = Sgd::new(0.5);
+        let mut g = SparseGrad::new(2);
+        g.add_row(1, &[1.0, 2.0]);
+        opt.step_sparse(&mut store, "w", &g);
+        assert_eq!(store.get("w").row(0), &[1.0, 1.0]);
+        assert_eq!(store.get("w").row(1), &[0.5, 0.0]);
+        assert_eq!(store.get("w").row(2), &[1.0, 1.0]);
     }
 
     #[test]

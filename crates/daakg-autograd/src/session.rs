@@ -8,8 +8,67 @@
 
 use crate::graph::{Graph, Var};
 use crate::optim::{Optimizer, ParamStore};
+use crate::sparse::SparseGrad;
+use crate::tensor::Tensor;
 use std::collections::BTreeMap;
 use std::ops::{Deref, DerefMut};
+
+/// Named gradients extracted from a finished tape: dense gradients of
+/// bound leaf parameters plus sparse row-gradients of externally gathered
+/// parameters. Produced by [`TapeSession::take_grads`], mergeable across
+/// parallel batch shards with [`NamedGrads::merge`], and applied in one
+/// optimizer step per parameter by [`NamedGrads::apply`].
+#[derive(Default)]
+pub struct NamedGrads {
+    /// Dense `(name, gradient)` pairs from bound leaves.
+    pub dense: Vec<(String, Tensor)>,
+    /// Sparse `(name, row-gradient)` pairs from external gathers.
+    pub sparse: Vec<(String, SparseGrad)>,
+}
+
+impl NamedGrads {
+    /// True when no parameter received a gradient.
+    pub fn is_empty(&self) -> bool {
+        self.dense.is_empty() && self.sparse.is_empty()
+    }
+
+    /// Merge another shard's gradients into this one (entry-wise sum).
+    pub fn merge(&mut self, other: NamedGrads) {
+        for (name, grad) in other.dense {
+            match self.dense.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, g)) => g.add_assign(&grad),
+                None => self.dense.push((name, grad)),
+            }
+        }
+        for (name, grad) in other.sparse {
+            match self.sparse.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, g)) => g.merge(&grad),
+                None => self.sparse.push((name, grad)),
+            }
+        }
+    }
+
+    /// Apply one optimizer step per parameter. A parameter with both a
+    /// dense and a sparse contribution takes a single dense step over the
+    /// combined gradient (two separate steps would double-count the
+    /// optimizer's step count). Returns the number of parameters updated.
+    pub fn apply(mut self, store: &mut ParamStore, opt: &mut dyn Optimizer) -> usize {
+        let mut updated = 0;
+        for (name, mut grad) in self.dense.drain(..) {
+            if let Some(i) = self.sparse.iter().position(|(n, _)| *n == name) {
+                let (_, sg) = self.sparse.swap_remove(i);
+                sg.add_into_dense(&mut grad);
+            }
+            opt.step(store, &name, &grad);
+            updated += 1;
+        }
+        for (name, grad) in self.sparse {
+            opt.step_sparse(store, &name, &grad);
+            updated += 1;
+        }
+        updated
+    }
+}
 
 /// A [`Graph`] plus the name → leaf bindings of the parameters in use.
 #[derive(Default)]
@@ -36,6 +95,30 @@ impl TapeSession {
         v
     }
 
+    /// Gather rows of the named parameter **without** binding the whole
+    /// table onto the tape: the forward copies only the requested rows and
+    /// the backward accumulates a [`SparseGrad`] over them. This is the
+    /// sparse-training fast path; see [`Graph::gather_external`].
+    pub fn gather_param(&mut self, store: &ParamStore, name: &str, indices: &[u32]) -> Var {
+        self.graph.gather_external(name, store.get(name), indices)
+    }
+
+    /// Fused sparse score `‖Σ sign · param[rows]‖` over named parameters —
+    /// one tape node for a whole translational score; see
+    /// [`Graph::gather_l2_external`]. Terms are `(name, indices, sign)`.
+    pub fn gather_l2_param(&mut self, store: &ParamStore, terms: &[(&str, &[u32], f32)]) -> Var {
+        let gts: Vec<crate::graph::GatherTerm> = terms
+            .iter()
+            .map(|&(name, indices, sign)| crate::graph::GatherTerm {
+                name,
+                table: store.get(name),
+                indices,
+                sign,
+            })
+            .collect();
+        self.graph.gather_l2_external(&gts)
+    }
+
     /// Names of all bound parameters, in deterministic order.
     pub fn bound_names(&self) -> impl Iterator<Item = &str> {
         self.bindings.keys().map(String::as_str)
@@ -46,15 +129,46 @@ impl TapeSession {
         self.graph.backward(loss);
     }
 
-    /// Apply one optimizer step for every bound parameter that received a
-    /// gradient. Returns the number of parameters updated.
-    pub fn step(&mut self, store: &mut ParamStore, opt: &mut dyn Optimizer) -> usize {
-        let mut updated = 0;
+    /// Extract every named gradient this tape accumulated — dense for
+    /// bound leaves, sparse for external gathers — leaving the tape
+    /// re-runnable. Used by the parallel trainers to merge shard gradients
+    /// before one optimizer step.
+    pub fn take_grads(&mut self) -> NamedGrads {
+        let mut out = NamedGrads {
+            dense: Vec::new(),
+            sparse: self.graph.take_external_grads(),
+        };
         for (name, &var) in &self.bindings {
             if let Some(grad) = self.graph.grad(var) {
-                opt.step(store, name, grad);
+                out.dense.push((name.clone(), grad.clone()));
+            }
+        }
+        out
+    }
+
+    /// Apply one optimizer step for every parameter that received a
+    /// gradient — dense steps for bound leaves, sparse steps for external
+    /// gathers (a parameter with both takes one combined dense step).
+    /// Returns the number of parameters updated.
+    pub fn step(&mut self, store: &mut ParamStore, opt: &mut dyn Optimizer) -> usize {
+        let mut updated = 0;
+        let mut sparse = self.graph.take_external_grads();
+        for (name, &var) in &self.bindings {
+            if let Some(grad) = self.graph.grad(var) {
+                if let Some(i) = sparse.iter().position(|(n, _)| n == name) {
+                    let (_, sg) = sparse.swap_remove(i);
+                    let mut combined = grad.clone();
+                    sg.add_into_dense(&mut combined);
+                    opt.step(store, name, &combined);
+                } else {
+                    opt.step(store, name, grad);
+                }
                 updated += 1;
             }
+        }
+        for (name, sg) in sparse {
+            opt.step_sparse(store, &name, &sg);
+            updated += 1;
         }
         updated
     }

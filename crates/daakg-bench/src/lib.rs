@@ -55,3 +55,22 @@ pub fn time_best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
     }
     (out, best)
 }
+
+/// Median-of-`reps` timing (milliseconds) after one untimed warm-up run.
+///
+/// The training scenarios compare *two* timed paths against each other
+/// (dense oracle vs sparse engine), where best-of favours whichever path
+/// got the single luckiest run; the median is robust to one-sided outliers
+/// in both directions, so the speedup ratio jitters far less between runs
+/// — which keeps the `--compare` regression gate stable.
+pub fn time_median_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut out = f(); // warm-up
+    let mut times = Vec::with_capacity(reps.max(1));
+    for _ in 0..reps.max(1) {
+        let (o, ms) = time_once(&mut f);
+        out = o;
+        times.push(ms);
+    }
+    times.sort_by(f64::total_cmp);
+    (out, times[times.len() / 2])
+}

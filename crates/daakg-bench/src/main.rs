@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run --release -p daakg-bench            # full sizes
 //! cargo run --release -p daakg-bench -- --quick # smoke sizes
+//! cargo run --release -p daakg-bench -- --threads 2   # force worker count
 //! cargo run --release -p daakg-bench -- --out results/BENCH_core.json
 //! cargo run --release -p daakg-bench -- --compare BENCH_core.json BENCH_smoke.json --tolerance 0.30
 //! ```
@@ -44,6 +45,21 @@ fn main() {
                     }
                 }
             }
+            "--threads" => {
+                let raw = args.next().unwrap_or_else(|| {
+                    eprintln!("--threads requires a count");
+                    std::process::exit(2);
+                });
+                let n: usize = raw.parse().unwrap_or_else(|e| {
+                    eprintln!("invalid thread count {raw:?}: {e}");
+                    std::process::exit(2);
+                });
+                // `daakg_parallel::num_threads` resolves the env var once,
+                // on first use; nothing has touched it this early in main,
+                // so the override reliably takes effect (and the JSON
+                // records the *resolved* count, not the request).
+                std::env::set_var("DAAKG_THREADS", n.to_string());
+            }
             "--tolerance" => {
                 let raw = args.next().unwrap_or_else(|| {
                     eprintln!("--tolerance requires a value");
@@ -56,7 +72,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: daakg-bench [--quick] [--out PATH]\n       \
+                    "usage: daakg-bench [--quick] [--threads N] [--out PATH]\n       \
                      daakg-bench --compare BASELINE CANDIDATE [--tolerance T]"
                 );
                 return;

@@ -2,6 +2,22 @@
 
 use crate::model::ModelKind;
 
+/// How the trainer executes a mini-batch step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TrainMode {
+    /// The retained reference path: one tape per batch with full parameter
+    /// tables bound as leaves, dense gradients, dense Adam. This is the
+    /// verification oracle the sparse path is checked against.
+    Dense,
+    /// The fast path: batches shard across scoped threads, each shard
+    /// builds its own tape over shared read-only parameters via external
+    /// gathers, shard gradients merge as sparse row-maps, and Adam applies
+    /// lazy per-row updates with deferred decay. Numerically equivalent to
+    /// [`TrainMode::Dense`] up to floating-point reassociation.
+    #[default]
+    Sparse,
+}
+
 /// Hyper-parameters for a KG embedding model and its trainer.
 ///
 /// Defaults are the scaled-down analogues of the paper's settings (Sect. 7.1:
@@ -30,6 +46,13 @@ pub struct EmbedConfig {
     pub lr: f32,
     /// RNG seed controlling init and sampling.
     pub seed: u64,
+    /// Mini-batch execution mode (sparse/parallel fast path vs the dense
+    /// oracle). Sampling is identical in both modes, so the loss
+    /// trajectories agree up to floating-point reassociation.
+    pub mode: TrainMode,
+    /// Worker threads for sharded gradient computation; `0` defers to
+    /// [`daakg_parallel::num_threads`]. Ignored in [`TrainMode::Dense`].
+    pub threads: usize,
 }
 
 impl Default for EmbedConfig {
@@ -45,6 +68,8 @@ impl Default for EmbedConfig {
             epochs: 30,
             lr: 5e-2,
             seed: 42,
+            mode: TrainMode::default(),
+            threads: 0,
         }
     }
 }
@@ -74,6 +99,27 @@ impl EmbedConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Builder-style override of the execution mode.
+    pub fn with_mode(mut self, mode: TrainMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Builder-style override of the worker-thread count (0 = auto).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The effective shard count for parallel gradient computation.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            daakg_parallel::num_threads()
+        } else {
+            self.threads
+        }
     }
 
     /// Validate internal consistency (e.g. even dim for RotatE).
@@ -116,10 +162,22 @@ mod tests {
         let cfg = EmbedConfig::default()
             .with_dim(8)
             .with_epochs(3)
-            .with_seed(7);
+            .with_seed(7)
+            .with_mode(TrainMode::Dense)
+            .with_threads(2);
         assert_eq!(cfg.dim, 8);
         assert_eq!(cfg.epochs, 3);
         assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.mode, TrainMode::Dense);
+        assert_eq!(cfg.effective_threads(), 2);
+    }
+
+    #[test]
+    fn sparse_is_the_default_mode_and_threads_auto_resolve() {
+        let cfg = EmbedConfig::default();
+        assert_eq!(cfg.mode, TrainMode::Sparse);
+        assert_eq!(cfg.threads, 0);
+        assert!(cfg.effective_threads() >= 1);
     }
 
     #[test]

@@ -31,9 +31,9 @@ pub mod trainer;
 pub mod transe;
 
 pub use compgcn::CompGcn;
-pub use config::EmbedConfig;
+pub use config::{EmbedConfig, TrainMode};
 pub use entity_class::EntityClassModel;
-pub use model::{KgEmbedding, ModelKind, RelationBound};
+pub use model::{KgEmbedding, ModelKind, RelationBound, TableParams};
 pub use rotate::RotatE;
 pub use trainer::{EmbedTrainer, TrainStats};
 pub use transe::TransE;

@@ -79,6 +79,20 @@ impl RelationBound {
     }
 }
 
+/// The raw embedding-table parameter names of a model whose encoders are
+/// plain table lookups (no cross-row computation in the forward pass).
+///
+/// When a model reports these, the trainer may use the sparse/lazy path:
+/// batches read only the gathered rows, so deferred per-row optimizer
+/// updates ([`daakg_autograd::Adam::refresh_rows`]) stay sound.
+#[derive(Debug, Clone)]
+pub struct TableParams {
+    /// Qualified name of the entity table.
+    pub ent: String,
+    /// Qualified name of the relation table (including synthetic reverses).
+    pub rel: String,
+}
+
 /// A KG entity–relation embedding model over a [`ParamStore`].
 ///
 /// Parameter names are namespaced by a `prefix` (`"g1."` / `"g2."`) so two
@@ -125,6 +139,36 @@ pub trait KgEmbedding: Send + Sync {
         rel_ids: &[u32],
         tails: &[u32],
     ) -> Var;
+
+    /// The raw table parameter names, when the encoders are plain table
+    /// lookups — enables the sparse/lazy training path. `None` (the
+    /// default) for encoder models whose forward pass mixes rows (CompGCN
+    /// message passing), which must read and update whole tables.
+    fn table_params(&self, _prefix: &str) -> Option<TableParams> {
+        None
+    }
+
+    /// Triple scores built **without** binding full tables onto the tape:
+    /// table models gather the batch rows straight from the store
+    /// ([`TapeSession::gather_param`]), so backward yields sparse
+    /// row-gradients and no table-sized tensor is ever allocated.
+    ///
+    /// The default falls back to the dense construction (encode + score),
+    /// which is always correct; models reporting [`KgEmbedding::table_params`]
+    /// override it with the sparse construction.
+    fn score_triples_sparse(
+        &self,
+        s: &mut TapeSession,
+        store: &ParamStore,
+        prefix: &str,
+        heads: &[u32],
+        rel_ids: &[u32],
+        tails: &[u32],
+    ) -> Var {
+        let ents = self.encode_entities(s, store, prefix);
+        let rels = self.encode_relations(s, store, prefix);
+        self.score_triples(&mut s.graph, ents, rels, heads, rel_ids, tails)
+    }
 
     /// A tape-free snapshot of the encoded entity matrix.
     fn entity_matrix(&self, store: &ParamStore, prefix: &str) -> Tensor;

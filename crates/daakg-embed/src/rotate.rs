@@ -4,7 +4,7 @@
 //! real vector of even dimension `d`; relation embeddings are phase vectors
 //! `θ ∈ [0, 2π)^{d/2}` acting as unit rotations `e^{iθ}`.
 
-use crate::model::{names, KgEmbedding, ModelKind, RelationBound};
+use crate::model::{names, KgEmbedding, ModelKind, RelationBound, TableParams};
 use daakg_autograd::{init, Graph, ParamStore, TapeSession, Tensor, Var};
 use daakg_graph::KnowledgeGraph;
 use rand::rngs::StdRng;
@@ -31,6 +31,28 @@ impl RotatE {
             num_base_relations,
             dim,
         }
+    }
+
+    /// `‖h ∘ e^{iθ} − t‖` over already-gathered batch rows (`h`, `t` are
+    /// `[re|im]` complex rows, `theta` the gathered phase rows).
+    fn score_from_vars(&self, g: &mut Graph, h: Var, theta: Var, t: Var) -> Var {
+        let half = self.dim / 2;
+        let h_re = g.slice_cols(h, 0, half);
+        let h_im = g.slice_cols(h, half, self.dim);
+        let cos = g.cos(theta);
+        let sin = g.sin(theta);
+
+        // (re + i·im)(cosθ + i·sinθ) = (re·cos − im·sin) + i(re·sin + im·cos)
+        let rc = g.mul(h_re, cos);
+        let is = g.mul(h_im, sin);
+        let out_re = g.sub(rc, is);
+        let rs = g.mul(h_re, sin);
+        let ic = g.mul(h_im, cos);
+        let out_im = g.add(rs, ic);
+
+        let rotated = g.concat_cols(out_re, out_im);
+        let diff = g.sub(rotated, t);
+        g.rows_l2norm(diff)
     }
 
     /// Rotate the complex vector `e = [re|im]` by phases `theta`.
@@ -101,27 +123,33 @@ impl KgEmbedding for RotatE {
         rel_ids: &[u32],
         tails: &[u32],
     ) -> Var {
-        let half = self.dim / 2;
         let h = g.gather_rows(ents, heads);
         let theta = g.gather_rows(rels, rel_ids);
         let t = g.gather_rows(ents, tails);
+        self.score_from_vars(g, h, theta, t)
+    }
 
-        let h_re = g.slice_cols(h, 0, half);
-        let h_im = g.slice_cols(h, half, self.dim);
-        let cos = g.cos(theta);
-        let sin = g.sin(theta);
+    fn table_params(&self, prefix: &str) -> Option<TableParams> {
+        Some(TableParams {
+            ent: names::qualified(prefix, names::ENT),
+            rel: names::qualified(prefix, names::REL),
+        })
+    }
 
-        // (re + i·im)(cosθ + i·sinθ) = (re·cos − im·sin) + i(re·sin + im·cos)
-        let rc = g.mul(h_re, cos);
-        let is = g.mul(h_im, sin);
-        let out_re = g.sub(rc, is);
-        let rs = g.mul(h_re, sin);
-        let ic = g.mul(h_im, cos);
-        let out_im = g.add(rs, ic);
-
-        let rotated = g.concat_cols(out_re, out_im);
-        let diff = g.sub(rotated, t);
-        g.rows_l2norm(diff)
+    fn score_triples_sparse(
+        &self,
+        s: &mut TapeSession,
+        store: &ParamStore,
+        prefix: &str,
+        heads: &[u32],
+        rel_ids: &[u32],
+        tails: &[u32],
+    ) -> Var {
+        let tp = self.table_params(prefix).expect("RotatE is a table model");
+        let h = s.gather_param(store, &tp.ent, heads);
+        let theta = s.gather_param(store, &tp.rel, rel_ids);
+        let t = s.gather_param(store, &tp.ent, tails);
+        self.score_from_vars(&mut s.graph, h, theta, t)
     }
 
     fn entity_matrix(&self, store: &ParamStore, prefix: &str) -> Tensor {

@@ -4,12 +4,26 @@
 //! The joint alignment objective (Sect. 4.2) builds on these and lives in
 //! `daakg-align`; this trainer is also reused there to warm up the
 //! embedding tables before alignment learning.
+//!
+//! Two execution modes ([`TrainMode`]) share identical sampling and loss
+//! structure:
+//!
+//! * **Dense** — the retained verification oracle: one tape per batch with
+//!   full parameter tables as leaves, dense gradients, dense Adam.
+//! * **Sparse** — the fast path: each batch shards across scoped threads,
+//!   every shard builds its own tape over the shared read-only store via
+//!   external gathers ([`TapeSession::gather_param`]), shard gradients
+//!   merge as sparse row-maps, and one lazy sparse Adam step applies them.
+//!   Rows a batch will read are refreshed first
+//!   ([`Adam::refresh_rows`]), and the store is flushed at the end of
+//!   training, so the trajectory matches the dense oracle up to
+//!   floating-point reassociation.
 
-use crate::config::EmbedConfig;
+use crate::config::{EmbedConfig, TrainMode};
 use crate::entity_class::EntityClassModel;
 use crate::model::KgEmbedding;
 use crate::sampling::{ClassNegativeSampler, NegativeSampler, TripleArrays};
-use daakg_autograd::{Adam, ParamStore, TapeSession};
+use daakg_autograd::{unique_rows, Adam, NamedGrads, ParamStore, TapeSession};
 use daakg_graph::KnowledgeGraph;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -111,11 +125,19 @@ impl EmbedTrainer {
                 }
             }
         }
+        // Lazily-deferred sparse Adam rows catch up here, so callers always
+        // see the parameters the dense oracle would have produced.
+        if self.cfg.mode == TrainMode::Sparse {
+            opt.flush(store);
+        }
         stats
     }
 
     /// One mini-batch step of `O_er` (Eq. 1):
     /// `Σ |λ_er + f_er(pos) − f_er(neg)|₊`.
+    ///
+    /// Negative sampling happens before mode dispatch, so dense and sparse
+    /// runs consume the RNG identically and stay comparable.
     #[allow(clippy::too_many_arguments)]
     fn er_step(
         &self,
@@ -127,9 +149,23 @@ impl EmbedTrainer {
         opt: &mut Adam,
         rng: &mut StdRng,
     ) -> f32 {
-        let k = self.cfg.neg_samples;
-        let neg = sampler.corrupt_tails(rng, batch, k);
+        let neg = sampler.corrupt_tails(rng, batch, self.cfg.neg_samples);
+        match self.cfg.mode {
+            TrainMode::Dense => self.er_step_dense(model, batch, &neg, store, prefix, opt),
+            TrainMode::Sparse => self.er_step_sparse(model, batch, &neg, store, prefix, opt),
+        }
+    }
 
+    /// The retained dense oracle: full tables bound as tape leaves.
+    fn er_step_dense(
+        &self,
+        model: &dyn KgEmbedding,
+        batch: &TripleArrays,
+        neg: &TripleArrays,
+        store: &mut ParamStore,
+        prefix: &str,
+        opt: &mut Adam,
+    ) -> f32 {
         let mut s = TapeSession::new();
         let ents = model.encode_entities(&mut s, store, prefix);
         let rels = model.encode_relations(&mut s, store, prefix);
@@ -145,19 +181,112 @@ impl EmbedTrainer {
         let neg_scores =
             model.score_triples(&mut s.graph, ents, rels, &neg.heads, &neg.rels, &neg.tails);
 
-        // Repeat each positive score k times to align with its negatives.
-        let rep_idx: Vec<u32> = (0..batch.len() as u32)
+        let loss = self.hinge_loss(&mut s, pos_scores, neg_scores, batch.len(), 1.0);
+        let loss_val = s.graph.value(loss).item();
+        s.backward(loss);
+        s.step(store, opt);
+        loss_val
+    }
+
+    /// The sparse/parallel fast path: the batch shards across scoped
+    /// threads, each shard scores its slice through external gathers over
+    /// the shared read-only store, shard gradients merge, and one (lazy)
+    /// optimizer step applies them.
+    fn er_step_sparse(
+        &self,
+        model: &dyn KgEmbedding,
+        batch: &TripleArrays,
+        neg: &TripleArrays,
+        store: &mut ParamStore,
+        prefix: &str,
+        opt: &mut Adam,
+    ) -> f32 {
+        let k = self.cfg.neg_samples;
+        let table = model.table_params(prefix);
+        // Rows the forward pass will read must be current (see the Adam
+        // deferred-decay contract). Encoder models read whole tables.
+        match &table {
+            Some(tp) => {
+                // `refresh_rows` is idempotent per row (a refreshed row is
+                // skipped on re-visit), so raw index slices with duplicates
+                // are fine — no sort/dedup on the hot path.
+                opt.refresh_rows(store, &tp.ent, &batch.heads);
+                opt.refresh_rows(store, &tp.ent, &batch.tails);
+                opt.refresh_rows(store, &tp.ent, &neg.tails);
+                opt.refresh_rows(store, &tp.rel, &batch.rels);
+            }
+            None => opt.flush(store),
+        }
+        // Encoder models (CompGCN) re-encode the whole graph per tape, so
+        // sharding would multiply encoder work; they run as one shard.
+        let shards = if table.is_some() {
+            self.cfg.effective_threads().min(batch.len()).max(1)
+        } else {
+            1
+        };
+        let total = batch.len();
+        let store_ref = &*store;
+        let results = daakg_parallel::par_map_ranges(total, shards, |r| {
+            let mut s = TapeSession::new();
+            let pos_scores = model.score_triples_sparse(
+                &mut s,
+                store_ref,
+                prefix,
+                &batch.heads[r.clone()],
+                &batch.rels[r.clone()],
+                &batch.tails[r.clone()],
+            );
+            let nr = r.start * k..r.end * k;
+            let neg_scores = model.score_triples_sparse(
+                &mut s,
+                store_ref,
+                prefix,
+                &neg.heads[nr.clone()],
+                &neg.rels[nr.clone()],
+                &neg.tails[nr],
+            );
+            let weight = r.len() as f32 / total as f32;
+            let loss = self.hinge_loss(&mut s, pos_scores, neg_scores, r.len(), weight);
+            let loss_val = s.graph.value(loss).item();
+            s.backward(loss);
+            (loss_val, s.take_grads())
+        });
+        let mut loss_total = 0.0;
+        let mut grads = NamedGrads::default();
+        for (loss, shard_grads) in results {
+            loss_total += loss;
+            grads.merge(shard_grads);
+        }
+        grads.apply(store, opt);
+        loss_total
+    }
+
+    /// The shared margin-ranking loss tail: repeat each positive score `k`
+    /// times against its negatives, hinge, average, and scale by `weight`
+    /// (a shard's share of the batch; `1.0` leaves the tape identical to
+    /// the dense construction).
+    fn hinge_loss(
+        &self,
+        s: &mut TapeSession,
+        pos_scores: daakg_autograd::Var,
+        neg_scores: daakg_autograd::Var,
+        positives: usize,
+        weight: f32,
+    ) -> daakg_autograd::Var {
+        let k = self.cfg.neg_samples;
+        let rep_idx: Vec<u32> = (0..positives as u32)
             .flat_map(|i| std::iter::repeat_n(i, k))
             .collect();
         let pos_rep = s.graph.gather_rows(pos_scores, &rep_idx);
         let margin_pos = s.graph.add_scalar(pos_rep, self.cfg.margin_er);
         let diff = s.graph.sub(margin_pos, neg_scores);
         let hinge = s.graph.relu(diff);
-        let loss = s.graph.mean_all(hinge);
-        let loss_val = s.graph.value(loss).item();
-        s.backward(loss);
-        s.step(store, opt);
-        loss_val
+        let mean = s.graph.mean_all(hinge);
+        if weight == 1.0 {
+            mean
+        } else {
+            s.graph.mul_scalar(mean, weight)
+        }
     }
 
     /// One full pass of `O_ec` (Eq. 3) over the KG's type assertions:
@@ -182,6 +311,21 @@ impl EmbedTrainer {
             pos_entities.push(a.entity.raw());
             classes.push(a.class.raw());
             neg_entities.push(sampler.sample_non_member(rng, a.class.raw()));
+        }
+
+        // The entity table may carry deferred sparse-Adam rows from the
+        // `O_er` batches; the rows this pass gathers must be current. The
+        // class/FFNN parameters only ever take dense steps, so they never
+        // lag. The dense gradient this step produces for the entity table
+        // flushes the remaining rows inside `Adam::step`.
+        if self.cfg.mode == TrainMode::Sparse {
+            match model.table_params(prefix) {
+                Some(tp) => {
+                    let ent_rows = unique_rows(&[&pos_entities, &neg_entities]);
+                    opt.refresh_rows(store, &tp.ent, &ent_rows);
+                }
+                None => opt.flush(store),
+            }
         }
 
         let mut s = TapeSession::new();
@@ -287,6 +431,99 @@ mod tests {
             s_member < s_non,
             "member {s_member} not closer than non-member {s_non}"
         );
+    }
+
+    /// Train one model per mode from identical init and return
+    /// `(er_losses, final entity table)` for each.
+    #[allow(clippy::type_complexity)]
+    fn train_both_modes(
+        kind: ModelKind,
+        threads: usize,
+        epochs: usize,
+        with_ec: bool,
+    ) -> ((Vec<f32>, Vec<f32>), (Vec<f32>, Vec<f32>)) {
+        let kg = chain_kg(24);
+        let run = |mode: TrainMode| {
+            let model = crate::build_model(kind, &kg, 8);
+            let ec = with_ec.then(|| EntityClassModel::new(kg.num_classes(), 8, 4));
+            let mut store = ParamStore::new();
+            let mut rng = StdRng::seed_from_u64(9);
+            model.init_params(&mut rng, &mut store, "g.");
+            if let Some(ec) = &ec {
+                ec.init_params(&mut rng, &mut store, "g.");
+            }
+            let cfg = EmbedConfig {
+                model: kind,
+                epochs,
+                batch_size: 8,
+                dim: 8,
+                class_dim: 4,
+                mode,
+                threads,
+                ..EmbedConfig::default()
+            };
+            let trainer = EmbedTrainer::new(cfg);
+            let mut opt = Adam::with_lr(cfg.lr);
+            let stats = trainer.train(model.as_ref(), ec.as_ref(), &kg, &mut store, "g.", &mut opt);
+            (
+                stats.er_losses,
+                model.entity_matrix(&store, "g.").as_slice().to_vec(),
+            )
+        };
+        (run(TrainMode::Dense), run(TrainMode::Sparse))
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32, what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() <= tol,
+                "{what}[{i}]: dense={x} sparse={y} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_training_matches_dense_oracle_single_shard() {
+        // One shard keeps the tape op-for-op identical to the dense path,
+        // so losses and final parameters agree to float precision.
+        let (dense, sparse) = train_both_modes(ModelKind::TransE, 1, 4, false);
+        assert_close(&dense.0, &sparse.0, 1e-6, "er loss trajectory");
+        assert_close(&dense.1, &sparse.1, 1e-5, "final entity table");
+    }
+
+    #[test]
+    fn sparse_training_matches_dense_oracle_multi_shard() {
+        // Several shards reassociate the gradient sums; trajectories agree
+        // within floating-point accumulation tolerance.
+        let (dense, sparse) = train_both_modes(ModelKind::TransE, 3, 4, false);
+        assert_close(&dense.0, &sparse.0, 1e-4, "er loss trajectory");
+        assert_close(&dense.1, &sparse.1, 1e-3, "final entity table");
+    }
+
+    #[test]
+    fn sparse_training_matches_dense_with_entity_class_objective() {
+        // Interleaves sparse er-steps with the dense-gradient ec-step:
+        // exercises refresh-before-read and dense-step flushing.
+        let (dense, sparse) = train_both_modes(ModelKind::TransE, 2, 3, true);
+        assert_close(&dense.0, &sparse.0, 1e-4, "er loss trajectory");
+        assert_close(&dense.1, &sparse.1, 1e-3, "final entity table");
+    }
+
+    #[test]
+    fn sparse_training_matches_dense_for_rotate() {
+        let (dense, sparse) = train_both_modes(ModelKind::RotatE, 2, 3, false);
+        assert_close(&dense.0, &sparse.0, 1e-4, "er loss trajectory");
+        assert_close(&dense.1, &sparse.1, 1e-3, "final entity table");
+    }
+
+    #[test]
+    fn sparse_mode_falls_back_cleanly_for_encoder_models() {
+        // CompGCN reports no table params: the sparse path must still
+        // train (single shard, dense gradients) and match the oracle.
+        let (dense, sparse) = train_both_modes(ModelKind::CompGcn, 4, 2, false);
+        assert_close(&dense.0, &sparse.0, 1e-5, "er loss trajectory");
+        assert_close(&dense.1, &sparse.1, 1e-4, "final entity table");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! TransE: translation-based embedding, `f_er(h, r, t) = ‖h + r − t‖`.
 
-use crate::model::{names, KgEmbedding, ModelKind, RelationBound};
+use crate::model::{names, KgEmbedding, ModelKind, RelationBound, TableParams};
 use daakg_autograd::{init, Graph, ParamStore, TapeSession, Tensor, Var};
 use daakg_graph::KnowledgeGraph;
 use rand::rngs::StdRng;
@@ -34,6 +34,13 @@ impl TransE {
             num_base_relations,
             dim,
         }
+    }
+
+    /// `‖h + r − t‖` over already-gathered batch rows.
+    fn score_from_vars(g: &mut Graph, h: Var, r: Var, t: Var) -> Var {
+        let hr = g.add(h, r);
+        let diff = g.sub(hr, t);
+        g.rows_l2norm(diff)
     }
 }
 
@@ -89,9 +96,37 @@ impl KgEmbedding for TransE {
         let h = g.gather_rows(ents, heads);
         let r = g.gather_rows(rels, rel_ids);
         let t = g.gather_rows(ents, tails);
-        let hr = g.add(h, r);
-        let diff = g.sub(hr, t);
-        g.rows_l2norm(diff)
+        Self::score_from_vars(g, h, r, t)
+    }
+
+    fn table_params(&self, prefix: &str) -> Option<TableParams> {
+        Some(TableParams {
+            ent: names::qualified(prefix, names::ENT),
+            rel: names::qualified(prefix, names::REL),
+        })
+    }
+
+    fn score_triples_sparse(
+        &self,
+        s: &mut TapeSession,
+        store: &ParamStore,
+        prefix: &str,
+        heads: &[u32],
+        rel_ids: &[u32],
+        tails: &[u32],
+    ) -> Var {
+        // The whole score `‖h + r − t‖` is one fused tape node: no
+        // batch×dim intermediates, and backward scatters straight into the
+        // sparse row-gradients of the two tables.
+        let tp = self.table_params(prefix).expect("TransE is a table model");
+        s.gather_l2_param(
+            store,
+            &[
+                (&tp.ent, heads, 1.0),
+                (&tp.rel, rel_ids, 1.0),
+                (&tp.ent, tails, -1.0),
+            ],
+        )
     }
 
     fn entity_matrix(&self, store: &ParamStore, prefix: &str) -> Tensor {

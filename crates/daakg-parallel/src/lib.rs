@@ -164,6 +164,46 @@ where
     out
 }
 
+/// Parallel *sharded* map: split `0..len` into at most `parts` contiguous
+/// ranges and compute `f(range)` for each on scoped threads, collecting
+/// the results in range order. Unlike [`par_map`], the closure sees the
+/// whole shard at once — this is the work distributor for sharded
+/// mini-batch gradient computation, where each shard builds its own tape
+/// over shared read-only parameters and returns that shard's gradients.
+///
+/// Runs sequentially when `parts <= 1`, `len < 2`, or only one worker
+/// thread is available, so single-core machines pay no spawn cost.
+pub fn par_map_ranges<R, F>(len: usize, parts: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    let ranges = split_ranges(len, parts.max(1));
+    if ranges.len() <= 1 || num_threads() <= 1 {
+        return ranges.into_iter().map(f).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(ranges.len(), || None);
+    std::thread::scope(|scope| {
+        // First shard runs on the calling thread to save one spawn.
+        let (first_slot, mut rest) = out
+            .split_first_mut()
+            .expect("at least two ranges past the sequential fast path");
+        let mut iter = ranges.into_iter();
+        let first_range = iter.next().expect("one range per slot");
+        for r in iter {
+            let (slot, tail) = rest.split_first_mut().expect("one slot per range");
+            rest = tail;
+            let f = &f;
+            scope.spawn(move || *slot = Some(f(r)));
+        }
+        *first_slot = Some(f(first_range));
+    });
+    out.into_iter()
+        .map(|r| r.expect("every shard produced a result"))
+        .collect()
+}
+
 /// Parallel comparison sort: chunk-sort on worker threads, then fold the
 /// sorted runs together with pairwise merges. Falls back to
 /// `slice::sort_by` below the cutoff or on single-threaded machines.
@@ -316,6 +356,21 @@ mod tests {
         for (i, &x) in out.iter().enumerate() {
             assert_eq!(x, i * 2);
         }
+    }
+
+    #[test]
+    fn par_map_ranges_returns_shards_in_order() {
+        for parts in [1usize, 2, 4, 7] {
+            let out = par_map_ranges(10, parts, |r| (r.start, r.len()));
+            let total: usize = out.iter().map(|&(_, l)| l).sum();
+            assert_eq!(total, 10, "parts={parts}");
+            let mut expect = 0;
+            for &(start, len) in &out {
+                assert_eq!(start, expect);
+                expect += len;
+            }
+        }
+        assert!(par_map_ranges(0, 4, |r| r.len()).is_empty());
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! Workspace integration tests: cross-crate properties that no single
 //! crate can check alone.
 //!
-//! The core contract verified here is the one the perf work of this PR
-//! rests on: every fast path (blocked matmul, fused transpose products,
-//! batched top-k ranking, parallel evaluation) must agree with its naive
-//! oracle on randomized inputs.
+//! The core contract verified here is the one the perf work rests on:
+//! every fast path (blocked matmul, fused transpose products, batched
+//! top-k ranking, parallel evaluation, and the sparse-gradient parallel
+//! training engine) must agree with its naive/dense oracle on randomized
+//! inputs.
 
 use daakg::active::{ActiveConfig, ActiveLoop, GoldOracle, Strategy};
 use daakg::align::joint::LabeledMatches;
@@ -166,7 +167,7 @@ fn end_to_end_pipeline_aligns_synthetic_pair() {
 fn bench_harness_verifies_and_serializes() {
     let cfg = BenchConfig::quick();
     let results = run_all(&cfg);
-    assert_eq!(results.len(), 6);
+    assert_eq!(results.len(), 8);
     for r in &results {
         if let Some(v) = r.get_flag("verified") {
             assert!(v, "{} failed oracle verification", r.name);
@@ -176,12 +177,122 @@ fn bench_harness_verifies_and_serializes() {
     let text = doc.to_pretty_string();
     assert!(text.contains("\"bench\": \"daakg-core\""));
     assert!(text.contains("rank_full"));
+    assert!(text.contains("train_epoch_sparse"));
+    assert!(text.contains("joint_round"));
     assert!(text.contains("active_round"));
     // The document round-trips through the parser the regression gate
     // uses, and a self-comparison reports no regression.
     let parsed = daakg::bench::JsonValue::parse(&text).expect("bench JSON must parse");
     let regressions = daakg::bench::compare_docs(&parsed, &parsed, 0.3).unwrap();
     assert!(regressions.is_empty(), "{regressions:?}");
+}
+
+#[test]
+fn sparse_backward_and_adam_match_dense_oracle_on_random_batches() {
+    use daakg::autograd::{Adam, Optimizer, ParamStore, SparseGrad, TapeSession};
+    // Property-style sweep: random tables, random index batches with
+    // repeated gathers, sparse external-gather backward + lazy sparse
+    // Adam vs the dense tape + dense Adam oracle.
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (rows, cols) = (rng.gen_range(4..20), rng.gen_range(2..9));
+        let table = random_tensor(rows, cols, seed ^ 0xBEEF);
+
+        let mut dense_store = ParamStore::new();
+        dense_store.insert("w", table.clone());
+        let mut dense_opt = Adam::with_lr(0.05);
+        let mut sparse_store = ParamStore::new();
+        sparse_store.insert("w", table);
+        let mut sparse_opt = Adam::with_lr(0.05);
+
+        for _step in 0..12 {
+            let m = rng.gen_range(1..10);
+            let mut indices: Vec<u32> = (0..m).map(|_| rng.gen_range(0..rows as u32)).collect();
+            // Force a repeated index into most batches.
+            if m > 1 {
+                indices[m - 1] = indices[0];
+            }
+
+            // Dense oracle: leaf gather, dense grad, dense step.
+            let mut gd = daakg::Graph::new();
+            let leaf = gd.leaf(dense_store.get("w").clone());
+            let picked = gd.gather_rows(leaf, &indices);
+            let sq = gd.mul(picked, picked);
+            let loss = gd.sum_all(sq);
+            gd.backward(loss);
+            let dense_grad = gd.grad(leaf).unwrap().clone();
+            dense_opt.step(&mut dense_store, "w", &dense_grad);
+
+            // Sparse path: refresh-before-read, external gather, sparse
+            // row-gradient, lazy sparse step.
+            sparse_opt.refresh_rows(&mut sparse_store, "w", &indices);
+            let mut s = TapeSession::new();
+            let picked = s.gather_param(&sparse_store, "w", &indices);
+            let sq = s.graph.mul(picked, picked);
+            let loss = s.graph.sum_all(sq);
+            s.backward(loss);
+            let sparse_grad: &SparseGrad = s.graph.external_grad("w").unwrap();
+            assert_eq!(
+                &sparse_grad.to_dense(rows),
+                &dense_grad,
+                "seed {seed}: sparse backward disagrees with dense scatter"
+            );
+            let sg = sparse_grad.clone();
+            sparse_opt.step_sparse(&mut sparse_store, "w", &sg);
+        }
+
+        sparse_opt.flush(&mut sparse_store);
+        let d = dense_store.get("w").as_slice();
+        let p = sparse_store.get("w").as_slice();
+        for (i, (a, b)) in d.iter().zip(p).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-5,
+                "seed {seed} element {i}: dense {a} vs sparse {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sparse_parallel_training_reaches_dense_final_loss_on_synthetic_kg() {
+    use daakg::autograd::Adam;
+    use daakg::embed::{EmbedTrainer, TrainMode, TransE};
+    use daakg::KgEmbedding;
+    // End-to-end: the sparse+parallel engine and the dense oracle train
+    // the same synthetic KG to the same loss trajectory, at 1 and 3
+    // shards (thread-count independence up to fp reassociation).
+    let spec = SynthSpec::with_entities(150, 7);
+    let (kg, _, _) = synthetic_pair(spec, 0.1);
+    let run = |mode: TrainMode, threads: usize| {
+        let model = TransE::new(&kg, 12);
+        let mut store = daakg::ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        model.init_params(&mut rng, &mut store, "g.");
+        let cfg = EmbedConfig {
+            epochs: 3,
+            batch_size: 64,
+            dim: 12,
+            mode,
+            threads,
+            ..EmbedConfig::default()
+        };
+        let trainer = EmbedTrainer::new(cfg);
+        let mut opt = Adam::with_lr(cfg.lr);
+        trainer
+            .train(&model, None, &kg, &mut store, "g.", &mut opt)
+            .er_losses
+    };
+    let dense = run(TrainMode::Dense, 1);
+    for threads in [1usize, 3] {
+        let sparse = run(TrainMode::Sparse, threads);
+        assert_eq!(dense.len(), sparse.len());
+        for (e, (d, s)) in dense.iter().zip(&sparse).enumerate() {
+            assert!(
+                (d - s).abs() <= 1e-3,
+                "epoch {e} at {threads} threads: dense {d} vs sparse {s}"
+            );
+        }
+    }
 }
 
 /// A *partial* relation alignment of a `synthetic_pair`: left relation
