@@ -2,12 +2,13 @@
 
 use crate::oracle::Oracle;
 use crate::select::{generate_candidates, select_batch, PowerContext, Strategy};
-use daakg_align::{AlignmentSnapshot, JointModel, LabeledMatches};
+use daakg_align::{AlignmentService, AlignmentSnapshot, JointModel, LabeledMatches};
 use daakg_eval::{CostCurve, CostPoint, RankingScores};
-use daakg_graph::{ElementPair, EntityId, FxHashSet, GoldAlignment, KnowledgeGraph};
+use daakg_graph::{DaakgError, ElementPair, EntityId, FxHashSet, GoldAlignment, KnowledgeGraph};
 use daakg_infer::{InferConfig, InferenceEngine, KnownMatches, RelationMatches};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Configuration of the active loop.
 #[derive(Debug, Clone, Copy)]
@@ -50,19 +51,20 @@ impl Default for ActiveConfig {
 
 impl ActiveConfig {
     /// Validate internal consistency.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), DaakgError> {
         self.infer.validate()?;
+        let invalid = |reason: &str| DaakgError::invalid("ActiveConfig", reason);
         if self.batch_size == 0 {
-            return Err("batch_size must be at least 1".into());
+            return Err(invalid("batch_size must be at least 1"));
         }
         if self.per_query == 0 {
-            return Err("per_query must be at least 1".into());
+            return Err(invalid("per_query must be at least 1"));
         }
         if self.eval_depth == 0 {
-            return Err("eval_depth must be at least 1".into());
+            return Err(invalid("eval_depth must be at least 1"));
         }
         if !(0.0..=1.0).contains(&self.accept_confidence) {
-            return Err("accept_confidence must be within [0, 1]".into());
+            return Err(invalid("accept_confidence must be within [0, 1]"));
         }
         Ok(())
     }
@@ -129,10 +131,12 @@ pub struct ActiveLoop {
 }
 
 impl ActiveLoop {
-    /// Build a loop with the given configuration and strategy.
-    pub fn new(cfg: ActiveConfig, strategy: Strategy) -> Self {
-        cfg.validate().expect("invalid ActiveConfig");
-        Self { cfg, strategy }
+    /// Build a loop with the given configuration and strategy; rejects
+    /// invalid configurations with a typed [`DaakgError`] instead of
+    /// panicking.
+    pub fn new(cfg: ActiveConfig, strategy: Strategy) -> Result<Self, DaakgError> {
+        cfg.validate()?;
+        Ok(Self { cfg, strategy })
     }
 
     /// The configuration in use.
@@ -140,10 +144,49 @@ impl ActiveLoop {
         &self.cfg
     }
 
-    /// Run the loop. `initial` seeds the supervised set (and is trained on
-    /// from scratch before the first round); `eval_gold` is the held-out
-    /// alignment the curve is scored against; `rels` is the relation
-    /// alignment inference fires through.
+    /// Run the loop against an [`AlignmentService`] — the primary entry
+    /// point. The service owns the KG pair and the joint model; each
+    /// round's retrain publishes a fresh snapshot version, so concurrent
+    /// readers of the same service observe the campaign's progress live.
+    ///
+    /// `initial` seeds the supervised set (and is trained on from scratch
+    /// before the first round); `eval_gold` is the held-out alignment the
+    /// curve is scored against; `rels` is the relation alignment inference
+    /// fires through.
+    pub fn run_service(
+        &self,
+        service: &AlignmentService,
+        rels: &RelationMatches,
+        oracle: &mut dyn Oracle,
+        eval_gold: &GoldAlignment,
+        initial: &LabeledMatches,
+    ) -> Result<CostCurve, DaakgError> {
+        self.run_core(
+            service.kg1(),
+            service.kg2(),
+            rels,
+            oracle,
+            eval_gold,
+            initial,
+            // The publication handle pins the exact snapshot this call
+            // produced: `current()` could already carry a concurrent
+            // publisher's version, which would make the loop select on a
+            // model its own retraining never produced.
+            |labels| Ok(service.train(labels)?.snapshot),
+            |labels, inferred, accept| {
+                Ok(service
+                    .fine_tune_with_inferred(labels, inferred, accept)?
+                    .snapshot)
+            },
+        )
+    }
+
+    /// Run the loop against a bare [`JointModel`] plus its KG pair — the
+    /// pre-service calling convention.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build an AlignmentService (e.g. via daakg::Pipeline) and use run_service"
+    )]
     #[allow(clippy::too_many_arguments)]
     pub fn run(
         &self,
@@ -155,9 +198,46 @@ impl ActiveLoop {
         eval_gold: &GoldAlignment,
         initial: &LabeledMatches,
     ) -> CostCurve {
+        let model = std::cell::RefCell::new(model);
+        self.run_core(
+            kg1,
+            kg2,
+            rels,
+            oracle,
+            eval_gold,
+            initial,
+            |labels| Ok(Arc::new(model.borrow_mut().train(kg1, kg2, labels))),
+            |labels, inferred, accept| {
+                Ok(Arc::new(model.borrow_mut().fine_tune_with_inferred(
+                    kg1, kg2, labels, inferred, accept,
+                )))
+            },
+        )
+        .expect("model-backed retraining is infallible")
+    }
+
+    /// The select → label → infer → retrain loop, generic over how
+    /// retraining produces snapshots (owned model vs service publication).
+    #[allow(clippy::too_many_arguments)]
+    fn run_core(
+        &self,
+        kg1: &KnowledgeGraph,
+        kg2: &KnowledgeGraph,
+        rels: &RelationMatches,
+        oracle: &mut dyn Oracle,
+        eval_gold: &GoldAlignment,
+        initial: &LabeledMatches,
+        mut train: impl FnMut(&LabeledMatches) -> Result<Arc<AlignmentSnapshot>, DaakgError>,
+        mut fine_tune: impl FnMut(
+            &LabeledMatches,
+            &[(u32, u32, f32)],
+            f32,
+        ) -> Result<Arc<AlignmentSnapshot>, DaakgError>,
+    ) -> Result<CostCurve, DaakgError> {
         let mut labels = initial.clone();
-        let mut snap = model.train(kg1, kg2, &labels);
-        let engine = InferenceEngine::new(kg1, kg2, self.cfg.infer);
+        let mut snap = train(&labels)?;
+        let engine = InferenceEngine::new(kg1, kg2, self.cfg.infer)
+            .expect("ActiveConfig validated at construction");
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
 
         // Resolved pairs: labeled positives plus accepted inferred matches.
@@ -188,7 +268,7 @@ impl ActiveLoop {
                 engine: &engine,
                 known: &known,
                 rels,
-                sim: &snap,
+                sim: snap.as_ref(),
             };
             let batch = select_batch(
                 self.strategy,
@@ -219,7 +299,7 @@ impl ActiveLoop {
             // unrefuted, and 1:1-consistent with `known`.
             let mut seeds: Vec<(u32, u32)> = labels.entities.clone();
             seeds.extend(accepted_all.iter().map(|&(l, r, _)| (l, r)));
-            let inferred = engine.closure(&seeds, &known, rels, &snap);
+            let inferred = engine.closure(&seeds, &known, rels, snap.as_ref());
             let mut newly_accepted = 0usize;
             let mut soft: Vec<(u32, u32, f32)> = Vec::new();
             for m in &inferred {
@@ -243,13 +323,7 @@ impl ActiveLoop {
             // (soft).
             let mut injected = accepted_all.clone();
             injected.extend(soft);
-            snap = model.fine_tune_with_inferred(
-                kg1,
-                kg2,
-                &labels,
-                &injected,
-                self.cfg.accept_confidence,
-            );
+            snap = fine_tune(&labels, &injected, self.cfg.accept_confidence)?;
 
             let (h1, mrr) = evaluate_alignment(&snap, &known, eval_gold, self.cfg.eval_depth);
             curve.push(CostPoint {
@@ -260,7 +334,7 @@ impl ActiveLoop {
                 mrr,
             });
         }
-        curve
+        Ok(curve)
     }
 }
 
@@ -332,17 +406,30 @@ mod tests {
         .is_err());
     }
 
+    fn small_joint_cfg() -> JointConfig {
+        let mut joint_cfg = tiny_cfg();
+        joint_cfg.embed.dim = 8;
+        joint_cfg.embed.class_dim = 4;
+        joint_cfg.embed.epochs = 2;
+        joint_cfg.align_epochs = 3;
+        joint_cfg.fine_tune_epochs = 1;
+        joint_cfg
+    }
+
+    fn service_for(kg1: &KnowledgeGraph, kg2: &KnowledgeGraph) -> AlignmentService {
+        AlignmentService::new(
+            small_joint_cfg(),
+            Arc::new(kg1.clone()),
+            Arc::new(kg2.clone()),
+        )
+        .unwrap()
+    }
+
     #[test]
     fn loop_runs_all_strategies_and_spends_budget() {
         let (kg1, kg2, gold, labels, rels) = example_setup();
         for strategy in [Strategy::InferencePower, Strategy::Margin, Strategy::Random] {
-            let mut joint_cfg = tiny_cfg();
-            joint_cfg.embed.dim = 8;
-            joint_cfg.embed.class_dim = 4;
-            joint_cfg.embed.epochs = 2;
-            joint_cfg.align_epochs = 3;
-            joint_cfg.fine_tune_epochs = 1;
-            let mut model = JointModel::new(joint_cfg, &kg1, &kg2);
+            let service = service_for(&kg1, &kg2);
             let mut oracle = GoldOracle::new(&gold);
             let cfg = ActiveConfig {
                 rounds: 2,
@@ -353,15 +440,10 @@ mod tests {
                 },
                 ..ActiveConfig::default()
             };
-            let curve = ActiveLoop::new(cfg, strategy).run(
-                &mut model,
-                &kg1,
-                &kg2,
-                &rels,
-                &mut oracle,
-                &gold,
-                &labels,
-            );
+            let curve = ActiveLoop::new(cfg, strategy)
+                .unwrap()
+                .run_service(&service, &rels, &mut oracle, &gold, &labels)
+                .unwrap();
             assert!(
                 curve.len() >= 2,
                 "{strategy:?}: at least the round-0 point plus one round"
@@ -376,6 +458,13 @@ mod tests {
                 assert!((0.0..=1.0).contains(&p.mrr));
                 assert!(p.mrr + 1e-9 >= p.h1, "MRR dominates H@1");
             }
+            // Every retrain round published a queryable version: the
+            // initial init, the from-scratch train, plus one per round.
+            assert_eq!(
+                service.version().get(),
+                2 + (curve.len() - 1) as u64,
+                "{strategy:?}: unexpected publication count"
+            );
         }
     }
 
@@ -385,31 +474,53 @@ mod tests {
         // Seed with ALL gold matches: every left entity with a counterpart
         // is resolved; remaining candidates are only dangling entities.
         let labels = LabeledMatches::from_gold(&gold);
-        let mut joint_cfg = tiny_cfg();
-        joint_cfg.embed.dim = 8;
-        joint_cfg.embed.class_dim = 4;
-        joint_cfg.embed.epochs = 2;
-        joint_cfg.align_epochs = 2;
-        joint_cfg.fine_tune_epochs = 1;
-        let mut model = JointModel::new(joint_cfg, &kg1, &kg2);
+        let service = service_for(&kg1, &kg2);
         let mut oracle = GoldOracle::new(&gold);
         let cfg = ActiveConfig {
             rounds: 50,
             batch_size: 4,
             ..ActiveConfig::default()
         };
-        let curve = ActiveLoop::new(cfg, Strategy::Margin).run(
-            &mut model,
-            &kg1,
-            &kg2,
-            &rels,
-            &mut oracle,
-            &gold,
-            &labels,
-        );
+        let curve = ActiveLoop::new(cfg, Strategy::Margin)
+            .unwrap()
+            .run_service(&service, &rels, &mut oracle, &gold, &labels)
+            .unwrap();
         // The candidate pool (left entities × per_query) is finite and
         // shrinking; 50 rounds must terminate early by exhaustion.
         assert!(curve.len() < 50);
+    }
+
+    /// The deprecated model-backed `run` is a shim over the same core as
+    /// `run_service`: identical configuration and seeds must produce the
+    /// identical cost curve.
+    #[test]
+    fn deprecated_run_matches_run_service() {
+        let (kg1, kg2, gold, labels, rels) = example_setup();
+        let cfg = ActiveConfig {
+            rounds: 2,
+            batch_size: 2,
+            ..ActiveConfig::default()
+        };
+        let active = ActiveLoop::new(cfg, Strategy::Margin).unwrap();
+
+        let service = service_for(&kg1, &kg2);
+        let mut oracle = GoldOracle::new(&gold);
+        let via_service = active
+            .run_service(&service, &rels, &mut oracle, &gold, &labels)
+            .unwrap();
+
+        let mut model = JointModel::new(small_joint_cfg(), &kg1, &kg2).unwrap();
+        let mut oracle = GoldOracle::new(&gold);
+        #[allow(deprecated)]
+        let via_model = active.run(&mut model, &kg1, &kg2, &rels, &mut oracle, &gold, &labels);
+
+        assert_eq!(via_service.len(), via_model.len());
+        for (a, b) in via_service.points().iter().zip(via_model.points()) {
+            assert_eq!(a.questions, b.questions);
+            assert_eq!(a.labeled, b.labeled);
+            assert_eq!(a.h1, b.h1);
+            assert_eq!(a.mrr, b.mrr);
+        }
     }
 
     #[test]
@@ -421,7 +532,7 @@ mod tests {
         joint_cfg.embed.class_dim = 4;
         joint_cfg.embed.epochs = 3;
         joint_cfg.align_epochs = 8;
-        let mut model = JointModel::new(joint_cfg, &kg1, &kg2);
+        let mut model = JointModel::new(joint_cfg, &kg1, &kg2).unwrap();
         let snap = model.train(&kg1, &kg2, &labels);
         let (h1, mrr) = evaluate_snapshot(&snap, &gold, 10);
         assert!((0.0..=1.0).contains(&h1));

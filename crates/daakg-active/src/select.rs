@@ -277,7 +277,7 @@ mod tests {
     #[test]
     fn margin_strategy_prefers_uncertain_candidates() {
         let f = Fixture::chain(3);
-        let engine = InferenceEngine::new(&f.kg1, &f.kg2, InferConfig::default());
+        let engine = InferenceEngine::new(&f.kg1, &f.kg2, InferConfig::default()).unwrap();
         let known = KnownMatches::new();
         let sim = UniformSim(0.0);
         let ctx = PowerContext {
@@ -301,7 +301,7 @@ mod tests {
     #[test]
     fn random_strategy_is_deterministic_in_the_seed_and_distinct() {
         let f = Fixture::chain(3);
-        let engine = InferenceEngine::new(&f.kg1, &f.kg2, InferConfig::default());
+        let engine = InferenceEngine::new(&f.kg1, &f.kg2, InferConfig::default()).unwrap();
         let known = KnownMatches::new();
         let sim = UniformSim(0.0);
         let ctx = PowerContext {
@@ -333,7 +333,7 @@ mod tests {
             sim_gate: -1.0,
             max_fanout: 8,
         };
-        let engine = InferenceEngine::new(&f.kg1, &f.kg2, cfg);
+        let engine = InferenceEngine::new(&f.kg1, &f.kg2, cfg).unwrap();
         let known = KnownMatches::new();
         let sim = UniformSim(1.0);
         let ctx = PowerContext {
@@ -360,7 +360,7 @@ mod tests {
         // No matched relations: every candidate has zero power, so the
         // margin tie-break decides.
         let f = Fixture::chain(3);
-        let engine = InferenceEngine::new(&f.kg1, &f.kg2, InferConfig::default());
+        let engine = InferenceEngine::new(&f.kg1, &f.kg2, InferConfig::default()).unwrap();
         let known = KnownMatches::new();
         let sim = UniformSim(0.0);
         let empty_rels = RelationMatches::new();
@@ -390,7 +390,7 @@ mod tests {
             sim_gate: -1.0,
             max_fanout: 8,
         };
-        let engine = InferenceEngine::new(&f.kg1, &f.kg2, cfg);
+        let engine = InferenceEngine::new(&f.kg1, &f.kg2, cfg).unwrap();
         let known = KnownMatches::new();
         let sim = UniformSim(1.0);
         let ctx = PowerContext {
@@ -409,7 +409,7 @@ mod tests {
     #[test]
     fn one_question_per_left_entity_per_batch() {
         let f = Fixture::chain(3);
-        let engine = InferenceEngine::new(&f.kg1, &f.kg2, InferConfig::default());
+        let engine = InferenceEngine::new(&f.kg1, &f.kg2, InferConfig::default()).unwrap();
         let known = KnownMatches::new();
         let sim = UniformSim(0.0);
         let ctx = PowerContext {
@@ -428,7 +428,7 @@ mod tests {
     #[test]
     fn empty_pool_and_zero_batch() {
         let f = Fixture::chain(3);
-        let engine = InferenceEngine::new(&f.kg1, &f.kg2, InferConfig::default());
+        let engine = InferenceEngine::new(&f.kg1, &f.kg2, InferConfig::default()).unwrap();
         let known = KnownMatches::new();
         let sim = UniformSim(0.0);
         let ctx = PowerContext {

@@ -2,6 +2,7 @@
 //! toggles studied in Table 5.
 
 use daakg_embed::EmbedConfig;
+use daakg_graph::DaakgError;
 
 /// Hyper-parameters of the joint alignment model.
 ///
@@ -105,16 +106,17 @@ impl JointConfig {
     }
 
     /// Validate internal consistency.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), DaakgError> {
         self.embed.validate()?;
+        let invalid = |reason: &str| DaakgError::invalid("JointConfig", reason);
         if !(0.0..=1.0).contains(&self.semi_threshold) {
-            return Err("semi_threshold must be within [0, 1]".into());
+            return Err(invalid("semi_threshold must be within [0, 1]"));
         }
         if self.z_ent <= 0.0 || self.z_rel <= 0.0 || self.z_cls <= 0.0 {
-            return Err("temperatures must be positive".into());
+            return Err(invalid("temperatures must be positive"));
         }
         if self.focal_gamma < 0.0 {
-            return Err("focal_gamma must be non-negative".into());
+            return Err(invalid("focal_gamma must be non-negative"));
         }
         Ok(())
     }

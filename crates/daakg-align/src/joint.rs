@@ -27,7 +27,7 @@ use crate::snapshot::AlignmentSnapshot;
 use crate::weights::EntityWeights;
 use daakg_autograd::{unique_rows, Adam, ParamStore, TapeSession, Var};
 use daakg_embed::{build_model, EmbedTrainer, EntityClassModel, KgEmbedding, TrainMode};
-use daakg_graph::{ElementPair, GoldAlignment, KnowledgeGraph};
+use daakg_graph::{DaakgError, ElementPair, GoldAlignment, KnowledgeGraph};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -98,9 +98,15 @@ pub struct JointModel {
 }
 
 impl JointModel {
-    /// Build models for both KGs and initialize all parameters.
-    pub fn new(cfg: JointConfig, kg1: &KnowledgeGraph, kg2: &KnowledgeGraph) -> Self {
-        cfg.validate().expect("invalid JointConfig");
+    /// Build models for both KGs and initialize all parameters; rejects
+    /// invalid configurations with a typed [`DaakgError`] instead of
+    /// panicking.
+    pub fn new(
+        cfg: JointConfig,
+        kg1: &KnowledgeGraph,
+        kg2: &KnowledgeGraph,
+    ) -> Result<Self, DaakgError> {
+        cfg.validate()?;
         let dim = cfg.embed.dim;
         let model1 = build_model(cfg.embed.model, kg1, dim);
         let model2 = build_model(cfg.embed.model, kg2, dim);
@@ -122,7 +128,7 @@ impl JointModel {
         );
 
         let weights = EntityWeights::uniform(kg1.num_entities(), kg2.num_entities());
-        Self {
+        Ok(Self {
             cfg,
             model1,
             model2,
@@ -131,7 +137,7 @@ impl JointModel {
             store,
             weights,
             last_mined: Vec::new(),
-        }
+        })
     }
 
     /// The configuration in use.
@@ -174,7 +180,8 @@ impl JointModel {
         labels: &LabeledMatches,
     ) -> AlignmentSnapshot {
         // Phase 1: standalone embedding objectives for both KGs.
-        let trainer = EmbedTrainer::new(self.cfg.embed);
+        let trainer =
+            EmbedTrainer::new(self.cfg.embed).expect("JointConfig validated at construction");
         let mut opt = Adam::with_lr(self.cfg.embed.lr);
         let ec1 = self.cfg.use_class_embeddings.then_some(&self.ec1);
         let ec2 = self.cfg.use_class_embeddings.then_some(&self.ec2);
@@ -674,7 +681,7 @@ mod tests {
         let labels = example_labels(&kg1, &kg2);
         assert!(!labels.is_empty());
 
-        let mut model = JointModel::new(tiny_cfg(), &kg1, &kg2);
+        let mut model = JointModel::new(tiny_cfg(), &kg1, &kg2).unwrap();
         let before = model.snapshot(&kg1, &kg2);
         let snap = model.train(&kg1, &kg2, &labels);
 
@@ -698,7 +705,7 @@ mod tests {
         let kg1 = example_dbpedia();
         let kg2 = example_wikidata();
         let labels = example_labels(&kg1, &kg2);
-        let mut model = JointModel::new(tiny_cfg(), &kg1, &kg2);
+        let mut model = JointModel::new(tiny_cfg(), &kg1, &kg2).unwrap();
         model.train(&kg1, &kg2, &labels);
         let snap = model.fine_tune(&kg1, &kg2, &labels);
         let (n1, n2) = snap.entity_counts();
@@ -717,7 +724,7 @@ mod tests {
         let labels = example_labels(&kg1, &kg2);
         let mut cfg = tiny_cfg();
         cfg.use_semi_supervision = false;
-        let mut model = JointModel::new(cfg, &kg1, &kg2);
+        let mut model = JointModel::new(cfg, &kg1, &kg2).unwrap();
         model.train(&kg1, &kg2, &labels);
         assert!(model.last_mined().is_empty());
     }
@@ -727,7 +734,7 @@ mod tests {
         let kg1 = example_dbpedia();
         let kg2 = example_wikidata();
         let labels = example_labels(&kg1, &kg2);
-        let mut model = JointModel::new(tiny_cfg(), &kg1, &kg2);
+        let mut model = JointModel::new(tiny_cfg(), &kg1, &kg2).unwrap();
         model.train(&kg1, &kg2, &labels);
 
         // Inject one confident inferred pair (hard label) and one weak one
@@ -749,7 +756,7 @@ mod tests {
         let run = |mode: daakg_embed::TrainMode| {
             let mut cfg = tiny_cfg();
             cfg.embed.mode = mode;
-            let mut model = JointModel::new(cfg, &kg1, &kg2);
+            let mut model = JointModel::new(cfg, &kg1, &kg2).unwrap();
             model.align_rounds(&kg1, &kg2, &labels, 8)
         };
         let dense = run(daakg_embed::TrainMode::Dense);
@@ -769,7 +776,7 @@ mod tests {
     fn empty_labels_train_without_panicking() {
         let kg1 = example_dbpedia();
         let kg2 = example_wikidata();
-        let mut model = JointModel::new(tiny_cfg(), &kg1, &kg2);
+        let mut model = JointModel::new(tiny_cfg(), &kg1, &kg2).unwrap();
         let snap = model.train(&kg1, &kg2, &LabeledMatches::new());
         assert_eq!(snap.entity_counts().0, kg1.num_entities());
     }

@@ -23,7 +23,11 @@
 //! * [`calibrate`] — temperature-scaled alignment probabilities
 //!   (Eq. 11–12),
 //! * [`joint`] — [`JointModel`], the orchestrating type whose
-//!   `train`/`fine_tune` drive the whole module.
+//!   `train`/`fine_tune` drive the whole module,
+//! * [`service`] — [`AlignmentService`], the concurrent serve-while-train
+//!   layer: an atomic-swap registry of immutable, versioned snapshots;
+//!   queries run lock-free on whatever version they grab while training
+//!   publishes new versions.
 
 pub mod batched;
 pub mod calibrate;
@@ -33,10 +37,14 @@ pub mod losses;
 pub mod mapping;
 pub mod mean_embed;
 pub mod semi;
+pub mod service;
 pub mod snapshot;
 pub mod weights;
 
 pub use batched::BatchedSimilarity;
 pub use config::JointConfig;
 pub use joint::{JointModel, LabeledMatches};
+pub use service::{
+    AlignmentService, SnapshotRegistry, SnapshotVersion, Versioned, VersionedSnapshot,
+};
 pub use snapshot::AlignmentSnapshot;

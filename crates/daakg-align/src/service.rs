@@ -1,0 +1,868 @@
+//! The concurrent serve-while-train service: [`AlignmentService`].
+//!
+//! The free-standing path (`JointModel::train` → [`AlignmentSnapshot`] →
+//! `rank_entities`) is batch-shaped: every retrain invalidates the
+//! snapshot the caller holds, and nothing coordinates queries with
+//! training. This module wraps that engine in a service with a **versioned
+//! snapshot registry**:
+//!
+//! * training methods ([`AlignmentService::train`],
+//!   [`AlignmentService::align_rounds`],
+//!   [`AlignmentService::fine_tune_with_inferred`]) serialize on an
+//!   internal model lock and *publish* each finished snapshot as an
+//!   immutable [`Arc<AlignmentSnapshot>`] stamped with a monotonically
+//!   increasing [`SnapshotVersion`];
+//! * query methods ([`AlignmentService::rank`], [`AlignmentService::top_k`],
+//!   [`AlignmentService::batch_top_k`]) grab the current publication with
+//!   one atomic pointer load — no lock, no waiting on writers — and run on
+//!   that version for their whole duration. Every answer carries the
+//!   version it was computed on ([`Versioned`]), so callers can reason
+//!   about staleness and verify results against the exact snapshot that
+//!   produced them ([`AlignmentService::snapshot_at`]).
+//!
+//! Readers never block writers and writers never block readers: a reader
+//! that grabbed version `v` keeps using it while version `v+1` is being
+//! trained and published.
+
+use crate::config::JointConfig;
+use crate::joint::{JointModel, LabeledMatches};
+use crate::snapshot::AlignmentSnapshot;
+use daakg_graph::{DaakgError, KnowledgeGraph};
+use std::fmt;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotonically increasing identifier of one published snapshot.
+///
+/// Versions start at 1 (the service's initial publication) and increase by
+/// exactly 1 per publish, with no gaps — concurrent publishers are
+/// serialized by the registry, so observing version `v` implies versions
+/// `1..=v` were all published, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SnapshotVersion(u64);
+
+impl SnapshotVersion {
+    /// The raw version counter.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SnapshotVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A published snapshot together with its version stamp.
+#[derive(Debug, Clone)]
+pub struct VersionedSnapshot {
+    /// The version this snapshot was published as.
+    pub version: SnapshotVersion,
+    /// The immutable snapshot itself.
+    pub snapshot: Arc<AlignmentSnapshot>,
+}
+
+/// One ranked answer: `(right entity, score)` pairs, best first.
+pub type Ranking = Vec<(u32, f32)>;
+
+/// A query answer stamped with the snapshot version it was computed on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Versioned<T> {
+    /// The snapshot version the query ran against.
+    pub version: SnapshotVersion,
+    /// The query result.
+    pub value: T,
+}
+
+/// The versioned snapshot registry: atomic-swap publication, lock-free
+/// reads, retained history.
+///
+/// # How the lock-free read works
+///
+/// `current` holds a raw pointer to a heap-allocated [`VersionedSnapshot`]
+/// entry owned by `history`. Entries are freed only by [`SnapshotRegistry::prune`]
+/// (`&mut self`, so no reader can be mid-dereference), by `Drop`, or by
+/// [`SnapshotRegistry::prune_shared`] — which first detaches entries from
+/// `history` and then waits until the reader counter proves no thread is
+/// inside the load→clone critical section. A reader does one `SeqCst`
+/// counter increment, one `SeqCst` pointer load, the dereference + `Arc`
+/// clone, and a decrement — never a lock — and the classic hard part of
+/// lock-free pointer swapping (a writer freeing the entry between the
+/// reader's load and its dereference) is excluded by that quiescence
+/// protocol.
+///
+/// Publishers serialize on the `history` mutex, which also makes version
+/// assignment and the `current` store one atomic unit: `current` always
+/// carries the highest version, and versions are dense and monotone even
+/// under concurrent publishes.
+///
+/// # Reclamation
+///
+/// Publications are retained so [`SnapshotRegistry::get`] (and thus
+/// per-version oracle verification of live query traffic) works. Three
+/// reclamation paths bound the memory:
+///
+/// * [`SnapshotRegistry::set_retention`] — an at-publish policy: each
+///   publish best-effort frees everything but the newest `keep` versions;
+/// * [`SnapshotRegistry::prune_shared`] — the same best-effort shared
+///   reclamation on demand (`&self`, usable through `Arc`): stale entries
+///   are detached under the mutex, then freed once the reader counter
+///   proves no thread is inside the load→clone critical section
+///   (quiescence; bounded wait, re-attaches and reports 0 on timeout);
+/// * [`SnapshotRegistry::prune`] — the unconditional `&mut self` path.
+pub struct SnapshotRegistry {
+    /// Always points at the entry of the latest publication (never null —
+    /// construction publishes version 1).
+    current: AtomicPtr<VersionedSnapshot>,
+    /// Every publication, in version order. The registry owns these
+    /// allocations (created with `Box::into_raw`, freed with
+    /// `Box::from_raw` in `prune`/`Drop`); raw ownership — instead of
+    /// `Vec<Box<_>>` — keeps every entry at a stable address that is never
+    /// re-asserted as a unique `Box`, so the pointers handed to `current`
+    /// stay valid unconditionally.
+    history: Mutex<Vec<*mut VersionedSnapshot>>,
+    /// Readers currently between the `current` pointer load and the end of
+    /// the entry dereference — the only window in which a reader may hold
+    /// a raw pointer to an entry that is no longer the newest.
+    active_readers: AtomicUsize,
+    /// Publications to keep at publish time; 0 = retain everything.
+    retention: AtomicUsize,
+}
+
+// SAFETY: the raw pointer in `current` always refers to an entry owned by
+// `history`; entries are immutable after publication (only `Arc::clone` and
+// field reads happen through the pointer), and are only freed (a) under
+// `&mut self` / `Drop`, which exclude other references, or (b) by
+// `prune_shared` after detaching them from `history` *and* observing the
+// reader counter at zero, which proves no thread still holds a raw pointer
+// into the detached set. All shared mutation goes through the atomics and
+// the mutex.
+unsafe impl Send for SnapshotRegistry {}
+unsafe impl Sync for SnapshotRegistry {}
+
+impl SnapshotRegistry {
+    /// A registry whose first publication (version 1) is `initial`.
+    pub fn new(initial: AlignmentSnapshot) -> Self {
+        let ptr = Box::into_raw(Box::new(VersionedSnapshot {
+            version: SnapshotVersion(1),
+            snapshot: Arc::new(initial),
+        }));
+        Self {
+            current: AtomicPtr::new(ptr),
+            history: Mutex::new(vec![ptr]),
+            active_readers: AtomicUsize::new(0),
+            retention: AtomicUsize::new(0),
+        }
+    }
+
+    /// Publish `snapshot` as the new current version and return its stamp.
+    ///
+    /// Publishers serialize on an internal mutex; readers are never
+    /// blocked and observe the swap atomically. When a retention policy is
+    /// set ([`SnapshotRegistry::set_retention`]), older publications are
+    /// best-effort reclaimed afterwards.
+    pub fn publish(&self, snapshot: AlignmentSnapshot) -> SnapshotVersion {
+        self.publish_pinned(snapshot).version
+    }
+
+    /// [`SnapshotRegistry::publish`], but hand back the published entry
+    /// itself. Publishers that need the exact snapshot they published
+    /// (e.g. to keep training on it) use this instead of re-reading
+    /// `current`, which a concurrent publisher may already have advanced.
+    pub fn publish_pinned(&self, snapshot: AlignmentSnapshot) -> VersionedSnapshot {
+        let published = {
+            let mut history = self.history.lock().expect("registry mutex poisoned");
+            // SAFETY: entries in `history` stay allocated while `&self`
+            // exists.
+            let last = unsafe { (*history.last().expect("never empty")).as_ref() }
+                .expect("history pointers are non-null");
+            let version = SnapshotVersion(last.version.0 + 1);
+            let ptr = Box::into_raw(Box::new(VersionedSnapshot {
+                version,
+                snapshot: Arc::new(snapshot),
+            }));
+            history.push(ptr);
+            // SeqCst (not just Release) is load-bearing: `prune_shared`'s
+            // quiescence argument needs this store in the single SC total
+            // order, so a reader whose counter increment lands after the
+            // pruner's zero-observation is guaranteed to load THIS (or a
+            // newer) pointer rather than a stale, about-to-be-freed one.
+            // It also releases the entry contents to readers as usual.
+            self.current.store(ptr, Ordering::SeqCst);
+            // SAFETY: just allocated above; cloning under the mutex.
+            unsafe { (*ptr).clone() }
+        };
+        let keep = self.retention.load(Ordering::Relaxed);
+        if keep > 0 {
+            self.prune_shared(keep);
+        }
+        published
+    }
+
+    /// The latest publication — one atomic load plus one `Arc` clone; never
+    /// blocks, even while a publish is in flight.
+    pub fn current(&self) -> VersionedSnapshot {
+        // SeqCst on the counter updates and the pointer load orders this
+        // critical section against `prune_shared`'s detach-then-observe
+        // protocol (see there).
+        self.active_readers.fetch_add(1, Ordering::SeqCst);
+        let ptr = self.current.load(Ordering::SeqCst);
+        // SAFETY: `ptr` was stored by `new`/`publish`. Either the entry is
+        // still in `history` (not freed while `&self` exists), or a
+        // concurrent `prune_shared` detached it — in which case it frees
+        // the entry only after observing `active_readers == 0`, which
+        // cannot happen before the decrement below.
+        let out = unsafe { (*ptr).clone() };
+        self.active_readers.fetch_sub(1, Ordering::SeqCst);
+        out
+    }
+
+    /// The latest published version.
+    pub fn version(&self) -> SnapshotVersion {
+        self.active_readers.fetch_add(1, Ordering::SeqCst);
+        let ptr = self.current.load(Ordering::SeqCst);
+        // SAFETY: as in `current`.
+        let version = unsafe { (*ptr).version };
+        self.active_readers.fetch_sub(1, Ordering::SeqCst);
+        version
+    }
+
+    /// A specific retained publication, if it has not been pruned.
+    pub fn get(&self, version: SnapshotVersion) -> Option<VersionedSnapshot> {
+        let history = self.history.lock().expect("registry mutex poisoned");
+        // History is sorted by version (publishes serialize on the mutex),
+        // so binary search is correct both before and after pruning.
+        // SAFETY: entries stay allocated while `&self` exists.
+        let idx = history
+            .binary_search_by_key(&version, |&p| unsafe { (*p).version })
+            .ok()?;
+        // SAFETY: entry still attached to `history`, cloned under the mutex.
+        Some(unsafe { (*history[idx]).clone() })
+    }
+
+    /// Number of retained publications.
+    pub fn retained(&self) -> usize {
+        self.history.lock().expect("registry mutex poisoned").len()
+    }
+
+    /// Set the at-publish retention policy: after each publish, keep only
+    /// the newest `keep` publications (0 restores unbounded retention).
+    /// Reclamation is the best-effort [`SnapshotRegistry::prune_shared`].
+    pub fn set_retention(&self, keep: usize) {
+        self.retention.store(keep, Ordering::Relaxed);
+    }
+
+    /// Best-effort shared reclamation: drop all publications except the
+    /// newest `keep` (at least the current one is always kept) without
+    /// requiring exclusive access. Returns how many entries were freed.
+    ///
+    /// The protocol: stale entries are *detached* from `history` under the
+    /// mutex (so `get`/`publish` can no longer reach them and `current`
+    /// keeps pointing into the retained suffix), then freed once
+    /// `active_readers` is observed at zero. A reader that loaded the
+    /// `current` pointer before the newest publish is still inside its
+    /// load→clone critical section and keeps the counter nonzero; once the
+    /// counter hits zero every such reader has finished, and readers
+    /// entering afterwards can only observe the retained current entry. If
+    /// readers never quiesce within the bounded wait, the detached entries
+    /// are re-attached and 0 is returned — memory is reclaimed on a later
+    /// attempt instead of blocking the publisher indefinitely.
+    pub fn prune_shared(&self, keep: usize) -> usize {
+        let stale: Vec<*mut VersionedSnapshot> = {
+            let mut history = self.history.lock().expect("registry mutex poisoned");
+            let keep = keep.max(1).min(history.len());
+            let drop_until = history.len() - keep;
+            history.drain(..drop_until).collect()
+        };
+        if stale.is_empty() {
+            return 0;
+        }
+        // Quiescence wait: bounded so a stuck/descheduled reader can delay
+        // reclamation but never deadlock a publisher.
+        let mut spins = 0usize;
+        while self.active_readers.load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
+            spins += 1;
+            if spins > 10_000 {
+                let mut history = self.history.lock().expect("registry mutex poisoned");
+                // Re-attach at each entry's sorted position: a concurrent
+                // timed-out prune may already have re-attached a *newer*
+                // detached run, so front-insertion could leave `history`
+                // unsorted and break `get`'s binary search.
+                for p in stale {
+                    // SAFETY: detached entries are still allocated (owned
+                    // by this call until re-attached or freed).
+                    let v = unsafe { (*p).version };
+                    let idx = history.partition_point(|&q| unsafe { (*q).version } < v);
+                    history.insert(idx, p);
+                }
+                return 0;
+            }
+        }
+        let freed = stale.len();
+        for ptr in stale {
+            // SAFETY: detached from `history` (unreachable via `get` /
+            // `publish` / future `current` loads) and the zero reader
+            // count proves no in-flight reader still holds the raw
+            // pointer. Each pointer came from `Box::into_raw` and leaves
+            // the registry exactly once.
+            drop(unsafe { Box::from_raw(ptr) });
+        }
+        freed
+    }
+
+    /// Drop all retained publications except the newest `keep` (at least
+    /// the current one is always kept).
+    ///
+    /// Requires `&mut self`: exclusive access proves no reader is between
+    /// its pointer load and dereference, so freeing old entries is
+    /// unconditionally sound (no quiescence wait needed).
+    pub fn prune(&mut self, keep: usize) {
+        let history = self.history.get_mut().expect("registry mutex poisoned");
+        let keep = keep.max(1).min(history.len());
+        for ptr in history.drain(..history.len() - keep) {
+            // SAFETY: `&mut self` excludes all readers; `ptr` came from
+            // `Box::into_raw` and is dropped exactly once (it leaves the
+            // vec here). `current` points at the last entry, which is
+            // always in the kept suffix.
+            drop(unsafe { Box::from_raw(ptr) });
+        }
+    }
+}
+
+impl Drop for SnapshotRegistry {
+    fn drop(&mut self) {
+        for ptr in self
+            .history
+            .get_mut()
+            .expect("registry mutex poisoned")
+            .drain(..)
+        {
+            // SAFETY: as in `prune` — exclusive access, single free.
+            drop(unsafe { Box::from_raw(ptr) });
+        }
+    }
+}
+
+/// The concurrent alignment service: owns the KG pair and the
+/// [`JointModel`], serves lock-free versioned queries while training.
+///
+/// The service is `Send + Sync`; share it across threads as
+/// `Arc<AlignmentService>` (or plain `&` borrows under
+/// `std::thread::scope`) and call query and training methods concurrently
+/// — queries see the latest *published* snapshot and are never blocked by
+/// an in-flight training call.
+///
+/// Construct directly with [`AlignmentService::new`] or through the
+/// `daakg::Pipeline` builder.
+pub struct AlignmentService {
+    kg1: Arc<KnowledgeGraph>,
+    kg2: Arc<KnowledgeGraph>,
+    /// The training side. One training call at a time; queries never take
+    /// this lock.
+    model: Mutex<JointModel>,
+    registry: SnapshotRegistry,
+}
+
+impl fmt::Debug for AlignmentService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AlignmentService")
+            .field("kg1", &self.kg1.name())
+            .field("kg2", &self.kg2.name())
+            .field("version", &self.version())
+            .field("retained_versions", &self.retained_versions())
+            .finish_non_exhaustive()
+    }
+}
+
+impl AlignmentService {
+    /// Build the joint model for the KG pair and publish version 1 (the
+    /// untrained init), so queries are answerable immediately.
+    pub fn new(
+        cfg: JointConfig,
+        kg1: Arc<KnowledgeGraph>,
+        kg2: Arc<KnowledgeGraph>,
+    ) -> Result<Self, DaakgError> {
+        let model = JointModel::new(cfg, &kg1, &kg2)?;
+        let initial = model.snapshot(&kg1, &kg2);
+        Ok(Self {
+            registry: SnapshotRegistry::new(initial),
+            model: Mutex::new(model),
+            kg1,
+            kg2,
+        })
+    }
+
+    /// The left knowledge graph.
+    pub fn kg1(&self) -> &KnowledgeGraph {
+        &self.kg1
+    }
+
+    /// The right knowledge graph.
+    pub fn kg2(&self) -> &KnowledgeGraph {
+        &self.kg2
+    }
+
+    /// The latest published version.
+    pub fn version(&self) -> SnapshotVersion {
+        self.registry.version()
+    }
+
+    /// The latest published snapshot with its version — the lock-free grab
+    /// every query method starts from. Hold the returned `Arc` to pin that
+    /// version for as long as needed.
+    pub fn current(&self) -> VersionedSnapshot {
+        self.registry.current()
+    }
+
+    /// A specific retained version (for staleness handling and per-version
+    /// result verification).
+    pub fn snapshot_at(&self, version: SnapshotVersion) -> Option<VersionedSnapshot> {
+        self.registry.get(version)
+    }
+
+    /// Number of retained publications (see [`AlignmentService::prune`]).
+    pub fn retained_versions(&self) -> usize {
+        self.registry.retained()
+    }
+
+    /// Drop all but the newest `keep` retained versions. Requires
+    /// exclusive access, so it cannot race in-flight queries.
+    pub fn prune(&mut self, keep: usize) {
+        self.registry.prune(keep);
+    }
+
+    /// Best-effort shared reclamation of all but the newest `keep`
+    /// versions — usable through a shared `Arc<AlignmentService>` (see
+    /// [`SnapshotRegistry::prune_shared`] for the quiescence protocol).
+    /// Returns how many versions were freed.
+    pub fn prune_shared(&self, keep: usize) -> usize {
+        self.registry.prune_shared(keep)
+    }
+
+    /// Bound retained history for a long-running shared service: after
+    /// each publish, only the newest `keep` versions are kept (0 restores
+    /// unbounded retention, the default — full history is what enables
+    /// per-version verification of live traffic).
+    pub fn set_retention(&self, keep: usize) {
+        self.registry.set_retention(keep);
+    }
+
+    fn check_query(&self, e1: u32) -> Result<(), DaakgError> {
+        let bound = self.kg1.num_entities();
+        if (e1 as usize) < bound {
+            Ok(())
+        } else {
+            Err(DaakgError::unknown_entity(self.kg1.name(), e1, bound))
+        }
+    }
+
+    /// Rank all right entities for `e1`, descending, on the current
+    /// version. Runs lock-free on the version it grabs.
+    pub fn rank(&self, e1: u32) -> Result<Versioned<Vec<(u32, f32)>>, DaakgError> {
+        self.check_query(e1)?;
+        let cur = self.current();
+        Ok(Versioned {
+            version: cur.version,
+            value: cur.snapshot.rank_entities(e1),
+        })
+    }
+
+    /// Best `k` right entities for `e1`, descending, on the current
+    /// version.
+    pub fn top_k(&self, e1: u32, k: usize) -> Result<Versioned<Vec<(u32, f32)>>, DaakgError> {
+        self.check_query(e1)?;
+        let cur = self.current();
+        Ok(Versioned {
+            version: cur.version,
+            value: cur.snapshot.top_k_entities(e1, k),
+        })
+    }
+
+    /// Best `k` right entities for *each* query, all answered on **one**
+    /// version (a single grab covers the whole batch), sharded across
+    /// worker threads via `daakg-parallel` on top of the blocked
+    /// per-shard scoring of the batched engine.
+    pub fn batch_top_k(
+        &self,
+        queries: &[u32],
+        k: usize,
+    ) -> Result<Versioned<Vec<Ranking>>, DaakgError> {
+        for &q in queries {
+            self.check_query(q)?;
+        }
+        let cur = self.current();
+        let snap = &cur.snapshot;
+        let shards = daakg_parallel::num_threads();
+        let mut value: Vec<Ranking> = Vec::with_capacity(queries.len());
+        for shard in daakg_parallel::par_map_ranges(queries.len(), shards, |r| {
+            snap.top_k_entities_block(&queries[r], k)
+        }) {
+            value.extend(shard);
+        }
+        Ok(Versioned {
+            version: cur.version,
+            value,
+        })
+    }
+
+    /// Full training (embedding warm-up plus alignment rounds) over
+    /// `labels`; publishes the resulting snapshot and returns the exact
+    /// publication (version + pinned snapshot — re-reading `current()`
+    /// could already observe a concurrent publisher's newer version).
+    /// Queries keep running on the previous version until the publish.
+    pub fn train(&self, labels: &LabeledMatches) -> Result<VersionedSnapshot, DaakgError> {
+        let mut model = self.model.lock().expect("model mutex poisoned");
+        let snap = model.train(&self.kg1, &self.kg2, labels);
+        Ok(self.registry.publish_pinned(snap))
+    }
+
+    /// Run `epochs` alignment epochs over `labels` and publish the result.
+    /// Returns the new version and the loss per epoch. Call repeatedly to
+    /// stream fresh versions to readers mid-campaign.
+    pub fn align_rounds(
+        &self,
+        labels: &LabeledMatches,
+        epochs: usize,
+    ) -> Result<Versioned<Vec<f32>>, DaakgError> {
+        let mut model = self.model.lock().expect("model mutex poisoned");
+        let losses = model.align_rounds(&self.kg1, &self.kg2, labels, epochs);
+        let snap = model.snapshot(&self.kg1, &self.kg2);
+        Ok(Versioned {
+            version: self.registry.publish(snap),
+            value: losses,
+        })
+    }
+
+    /// Focal fine-tuning on (newly) labeled matches; publishes the result
+    /// and returns the exact publication.
+    pub fn fine_tune(&self, labels: &LabeledMatches) -> Result<VersionedSnapshot, DaakgError> {
+        self.fine_tune_with_inferred(labels, &[], 1.0)
+    }
+
+    /// Active-learning update with inferred `(left, right, confidence)`
+    /// matches injected alongside the labels (see
+    /// [`JointModel::fine_tune_with_inferred`]); publishes the result and
+    /// returns the exact publication.
+    pub fn fine_tune_with_inferred(
+        &self,
+        labels: &LabeledMatches,
+        inferred: &[(u32, u32, f32)],
+        accept: f32,
+    ) -> Result<VersionedSnapshot, DaakgError> {
+        let mut model = self.model.lock().expect("model mutex poisoned");
+        let snap = model.fine_tune_with_inferred(&self.kg1, &self.kg2, labels, inferred, accept);
+        Ok(self.registry.publish_pinned(snap))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::JointConfig;
+    use daakg_embed::EmbedConfig;
+    use daakg_graph::kg::{example_dbpedia, example_wikidata};
+    use daakg_graph::ElementPair;
+
+    fn tiny_cfg() -> JointConfig {
+        JointConfig {
+            embed: EmbedConfig {
+                dim: 8,
+                class_dim: 4,
+                epochs: 2,
+                batch_size: 16,
+                ..EmbedConfig::default()
+            },
+            align_epochs: 3,
+            fine_tune_epochs: 1,
+            ..JointConfig::default()
+        }
+    }
+
+    fn example_service() -> AlignmentService {
+        AlignmentService::new(
+            tiny_cfg(),
+            Arc::new(example_dbpedia()),
+            Arc::new(example_wikidata()),
+        )
+        .unwrap()
+    }
+
+    fn example_labels(svc: &AlignmentService) -> LabeledMatches {
+        let mut labels = LabeledMatches::new();
+        for (a, b) in [("Michael Jackson", "Q2831"), ("UnitedStates", "USA")] {
+            labels.push(ElementPair::Entity(
+                svc.kg1().entity_by_name(a).unwrap(),
+                svc.kg2().entity_by_name(b).unwrap(),
+            ));
+        }
+        labels
+    }
+
+    /// Compile-time satellite: the service types must be shareable across
+    /// threads (`&AlignmentService` is what reader threads hold).
+    #[test]
+    fn service_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AlignmentService>();
+        assert_send_sync::<SnapshotRegistry>();
+        assert_send_sync::<AlignmentSnapshot>();
+        assert_send_sync::<VersionedSnapshot>();
+        assert_send_sync::<Versioned<Vec<(u32, f32)>>>();
+        assert_send_sync::<SnapshotVersion>();
+    }
+
+    #[test]
+    fn initial_version_is_one_and_queries_answer() {
+        let svc = example_service();
+        assert_eq!(svc.version().get(), 1);
+        let r = svc.rank(0).unwrap();
+        assert_eq!(r.version.get(), 1);
+        assert_eq!(r.value.len(), svc.kg2().num_entities());
+        let t = svc.top_k(0, 3).unwrap();
+        assert_eq!(t.value.len(), 3);
+    }
+
+    #[test]
+    fn unknown_entities_are_typed_errors_not_panics() {
+        let svc = example_service();
+        let n = svc.kg1().num_entities() as u32;
+        for res in [svc.rank(n), svc.top_k(n + 7, 3)] {
+            match res {
+                Err(DaakgError::UnknownEntity { id, bound, .. }) => {
+                    assert!(id >= n);
+                    assert_eq!(bound, n as usize);
+                }
+                other => panic!("expected UnknownEntity, got {other:?}"),
+            }
+        }
+        let err = svc.batch_top_k(&[0, n], 2).unwrap_err();
+        assert!(matches!(err, DaakgError::UnknownEntity { .. }));
+    }
+
+    #[test]
+    fn training_publishes_monotone_versions_and_retains_history() {
+        let svc = example_service();
+        let labels = example_labels(&svc);
+        let v2 = svc.train(&labels).unwrap();
+        assert_eq!(v2.version.get(), 2);
+        // The returned publication is pinned: usable even after later
+        // publishes, and identical to what the registry retained.
+        assert_eq!(v2.snapshot.entity_counts().0, svc.kg1().num_entities());
+        let out = svc.align_rounds(&labels, 2).unwrap();
+        assert_eq!(out.version.get(), 3);
+        assert_eq!(out.value.len(), 2);
+        let v4 = svc.fine_tune(&labels).unwrap();
+        assert_eq!(v4.version.get(), 4);
+        assert_eq!(svc.retained_versions(), 4);
+        // Every retained version is still queryable.
+        for v in 1..=4u64 {
+            let pinned = svc.snapshot_at(SnapshotVersion(v)).unwrap();
+            assert_eq!(pinned.version.get(), v);
+            assert_eq!(pinned.snapshot.entity_counts().0, svc.kg1().num_entities());
+        }
+        assert!(svc.snapshot_at(SnapshotVersion(5)).is_none());
+    }
+
+    #[test]
+    fn batch_top_k_matches_per_query_answers() {
+        let svc = example_service();
+        let labels = example_labels(&svc);
+        svc.train(&labels).unwrap();
+        let queries: Vec<u32> = (0..svc.kg1().num_entities() as u32).collect();
+        let batch = svc.batch_top_k(&queries, 3).unwrap();
+        assert_eq!(batch.value.len(), queries.len());
+        for (&q, got) in queries.iter().zip(&batch.value) {
+            let single = svc
+                .snapshot_at(batch.version)
+                .unwrap()
+                .snapshot
+                .top_k_entities(q, 3);
+            assert_eq!(got, &single);
+        }
+    }
+
+    #[test]
+    fn prune_keeps_newest_versions_only() {
+        let mut svc = example_service();
+        let labels = example_labels(&svc);
+        for _ in 0..3 {
+            svc.align_rounds(&labels, 1).unwrap();
+        }
+        assert_eq!(svc.retained_versions(), 4);
+        svc.prune(2);
+        assert_eq!(svc.retained_versions(), 2);
+        assert!(svc.snapshot_at(SnapshotVersion(1)).is_none());
+        assert!(svc.snapshot_at(SnapshotVersion(4)).is_some());
+        // Current still answers after pruning.
+        assert_eq!(svc.version().get(), 4);
+        svc.rank(0).unwrap();
+        // Prune below 1 still keeps the current version.
+        svc.prune(0);
+        assert_eq!(svc.retained_versions(), 1);
+        assert_eq!(svc.current().version.get(), 4);
+    }
+
+    /// Readers running concurrently with publishers must only ever observe
+    /// complete snapshots (self-consistent matrices) at monotonically
+    /// non-decreasing versions.
+    #[test]
+    fn concurrent_readers_observe_complete_monotone_snapshots() {
+        let svc = example_service();
+        let labels = example_labels(&svc);
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let mut readers = Vec::new();
+            for _ in 0..3 {
+                readers.push(scope.spawn(|| {
+                    let mut last = 0u64;
+                    let mut observed = 0usize;
+                    loop {
+                        // Check `stop` only after at least one query: on a
+                        // single-core box the writer can finish before this
+                        // thread is first scheduled.
+                        let done = stop.load(Ordering::Relaxed);
+                        let cur = svc.current();
+                        let v = cur.version.get();
+                        assert!(v >= last, "version went backwards: {last} -> {v}");
+                        last = v;
+                        // Completeness: the grabbed snapshot must be fully
+                        // built — consistent shapes and a working engine.
+                        let (n1, n2) = cur.snapshot.entity_counts();
+                        assert_eq!(n1, svc.kg1().num_entities());
+                        assert_eq!(n2, svc.kg2().num_entities());
+                        let top = cur.snapshot.top_k_entities(0, 2);
+                        assert_eq!(top.len(), 2);
+                        observed += 1;
+                        if done {
+                            break;
+                        }
+                    }
+                    observed
+                }));
+            }
+            for _ in 0..4 {
+                svc.align_rounds(&labels, 1).unwrap();
+            }
+            stop.store(true, Ordering::Relaxed);
+            for r in readers {
+                assert!(r.join().unwrap() > 0, "reader never ran a query");
+            }
+        });
+        assert_eq!(svc.version().get(), 5);
+    }
+
+    /// Shared reclamation works through `&self` (the `Arc`-sharing
+    /// deployment): an at-publish retention policy bounds history, and the
+    /// service keeps answering afterwards.
+    #[test]
+    fn shared_retention_bounds_history_on_a_shared_service() {
+        let svc = example_service();
+        let labels = example_labels(&svc);
+        svc.set_retention(2);
+        for _ in 0..4 {
+            svc.align_rounds(&labels, 1).unwrap();
+        }
+        // No readers in flight: each publish reclaims down to 2.
+        assert_eq!(svc.retained_versions(), 2);
+        assert_eq!(svc.version().get(), 5);
+        assert!(svc.snapshot_at(SnapshotVersion(5)).is_some());
+        assert!(svc.snapshot_at(SnapshotVersion(1)).is_none());
+        svc.rank(0).unwrap();
+        // Explicit on-demand shared prune.
+        assert_eq!(svc.prune_shared(1), 1);
+        assert_eq!(svc.retained_versions(), 1);
+    }
+
+    /// Stress the quiescence protocol: readers hammer `current()` while a
+    /// writer publishes with a tight retention policy; every grabbed
+    /// snapshot must stay fully usable and history stays bounded.
+    #[test]
+    fn shared_pruning_never_invalidates_in_flight_readers() {
+        let svc = example_service();
+        let labels = example_labels(&svc);
+        svc.set_retention(2);
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let mut readers = Vec::new();
+            for _ in 0..3 {
+                readers.push(scope.spawn(|| {
+                    let mut grabs = 0usize;
+                    loop {
+                        let done = stop.load(Ordering::Relaxed);
+                        let cur = svc.current();
+                        // Use the grabbed snapshot after more publishes may
+                        // have pruned its version from history: the held
+                        // Arc must keep it alive and consistent.
+                        let top = cur.snapshot.top_k_entities(0, 2);
+                        assert_eq!(top.len(), 2);
+                        assert!(top[0].1 >= top[1].1);
+                        grabs += 1;
+                        if done {
+                            break;
+                        }
+                    }
+                    grabs
+                }));
+            }
+            for _ in 0..6 {
+                svc.align_rounds(&labels, 1).unwrap();
+            }
+            stop.store(true, Ordering::Relaxed);
+            for r in readers {
+                assert!(r.join().unwrap() > 0);
+            }
+        });
+        assert_eq!(svc.version().get(), 7);
+        // Bounded: retention-2 plus at most a few transiently-skipped
+        // prunes (the quiescence wait is best-effort under live readers).
+        assert!(
+            svc.retained_versions() <= 4,
+            "history not bounded: {}",
+            svc.retained_versions()
+        );
+        let before = svc.retained_versions();
+        assert_eq!(svc.prune_shared(1), before - 1);
+        assert_eq!(svc.retained_versions(), 1);
+    }
+
+    /// Registry-level satellite: versions stay dense and strictly monotone
+    /// under *concurrent* publishers.
+    #[test]
+    fn concurrent_publishes_yield_dense_monotone_versions() {
+        let svc = example_service();
+        let initial = svc.current();
+        let registry = SnapshotRegistry::new((*initial.snapshot).clone());
+        let per_thread = 16;
+        let threads = 4;
+        let mut all: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut mine = Vec::with_capacity(per_thread);
+                        for _ in 0..per_thread {
+                            let v = registry.publish((*initial.snapshot).clone());
+                            mine.push(v.get());
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            let mut all = Vec::new();
+            for h in handles {
+                let mine = h.join().unwrap();
+                // Per-thread monotonicity.
+                assert!(mine.windows(2).all(|w| w[0] < w[1]));
+                all.extend(mine);
+            }
+            all
+        });
+        all.sort_unstable();
+        // Dense: exactly versions 2..=1+threads*per_thread, no gaps/dupes.
+        let expect: Vec<u64> = (2..=(1 + threads * per_thread) as u64).collect();
+        assert_eq!(all, expect);
+        assert_eq!(registry.version().get(), *expect.last().unwrap());
+        assert_eq!(registry.retained(), 1 + threads * per_thread);
+    }
+}

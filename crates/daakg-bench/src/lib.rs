@@ -12,9 +12,12 @@
 //! * [`json`] — a tiny dependency-free JSON value writer and parser,
 //! * [`scenarios`] — the timed scenarios: dense matmul, snapshot build,
 //!   full entity ranking at 1k / 10k entities (naive oracle vs batched
-//!   engine, with equivalence verification), one training epoch, and one
+//!   engine, with equivalence verification), one training epoch, one
 //!   active-learning round (selection + oracle + inference closure,
-//!   verified against the dense reference propagation),
+//!   verified against the dense reference propagation), and the
+//!   serve-while-train scenario (reader threads query a Pipeline-built
+//!   `AlignmentService` during `align_rounds`; answers are replayed
+//!   against the naive ranker on the exact snapshot version observed),
 //! * [`compare`] — the regression gate: `daakg-bench -- --compare BASE NEW
 //!   --tolerance 0.30` exits non-zero when any verified scenario regresses
 //!   beyond tolerance, which is what CI runs instead of archiving results

@@ -9,7 +9,8 @@
 
 use crate::json::JsonValue;
 use crate::synth::{synthetic_pair, SynthSpec};
-use crate::time_median_of;
+use crate::{time_median_of, time_once};
+use daakg::Pipeline;
 use daakg_active::{generate_candidates, select_batch, GoldOracle, Oracle, PowerContext, Strategy};
 use daakg_align::mapping::init_mappings;
 use daakg_align::weights::EntityWeights;
@@ -102,6 +103,14 @@ pub struct BenchConfig {
     pub active_entities: usize,
     /// Questions selected per active round.
     pub active_batch: usize,
+    /// Entity count of the serve-while-train scenario.
+    pub serve_entities: usize,
+    /// Reader threads querying the service during training.
+    pub serve_readers: usize,
+    /// Snapshot publications (one `align_rounds` call each) during serving.
+    pub serve_publishes: usize,
+    /// Alignment epochs per publication.
+    pub serve_epochs: usize,
     /// Embedding dimension used across scenarios.
     pub dim: usize,
     /// Timing repetitions (median-of-N after one untimed warm-up run).
@@ -121,6 +130,10 @@ impl Default for BenchConfig {
             joint_epochs: 30,
             active_entities: 1000,
             active_batch: 16,
+            serve_entities: 2000,
+            serve_readers: 2,
+            serve_publishes: 4,
+            serve_epochs: 5,
             dim: 32,
             reps: 3,
         }
@@ -146,6 +159,10 @@ impl BenchConfig {
             joint_epochs: 5,
             active_entities: 120,
             active_batch: 8,
+            serve_entities: 150,
+            serve_readers: 2,
+            serve_publishes: 3,
+            serve_epochs: 2,
             dim: 16,
             // Median-of-3 keeps the smoke run seconds-scale while damping
             // the single-outlier jitter that can trip the `--compare` gate
@@ -166,6 +183,7 @@ pub fn run_all(cfg: &BenchConfig) -> Vec<ScenarioResult> {
         train_epoch_sparse(cfg),
         joint_round(cfg),
         active_round(cfg),
+        serve_while_train(cfg),
     ]
 }
 
@@ -395,7 +413,7 @@ fn train_run(
         mode,
         ..EmbedConfig::default()
     };
-    let trainer = EmbedTrainer::new(embed_cfg);
+    let trainer = EmbedTrainer::new(embed_cfg).expect("valid bench EmbedConfig");
     let mut opt = Adam::with_lr(embed_cfg.lr);
     let stats = trainer.train(&model, None, kg, &mut store, "g.", &mut opt);
     let ents = model.entity_matrix(&store, "g.");
@@ -501,7 +519,7 @@ fn joint_round(cfg: &BenchConfig) -> ScenarioResult {
             ..EmbedConfig::default()
         });
         jcfg.fine_tune_epochs = 3;
-        let mut model = JointModel::new(jcfg, &kg1, &kg2);
+        let mut model = JointModel::new(jcfg, &kg1, &kg2).expect("valid bench JointConfig");
         let losses = model.align_rounds(&kg1, &kg2, &labels, cfg.joint_epochs);
         let snap = model.fine_tune(&kg1, &kg2, &labels);
         let (l, r) = labels.entities[0];
@@ -569,7 +587,8 @@ fn active_round(cfg: &BenchConfig) -> ScenarioResult {
         sim_gate: -1.0,
         max_fanout: 32,
     };
-    let engine = InferenceEngine::new(&fixture.kg1, &fixture.kg2, infer_cfg);
+    let engine = InferenceEngine::new(&fixture.kg1, &fixture.kg2, infer_cfg)
+        .expect("valid bench InferConfig");
 
     // Seed with 10% of the gold matches — the labels a prior round left.
     let matches = gold.entity_matches();
@@ -638,6 +657,171 @@ fn active_round(cfg: &BenchConfig) -> ScenarioResult {
         .flag("verified", closure_ok && labels_ok)
 }
 
+// ---------------------------------------------------------------------
+// Scenario: serve-while-train (concurrent queries against the service)
+// ---------------------------------------------------------------------
+
+/// One recorded query of a reader thread.
+struct ServedQuery {
+    /// Snapshot version the answer was computed on.
+    version: daakg::SnapshotVersion,
+    /// The left-entity query.
+    query: u32,
+    /// The top-k answer.
+    top: Vec<(u32, f32)>,
+    /// Publications that landed between grab and completion
+    /// (`latest_version_at_completion - observed_version`).
+    lag: u64,
+}
+
+/// Reader threads issue `top_k` queries against an [`AlignmentService`]
+/// (built through the `daakg::Pipeline` facade) while the main thread runs
+/// `align_rounds`, publishing `serve_publishes` fresh snapshot versions.
+///
+/// Oracle verification replays a sample of the recorded answers against
+/// `rank_entities_naive` **on the exact snapshot version each reader
+/// observed** (the registry retains every publication), and checks that
+/// per-reader versions were monotone and the final version accounts for
+/// every publish. Metrics: queries-per-second under live training, and the
+/// mean/max version lag readers experienced.
+fn serve_while_train(cfg: &BenchConfig) -> ScenarioResult {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let entities = cfg.serve_entities;
+    let spec = SynthSpec::with_entities(entities, 81);
+    let (kg1, kg2, gold) = synthetic_pair(spec, 0.15);
+    // Label a fifth of the gold entity matches plus the full schema
+    // matches — the mid-campaign state of an active-learning run.
+    let mut labels = LabeledMatches::from_gold(&gold);
+    let keep = (labels.entities.len() / 5).max(1);
+    labels.entities.truncate(keep);
+
+    let mut jcfg = JointConfig::with_embed(EmbedConfig {
+        dim: cfg.dim,
+        class_dim: (cfg.dim / 2).max(2),
+        epochs: 1,
+        ..EmbedConfig::default()
+    });
+    jcfg.align_epochs = cfg.serve_epochs;
+    let service = Pipeline::builder()
+        .kg1(kg1)
+        .kg2(kg2)
+        .joint(jcfg)
+        .build()
+        .expect("valid bench pipeline");
+    // Warm training pass so readers hit a trained snapshot (version 2).
+    service.train(&labels).expect("warm-up train");
+
+    let k = cfg.rank_k;
+    let stop = AtomicBool::new(false);
+    let mut monotone = true;
+    let (mut observations, train_ms): (Vec<ServedQuery>, f64) = std::thread::scope(|scope| {
+        let service = &service;
+        let stop = &stop;
+        let readers: Vec<_> = (0..cfg.serve_readers)
+            .map(|ri| {
+                scope.spawn(move || {
+                    let n1 = service.kg1().num_entities() as u32;
+                    let mut obs: Vec<ServedQuery> = Vec::new();
+                    let mut q = (ri as u32).wrapping_mul(17) % n1;
+                    loop {
+                        // Check `stop` before the query so at least one
+                        // query lands even if training already finished.
+                        let done = stop.load(Ordering::Relaxed);
+                        let ans = service.top_k(q, k).expect("in-bounds query");
+                        let lag = service.version().get() - ans.version.get();
+                        obs.push(ServedQuery {
+                            version: ans.version,
+                            query: q,
+                            top: ans.value,
+                            lag,
+                        });
+                        q = (q + 1) % n1;
+                        if done {
+                            break;
+                        }
+                    }
+                    obs
+                })
+            })
+            .collect();
+
+        // The writer: publish `serve_publishes` fresh versions.
+        let ((), train_ms) = time_once(|| {
+            for _ in 0..cfg.serve_publishes {
+                service
+                    .align_rounds(&labels, cfg.serve_epochs)
+                    .expect("align_rounds");
+            }
+        });
+        stop.store(true, Ordering::Relaxed);
+        let mut all = Vec::new();
+        for r in readers {
+            let obs = r.join().expect("reader thread");
+            // Per-reader versions must never go backwards.
+            monotone &= obs.windows(2).all(|w| w[0].version <= w[1].version);
+            all.extend(obs);
+        }
+        (all, train_ms)
+    });
+
+    let final_version = service.version().get();
+    let queries = observations.len();
+    let qps = queries as f64 / (train_ms / 1e3).max(1e-9);
+    let mean_lag = observations.iter().map(|o| o.lag as f64).sum::<f64>() / queries.max(1) as f64;
+    let max_lag = observations.iter().map(|o| o.lag).max().unwrap_or(0);
+
+    // Oracle verification: replay a bounded per-version sample of the
+    // recorded answers against the naive ranker on the snapshot version
+    // each reader actually observed.
+    const VERIFY_PER_VERSION: usize = 8;
+    observations.sort_by_key(|o| o.version);
+    let mut verified = monotone
+        // Initial publish + warm-up train + one per align_rounds call.
+        && final_version == 2 + cfg.serve_publishes as u64
+        && observations
+            .iter()
+            .all(|o| o.version.get() >= 2 && o.version.get() <= final_version);
+    let mut checked = 0usize;
+    let mut run_start = 0usize;
+    while verified && run_start < observations.len() {
+        let version = observations[run_start].version;
+        let run_end = run_start
+            + observations[run_start..]
+                .iter()
+                .take_while(|o| o.version == version)
+                .count();
+        let pinned = service
+            .snapshot_at(version)
+            .expect("observed versions are retained");
+        // Spread the sample across the run, not just its head.
+        let run = &observations[run_start..run_end];
+        let step = (run.len() / VERIFY_PER_VERSION).max(1);
+        for o in run.iter().step_by(step).take(VERIFY_PER_VERSION) {
+            let mut naive = pinned.snapshot.rank_entities_naive(o.query);
+            naive.truncate(k);
+            verified &= naive.len() == o.top.len()
+                && naive
+                    .iter()
+                    .zip(&o.top)
+                    .all(|(n, b)| (n.1 - b.1).abs() < 1e-4);
+            checked += 1;
+        }
+        run_start = run_end;
+    }
+
+    ScenarioResult::new(&format!("serve_while_train_{}", short_count(entities)))
+        .metric("serve_ms", train_ms)
+        .metric("qps", qps)
+        .metric("queries", queries as f64)
+        .metric("readers", cfg.serve_readers as f64)
+        .metric("publishes", cfg.serve_publishes as f64)
+        .metric("mean_version_lag", mean_lag)
+        .metric("max_version_lag", max_lag as f64)
+        .metric("verified_queries", checked as f64)
+        .flag("verified", verified)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -646,7 +830,7 @@ mod tests {
     fn quick_config_runs_all_scenarios_verified() {
         let cfg = BenchConfig::quick();
         let results = run_all(&cfg);
-        assert_eq!(results.len(), 8);
+        assert_eq!(results.len(), 9);
         for r in &results {
             for (k, v) in &r.metrics {
                 assert!(v.is_finite(), "{}:{k} not finite", r.name);

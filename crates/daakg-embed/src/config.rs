@@ -1,6 +1,7 @@
 //! Hyper-parameters for embedding training.
 
 use crate::model::ModelKind;
+use daakg_graph::DaakgError;
 
 /// How the trainer executes a mini-batch step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -123,18 +124,22 @@ impl EmbedConfig {
     }
 
     /// Validate internal consistency (e.g. even dim for RotatE).
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), DaakgError> {
+        let invalid = |reason| DaakgError::invalid("EmbedConfig", reason);
         if self.dim == 0 {
-            return Err("dim must be positive".into());
+            return Err(invalid("dim must be positive".into()));
         }
         if self.model == ModelKind::RotatE && !self.dim.is_multiple_of(2) {
-            return Err(format!("RotatE requires an even dim, got {}", self.dim));
+            return Err(invalid(format!(
+                "RotatE requires an even dim, got {}",
+                self.dim
+            )));
         }
         if self.neg_samples == 0 {
-            return Err("neg_samples must be positive".into());
+            return Err(invalid("neg_samples must be positive".into()));
         }
         if self.lr.is_nan() || self.lr <= 0.0 {
-            return Err("lr must be positive".into());
+            return Err(invalid("lr must be positive".into()));
         }
         Ok(())
     }

@@ -24,7 +24,7 @@ use crate::entity_class::EntityClassModel;
 use crate::model::KgEmbedding;
 use crate::sampling::{ClassNegativeSampler, NegativeSampler, TripleArrays};
 use daakg_autograd::{unique_rows, Adam, NamedGrads, ParamStore, TapeSession};
-use daakg_graph::KnowledgeGraph;
+use daakg_graph::{DaakgError, KnowledgeGraph};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -59,10 +59,11 @@ pub struct EmbedTrainer {
 }
 
 impl EmbedTrainer {
-    /// A trainer with the given configuration.
-    pub fn new(cfg: EmbedConfig) -> Self {
-        cfg.validate().expect("invalid EmbedConfig");
-        Self { cfg }
+    /// A trainer with the given configuration; rejects invalid configs
+    /// with a typed [`DaakgError`] instead of panicking.
+    pub fn new(cfg: EmbedConfig) -> Result<Self, DaakgError> {
+        cfg.validate()?;
+        Ok(Self { cfg })
     }
 
     /// The configuration in use.
@@ -385,7 +386,7 @@ mod tests {
             dim: 8,
             ..EmbedConfig::default()
         };
-        let trainer = EmbedTrainer::new(cfg);
+        let trainer = EmbedTrainer::new(cfg).unwrap();
         let mut opt = Adam::with_lr(cfg.lr);
         let stats = trainer.train(&model, None, &kg, &mut store, "g.", &mut opt);
         assert_eq!(stats.er_losses.len(), 10);
@@ -412,7 +413,7 @@ mod tests {
             class_dim: 4,
             ..EmbedConfig::default()
         };
-        let trainer = EmbedTrainer::new(cfg);
+        let trainer = EmbedTrainer::new(cfg).unwrap();
         let mut opt = Adam::with_lr(cfg.lr);
         let stats = trainer.train(&model, Some(&ec), &kg, &mut store, "g.", &mut opt);
         assert_eq!(stats.ec_losses.len(), 8);
@@ -462,7 +463,7 @@ mod tests {
                 threads,
                 ..EmbedConfig::default()
             };
-            let trainer = EmbedTrainer::new(cfg);
+            let trainer = EmbedTrainer::new(cfg).unwrap();
             let mut opt = Adam::with_lr(cfg.lr);
             let stats = trainer.train(model.as_ref(), ec.as_ref(), &kg, &mut store, "g.", &mut opt);
             (
@@ -533,7 +534,7 @@ mod tests {
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(0);
         model.init_params(&mut rng, &mut store, "g.");
-        let trainer = EmbedTrainer::new(EmbedConfig::default().with_dim(8));
+        let trainer = EmbedTrainer::new(EmbedConfig::default().with_dim(8)).unwrap();
         let mut opt = Adam::with_lr(0.01);
         let stats = trainer.train(&model, None, &kg, &mut store, "g.", &mut opt);
         assert!(stats.er_losses.is_empty());
@@ -554,7 +555,7 @@ mod tests {
                 dim: 8,
                 ..EmbedConfig::default()
             };
-            let trainer = EmbedTrainer::new(cfg);
+            let trainer = EmbedTrainer::new(cfg).unwrap();
             let mut opt = Adam::with_lr(0.02);
             let stats = trainer.train(model.as_ref(), None, &kg, &mut store, "g.", &mut opt);
             assert_eq!(stats.er_losses.len(), 2, "{kind} failed to train");

@@ -1,0 +1,165 @@
+//! The workspace-wide typed error, [`DaakgError`].
+//!
+//! Every fallible public entry point across the DAAKG crates — config
+//! validation, model construction, dataset IO, service queries — reports
+//! failures through this one enum instead of `Result<_, String>` or a
+//! panic, so callers can match on the failure kind and `?` propagates
+//! cleanly through the whole pipeline.
+//!
+//! The enum lives in `daakg-graph` because that crate sits at the bottom
+//! of the workspace graph: every API-bearing crate already depends on it.
+
+use std::fmt;
+use std::io;
+
+/// Errors raised by the DAAKG public API.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DaakgError {
+    /// A configuration failed validation. `context` names the config type
+    /// or builder field; `reason` explains the constraint that failed.
+    InvalidConfig {
+        /// Which configuration (e.g. `"EmbedConfig"`, `"Pipeline"`).
+        context: &'static str,
+        /// The violated constraint, human-readable.
+        reason: String,
+    },
+    /// Two matrices or embedding spaces that must agree in size do not.
+    DimensionMismatch {
+        /// What was being combined (e.g. `"BatchedSimilarity columns"`).
+        context: &'static str,
+        /// The dimension required by the left/first operand.
+        expected: usize,
+        /// The dimension actually found.
+        got: usize,
+    },
+    /// An entity index outside the graph or snapshot it was used against.
+    UnknownEntity {
+        /// Which side/graph rejected the index (e.g. a KG name, `"left"`).
+        kg: String,
+        /// The offending raw entity index.
+        id: u32,
+        /// Number of entities that side actually holds.
+        bound: usize,
+    },
+    /// A required input was never supplied (builder left a field unset).
+    MissingInput {
+        /// The missing field or argument (e.g. `"kg1"`).
+        what: &'static str,
+    },
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line in a dataset file, with its 1-based number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line content.
+        content: String,
+    },
+    /// A name referenced by an alignment that the KG does not contain.
+    UnknownElement {
+        /// 1-based line number.
+        line: usize,
+        /// The unresolvable element name.
+        name: String,
+    },
+}
+
+impl DaakgError {
+    /// Shorthand for an [`DaakgError::InvalidConfig`] value.
+    pub fn invalid(context: &'static str, reason: impl Into<String>) -> Self {
+        Self::InvalidConfig {
+            context,
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand for an [`DaakgError::UnknownEntity`] value.
+    pub fn unknown_entity(kg: impl Into<String>, id: u32, bound: usize) -> Self {
+        Self::UnknownEntity {
+            kg: kg.into(),
+            id,
+            bound,
+        }
+    }
+}
+
+impl fmt::Display for DaakgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DaakgError::InvalidConfig { context, reason } => {
+                write!(f, "invalid {context}: {reason}")
+            }
+            DaakgError::DimensionMismatch {
+                context,
+                expected,
+                got,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, got {got}"
+            ),
+            DaakgError::UnknownEntity { kg, id, bound } => {
+                write!(f, "unknown entity {id} in {kg:?} (holds {bound} entities)")
+            }
+            DaakgError::MissingInput { what } => write!(f, "missing required input: {what}"),
+            DaakgError::Io(e) => write!(f, "i/o error: {e}"),
+            DaakgError::Parse { line, content } => {
+                write!(f, "parse error at line {line}: {content:?}")
+            }
+            DaakgError::UnknownElement { line, name } => {
+                write!(f, "unknown element {name:?} at line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DaakgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DaakgError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DaakgError {
+    fn from(e: io::Error) -> Self {
+        DaakgError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DaakgError::invalid("EmbedConfig", "dim must be positive");
+        assert_eq!(e.to_string(), "invalid EmbedConfig: dim must be positive");
+        let e = DaakgError::DimensionMismatch {
+            context: "mapping",
+            expected: 32,
+            got: 16,
+        };
+        assert!(e.to_string().contains("expected 32, got 16"));
+        let e = DaakgError::unknown_entity("DBpedia", 99, 10);
+        assert!(e.to_string().contains("99"));
+        assert!(e.to_string().contains("DBpedia"));
+        let e = DaakgError::MissingInput { what: "kg1" };
+        assert!(e.to_string().contains("kg1"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        use std::error::Error as _;
+        let inner = io::Error::new(io::ErrorKind::NotFound, "gone");
+        let e: DaakgError = inner.into();
+        assert!(e.to_string().contains("gone"));
+        assert!(e.source().is_some());
+        let e = DaakgError::Parse {
+            line: 3,
+            content: "bogus".into(),
+        };
+        assert!(e.source().is_none());
+    }
+}

@@ -12,52 +12,21 @@
 //! Alignments use `E`, `R`, `C` records with the two element names.
 
 use crate::alignment::GoldAlignment;
+use crate::error::DaakgError;
 use crate::kg::{KgBuilder, KnowledgeGraph};
 use std::fmt::Write as _;
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 
-/// Errors raised by the text loaders.
-#[derive(Debug)]
-pub enum IoError {
-    /// Underlying I/O failure.
-    Io(io::Error),
-    /// A malformed line, with its 1-based number and content.
-    Parse { line: usize, content: String },
-    /// A name referenced by an alignment that the KG does not contain.
-    UnknownElement { line: usize, name: String },
-}
-
-impl std::fmt::Display for IoError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            IoError::Io(e) => write!(f, "i/o error: {e}"),
-            IoError::Parse { line, content } => {
-                write!(f, "parse error at line {line}: {content:?}")
-            }
-            IoError::UnknownElement { line, name } => {
-                write!(f, "unknown element {name:?} at line {line}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for IoError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            IoError::Io(e) => Some(e),
-            _ => None,
-        }
-    }
-}
-
-impl From<io::Error> for IoError {
-    fn from(e: io::Error) -> Self {
-        IoError::Io(e)
-    }
-}
+/// Former error type of the text loaders, now folded into the
+/// workspace-wide [`DaakgError`]. The `Io` / `Parse` / `UnknownElement`
+/// variants keep their names and shapes, but `DaakgError` carries more
+/// variants and is `#[non_exhaustive]` — previously exhaustive matches
+/// need a wildcard arm.
+#[deprecated(since = "0.1.0", note = "use daakg_graph::DaakgError")]
+pub type IoError = DaakgError;
 
 /// Serialize a KG to the text format.
-pub fn write_kg<W: Write>(kg: &KnowledgeGraph, mut w: W) -> Result<(), IoError> {
+pub fn write_kg<W: Write>(kg: &KnowledgeGraph, mut w: W) -> Result<(), DaakgError> {
     let mut buf = String::new();
     writeln!(buf, "# kg {}", kg.name()).expect("write to string");
     for t in kg.triples() {
@@ -84,7 +53,7 @@ pub fn write_kg<W: Write>(kg: &KnowledgeGraph, mut w: W) -> Result<(), IoError> 
 }
 
 /// Parse a KG from the text format.
-pub fn read_kg<R: Read>(r: R) -> Result<KnowledgeGraph, IoError> {
+pub fn read_kg<R: Read>(r: R) -> Result<KnowledgeGraph, DaakgError> {
     let reader = BufReader::new(r);
     let mut builder = KgBuilder::new("unnamed");
     let mut name: Option<String> = None;
@@ -106,7 +75,7 @@ pub fn read_kg<R: Read>(r: R) -> Result<KnowledgeGraph, IoError> {
                     builder.triple_by_name(h, r, t);
                 }
                 _ => {
-                    return Err(IoError::Parse {
+                    return Err(DaakgError::Parse {
                         line: lineno,
                         content: line.to_owned(),
                     })
@@ -119,14 +88,14 @@ pub fn read_kg<R: Read>(r: R) -> Result<KnowledgeGraph, IoError> {
                     builder.typing_by_name(e, c);
                 }
                 _ => {
-                    return Err(IoError::Parse {
+                    return Err(DaakgError::Parse {
                         line: lineno,
                         content: line.to_owned(),
                     })
                 }
             }
         } else {
-            return Err(IoError::Parse {
+            return Err(DaakgError::Parse {
                 line: lineno,
                 content: line.to_owned(),
             });
@@ -169,7 +138,7 @@ pub fn write_alignment<W: Write>(
     left: &KnowledgeGraph,
     right: &KnowledgeGraph,
     mut w: W,
-) -> Result<(), IoError> {
+) -> Result<(), DaakgError> {
     let mut buf = String::new();
     for (l, r) in gold.entity_matches() {
         writeln!(buf, "E {}\t{}", left.entity_name(l), right.entity_name(r))
@@ -197,7 +166,7 @@ pub fn read_alignment<R: Read>(
     r: R,
     left: &KnowledgeGraph,
     right: &KnowledgeGraph,
-) -> Result<GoldAlignment, IoError> {
+) -> Result<GoldAlignment, DaakgError> {
     let reader = BufReader::new(r);
     let mut gold = GoldAlignment::new();
     for (idx, line) in reader.lines().enumerate() {
@@ -212,13 +181,13 @@ pub fn read_alignment<R: Read>(
         let (a, b) = match (parts.next(), parts.next()) {
             (Some(a), Some(b)) => (a, b),
             _ => {
-                return Err(IoError::Parse {
+                return Err(DaakgError::Parse {
                     line: lineno,
                     content: line.to_owned(),
                 })
             }
         };
-        let unknown = |name: &str| IoError::UnknownElement {
+        let unknown = |name: &str| DaakgError::UnknownElement {
             line: lineno,
             name: name.to_owned(),
         };
@@ -239,7 +208,7 @@ pub fn read_alignment<R: Read>(
                 gold.add_class(l, rr);
             }
             _ => {
-                return Err(IoError::Parse {
+                return Err(DaakgError::Parse {
                     line: lineno,
                     content: line.to_owned(),
                 })
@@ -307,7 +276,7 @@ mod tests {
         let data = b"T a\tb\tc\nbogus line\n";
         let err = read_kg(&data[..]).unwrap_err();
         match err {
-            IoError::Parse { line, .. } => assert_eq!(line, 2),
+            DaakgError::Parse { line, .. } => assert_eq!(line, 2),
             other => panic!("unexpected error {other}"),
         }
     }
@@ -318,6 +287,6 @@ mod tests {
         let w = example_wikidata();
         let data = b"E NoSuchEntity\tQ2831\n";
         let err = read_alignment(&data[..], &d, &w).unwrap_err();
-        assert!(matches!(err, IoError::UnknownElement { .. }));
+        assert!(matches!(err, DaakgError::UnknownElement { .. }));
     }
 }

@@ -17,9 +17,12 @@
 //! * [`alignment`] gold-standard and predicted alignments,
 //! * a fast, dependency-free [`fxhash`] hasher for the hot
 //!   integer-keyed maps used throughout the workspace,
-//! * plain-text [`io`] serialization for datasets.
+//! * plain-text [`io`] serialization for datasets,
+//! * the workspace-wide typed error, [`DaakgError`] — every fallible
+//!   public entry point across the DAAKG crates returns it.
 
 pub mod alignment;
+pub mod error;
 pub mod fxhash;
 pub mod ids;
 pub mod io;
@@ -28,6 +31,7 @@ pub mod pair;
 pub mod stats;
 
 pub use alignment::{AlignmentResult, GoldAlignment};
+pub use error::DaakgError;
 pub use ids::{ClassId, ElementId, EntityId, RelationId};
 pub use kg::{KgBuilder, KnowledgeGraph, Triple, TypeAssertion};
 pub use pair::{ElementPair, Label, PairKind};

@@ -31,7 +31,7 @@ pub use functionality::Functionality;
 pub use propagate::{InferenceEngine, InferredMatch};
 
 use daakg_align::{AlignmentSnapshot, BatchedSimilarity, LabeledMatches};
-use daakg_graph::{FxHashMap, FxHashSet};
+use daakg_graph::{DaakgError, FxHashMap, FxHashSet};
 
 /// Configuration of the inference closure.
 #[derive(Debug, Clone, Copy)]
@@ -63,18 +63,19 @@ impl Default for InferConfig {
 
 impl InferConfig {
     /// Validate internal consistency.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), DaakgError> {
+        let invalid = |reason: &str| DaakgError::invalid("InferConfig", reason);
         if self.max_depth == 0 {
-            return Err("max_depth must be at least 1".into());
+            return Err(invalid("max_depth must be at least 1"));
         }
         if !self.min_confidence.is_finite() || self.min_confidence < 0.0 {
-            return Err("min_confidence must be finite and non-negative".into());
+            return Err(invalid("min_confidence must be finite and non-negative"));
         }
         if !self.sim_gate.is_finite() {
-            return Err("sim_gate must be finite".into());
+            return Err(invalid("sim_gate must be finite"));
         }
         if self.max_fanout == 0 {
-            return Err("max_fanout must be at least 1".into());
+            return Err(invalid("max_fanout must be at least 1"));
         }
         Ok(())
     }

@@ -45,16 +45,21 @@ pub struct InferenceEngine<'a> {
 }
 
 impl<'a> InferenceEngine<'a> {
-    /// Build the engine for a KG pair.
-    pub fn new(kg1: &'a KnowledgeGraph, kg2: &'a KnowledgeGraph, cfg: InferConfig) -> Self {
-        cfg.validate().expect("invalid InferConfig");
-        Self {
+    /// Build the engine for a KG pair; rejects invalid configurations with
+    /// a typed [`DaakgError`](daakg_graph::DaakgError) instead of panicking.
+    pub fn new(
+        kg1: &'a KnowledgeGraph,
+        kg2: &'a KnowledgeGraph,
+        cfg: InferConfig,
+    ) -> Result<Self, daakg_graph::DaakgError> {
+        cfg.validate()?;
+        Ok(Self {
             kg1,
             kg2,
             funct1: Functionality::of(kg1),
             funct2: Functionality::of(kg2),
             cfg,
-        }
+        })
     }
 
     /// The configuration in use.
@@ -349,7 +354,7 @@ mod tests {
             sim_gate: -1.0,
             max_fanout: 8,
         };
-        let engine = InferenceEngine::new(&kg1, &kg2, cfg);
+        let engine = InferenceEngine::new(&kg1, &kg2, cfg).unwrap();
         // Seeding (a0, b0) must infer (a1,b1), (a2,b2), (a3,b3) — and stop
         // at the depth cap before (a4, b4).
         let sim = UniformSim(1.0);
@@ -367,7 +372,7 @@ mod tests {
     fn backward_propagation_uses_in_edges() {
         let (kg1, kg2) = chain_pair(4);
         let rels = chain_rels(&kg1, &kg2);
-        let engine = InferenceEngine::new(&kg1, &kg2, InferConfig::default());
+        let engine = InferenceEngine::new(&kg1, &kg2, InferConfig::default()).unwrap();
         let sim = UniformSim(1.0);
         // Seed the chain *end*: matches must flow backwards through heads.
         let inferred = engine.propagate(&[(3, 3)], &rels, &sim);
@@ -384,7 +389,7 @@ mod tests {
             sim_gate: 0.5,
             ..InferConfig::default()
         };
-        let engine = InferenceEngine::new(&kg1, &kg2, cfg);
+        let engine = InferenceEngine::new(&kg1, &kg2, cfg).unwrap();
         let inferred = engine.propagate(&[(0, 0)], &rels, &UniformSim(0.0));
         assert!(inferred.is_empty(), "gated pairs must not be derived");
     }
@@ -399,7 +404,7 @@ mod tests {
             sim_gate: -1.0,
             max_fanout: 8,
         };
-        let engine = InferenceEngine::new(&kg1, &kg2, cfg);
+        let engine = InferenceEngine::new(&kg1, &kg2, cfg).unwrap();
         let inferred = engine.propagate(&[(0, 0)], &rels, &UniformSim(0.0));
         // Gate factor (1+0)/2 = 0.5 per step on a fully functional chain.
         let by_pair: FxHashMap<(u32, u32), f32> = inferred
@@ -421,7 +426,7 @@ mod tests {
             sim_gate: -1.0,
             max_fanout: 8,
         };
-        let engine = InferenceEngine::new(&kg1, &kg2, cfg);
+        let engine = InferenceEngine::new(&kg1, &kg2, cfg).unwrap();
         let inferred = engine.propagate(&[(0, 0)], &rels, &UniformSim(0.0));
         // 0.5, 0.25 survive; 0.125 < 0.2 is pruned (and cuts the chain).
         assert_eq!(inferred.len(), 2);
@@ -444,7 +449,7 @@ mod tests {
             min_confidence: 0.0,
             ..InferConfig::default()
         };
-        let engine = InferenceEngine::new(&kg1, &kg2, cfg);
+        let engine = InferenceEngine::new(&kg1, &kg2, cfg).unwrap();
         let hub = kg1.entity_by_name("hub").unwrap().raw();
         let hub2 = kg2.entity_by_name("hub2").unwrap().raw();
         let inferred = engine.propagate(&[(hub, hub2)], &rels, &UniformSim(1.0));
@@ -455,7 +460,7 @@ mod tests {
     fn known_matches_are_not_re_inferred() {
         let (kg1, kg2) = chain_pair(4);
         let rels = chain_rels(&kg1, &kg2);
-        let engine = InferenceEngine::new(&kg1, &kg2, InferConfig::default());
+        let engine = InferenceEngine::new(&kg1, &kg2, InferConfig::default()).unwrap();
         let mut known = KnownMatches::new();
         known.insert(1, 1);
         let sim = UniformSim(1.0);
@@ -479,7 +484,7 @@ mod tests {
             sim_gate: -1.0,
             max_fanout: 8,
         };
-        let engine = InferenceEngine::new(&kg1, &kg2, cfg);
+        let engine = InferenceEngine::new(&kg1, &kg2, cfg).unwrap();
         let sim = UniformSim(1.0);
         let known = KnownMatches::new();
         // The chain head unlocks three downstream matches at conf 1.0 each.
@@ -540,7 +545,7 @@ mod tests {
             sim_gate: -1.0,
             max_fanout: 16,
         };
-        let engine = InferenceEngine::new(&kg1, &kg2, cfg);
+        let engine = InferenceEngine::new(&kg1, &kg2, cfg).unwrap();
         let sim = UniformSim(0.4);
         let known = KnownMatches::new();
         let fast = engine.closure(&[(0, 0)], &known, &rels, &sim);

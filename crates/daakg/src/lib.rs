@@ -4,11 +4,11 @@
 //! away from the whole pipeline. The crate graph underneath:
 //!
 //! ```text
-//!            daakg-graph          (KGs, ids, gold alignments, IO)
-//!                 │
+//!            daakg-graph          (KGs, ids, gold alignments, IO,
+//!                 │                the workspace-wide DaakgError)
 //!        ┌────────┴────────┐
 //!   daakg-embed       daakg-align (models / joint alignment + batched
-//!        │                 │       top-k similarity engine)
+//!        │                 │       top-k engine + AlignmentService)
 //!        └───────┬─────────┘
 //!           daakg-autograd        (tensors, blocked parallel matmul, tape)
 //!                 │
@@ -18,17 +18,78 @@
 //!        │
 //!   daakg-active  (question selection, simulated oracle, the active loop)
 //!
-//!   daakg-eval  (H@k / MRR / F1, cost curves)   daakg-bench  (perf harness)
+//!   daakg-eval  (H@k / MRR / F1, cost curves)
+//!   daakg-bench (perf harness — consumes this facade, so it is no longer
+//!                re-exported here; depend on `daakg-bench` directly)
 //! ```
 //!
+//! ## The service API
+//!
+//! The primary entry point is the [`Pipeline`] builder, which validates
+//! the composed configuration and returns a concurrent
+//! [`AlignmentService`]:
+//!
+//! ```no_run
+//! use daakg::graph::kg::{example_dbpedia, example_wikidata};
+//! use daakg::{ModelKind, Pipeline, TrainMode};
+//!
+//! let service = Pipeline::builder()
+//!     .kg1(example_dbpedia())
+//!     .kg2(example_wikidata())
+//!     .model(ModelKind::TransE)
+//!     .train_mode(TrainMode::Sparse)
+//!     .threads(0) // auto
+//!     .build()?;
+//!
+//! // Training publishes immutable, versioned snapshots...
+//! service.train(&daakg::LabeledMatches::new())?;
+//! // ...while queries run lock-free on whatever version they grab —
+//! // even while the next training round is in flight on another thread.
+//! let answer = service.top_k(0, 5)?;
+//! println!("top-5 computed on snapshot {}", answer.version);
+//! # Ok::<(), daakg::DaakgError>(())
+//! ```
+//!
+//! Every fallible entry point of the service API returns the typed
+//! [`DaakgError`] — no `Result<_, String>`s, and construction/validation
+//! never panics. (The retained free-standing snapshot path keeps its
+//! original index-out-of-bounds panic semantics; the service's `rank` /
+//! `top_k` / `batch_top_k` wrappers bounds-check and return
+//! [`DaakgError::UnknownEntity`] instead.)
+//!
+//! ## Migrating from the free-standing API
+//!
+//! The hand-wired batch path still exists (the service is built on it),
+//! but new code should go through the service:
+//!
+//! | old call | new call |
+//! |----------|----------|
+//! | `JointModel::new(cfg, &kg1, &kg2)` (panicked on bad cfg) | `Pipeline::builder().kg1(kg1).kg2(kg2).joint(cfg).build()?` |
+//! | `model.train(&kg1, &kg2, &labels)` → snapshot | `service.train(&labels)?` → [`SnapshotVersion`] |
+//! | `model.align_rounds(&kg1, &kg2, &labels, n)` | `service.align_rounds(&labels, n)?` |
+//! | `model.fine_tune_with_inferred(..)` | `service.fine_tune_with_inferred(..)?` |
+//! | `snapshot.rank_entities(e)` | `service.rank(e)?` (versioned, bounds-checked) |
+//! | `snapshot.top_k_entities(e, k)` | `service.top_k(e, k)?` |
+//! | `snapshot.top_k_entities_block(&qs, k)` | `service.batch_top_k(&qs, k)?` (sharded across workers) |
+//! | `ActiveLoop::new(cfg, strategy)` (panicked) + `.run(&mut model, ..)` | `Pipeline::builder()...build_active()?` + `.run_service(&service, ..)?` |
+//! | `cfg.validate() -> Result<(), String>` | `cfg.validate() -> Result<(), DaakgError>` |
+//! | `daakg_graph::io::IoError` | [`DaakgError`] (same variants) |
+//! | `daakg::bench::...` | depend on `daakg-bench` directly |
+//!
+//! Holding an `Arc<AlignmentSnapshot>` from [`AlignmentService::current`]
+//! pins that version for as long as needed — retraining never invalidates
+//! it; [`AlignmentService::snapshot_at`] retrieves any retained version,
+//! e.g. to verify an answer against the exact snapshot that produced it.
+//!
 //! The `quickstart` example (repo `examples/quickstart.rs`) walks the whole
-//! path: build two KGs → train the joint model → snapshot → rank → score
+//! path: build two KGs → `Pipeline` → train → versioned ranking → score
 //! with `daakg-eval` → run the active loop against a simulated oracle.
+
+pub mod pipeline;
 
 pub use daakg_active as active;
 pub use daakg_align as align;
 pub use daakg_autograd as autograd;
-pub use daakg_bench as bench;
 pub use daakg_embed as embed;
 pub use daakg_eval as eval;
 pub use daakg_graph as graph;
@@ -38,12 +99,14 @@ pub use daakg_parallel as parallel;
 // The most commonly used types, re-exported flat.
 pub use daakg_active::{ActiveConfig, ActiveLoop, GoldOracle, Strategy};
 pub use daakg_align::{
-    AlignmentSnapshot, BatchedSimilarity, JointConfig, JointModel, LabeledMatches,
+    AlignmentService, AlignmentSnapshot, BatchedSimilarity, JointConfig, JointModel,
+    LabeledMatches, SnapshotVersion, Versioned, VersionedSnapshot,
 };
 pub use daakg_autograd::{Graph, ParamStore, TapeSession, Tensor};
-pub use daakg_embed::{EmbedConfig, KgEmbedding, ModelKind};
-pub use daakg_graph::{GoldAlignment, KgBuilder, KnowledgeGraph};
+pub use daakg_embed::{EmbedConfig, KgEmbedding, ModelKind, TrainMode};
+pub use daakg_graph::{DaakgError, GoldAlignment, KgBuilder, KnowledgeGraph};
 pub use daakg_infer::{InferConfig, InferenceEngine, RelationMatches};
+pub use pipeline::{Pipeline, PipelineBuilder};
 
 #[cfg(test)]
 mod tests {
@@ -53,5 +116,8 @@ mod tests {
         assert_eq!(kg.num_entities(), 0);
         let t = crate::Tensor::identity(2);
         assert_eq!(t.shape(), (2, 2));
+        // The service-era types are one flat import away.
+        let err = crate::Pipeline::builder().build().unwrap_err();
+        assert!(matches!(err, crate::DaakgError::MissingInput { .. }));
     }
 }

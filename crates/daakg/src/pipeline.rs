@@ -1,0 +1,261 @@
+//! The fluent, validated entry point to the whole system: [`Pipeline`].
+//!
+//! A pipeline composes the per-subsystem configurations ([`EmbedConfig`] /
+//! [`JointConfig`] / [`InferConfig`] / [`ActiveConfig`]) behind one
+//! builder, validates everything up front with typed [`DaakgError`]s, and
+//! produces a ready [`AlignmentService`] — the concurrent serve-while-train
+//! handle that replaces hand-wiring `KgBuilder → JointModel::train →
+//! snapshot() → rank_entities`.
+//!
+//! ```no_run
+//! use daakg::graph::kg::{example_dbpedia, example_wikidata};
+//! use daakg::{ModelKind, Pipeline, TrainMode};
+//!
+//! let service = Pipeline::builder()
+//!     .kg1(example_dbpedia())
+//!     .kg2(example_wikidata())
+//!     .model(ModelKind::TransE)
+//!     .train_mode(TrainMode::Sparse)
+//!     .threads(2)
+//!     .dim(16)
+//!     .build()?;
+//! let labels = daakg::LabeledMatches::new();
+//! service.train(&labels)?;
+//! let top = service.top_k(0, 5)?; // lock-free, versioned
+//! println!("answered on snapshot {}", top.version);
+//! # Ok::<(), daakg::DaakgError>(())
+//! ```
+
+use daakg_active::{ActiveConfig, ActiveLoop, Strategy};
+use daakg_align::{AlignmentService, JointConfig};
+use daakg_embed::{EmbedConfig, ModelKind, TrainMode};
+use daakg_graph::{DaakgError, KnowledgeGraph};
+use daakg_infer::InferConfig;
+use std::sync::Arc;
+
+/// Entry point: [`Pipeline::builder`] starts a [`PipelineBuilder`].
+pub struct Pipeline;
+
+impl Pipeline {
+    /// Start building a pipeline with default configurations.
+    pub fn builder() -> PipelineBuilder {
+        PipelineBuilder::default()
+    }
+}
+
+/// Fluent builder for an [`AlignmentService`] (and optionally an
+/// [`ActiveLoop`] sharing its configuration).
+///
+/// All setters are infallible; [`PipelineBuilder::build`] validates the
+/// composed configuration in one place and reports the first violation as
+/// a typed [`DaakgError`].
+#[derive(Debug, Clone)]
+pub struct PipelineBuilder {
+    kg1: Option<Arc<KnowledgeGraph>>,
+    kg2: Option<Arc<KnowledgeGraph>>,
+    joint: JointConfig,
+    active: ActiveConfig,
+    strategy: Strategy,
+}
+
+impl Default for PipelineBuilder {
+    fn default() -> Self {
+        Self {
+            kg1: None,
+            kg2: None,
+            joint: JointConfig::default(),
+            active: ActiveConfig::default(),
+            strategy: Strategy::InferencePower,
+        }
+    }
+}
+
+impl PipelineBuilder {
+    /// The left knowledge graph (required). Accepts an owned graph or an
+    /// `Arc` when the caller wants to keep sharing it.
+    pub fn kg1(mut self, kg: impl Into<Arc<KnowledgeGraph>>) -> Self {
+        self.kg1 = Some(kg.into());
+        self
+    }
+
+    /// The right knowledge graph (required).
+    pub fn kg2(mut self, kg: impl Into<Arc<KnowledgeGraph>>) -> Self {
+        self.kg2 = Some(kg.into());
+        self
+    }
+
+    /// Replace the whole joint-alignment configuration.
+    pub fn joint(mut self, cfg: JointConfig) -> Self {
+        self.joint = cfg;
+        self
+    }
+
+    /// Replace the embedding configuration inside the joint config.
+    pub fn embed(mut self, cfg: EmbedConfig) -> Self {
+        self.joint.embed = cfg;
+        self
+    }
+
+    /// The entity–relation scoring model.
+    pub fn model(mut self, model: ModelKind) -> Self {
+        self.joint.embed.model = model;
+        self
+    }
+
+    /// The embedding dimension `d_e`.
+    pub fn dim(mut self, dim: usize) -> Self {
+        self.joint.embed.dim = dim;
+        self
+    }
+
+    /// Embedding warm-up epochs.
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.joint.embed.epochs = epochs;
+        self
+    }
+
+    /// Alignment epochs per training round.
+    pub fn align_epochs(mut self, epochs: usize) -> Self {
+        self.joint.align_epochs = epochs;
+        self
+    }
+
+    /// The RNG seed controlling init and sampling.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.joint.embed.seed = seed;
+        self
+    }
+
+    /// Mini-batch execution mode (sparse/parallel fast path vs the dense
+    /// verification oracle).
+    pub fn train_mode(mut self, mode: TrainMode) -> Self {
+        self.joint.embed.mode = mode;
+        self
+    }
+
+    /// Worker threads for sharded training (0 = auto).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.joint.embed.threads = threads;
+        self
+    }
+
+    /// Inference-closure configuration (consumed by the active loop).
+    pub fn infer(mut self, cfg: InferConfig) -> Self {
+        self.active.infer = cfg;
+        self
+    }
+
+    /// Active-learning configuration (the `infer` field is kept in sync
+    /// with [`PipelineBuilder::infer`], last call wins).
+    pub fn active(mut self, cfg: ActiveConfig) -> Self {
+        self.active = cfg;
+        self
+    }
+
+    /// Question-selection strategy for [`PipelineBuilder::build_active`].
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Validate the composed configuration and build the service.
+    pub fn build(self) -> Result<AlignmentService, DaakgError> {
+        let (service, _) = self.build_parts()?;
+        Ok(service)
+    }
+
+    /// Validate and build the service *plus* an [`ActiveLoop`] configured
+    /// from the same builder, for active-alignment campaigns.
+    pub fn build_active(self) -> Result<(AlignmentService, ActiveLoop), DaakgError> {
+        let (service, active) = self.build_parts()?;
+        Ok((service, active))
+    }
+
+    fn build_parts(self) -> Result<(AlignmentService, ActiveLoop), DaakgError> {
+        let kg1 = self.kg1.ok_or(DaakgError::MissingInput { what: "kg1" })?;
+        let kg2 = self.kg2.ok_or(DaakgError::MissingInput { what: "kg2" })?;
+        self.joint.validate()?;
+        let active = ActiveLoop::new(self.active, self.strategy)?;
+        let service = AlignmentService::new(self.joint, kg1, kg2)?;
+        Ok((service, active))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daakg_align::LabeledMatches;
+    use daakg_graph::kg::{example_dbpedia, example_wikidata};
+
+    fn fast_builder() -> PipelineBuilder {
+        Pipeline::builder()
+            .kg1(example_dbpedia())
+            .kg2(example_wikidata())
+            .dim(8)
+            .epochs(2)
+            .align_epochs(2)
+    }
+
+    #[test]
+    fn builder_composes_and_builds_a_live_service() {
+        let service = fast_builder()
+            .model(ModelKind::TransE)
+            .train_mode(TrainMode::Sparse)
+            .threads(2)
+            .seed(11)
+            .build()
+            .unwrap();
+        assert_eq!(service.version().get(), 1);
+        let labels = LabeledMatches::new();
+        let v = service.train(&labels).unwrap();
+        assert_eq!(v.version.get(), 2);
+        let top = service.top_k(0, 3).unwrap();
+        assert_eq!(top.version, v.version);
+        assert_eq!(top.value.len(), 3);
+    }
+
+    #[test]
+    fn missing_inputs_are_typed_errors() {
+        let err = Pipeline::builder().kg2(example_wikidata()).build();
+        assert!(matches!(err, Err(DaakgError::MissingInput { what: "kg1" })));
+        let err = Pipeline::builder().kg1(example_dbpedia()).build();
+        assert!(matches!(err, Err(DaakgError::MissingInput { what: "kg2" })));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_at_build_time() {
+        // RotatE needs an even dim: caught by the one-stop validation.
+        let err = fast_builder().model(ModelKind::RotatE).dim(9).build();
+        match err {
+            Err(DaakgError::InvalidConfig { context, reason }) => {
+                assert_eq!(context, "EmbedConfig");
+                assert!(reason.contains("even"), "{reason}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        // Invalid active config is caught even when only building the
+        // service (one pipeline, one validation story).
+        let err = fast_builder()
+            .active(ActiveConfig {
+                batch_size: 0,
+                ..ActiveConfig::default()
+            })
+            .build();
+        assert!(matches!(err, Err(DaakgError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn build_active_returns_a_configured_loop() {
+        let (service, active) = fast_builder()
+            .active(ActiveConfig {
+                rounds: 1,
+                batch_size: 1,
+                ..ActiveConfig::default()
+            })
+            .strategy(Strategy::Margin)
+            .build_active()
+            .unwrap();
+        assert_eq!(active.config().rounds, 1);
+        assert_eq!(service.kg1().name(), "DBpedia");
+    }
+}

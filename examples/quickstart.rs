@@ -1,7 +1,8 @@
-//! End-to-end quickstart: build two small KGs, train the joint alignment
-//! model, snapshot it, rank candidates, print H@k / MRR / F1 — then run
-//! the deep *active* alignment loop against a simulated oracle and print
-//! its annotation-cost curve.
+//! End-to-end quickstart on the service API: build two small KGs, compose
+//! a [`Pipeline`], train the joint alignment model behind an
+//! [`AlignmentService`], run versioned rankings, print H@k / MRR / F1 —
+//! then run the deep *active* alignment loop against a simulated oracle
+//! and print its annotation-cost curve.
 //!
 //! Run with:
 //!
@@ -9,17 +10,16 @@
 //! cargo run --release -p daakg --example quickstart
 //! ```
 
-use daakg::active::{ActiveConfig, ActiveLoop, GoldOracle, Strategy};
-use daakg::align::joint::LabeledMatches;
+use daakg::active::{ActiveConfig, GoldOracle, Strategy};
 use daakg::eval::matching::greedy_matching;
 use daakg::eval::ranking::RankingScores;
 use daakg::eval::report::{fmt3, TextTable};
 use daakg::graph::kg::{example_dbpedia, example_wikidata};
 use daakg::graph::{ElementPair, GoldAlignment};
 use daakg::infer::RelationMatches;
-use daakg::{EmbedConfig, JointConfig, JointModel};
+use daakg::{DaakgError, EmbedConfig, JointConfig, LabeledMatches, Pipeline};
 
-fn main() {
+fn main() -> Result<(), DaakgError> {
     // 1. Two knowledge graphs describing the same slice of the world
     //    (Fig. 1 of the paper: DBpedia vs Wikidata around Michael Jackson).
     let kg1 = example_dbpedia();
@@ -60,9 +60,10 @@ fn main() {
         labels.push(ElementPair::Entity(l.into(), r.into()));
     }
 
-    // 3. Train the joint model (scaled-down hyper-parameters so the
-    //    quickstart finishes in seconds).
-    let cfg = JointConfig {
+    // 3. Compose the pipeline (scaled-down hyper-parameters so the
+    //    quickstart finishes in seconds) and build the service. The
+    //    builder validates everything up front with typed errors.
+    let joint_cfg = JointConfig {
         embed: EmbedConfig {
             dim: 16,
             class_dim: 8,
@@ -73,17 +74,25 @@ fn main() {
         align_epochs: 20,
         ..JointConfig::default()
     };
-    let mut model = JointModel::new(cfg, &kg1, &kg2);
+    let service = Pipeline::builder()
+        .kg1(kg1.clone())
+        .kg2(kg2.clone())
+        .joint(joint_cfg)
+        .build()?;
     println!("training joint model ({} labeled pairs)...", labels.len());
-    let snapshot = model.train(&kg1, &kg2, &labels);
+    let trained = service.train(&labels)?;
+    println!("published snapshot {}", trained.version);
 
-    // 4. Rank right-KG candidates for every gold left entity — the batched
-    //    top-k engine under the hood — and collect ranking metrics.
+    // 4. Rank right-KG candidates for every gold left entity — one
+    //    versioned, lock-free query per entity (the batched top-k engine
+    //    under the hood) — and collect ranking metrics.
     let items: Vec<(u32, Vec<u32>)> = gold_ids
         .iter()
         .map(|&(l, r)| {
-            let ranked: Vec<u32> = snapshot
-                .rank_entities(l)
+            let ranked: Vec<u32> = service
+                .rank(l)
+                .expect("gold ids are in bounds")
+                .value
                 .into_iter()
                 .map(|(e2, _)| e2)
                 .collect();
@@ -92,10 +101,14 @@ fn main() {
         .collect();
     let scores = RankingScores::from_rankings_parallel(&items);
 
-    // 5. Greedy 1:1 matching over all candidate pairs for set metrics.
+    // 5. Greedy 1:1 matching over all candidate pairs for set metrics:
+    //    one sharded batch query answers every left entity on a single
+    //    snapshot version.
+    let all_left: Vec<u32> = (0..kg1.num_entities() as u32).collect();
+    let batch = service.batch_top_k(&all_left, 5)?;
     let mut pool: Vec<(u32, u32, f32)> = Vec::new();
-    for l in 0..kg1.num_entities() as u32 {
-        for (r, s) in snapshot.top_k_entities(l, 5) {
+    for (&l, ranked) in all_left.iter().zip(&batch.value) {
+        for &(r, s) in ranked {
             pool.push((l, r, s));
         }
     }
@@ -111,17 +124,20 @@ fn main() {
     println!("\n{}", table.render());
 
     println!(
-        "top-3 candidates for {:?}:",
-        kg1.entity_name(gold_ids[0].0.into())
+        "top-3 candidates for {:?} (snapshot {}):",
+        kg1.entity_name(gold_ids[0].0.into()),
+        batch.version
     );
-    for (e2, s) in snapshot.top_k_entities(gold_ids[0].0, 3) {
+    for (e2, s) in service.top_k(gold_ids[0].0, 3)?.value {
         println!("  {:<28} {}", kg2.entity_name(e2.into()), fmt3(s as f64));
     }
 
     // 6. Deep active alignment: start over with just one labeled pair and
     //    let the loop decide which questions to put to a (simulated) human
-    //    oracle. Relation matches let the inference engine propagate each
-    //    "yes" through shared structure.
+    //    oracle. A fresh pipeline builds the campaign's own service and a
+    //    matching ActiveLoop; each round's retrain publishes a new
+    //    snapshot version on it. Relation matches let the inference engine
+    //    propagate each "yes" through shared structure.
     println!("\nactive loop (inference-power selection, simulated oracle):");
     let mut gold_alignment = GoldAlignment::new();
     for &(l, r) in &gold_ids {
@@ -145,27 +161,32 @@ fn main() {
         gold_ids[0].1.into(),
     ));
 
-    let mut active_model = JointModel::new(cfg, &kg1, &kg2);
+    let (active_service, active_loop) = Pipeline::builder()
+        .kg1(kg1)
+        .kg2(kg2)
+        .joint(joint_cfg)
+        .active(ActiveConfig {
+            rounds: 3,
+            batch_size: 2,
+            ..ActiveConfig::default()
+        })
+        .strategy(Strategy::InferencePower)
+        .build_active()?;
     let mut oracle = GoldOracle::new(&gold_alignment);
-    let active_cfg = ActiveConfig {
-        rounds: 3,
-        batch_size: 2,
-        ..ActiveConfig::default()
-    };
-    let curve = ActiveLoop::new(active_cfg, Strategy::InferencePower).run(
-        &mut active_model,
-        &kg1,
-        &kg2,
+    let curve = active_loop.run_service(
+        &active_service,
         &rels,
         &mut oracle,
         &gold_alignment,
         &seed_labels,
-    );
+    )?;
     println!("{}", curve.render());
     println!(
-        "final H@1 {} after {} question(s), AUC {}",
+        "final H@1 {} after {} question(s), AUC {}, {} snapshot versions published",
         fmt3(curve.final_h1()),
         curve.total_questions(),
-        fmt3(curve.auc_h1())
+        fmt3(curve.auc_h1()),
+        active_service.version().get()
     );
+    Ok(())
 }

@@ -7,15 +7,18 @@
 //! training engine) must agree with its naive/dense oracle on randomized
 //! inputs.
 
-use daakg::active::{ActiveConfig, ActiveLoop, GoldOracle, Strategy};
+use daakg::active::{ActiveConfig, GoldOracle, Strategy};
 use daakg::align::joint::LabeledMatches;
-use daakg::bench::scenarios::{run_all, BenchConfig};
-use daakg::bench::synth::{synthetic_pair, SynthSpec};
 use daakg::eval::ranking::RankingScores;
 use daakg::eval::CostCurve;
 use daakg::graph::{ElementPair, GoldAlignment, KnowledgeGraph};
 use daakg::infer::{InferConfig, RelationMatches};
-use daakg::{BatchedSimilarity, EmbedConfig, JointConfig, JointModel, Tensor};
+use daakg::{BatchedSimilarity, EmbedConfig, JointConfig, JointModel, Pipeline, Tensor};
+// The bench harness depends on the `daakg` facade (it drives the Pipeline
+// / AlignmentService scenarios), so these tests reach it directly instead
+// of through a facade re-export.
+use daakg_bench::scenarios::{run_all, BenchConfig};
+use daakg_bench::synth::{synthetic_pair, SynthSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -133,7 +136,7 @@ fn end_to_end_pipeline_aligns_synthetic_pair() {
         align_epochs: 10,
         ..JointConfig::default()
     };
-    let mut model = JointModel::new(cfg, &kg1, &kg2);
+    let mut model = JointModel::new(cfg, &kg1, &kg2).unwrap();
     let snapshot = model.train(&kg1, &kg2, &labels);
 
     // Rankings must be complete, descending, and identical between the
@@ -167,24 +170,166 @@ fn end_to_end_pipeline_aligns_synthetic_pair() {
 fn bench_harness_verifies_and_serializes() {
     let cfg = BenchConfig::quick();
     let results = run_all(&cfg);
-    assert_eq!(results.len(), 8);
+    assert_eq!(results.len(), 9);
     for r in &results {
         if let Some(v) = r.get_flag("verified") {
             assert!(v, "{} failed oracle verification", r.name);
         }
     }
-    let doc = daakg::bench::scenarios::results_to_json(&cfg, &results);
+    let doc = daakg_bench::scenarios::results_to_json(&cfg, &results);
     let text = doc.to_pretty_string();
     assert!(text.contains("\"bench\": \"daakg-core\""));
     assert!(text.contains("rank_full"));
     assert!(text.contains("train_epoch_sparse"));
     assert!(text.contains("joint_round"));
     assert!(text.contains("active_round"));
+    assert!(text.contains("serve_while_train"));
     // The document round-trips through the parser the regression gate
     // uses, and a self-comparison reports no regression.
-    let parsed = daakg::bench::JsonValue::parse(&text).expect("bench JSON must parse");
-    let regressions = daakg::bench::compare_docs(&parsed, &parsed, 0.3).unwrap();
+    let parsed = daakg_bench::JsonValue::parse(&text).expect("bench JSON must parse");
+    let regressions = daakg_bench::compare_docs(&parsed, &parsed, 0.3).unwrap();
     assert!(regressions.is_empty(), "{regressions:?}");
+}
+
+#[test]
+fn service_serves_oracle_exact_answers_while_training_at_scale() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    // Cross-crate serve-while-train: a Pipeline-built service over a
+    // synthetic pair answers versioned queries from reader threads while
+    // the writer publishes fresh versions; every recorded answer must
+    // match the naive ranker on the exact version it was computed on.
+    let spec = SynthSpec::with_entities(150, 13);
+    let (kg1, kg2, gold) = synthetic_pair(spec, 0.15);
+    let mut labels = LabeledMatches::from_gold(&gold);
+    labels.entities.truncate(10);
+    let service = Pipeline::builder()
+        .kg1(kg1)
+        .kg2(kg2)
+        .joint(JointConfig {
+            embed: EmbedConfig {
+                dim: 12,
+                class_dim: 4,
+                epochs: 1,
+                ..EmbedConfig::default()
+            },
+            align_epochs: 2,
+            ..JointConfig::default()
+        })
+        .build()
+        .unwrap();
+    service.train(&labels).unwrap();
+
+    let stop = AtomicBool::new(false);
+    let recorded = std::thread::scope(|scope| {
+        let service = &service;
+        let stop = &stop;
+        let readers: Vec<_> = (0..2)
+            .map(|ri| {
+                scope.spawn(move || {
+                    let n1 = service.kg1().num_entities() as u32;
+                    let mut out = Vec::new();
+                    let mut q = ri as u32;
+                    let mut last = 0u64;
+                    loop {
+                        let done = stop.load(Ordering::Relaxed);
+                        let ans = service.top_k(q, 5).unwrap();
+                        assert!(
+                            ans.version.get() >= last,
+                            "reader observed a version rollback"
+                        );
+                        last = ans.version.get();
+                        out.push((ans.version, q, ans.value));
+                        q = (q + 1) % n1;
+                        if done {
+                            break;
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        for _ in 0..3 {
+            service.align_rounds(&labels, 1).unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let mut all = Vec::new();
+        for r in readers {
+            all.extend(r.join().unwrap());
+        }
+        all
+    });
+    assert_eq!(service.version().get(), 5, "3 publishes over version 2");
+    assert!(!recorded.is_empty());
+    // Deterministically sample the recordings for naive verification.
+    for (version, q, top) in recorded.iter().step_by((recorded.len() / 40).max(1)) {
+        let pinned = service.snapshot_at(*version).expect("version retained");
+        let mut naive = pinned.snapshot.rank_entities_naive(*q);
+        naive.truncate(5);
+        assert_eq!(naive.len(), top.len());
+        for (n, b) in naive.iter().zip(top) {
+            assert!(
+                (n.1 - b.1).abs() < 1e-4,
+                "version {version} query {q}: naive {n:?} vs served {b:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pipeline_surfaces_typed_errors_across_crates() {
+    use daakg::DaakgError;
+    // Config violations from three different crates all arrive as the one
+    // workspace error type through the facade builder.
+    let spec = SynthSpec::with_entities(30, 3);
+    let (kg1, kg2, _) = synthetic_pair(spec, 0.0);
+    let base = || Pipeline::builder().kg1(kg1.clone()).kg2(kg2.clone());
+
+    let embed_bad = base()
+        .embed(EmbedConfig {
+            dim: 0,
+            ..EmbedConfig::default()
+        })
+        .build();
+    assert!(matches!(
+        embed_bad,
+        Err(DaakgError::InvalidConfig {
+            context: "EmbedConfig",
+            ..
+        })
+    ));
+    let infer_bad = base()
+        .infer(InferConfig {
+            max_depth: 0,
+            ..InferConfig::default()
+        })
+        .build();
+    assert!(matches!(
+        infer_bad,
+        Err(DaakgError::InvalidConfig {
+            context: "InferConfig",
+            ..
+        })
+    ));
+    let joint_bad = base()
+        .joint(JointConfig {
+            semi_threshold: 2.0,
+            ..JointConfig::default()
+        })
+        .build();
+    assert!(matches!(
+        joint_bad,
+        Err(DaakgError::InvalidConfig {
+            context: "JointConfig",
+            ..
+        })
+    ));
+    // Out-of-bounds queries on a live service are typed, not panics.
+    let service = base().dim(8).epochs(1).align_epochs(1).build().unwrap();
+    let n = service.kg1().num_entities() as u32;
+    assert!(matches!(
+        service.rank(n + 1),
+        Err(DaakgError::UnknownEntity { .. })
+    ));
 }
 
 #[test]
@@ -276,7 +421,7 @@ fn sparse_parallel_training_reaches_dense_final_loss_on_synthetic_kg() {
             threads,
             ..EmbedConfig::default()
         };
-        let trainer = EmbedTrainer::new(cfg);
+        let trainer = EmbedTrainer::new(cfg).unwrap();
         let mut opt = Adam::with_lr(cfg.lr);
         trainer
             .train(&model, None, &kg, &mut store, "g.", &mut opt)
@@ -314,7 +459,8 @@ fn synthetic_relation_matches(
     rels
 }
 
-/// Run one active-learning configuration over a synthetic pair.
+/// Run one active-learning configuration over a synthetic pair, through
+/// the Pipeline / AlignmentService entry point.
 fn run_active(
     strategy: Strategy,
     kg1: &KnowledgeGraph,
@@ -335,15 +481,23 @@ fn run_active(
         fine_tune_epochs: 5,
         ..JointConfig::default()
     };
-    let mut model = JointModel::new(joint_cfg, kg1, kg2);
+    let (service, active) = Pipeline::builder()
+        .kg1(kg1.clone())
+        .kg2(kg2.clone())
+        .joint(joint_cfg)
+        .active(ActiveConfig {
+            rounds: 4,
+            batch_size: 10,
+            infer: InferConfig::default(),
+            ..ActiveConfig::default()
+        })
+        .strategy(strategy)
+        .build_active()
+        .unwrap();
     let mut oracle = GoldOracle::new(gold);
-    let cfg = ActiveConfig {
-        rounds: 4,
-        batch_size: 10,
-        infer: InferConfig::default(),
-        ..ActiveConfig::default()
-    };
-    ActiveLoop::new(cfg, strategy).run(&mut model, kg1, kg2, rels, &mut oracle, gold, initial)
+    active
+        .run_service(&service, rels, &mut oracle, gold, initial)
+        .unwrap()
 }
 
 #[test]
