@@ -22,105 +22,24 @@
 //! candidate index — exactly the order the naive stable sort produces for
 //! index-ordered candidates, so the fast path is drop-in compatible with the
 //! oracle.
+//!
+//! The selection and scan machinery itself — the bounded
+//! [`daakg_index::TopKSelector`], the register-tiled
+//! [`daakg_index::scan_block`] kernel with its runtime AVX2+FMA dispatch,
+//! and the cosine-convention row normalization — lives in `daakg-index`,
+//! shared with the IVF approximate index: both engines score candidates
+//! with the *same* kernel over the *same* normalized rows, which is what
+//! makes a full-probe IVF search bitwise comparable to this exhaustive
+//! engine.
 
 use daakg_autograd::tensor::dot_unrolled as dot;
 use daakg_autograd::Tensor;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use daakg_index::scan::{normalize_rows_cosine, scan_block, top_k_of_scores, TopKSelector};
 
 /// Number of query rows scored per blocked matmul. 64 query rows × 10k
 /// candidates × 4 B = 2.5 MB of scores per block — large enough to amortize
 /// the kernel, small enough to stay cache- and memory-friendly.
 const QUERY_BLOCK: usize = 64;
-
-/// A scored candidate ordered by (score desc, index asc).
-///
-/// The `Ord` implementation is *reversed* so that [`BinaryHeap`] (a
-/// max-heap) exposes the **worst** retained candidate at the top, which is
-/// what bounded top-k eviction needs.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct HeapEntry {
-    score: f32,
-    index: u32,
-}
-
-impl Eq for HeapEntry {}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Worse-first: lower score is "greater" for the max-heap; on equal
-        // scores the larger index is worse (ascending-index preference).
-        other
-            .score
-            .total_cmp(&self.score)
-            .then(other.index.cmp(&self.index).reverse())
-    }
-}
-
-/// A bounded top-k accumulator: a min-heap-of-worst with a fast rejection
-/// path, so streaming `n` candidates costs `O(n)` compares plus
-/// `O(retained · log k)` heap updates.
-#[derive(Debug, Clone)]
-struct TopKSelector {
-    k: usize,
-    heap: BinaryHeap<HeapEntry>,
-    /// Score of the worst retained candidate once the heap is full
-    /// (`+∞` when `k == 0`, `−∞` while filling). Caching it flat makes the
-    /// overwhelmingly common rejection a single register compare, with no
-    /// heap access at all.
-    threshold: f32,
-}
-
-impl TopKSelector {
-    fn new(k: usize) -> Self {
-        Self {
-            k,
-            heap: BinaryHeap::with_capacity(k + 1),
-            threshold: if k == 0 {
-                f32::INFINITY
-            } else {
-                f32::NEG_INFINITY
-            },
-        }
-    }
-
-    #[inline]
-    fn push(&mut self, index: u32, score: f32) {
-        // A later candidate (larger index) with an equal score is always
-        // worse under the (score desc, index asc) order, and candidates
-        // stream in index order — so `<=` rejection is exact.
-        if score <= self.threshold {
-            return;
-        }
-        let entry = HeapEntry { score, index };
-        if self.heap.len() + 1 < self.k {
-            self.heap.push(entry);
-        } else if self.heap.len() < self.k {
-            self.heap.push(entry);
-            self.threshold = self.heap.peek().map_or(f32::NEG_INFINITY, |w| w.score);
-        } else {
-            self.heap.pop();
-            self.heap.push(entry);
-            self.threshold = self.heap.peek().map_or(f32::NEG_INFINITY, |w| w.score);
-        }
-    }
-
-    /// Drain into final ranking order (descending score, ascending index
-    /// on ties).
-    fn into_sorted(self) -> Vec<(u32, f32)> {
-        self.heap
-            .into_sorted_vec()
-            .into_iter()
-            .map(|e| (e.index, e.score))
-            .collect()
-    }
-}
 
 /// Pre-normalized similarity engine between a query matrix (mapped left
 /// embeddings) and a candidate matrix (right embeddings).
@@ -135,26 +54,10 @@ pub struct BatchedSimilarity {
     /// (one lane per candidate), eliminating the per-score horizontal
     /// reduction that dominates row-major dot products at small `d`.
     candidates_t: Tensor,
-}
-
-/// Normalize each row to unit L2 norm, zeroing rows whose *squared* norm
-/// is ≤ `f32::EPSILON` or non-finite — the exact degenerate-row guard of
-/// [`daakg_autograd::tensor::cosine`], so batched scores agree with the
-/// naive convention both for tiny-but-nonzero rows (which `cosine` treats
-/// as zero vectors) and for rows containing NaN/infinite components.
-fn normalize_rows_cosine_convention(t: &mut Tensor) {
-    for r in 0..t.rows() {
-        let row = t.row_mut(r);
-        let sq: f32 = row.iter().map(|x| x * x).sum();
-        if !sq.is_finite() || sq <= f32::EPSILON {
-            row.fill(0.0);
-        } else {
-            let inv = 1.0 / sq.sqrt();
-            for x in row.iter_mut() {
-                *x *= inv;
-            }
-        }
-    }
+    /// Identity column→id map for the shared scan kernel (the exhaustive
+    /// engine scans candidates in index order; the IVF index passes its
+    /// permuted inverted-list ids through the same parameter).
+    identity_ids: Vec<u32>,
 }
 
 impl BatchedSimilarity {
@@ -170,14 +73,36 @@ impl BatchedSimilarity {
         );
         let mut q = queries.clone();
         let mut c = candidates.clone();
-        normalize_rows_cosine_convention(&mut q);
-        normalize_rows_cosine_convention(&mut c);
+        normalize_rows_cosine(&mut q);
+        normalize_rows_cosine(&mut c);
         let ct = c.transpose();
+        let identity_ids = (0..c.rows() as u32).collect();
         Self {
             queries: q,
             candidates: c,
             candidates_t: ct,
+            identity_ids,
         }
+    }
+
+    /// The row-normalized query matrix (`n₁ × d`). Row `q` is the unit (or
+    /// zero) vector every scoring path uses for query `q` — hand these rows
+    /// to [`daakg_index::IvfIndex::search`] so approximate scores agree
+    /// bitwise with this engine over the probed candidates.
+    pub fn normalized_queries(&self) -> &Tensor {
+        &self.queries
+    }
+
+    /// The row-normalized candidate matrix (`n₂ × d`) — the exact rows an
+    /// [`daakg_index::IvfIndex`] must be built over for full-probe searches
+    /// to reproduce this engine's results.
+    pub fn normalized_candidates(&self) -> &Tensor {
+        &self.candidates
+    }
+
+    /// One row-normalized query row.
+    pub fn normalized_query(&self, query: u32) -> &[f32] {
+        self.queries.row(query as usize)
     }
 
     /// Number of query rows.
@@ -226,7 +151,7 @@ impl BatchedSimilarity {
     /// Best `k` candidates of one query, descending score, index-ascending
     /// on ties. `O(n log k)` via a bounded heap.
     pub fn top_k(&self, query: u32, k: usize) -> Vec<(u32, f32)> {
-        top_k_of_scores_slice(&self.scores(query), k)
+        top_k_of_scores(&self.scores(query), k)
     }
 
     /// Best `k` candidates for every query in `queries`. Returns one
@@ -245,12 +170,13 @@ impl BatchedSimilarity {
             let panel = self.queries.gather_rows(chunk);
             let mut selectors: Vec<TopKSelector> =
                 chunk.iter().map(|_| TopKSelector::new(k)).collect();
-            scan_panel_dispatch(
+            scan_block(
                 panel.as_slice(),
                 d,
                 chunk.len(),
                 self.candidates_t.as_slice(),
                 self.num_candidates(),
+                &self.identity_ids,
                 &mut selectors,
             );
             out.extend(selectors.into_iter().map(TopKSelector::into_sorted));
@@ -285,158 +211,6 @@ impl BatchedSimilarity {
         v.sort_by(|a, b| b.1.total_cmp(&a.1));
         v
     }
-}
-
-/// Scan every candidate row against a gathered query panel (`nq` rows of
-/// `d` floats in `ps`), feeding the per-query bounded selectors.
-///
-/// `#[inline(always)]` so the `#[target_feature]` wrappers below inline
-/// this body and re-vectorize it with the wider instruction set.
-/// Candidates per register tile of the scan kernel: 4 queries × 16
-/// candidates = 64 accumulators, two 8-lane vectors per query on AVX2.
-const SCAN_TILE: usize = 16;
-
-/// Scan every candidate against a gathered query panel (`nq` rows of `d`
-/// floats in `ps`), feeding the per-query bounded selectors.
-///
-/// `ct` is the *transposed* candidate matrix (`d` rows of `n` floats), so
-/// the kernel accumulates a 4-query × 16-candidate register tile
-/// *vertically*: per depth step it loads one 16-wide candidate slab,
-/// broadcasts four query scalars, and issues eight 8-lane FMAs — no
-/// horizontal reduction anywhere, and each candidate load feeds four MACs.
-///
-/// `#[inline(always)]` so the `#[target_feature]` wrapper below inlines
-/// this body and re-vectorizes it with the wider instruction set.
-// Index-based tile loops are deliberate: the accumulator tile must be
-// addressed by lane for the vectorizer to keep it in registers.
-#[allow(clippy::needless_range_loop)]
-#[inline(always)]
-fn scan_panel(
-    ps: &[f32],
-    d: usize,
-    nq: usize,
-    ct: &[f32],
-    n: usize,
-    selectors: &mut [TopKSelector],
-) {
-    debug_assert_eq!(ct.len(), d * n);
-    let mut qi = 0;
-    while qi + 4 <= nq {
-        let b = qi * d;
-        let q0 = &ps[b..b + d];
-        let q1 = &ps[b + d..b + 2 * d];
-        let q2 = &ps[b + 2 * d..b + 3 * d];
-        let q3 = &ps[b + 3 * d..b + 4 * d];
-        let [s0, s1, s2, s3] = {
-            let (h0, rest) = selectors[qi..].split_at_mut(1);
-            let (h1, rest) = rest.split_at_mut(1);
-            let (h2, h3) = rest.split_at_mut(1);
-            [&mut h0[0], &mut h1[0], &mut h2[0], &mut h3[0]]
-        };
-        let mut j0 = 0;
-        while j0 + SCAN_TILE <= n {
-            let mut acc = [[0.0f32; SCAN_TILE]; 4];
-            for l in 0..d {
-                let slab = &ct[l * n + j0..l * n + j0 + SCAN_TILE];
-                let (b0, b1, b2, b3) = (q0[l], q1[l], q2[l], q3[l]);
-                for t in 0..SCAN_TILE {
-                    let cv = slab[t];
-                    acc[0][t] += b0 * cv;
-                    acc[1][t] += b1 * cv;
-                    acc[2][t] += b2 * cv;
-                    acc[3][t] += b3 * cv;
-                }
-            }
-            for t in 0..SCAN_TILE {
-                let j = (j0 + t) as u32;
-                s0.push(j, acc[0][t]);
-                s1.push(j, acc[1][t]);
-                s2.push(j, acc[2][t]);
-                s3.push(j, acc[3][t]);
-            }
-            j0 += SCAN_TILE;
-        }
-        // Candidate tail (< SCAN_TILE columns): strided scalar access.
-        while j0 < n {
-            let mut s = [0.0f32; 4];
-            for l in 0..d {
-                let cv = ct[l * n + j0];
-                s[0] += q0[l] * cv;
-                s[1] += q1[l] * cv;
-                s[2] += q2[l] * cv;
-                s[3] += q3[l] * cv;
-            }
-            s0.push(j0 as u32, s[0]);
-            s1.push(j0 as u32, s[1]);
-            s2.push(j0 as u32, s[2]);
-            s3.push(j0 as u32, s[3]);
-            j0 += 1;
-        }
-        qi += 4;
-    }
-    // Query tail (< 4 rows): one vertical axpy sweep per query.
-    while qi < nq {
-        let q = &ps[qi * d..(qi + 1) * d];
-        let mut buf = vec![0.0f32; n];
-        for (l, &bq) in q.iter().enumerate() {
-            for (o, &cv) in buf.iter_mut().zip(&ct[l * n..(l + 1) * n]) {
-                *o += bq * cv;
-            }
-        }
-        let sel = &mut selectors[qi];
-        for (j, &s) in buf.iter().enumerate() {
-            sel.push(j as u32, s);
-        }
-        qi += 1;
-    }
-}
-
-/// AVX2+FMA re-compilation of [`scan_panel`].
-///
-/// # Safety
-/// Caller must verify `avx2` and `fma` are available at runtime.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2")]
-#[target_feature(enable = "fma")]
-unsafe fn scan_panel_avx2(
-    ps: &[f32],
-    d: usize,
-    nq: usize,
-    ct: &[f32],
-    n: usize,
-    selectors: &mut [TopKSelector],
-) {
-    scan_panel(ps, d, nq, ct, n, selectors)
-}
-
-/// Pick the widest compiled-in kernel the running CPU supports. The
-/// default x86-64 target only guarantees SSE2, but alignment servers
-/// virtually always have AVX2+FMA — runtime dispatch keeps the binary
-/// portable while serving wide SIMD on real hardware.
-fn scan_panel_dispatch(
-    ps: &[f32],
-    d: usize,
-    nq: usize,
-    ct: &[f32],
-    n: usize,
-    selectors: &mut [TopKSelector],
-) {
-    #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
-        // SAFETY: both features were just verified on this CPU.
-        return unsafe { scan_panel_avx2(ps, d, nq, ct, n, selectors) };
-    }
-    scan_panel(ps, d, nq, ct, n, selectors)
-}
-
-/// Bounded top-k selection over a score slice: keep the best `k` in a
-/// min-heap-of-worst, then unwind into descending order.
-fn top_k_of_scores_slice(scores: &[f32], k: usize) -> Vec<(u32, f32)> {
-    let mut sel = TopKSelector::new(k.min(scores.len()));
-    for (j, &s) in scores.iter().enumerate() {
-        sel.push(j as u32, s);
-    }
-    sel.into_sorted()
 }
 
 #[cfg(test)]

@@ -27,7 +27,9 @@
 //! * [`service`] — [`AlignmentService`], the concurrent serve-while-train
 //!   layer: an atomic-swap registry of immutable, versioned snapshots;
 //!   queries run lock-free on whatever version they grab while training
-//!   publishes new versions.
+//!   publishes new versions. With a [`ServingConfig`] index, each
+//!   publication carries a lazily-built `daakg_index::IvfIndex` and
+//!   queries can run in sublinear [`QueryMode::Approx`].
 
 pub mod batched;
 pub mod calibrate;
@@ -43,8 +45,12 @@ pub mod weights;
 
 pub use batched::BatchedSimilarity;
 pub use config::JointConfig;
+// Serving-mode types live in `daakg-index`; re-exported here because the
+// service API consumes them.
+pub use daakg_index::{IvfConfig, IvfIndex, QueryMode};
 pub use joint::{JointModel, LabeledMatches};
 pub use service::{
-    AlignmentService, SnapshotRegistry, SnapshotVersion, Versioned, VersionedSnapshot,
+    AlignmentService, ServingConfig, SnapshotRegistry, SnapshotVersion, Versioned,
+    VersionedSnapshot,
 };
 pub use snapshot::AlignmentSnapshot;

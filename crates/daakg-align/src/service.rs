@@ -23,14 +23,59 @@
 //! Readers never block writers and writers never block readers: a reader
 //! that grabbed version `v` keeps using it while version `v+1` is being
 //! trained and published.
+//!
+//! With a [`ServingConfig`] carrying an IVF configuration, every
+//! publication is additionally stamped with it, so each version owns a
+//! lazily-built, never-rebuilt [`daakg_index::IvfIndex`] and queries can
+//! run in [`QueryMode::Approx`] — sublinear scans over the probed
+//! inverted lists — either as the service default or per call via the
+//! `*_with` query variants. The default remains [`QueryMode::Exact`].
 
 use crate::config::JointConfig;
 use crate::joint::{JointModel, LabeledMatches};
 use crate::snapshot::AlignmentSnapshot;
 use daakg_graph::{DaakgError, KnowledgeGraph};
+use daakg_index::{IvfConfig, QueryMode};
 use std::fmt;
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Serving-side configuration of an [`AlignmentService`]: whether
+/// published snapshots carry an IVF index, and which [`QueryMode`] the
+/// plain query methods default to.
+///
+/// The default is index-less exact serving — precisely the pre-index
+/// behavior. With an index configured, every published snapshot carries
+/// the configuration and builds its index lazily (at most once per
+/// version, shared by all readers of that version); `mode` then selects
+/// what [`AlignmentService::rank`] / [`AlignmentService::top_k`] /
+/// [`AlignmentService::batch_top_k`] do, with the `*_with` variants
+/// overriding per call.
+#[derive(Debug, Clone, Default)]
+pub struct ServingConfig {
+    /// Build an IVF index into every published snapshot.
+    pub index: Option<IvfConfig>,
+    /// Default execution mode of the plain query methods.
+    pub mode: QueryMode,
+}
+
+impl ServingConfig {
+    /// Exact serving with an IVF index available for `Approx` queries.
+    pub fn with_index(nlist: usize) -> Self {
+        Self {
+            index: Some(IvfConfig::new(nlist)),
+            mode: QueryMode::Exact,
+        }
+    }
+
+    /// Validate the composed serving configuration.
+    pub fn validate(&self) -> Result<(), DaakgError> {
+        if let Some(cfg) = &self.index {
+            cfg.validate()?;
+        }
+        self.mode.validate(self.index.is_some())
+    }
+}
 
 /// Monotonically increasing identifier of one published snapshot.
 ///
@@ -45,6 +90,13 @@ impl SnapshotVersion {
     /// The raw version counter.
     pub fn get(self) -> u64 {
         self.0
+    }
+
+    /// A handle for a raw counter value — e.g. to sweep
+    /// [`AlignmentService::snapshot_at`] over a recorded range. A value
+    /// that was never published simply resolves to `None` there.
+    pub fn of(version: u64) -> Self {
+        Self(version)
     }
 }
 
@@ -363,6 +415,10 @@ pub struct AlignmentService {
     /// this lock.
     model: Mutex<JointModel>,
     registry: SnapshotRegistry,
+    /// Index + default-mode configuration, fixed at construction; every
+    /// published snapshot is stamped with `serving.index` before the
+    /// atomic publish, so a version and its index travel together.
+    serving: ServingConfig,
 }
 
 impl fmt::Debug for AlignmentService {
@@ -378,20 +434,49 @@ impl fmt::Debug for AlignmentService {
 
 impl AlignmentService {
     /// Build the joint model for the KG pair and publish version 1 (the
-    /// untrained init), so queries are answerable immediately.
+    /// untrained init), so queries are answerable immediately. Serves
+    /// exact queries with no index — see
+    /// [`AlignmentService::with_serving`] for approximate serving.
     pub fn new(
         cfg: JointConfig,
         kg1: Arc<KnowledgeGraph>,
         kg2: Arc<KnowledgeGraph>,
     ) -> Result<Self, DaakgError> {
+        Self::with_serving(cfg, ServingConfig::default(), kg1, kg2)
+    }
+
+    /// [`AlignmentService::new`] with an explicit [`ServingConfig`]: an
+    /// optional per-snapshot IVF index and the default [`QueryMode`] of
+    /// the plain query methods. The configuration is validated up front.
+    pub fn with_serving(
+        cfg: JointConfig,
+        serving: ServingConfig,
+        kg1: Arc<KnowledgeGraph>,
+        kg2: Arc<KnowledgeGraph>,
+    ) -> Result<Self, DaakgError> {
+        serving.validate()?;
         let model = JointModel::new(cfg, &kg1, &kg2)?;
-        let initial = model.snapshot(&kg1, &kg2);
+        let mut initial = model.snapshot(&kg1, &kg2);
+        initial.set_index_config(serving.index.clone());
         Ok(Self {
             registry: SnapshotRegistry::new(initial),
             model: Mutex::new(model),
             kg1,
             kg2,
+            serving,
         })
+    }
+
+    /// The serving configuration (index + default query mode).
+    pub fn serving(&self) -> &ServingConfig {
+        &self.serving
+    }
+
+    /// Stamp a freshly trained snapshot with the serving index
+    /// configuration so the publication carries it atomically.
+    fn prepare(&self, mut snap: AlignmentSnapshot) -> AlignmentSnapshot {
+        snap.set_index_config(self.serving.index.clone());
+        snap
     }
 
     /// The left knowledge graph.
@@ -458,46 +543,124 @@ impl AlignmentService {
         }
     }
 
+    /// Validate a per-call mode against this service's index presence and
+    /// extract the probe width (`None` = exact).
+    fn resolve_mode(&self, mode: QueryMode) -> Result<Option<usize>, DaakgError> {
+        mode.validate(self.serving.index.is_some())?;
+        Ok(match mode {
+            QueryMode::Exact => None,
+            QueryMode::Approx { nprobe } => Some(nprobe),
+        })
+    }
+
     /// Rank all right entities for `e1`, descending, on the current
-    /// version. Runs lock-free on the version it grabs.
+    /// version, in the service's default [`QueryMode`]. Runs lock-free on
+    /// the version it grabs.
     pub fn rank(&self, e1: u32) -> Result<Versioned<Vec<(u32, f32)>>, DaakgError> {
+        self.rank_with(e1, self.serving.mode)
+    }
+
+    /// [`AlignmentService::rank`] with an explicit mode. In `Approx` mode
+    /// the ranking covers the candidates of the `nprobe` probed inverted
+    /// lists (the unscanned tail is absent, not approximated).
+    pub fn rank_with(
+        &self,
+        e1: u32,
+        mode: QueryMode,
+    ) -> Result<Versioned<Vec<(u32, f32)>>, DaakgError> {
         self.check_query(e1)?;
+        let nprobe = self.resolve_mode(mode)?;
         let cur = self.current();
+        let value = match nprobe {
+            None => cur.snapshot.rank_entities(e1),
+            Some(nprobe) => cur
+                .snapshot
+                .rank_entities_approx(e1, nprobe)
+                .expect("validated: index configured"),
+        };
         Ok(Versioned {
             version: cur.version,
-            value: cur.snapshot.rank_entities(e1),
+            value,
         })
     }
 
     /// Best `k` right entities for `e1`, descending, on the current
-    /// version.
+    /// version, in the service's default [`QueryMode`].
     pub fn top_k(&self, e1: u32, k: usize) -> Result<Versioned<Vec<(u32, f32)>>, DaakgError> {
+        self.top_k_with(e1, k, self.serving.mode)
+    }
+
+    /// [`AlignmentService::top_k`] with an explicit mode: `Exact` scans
+    /// every candidate, `Approx { nprobe }` scans the `nprobe` best
+    /// inverted lists of the version's IVF index (sublinear; exact cosine
+    /// scores over the probed candidates, and `nprobe == nlist`
+    /// reproduces the exact answer).
+    pub fn top_k_with(
+        &self,
+        e1: u32,
+        k: usize,
+        mode: QueryMode,
+    ) -> Result<Versioned<Vec<(u32, f32)>>, DaakgError> {
         self.check_query(e1)?;
+        let nprobe = self.resolve_mode(mode)?;
         let cur = self.current();
+        let value = match nprobe {
+            None => cur.snapshot.top_k_entities(e1, k),
+            Some(nprobe) => cur
+                .snapshot
+                .top_k_entities_approx(e1, k, nprobe)
+                .expect("validated: index configured"),
+        };
         Ok(Versioned {
             version: cur.version,
-            value: cur.snapshot.top_k_entities(e1, k),
+            value,
         })
     }
 
     /// Best `k` right entities for *each* query, all answered on **one**
     /// version (a single grab covers the whole batch), sharded across
-    /// worker threads via `daakg-parallel` on top of the blocked
-    /// per-shard scoring of the batched engine.
+    /// worker threads via `daakg-parallel`, in the service's default
+    /// [`QueryMode`].
     pub fn batch_top_k(
         &self,
         queries: &[u32],
         k: usize,
     ) -> Result<Versioned<Vec<Ranking>>, DaakgError> {
+        self.batch_top_k_with(queries, k, self.serving.mode)
+    }
+
+    /// [`AlignmentService::batch_top_k`] with an explicit mode. Exact
+    /// shards run the blocked panel scan; approximate shards run one IVF
+    /// probe per query (already inside a worker shard, so the index's own
+    /// batch entry point is deliberately not nested here).
+    pub fn batch_top_k_with(
+        &self,
+        queries: &[u32],
+        k: usize,
+        mode: QueryMode,
+    ) -> Result<Versioned<Vec<Ranking>>, DaakgError> {
         for &q in queries {
             self.check_query(q)?;
         }
+        let nprobe = self.resolve_mode(mode)?;
         let cur = self.current();
         let snap = &cur.snapshot;
+        // Build the index before fanning out, so shards never race the
+        // one-time construction inside their query loops.
+        if nprobe.is_some() {
+            snap.ivf_index();
+        }
         let shards = daakg_parallel::num_threads();
         let mut value: Vec<Ranking> = Vec::with_capacity(queries.len());
-        for shard in daakg_parallel::par_map_ranges(queries.len(), shards, |r| {
-            snap.top_k_entities_block(&queries[r], k)
+        for shard in daakg_parallel::par_map_ranges(queries.len(), shards, |r| match nprobe {
+            None => snap.top_k_entities_block(&queries[r], k),
+            Some(nprobe) => queries[r]
+                .iter()
+                .map(|&q| {
+                    snap.top_k_entities_approx(q, k, nprobe)
+                        .expect("validated: index configured")
+                })
+                .collect(),
         }) {
             value.extend(shard);
         }
@@ -514,7 +677,7 @@ impl AlignmentService {
     /// Queries keep running on the previous version until the publish.
     pub fn train(&self, labels: &LabeledMatches) -> Result<VersionedSnapshot, DaakgError> {
         let mut model = self.model.lock().expect("model mutex poisoned");
-        let snap = model.train(&self.kg1, &self.kg2, labels);
+        let snap = self.prepare(model.train(&self.kg1, &self.kg2, labels));
         Ok(self.registry.publish_pinned(snap))
     }
 
@@ -528,7 +691,7 @@ impl AlignmentService {
     ) -> Result<Versioned<Vec<f32>>, DaakgError> {
         let mut model = self.model.lock().expect("model mutex poisoned");
         let losses = model.align_rounds(&self.kg1, &self.kg2, labels, epochs);
-        let snap = model.snapshot(&self.kg1, &self.kg2);
+        let snap = self.prepare(model.snapshot(&self.kg1, &self.kg2));
         Ok(Versioned {
             version: self.registry.publish(snap),
             value: losses,
@@ -552,7 +715,8 @@ impl AlignmentService {
         accept: f32,
     ) -> Result<VersionedSnapshot, DaakgError> {
         let mut model = self.model.lock().expect("model mutex poisoned");
-        let snap = model.fine_tune_with_inferred(&self.kg1, &self.kg2, labels, inferred, accept);
+        let snap = self
+            .prepare(model.fine_tune_with_inferred(&self.kg1, &self.kg2, labels, inferred, accept));
         Ok(self.registry.publish_pinned(snap))
     }
 }
@@ -825,6 +989,164 @@ mod tests {
         let before = svc.retained_versions();
         assert_eq!(svc.prune_shared(1), before - 1);
         assert_eq!(svc.retained_versions(), 1);
+    }
+
+    fn example_indexed_service() -> AlignmentService {
+        AlignmentService::with_serving(
+            tiny_cfg(),
+            ServingConfig::with_index(3),
+            Arc::new(example_dbpedia()),
+            Arc::new(example_wikidata()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn serving_config_validation_rejects_bad_compositions() {
+        assert!(ServingConfig::default().validate().is_ok());
+        assert!(ServingConfig::with_index(4).validate().is_ok());
+        let bad_nlist = ServingConfig::with_index(0);
+        assert!(matches!(
+            bad_nlist.validate(),
+            Err(DaakgError::InvalidConfig { .. })
+        ));
+        let approx_without_index = ServingConfig {
+            index: None,
+            mode: daakg_index::QueryMode::Approx { nprobe: 2 },
+        };
+        assert!(approx_without_index.validate().is_err());
+        let zero_probe = ServingConfig {
+            mode: daakg_index::QueryMode::Approx { nprobe: 0 },
+            ..ServingConfig::with_index(4)
+        };
+        assert!(zero_probe.validate().is_err());
+        // The same violations surface at service construction.
+        assert!(AlignmentService::with_serving(
+            tiny_cfg(),
+            approx_without_index,
+            Arc::new(example_dbpedia()),
+            Arc::new(example_wikidata()),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn approx_queries_without_an_index_are_typed_errors() {
+        use daakg_index::QueryMode;
+        let svc = example_service();
+        for res in [
+            svc.top_k_with(0, 3, QueryMode::Approx { nprobe: 2 })
+                .map(|v| v.value),
+            svc.rank_with(0, QueryMode::Approx { nprobe: 2 })
+                .map(|v| v.value),
+        ] {
+            assert!(matches!(res, Err(DaakgError::InvalidConfig { .. })));
+        }
+        let err = svc
+            .batch_top_k_with(&[0, 1], 2, QueryMode::Approx { nprobe: 2 })
+            .unwrap_err();
+        assert!(matches!(err, DaakgError::InvalidConfig { .. }));
+        // And nprobe = 0 is rejected even with an index present.
+        let svc = example_indexed_service();
+        assert!(svc
+            .top_k_with(0, 3, QueryMode::Approx { nprobe: 0 })
+            .is_err());
+    }
+
+    #[test]
+    fn full_probe_approx_reproduces_exact_answers_across_versions() {
+        use daakg_index::QueryMode;
+        let svc = example_indexed_service();
+        let labels = example_labels(&svc);
+        svc.train(&labels).unwrap();
+        let nlist = svc
+            .current()
+            .snapshot
+            .ivf_index()
+            .expect("index configured")
+            .nlist();
+        let full = QueryMode::Approx { nprobe: nlist };
+        let n1 = svc.kg1().num_entities();
+        let n2 = svc.kg2().num_entities();
+        for e1 in 0..n1 as u32 {
+            for k in [0usize, 1, 3, n2, n2 + 5] {
+                let exact = svc.top_k(e1, k).unwrap();
+                let approx = svc.top_k_with(e1, k, full).unwrap();
+                assert_eq!(exact.version, approx.version);
+                assert_eq!(exact.value, approx.value, "e1={e1} k={k}");
+            }
+        }
+        let queries: Vec<u32> = (0..n1 as u32).collect();
+        let exact = svc.batch_top_k(&queries, 4).unwrap();
+        let approx = svc.batch_top_k_with(&queries, 4, full).unwrap();
+        assert_eq!(exact.value, approx.value);
+        // Partial probes stay within the exact candidate universe and
+        // carry exact scores for everything they return.
+        let partial = svc
+            .top_k_with(0, n2, QueryMode::Approx { nprobe: 1 })
+            .unwrap();
+        let exact_all = svc.rank(0).unwrap();
+        for (id, s) in &partial.value {
+            let (_, es) = exact_all.value.iter().find(|(e, _)| e == id).unwrap();
+            assert_eq!(s.to_bits(), es.to_bits());
+        }
+    }
+
+    #[test]
+    fn default_mode_approx_serves_plain_queries_through_the_index() {
+        use daakg_index::QueryMode;
+        let svc = AlignmentService::with_serving(
+            tiny_cfg(),
+            ServingConfig {
+                mode: QueryMode::Approx { nprobe: 3 },
+                ..ServingConfig::with_index(3)
+            },
+            Arc::new(example_dbpedia()),
+            Arc::new(example_wikidata()),
+        )
+        .unwrap();
+        // nprobe == nlist: the default-mode plain calls must equal the
+        // explicit exact answers.
+        let exact = svc.top_k_with(0, 4, QueryMode::Exact).unwrap();
+        let plain = svc.top_k(0, 4).unwrap();
+        assert_eq!(exact.value, plain.value);
+    }
+
+    #[test]
+    fn each_version_builds_its_index_once_and_keeps_it() {
+        let svc = example_indexed_service();
+        let labels = example_labels(&svc);
+        svc.train(&labels).unwrap();
+        svc.align_rounds(&labels, 1).unwrap();
+        for v in 1..=3u64 {
+            let pinned = svc.snapshot_at(SnapshotVersion(v)).unwrap();
+            let first = Arc::clone(pinned.snapshot.ivf_index().expect("index configured"));
+            let second = Arc::clone(pinned.snapshot.ivf_index().unwrap());
+            assert!(
+                Arc::ptr_eq(&first, &second),
+                "version {v} rebuilt its index"
+            );
+            // Re-grabbing the same version sees the same built index (the
+            // registry shares one snapshot per version).
+            let again = svc.snapshot_at(SnapshotVersion(v)).unwrap();
+            assert!(Arc::ptr_eq(&first, again.snapshot.ivf_index().unwrap()));
+        }
+        // Distinct versions own distinct indexes.
+        let i2 = Arc::clone(
+            svc.snapshot_at(SnapshotVersion(2))
+                .unwrap()
+                .snapshot
+                .ivf_index()
+                .unwrap(),
+        );
+        let i3 = Arc::clone(
+            svc.snapshot_at(SnapshotVersion(3))
+                .unwrap()
+                .snapshot
+                .ivf_index()
+                .unwrap(),
+        );
+        assert!(!Arc::ptr_eq(&i2, &i3));
     }
 
     /// Registry-level satellite: versions stay dense and strictly monotone

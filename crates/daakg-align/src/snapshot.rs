@@ -13,6 +13,8 @@ use daakg_autograd::tensor::cosine;
 use daakg_autograd::{ParamStore, Tensor};
 use daakg_embed::{EntityClassModel, KgEmbedding};
 use daakg_graph::{ElementPair, KnowledgeGraph};
+use daakg_index::{IvfConfig, IvfIndex};
+use std::sync::{Arc, OnceLock};
 
 /// Cached matrices of one alignment round.
 #[derive(Debug, Clone)]
@@ -57,6 +59,14 @@ pub struct AlignmentSnapshot {
     /// Batched entity-similarity engine over `(mapped_ents1, ents2)`,
     /// pre-normalized once at snapshot construction.
     entity_engine: BatchedSimilarity,
+    /// IVF configuration for approximate entity search, when serving
+    /// enabled it (see [`AlignmentSnapshot::set_index_config`]).
+    index_cfg: Option<IvfConfig>,
+    /// The lazily-built IVF index. A `OnceLock` so the build happens at
+    /// most once per snapshot no matter how many readers race the first
+    /// approximate query, and clones of the snapshot (all sharing the
+    /// same published version) share the built index through the `Arc`.
+    index_cell: OnceLock<Arc<IvfIndex>>,
 }
 
 impl AlignmentSnapshot {
@@ -131,7 +141,66 @@ impl AlignmentSnapshot {
             use_mean_embeddings,
             use_class_embeddings,
             entity_engine,
+            index_cfg: None,
+            index_cell: OnceLock::new(),
         }
+    }
+
+    /// Configure (or clear) approximate entity search for this snapshot.
+    /// The index itself is built lazily — on the first
+    /// [`AlignmentSnapshot::ivf_index`] call — and exactly once; setting a
+    /// new configuration discards any previously built index.
+    ///
+    /// `AlignmentService` calls this on every snapshot it publishes, so an
+    /// index travels atomically with its version: every reader of version
+    /// `v` shares the same index, and no live version is ever re-indexed.
+    pub fn set_index_config(&mut self, cfg: Option<IvfConfig>) {
+        self.index_cfg = cfg;
+        self.index_cell = OnceLock::new();
+    }
+
+    /// The IVF configuration this snapshot carries, if any.
+    pub fn index_config(&self) -> Option<&IvfConfig> {
+        self.index_cfg.as_ref()
+    }
+
+    /// The snapshot's IVF index over the normalized right-entity matrix,
+    /// or `None` when no index is configured. The first call (per
+    /// snapshot) builds the index; concurrent callers block on that one
+    /// build and then share the result — an `Arc` so callers can pin it
+    /// beyond the snapshot borrow.
+    pub fn ivf_index(&self) -> Option<&Arc<IvfIndex>> {
+        let cfg = self.index_cfg.as_ref()?;
+        Some(self.index_cell.get_or_init(|| {
+            Arc::new(IvfIndex::build(
+                self.entity_engine.normalized_candidates(),
+                cfg,
+            ))
+        }))
+    }
+
+    /// Approximate top-`k` right entities for a left entity: scan the
+    /// `nprobe` most-similar inverted lists of the snapshot's index.
+    /// Scores are exact cosines over the probed candidates, and
+    /// `nprobe == nlist` reproduces [`AlignmentSnapshot::top_k_entities`]
+    /// exactly. `None` when no index is configured.
+    pub fn top_k_entities_approx(
+        &self,
+        e1: u32,
+        k: usize,
+        nprobe: usize,
+    ) -> Option<Vec<(u32, f32)>> {
+        let index = self.ivf_index()?;
+        Some(index.search(self.entity_engine.normalized_query(e1), k, nprobe))
+    }
+
+    /// Approximate ranking of *all* candidates in the probed lists for a
+    /// left entity — the `Approx`-mode analogue of
+    /// [`AlignmentSnapshot::rank_entities`] (the tail the probe never
+    /// scanned is absent rather than approximated). `None` when no index
+    /// is configured.
+    pub fn rank_entities_approx(&self, e1: u32, nprobe: usize) -> Option<Vec<(u32, f32)>> {
+        self.top_k_entities_approx(e1, self.ents2.rows(), nprobe)
     }
 
     /// Entity similarity `S(e, e') = cos(A_ent·e, e')` (Eq. 4).
@@ -378,6 +447,47 @@ mod tests {
         assert_eq!(pe, s.sim_entity(0, 0));
         assert_eq!(pr, s.sim_relation(0, 0));
         assert_eq!(pc, s.sim_class(0, 0));
+    }
+
+    #[test]
+    fn ivf_index_is_lazy_shared_and_full_probe_exact() {
+        let mut s = build_snapshot();
+        // No config: approximate paths are absent, not panicking.
+        assert!(s.ivf_index().is_none());
+        assert!(s.top_k_entities_approx(0, 3, 1).is_none());
+
+        s.set_index_config(Some(daakg_index::IvfConfig::new(3)));
+        let first = Arc::clone(s.ivf_index().expect("configured"));
+        let second = Arc::clone(s.ivf_index().expect("configured"));
+        assert!(Arc::ptr_eq(&first, &second), "index built exactly once");
+        // Clones share the already-built index.
+        let clone = s.clone();
+        assert!(Arc::ptr_eq(&first, clone.ivf_index().unwrap()));
+
+        // Full probe reproduces the exact engine, scores bitwise equal.
+        let (n1, n2) = s.entity_counts();
+        for e1 in 0..n1 as u32 {
+            for k in [1usize, 4, n2] {
+                let exact = s.top_k_entities(e1, k);
+                let approx = s.top_k_entities_approx(e1, k, first.nlist()).unwrap();
+                assert_eq!(exact.len(), approx.len());
+                for (x, a) in exact.iter().zip(&approx) {
+                    assert_eq!(x.0, a.0, "e1={e1} k={k}");
+                    assert_eq!(x.1.to_bits(), a.1.to_bits(), "e1={e1} k={k}");
+                }
+            }
+            let full = s.rank_entities_approx(e1, first.nlist()).unwrap();
+            assert_eq!(full.len(), n2);
+        }
+        // Partial probes return exact scores for whatever they surface.
+        let probed = s.top_k_entities_approx(0, n2, 1).unwrap();
+        assert!(!probed.is_empty() && probed.len() <= n2);
+
+        // Reconfiguring discards the built index.
+        s.set_index_config(Some(daakg_index::IvfConfig::new(2)));
+        assert!(!Arc::ptr_eq(&first, s.ivf_index().unwrap()));
+        s.set_index_config(None);
+        assert!(s.ivf_index().is_none());
     }
 
     #[test]

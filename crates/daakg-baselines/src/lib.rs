@@ -1,1 +1,24 @@
-//! placeholder (implemented later)
+//! # daakg-baselines
+//!
+//! **Placeholder crate — no implementation yet.** Reserved for the
+//! comparison methods of the DAAKG paper's experimental section
+//! (Sect. 6): the non-active and non-joint baselines the reproduction
+//! will be evaluated against on equal footing.
+//!
+//! Planned scope, in likely order of arrival:
+//!
+//! * **String/label matching** — normalized-edit-distance and exact-name
+//!   entity matching, the floor every embedding method must beat;
+//! * **Embedding-only alignment** — single-KG embedding models with a
+//!   learned linear mapping but *no* joint training, no semi-supervised
+//!   mining, and no schema-level signals (the "MTransE-style" ablation);
+//! * **Passive active-learning baselines** — uncertainty-only and
+//!   random question selection driven through the same
+//!   `daakg_active::ActiveLoop` harness, so annotation-cost curves are
+//!   directly comparable with the inference-power selector;
+//! * a small registry trait so `daakg-bench` and `daakg-eval` can sweep
+//!   every baseline with the evaluation pipeline used for the main
+//!   system (H@k / MRR / F1 / cost curves).
+//!
+//! Nothing here is public API yet; depend on this crate only once those
+//! modules land.

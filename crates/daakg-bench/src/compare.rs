@@ -22,6 +22,13 @@
 //!    candidate's `speedup` — a same-run, same-machine ratio of the naive
 //!    oracle to the fast path — must stay above `1 − tolerance`: whatever
 //!    the hardware, the optimized path must not lose to its own baseline.
+//! 5. **Recall** — a scenario reporting a `recall` metric (the ANN
+//!    family) must not drop below `baseline_recall · (1 − tolerance)`.
+//!    Recall — like the speedup ratio — is a same-run quality signal that
+//!    survives the machine and scale gaps, so the rule applies to exact
+//!    *and* family-level pairs: an index change that silently trades
+//!    accuracy for speed fails the gate even when every timing improves.
+//!    A disappeared recall metric fails like a disappeared speedup.
 
 use crate::json::JsonValue;
 
@@ -34,6 +41,8 @@ pub struct ScenarioSummary {
     pub family: String,
     /// The naive-vs-fast `speedup` metric, when the scenario reports one.
     pub speedup: Option<f64>,
+    /// The measured `recall` metric, when the scenario reports one.
+    pub recall: Option<f64>,
     /// The oracle-verification flag, when the scenario reports one.
     pub verified: Option<bool>,
 }
@@ -80,11 +89,16 @@ pub fn summarize(doc: &JsonValue) -> Result<Vec<ScenarioSummary>, String> {
             .get("metrics")
             .and_then(|m| m.get("speedup"))
             .and_then(JsonValue::as_f64);
+        let recall = s
+            .get("metrics")
+            .and_then(|m| m.get("recall"))
+            .and_then(JsonValue::as_f64);
         let verified = s.get("verified").and_then(JsonValue::as_bool);
         out.push(ScenarioSummary {
             name,
             family,
             speedup,
+            recall,
             verified,
         });
     }
@@ -189,6 +203,27 @@ pub fn compare(
             regressions.push(Regression {
                 scenario: c.name.clone(),
                 reason: "speedup metric disappeared".into(),
+            });
+        }
+
+        // Rule 5: recall regression (exact and cross-scale pairs alike —
+        // recall is a same-run quality ratio, not a wall-clock number).
+        if let (Some(br), Some(cr)) = (b.recall, c.recall) {
+            let floor = br * (1.0 - tolerance);
+            if cr < floor {
+                regressions.push(Regression {
+                    scenario: c.name.clone(),
+                    reason: format!(
+                        "recall {cr:.3} below {floor:.3} \
+                         (baseline {br:.3} − {:.0}% tolerance)",
+                        tolerance * 100.0
+                    ),
+                });
+            }
+        } else if b.recall.is_some() && c.recall.is_none() {
+            regressions.push(Regression {
+                scenario: c.name.clone(),
+                reason: "recall metric disappeared".into(),
             });
         }
     }
@@ -346,6 +381,69 @@ mod tests {
         assert_eq!(regs.len(), 1, "{regs:?}");
         assert_eq!(regs[0].scenario, "rank_full_400");
         assert!(regs[0].reason.contains("floor"));
+    }
+
+    /// `(name, speedup, recall, verified)` per scenario.
+    type RecallEntry<'a> = (&'a str, Option<f64>, Option<f64>, Option<bool>);
+
+    fn doc_with_recall(entries: &[RecallEntry<'_>]) -> JsonValue {
+        let scenarios: Vec<JsonValue> = entries
+            .iter()
+            .map(|&(name, speedup, recall, verified)| {
+                let mut metrics = JsonValue::object().set("ms", 1.0);
+                if let Some(s) = speedup {
+                    metrics = metrics.set("speedup", s);
+                }
+                if let Some(r) = recall {
+                    metrics = metrics.set("recall", r);
+                }
+                let mut obj = JsonValue::object()
+                    .set("name", name)
+                    .set("metrics", metrics);
+                if let Some(v) = verified {
+                    obj = obj.set("verified", v);
+                }
+                obj
+            })
+            .collect();
+        JsonValue::object()
+            .set("bench", "daakg-core")
+            .set("scenarios", JsonValue::Arr(scenarios))
+    }
+
+    #[test]
+    fn recall_drop_beyond_tolerance_fails_same_and_cross_scale() {
+        let base = doc_with_recall(&[("ann_top_k_20k", Some(5.0), Some(0.97), Some(true))]);
+        // Same name: 0.97 · 0.7 = 0.679 floor.
+        let ok = doc_with_recall(&[("ann_top_k_20k", Some(5.0), Some(0.70), Some(true))]);
+        assert!(compare_docs(&base, &ok, 0.3).unwrap().is_empty());
+        let bad = doc_with_recall(&[("ann_top_k_20k", Some(5.0), Some(0.60), Some(true))]);
+        let regs = compare_docs(&base, &bad, 0.3).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].reason.contains("recall"), "{regs:?}");
+        // Cross scale (family pair): the same baseline-derived floor
+        // applies — recall is scale-portable, unlike wall-clock times.
+        let smoke_bad = doc_with_recall(&[("ann_top_k_2k", Some(2.0), Some(0.5), Some(true))]);
+        let regs = compare_docs(&base, &smoke_bad, 0.3).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].reason.contains("recall"), "{regs:?}");
+        let smoke_ok = doc_with_recall(&[("ann_top_k_2k", Some(2.0), Some(0.9), Some(true))]);
+        assert!(compare_docs(&base, &smoke_ok, 0.3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn disappeared_recall_metric_fails() {
+        let base = doc_with_recall(&[("ann_top_k_20k", Some(5.0), Some(0.97), Some(true))]);
+        let gone = doc_with_recall(&[("ann_top_k_2k", Some(5.0), None, Some(true))]);
+        let regs = compare_docs(&base, &gone, 0.3).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert!(
+            regs[0].reason.contains("recall metric disappeared"),
+            "{regs:?}"
+        );
+        // No recall anywhere: the rule stays silent.
+        let plain = doc(&[("rank_full_1k", Some(9.0), Some(true))]);
+        assert!(compare_docs(&plain, &plain, 0.3).unwrap().is_empty());
     }
 
     #[test]

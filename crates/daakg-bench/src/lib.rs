@@ -14,14 +14,19 @@
 //!   full entity ranking at 1k / 10k entities (naive oracle vs batched
 //!   engine, with equivalence verification), one training epoch, one
 //!   active-learning round (selection + oracle + inference closure,
-//!   verified against the dense reference propagation), and the
-//!   serve-while-train scenario (reader threads query a Pipeline-built
-//!   `AlignmentService` during `align_rounds`; answers are replayed
-//!   against the naive ranker on the exact snapshot version observed),
+//!   verified against the dense reference propagation), the ANN pair
+//!   (`ann_build`: IVF construction with quantizer-invariant checks;
+//!   `ann_top_k`: sublinear IVF search vs the exact scan, recording
+//!   recall@k and QPS, with full-probe results verified bitwise against
+//!   the exact oracle), and the serve-while-train scenario (reader
+//!   threads alternate exact and full-probe approximate queries against a
+//!   Pipeline-built `AlignmentService` with index-carrying snapshots
+//!   during `align_rounds`; answers are replayed against the naive ranker
+//!   on the exact snapshot version observed),
 //! * [`compare`] — the regression gate: `daakg-bench -- --compare BASE NEW
 //!   --tolerance 0.30` exits non-zero when any verified scenario regresses
-//!   beyond tolerance, which is what CI runs instead of archiving results
-//!   nobody reads.
+//!   beyond tolerance — on speedup *or* on measured recall@k — which is
+//!   what CI runs instead of archiving results nobody reads.
 //!
 //! Run the binary with `cargo run --release -p daakg-bench`; see the
 //! top-level README for how to interpret the output.

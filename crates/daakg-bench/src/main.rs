@@ -101,6 +101,7 @@ fn main() {
     for r in &results {
         let time = r
             .get_metric("batched_ms")
+            .or_else(|| r.get_metric("approx_ms"))
             .or_else(|| r.get_metric("blocked_ms"))
             .or_else(|| r.get_metric("build_ms"))
             .or_else(|| r.get_metric("epoch_ms"))

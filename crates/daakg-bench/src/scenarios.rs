@@ -111,6 +111,21 @@ pub struct BenchConfig {
     pub serve_publishes: usize,
     /// Alignment epochs per publication.
     pub serve_epochs: usize,
+    /// Inverted lists of the serve-while-train scenario's per-snapshot
+    /// index (readers alternate exact and full-probe approximate queries).
+    pub serve_nlist: usize,
+    /// Corpus size of the ANN scenarios.
+    pub ann_entities: usize,
+    /// Queries per ANN search scenario.
+    pub ann_queries: usize,
+    /// Inverted lists of the ANN scenarios' index.
+    pub ann_nlist: usize,
+    /// Default probe width the recall/QPS numbers are recorded at.
+    pub ann_nprobe: usize,
+    /// Retained candidates per ANN query (the `k` of recall@k).
+    pub ann_k: usize,
+    /// Minimum acceptable recall@k at the default probe width.
+    pub ann_recall_floor: f64,
     /// Embedding dimension used across scenarios.
     pub dim: usize,
     /// Timing repetitions (median-of-N after one untimed warm-up run).
@@ -134,6 +149,13 @@ impl Default for BenchConfig {
             serve_readers: 2,
             serve_publishes: 4,
             serve_epochs: 5,
+            serve_nlist: 16,
+            ann_entities: 20_000,
+            ann_queries: 256,
+            ann_nlist: 128,
+            ann_nprobe: 8,
+            ann_k: 10,
+            ann_recall_floor: 0.95,
             dim: 32,
             reps: 3,
         }
@@ -163,6 +185,16 @@ impl BenchConfig {
             serve_readers: 2,
             serve_publishes: 3,
             serve_epochs: 2,
+            serve_nlist: 4,
+            ann_entities: 2000,
+            ann_queries: 64,
+            ann_nlist: 16,
+            ann_nprobe: 4,
+            ann_k: 10,
+            // The quick corpus is 10× smaller with coarser clustering, so
+            // the floor is slightly relaxed; the cross-scale `--compare`
+            // recall rule still gates it against the recorded baseline.
+            ann_recall_floor: 0.90,
             dim: 16,
             // Median-of-3 keeps the smoke run seconds-scale while damping
             // the single-outlier jitter that can trip the `--compare` gate
@@ -183,6 +215,8 @@ pub fn run_all(cfg: &BenchConfig) -> Vec<ScenarioResult> {
         train_epoch_sparse(cfg),
         joint_round(cfg),
         active_round(cfg),
+        ann_build(cfg),
+        ann_top_k(cfg),
         serve_while_train(cfg),
     ]
 }
@@ -658,6 +692,178 @@ fn active_round(cfg: &BenchConfig) -> ScenarioResult {
 }
 
 // ---------------------------------------------------------------------
+// Scenarios: ANN index build + sublinear top-k (IVF vs the exact scan)
+// ---------------------------------------------------------------------
+
+/// Deterministic mixture-of-clusters embeddings: `clusters` unit centers,
+/// every row a noisy copy of one center. Trained embedding spaces are
+/// clustered (that is what makes alignment work at all), so this is the
+/// realistic regime for an IVF coarse quantizer — unlike uniform sphere
+/// noise, which has no structure for *any* ANN method to exploit.
+fn clustered_embeddings(centers: &Tensor, rows: usize, noise: f32, seed: u64) -> Tensor {
+    let (clusters, d) = centers.shape();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Tensor::zeros(rows, d);
+    for i in 0..rows {
+        let c = rng.gen_range(0..clusters);
+        let center = centers.row(c);
+        let row = out.row_mut(i);
+        for (o, &cv) in row.iter_mut().zip(center) {
+            *o = cv + noise * rng.gen_range(-1.0f32..1.0);
+        }
+    }
+    out
+}
+
+fn ann_centers(clusters: usize, d: usize, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = (0..clusters * d)
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect();
+    let mut t = Tensor::from_vec(clusters, d, data);
+    daakg::index::normalize_rows_cosine(&mut t);
+    t
+}
+
+/// The shared ANN fixture: a clustered candidate corpus and a query set
+/// drawn from the same mixture, wrapped in the exact engine (which owns
+/// the normalized matrices the index must be built over).
+fn ann_fixture(cfg: &BenchConfig) -> daakg::BatchedSimilarity {
+    // ~3 natural clusters per inverted list: the quantizer has real
+    // structure to find, but nlist does not trivially mirror it.
+    let centers = ann_centers((cfg.ann_nlist * 3).max(4), cfg.dim, 101);
+    let cands = clustered_embeddings(&centers, cfg.ann_entities, 0.25, 102);
+    let queries = clustered_embeddings(&centers, cfg.ann_queries, 0.25, 103);
+    daakg::BatchedSimilarity::new(&queries, &cands)
+}
+
+fn ann_ivf_config(cfg: &BenchConfig) -> daakg::IvfConfig {
+    daakg::IvfConfig {
+        seed: 104,
+        ..daakg::IvfConfig::new(cfg.ann_nlist)
+    }
+}
+
+/// Time the IVF build (k-means++ seeding, parallel Lloyd iterations,
+/// inverted-list layout) and verify the quantizer invariants: the lists
+/// partition the corpus with none empty, and every indexed vector sits in
+/// the list of a maximally-similar centroid (fp tolerance).
+fn ann_build(cfg: &BenchConfig) -> ScenarioResult {
+    use daakg::autograd::tensor::dot_unrolled as dot;
+    let engine = ann_fixture(cfg);
+    let ivf_cfg = ann_ivf_config(cfg);
+    let (index, build_ms) = time_median_of(cfg.reps, || {
+        daakg::IvfIndex::build(engine.normalized_candidates(), &ivf_cfg)
+    });
+
+    let n = index.num_vectors();
+    let nlist = index.nlist();
+    let cands = engine.normalized_candidates();
+    let mut seen = vec![false; n];
+    let mut assigned_ok = true;
+    let mut min_len = usize::MAX;
+    let mut max_len = 0usize;
+    for l in 0..nlist {
+        let ids = index.list_ids(l);
+        min_len = min_len.min(ids.len());
+        max_len = max_len.max(ids.len());
+        let centroid = index.centroids().row(l);
+        for &id in ids {
+            seen[id as usize] = true;
+            let own = dot(cands.row(id as usize), centroid);
+            let best = (0..nlist)
+                .map(|c| dot(cands.row(id as usize), index.centroids().row(c)))
+                .fold(f32::NEG_INFINITY, f32::max);
+            assigned_ok &= own >= best - 1e-4;
+        }
+    }
+    let verified = n == cfg.ann_entities
+        && nlist == cfg.ann_nlist.min(n)
+        && min_len > 0
+        && seen.iter().all(|&s| s)
+        && assigned_ok;
+
+    ScenarioResult::new(&format!("ann_build_{}", short_count(cfg.ann_entities)))
+        .metric("build_ms", build_ms)
+        .metric("vectors", n as f64)
+        .metric("nlist", nlist as f64)
+        .metric("min_list_len", min_len as f64)
+        .metric("max_list_len", max_len as f64)
+        .flag("verified", verified)
+}
+
+/// Sublinear top-k serving: the IVF search against the exact batched scan
+/// on the same normalized matrices. Reports QPS for both paths, the
+/// measured recall@k at the default `nprobe` (plus a small nprobe sweep
+/// for tuning tables), and verifies that (a) recall clears the configured
+/// floor and (b) a full probe (`nprobe == nlist`) reproduces the exact
+/// oracle's candidate sets bit-for-bit.
+fn ann_top_k(cfg: &BenchConfig) -> ScenarioResult {
+    let engine = ann_fixture(cfg);
+    let index = daakg::IvfIndex::build(engine.normalized_candidates(), &ann_ivf_config(cfg));
+    let queries: Vec<u32> = (0..cfg.ann_queries as u32).collect();
+    let k = cfg.ann_k;
+    let nprobe = cfg.ann_nprobe.min(index.nlist());
+
+    let (exact_top, exact_ms) = time_median_of(cfg.reps, || engine.top_k_block(&queries, k));
+    let (approx_top, approx_ms) = time_median_of(cfg.reps, || {
+        index.search_batch(engine.normalized_queries(), &queries, k, nprobe)
+    });
+
+    // recall@k at the default nprobe (set overlap against the exact oracle).
+    let recall_against = |approx: &[Vec<(u32, f32)>]| -> f64 {
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for (e, a) in exact_top.iter().zip(approx) {
+            let exact_ids: FxHashSet<u32> = e.iter().map(|&(id, _)| id).collect();
+            total += exact_ids.len();
+            hit += a.iter().filter(|(id, _)| exact_ids.contains(id)).count();
+        }
+        hit as f64 / total.max(1) as f64
+    };
+    let recall = recall_against(&approx_top);
+
+    // A small sweep for the README tuning table (untimed medians would be
+    // overkill; one pass each).
+    let mut result = ScenarioResult::new(&format!("ann_top_k_{}", short_count(cfg.ann_entities)));
+    for probe in [1usize, nprobe, (nprobe * 4).min(index.nlist())] {
+        let sweep = index.search_batch(engine.normalized_queries(), &queries, k, probe);
+        result = result.metric(&format!("recall_nprobe_{probe}"), recall_against(&sweep));
+    }
+
+    // Full probe must reproduce the exact result sets bitwise: same ids,
+    // same score bits, same order — the tunable knob ends at exactness.
+    let full = index.search_batch(engine.normalized_queries(), &queries, k, index.nlist());
+    let bitwise_ok = exact_top.len() == full.len()
+        && exact_top.iter().zip(&full).all(|(e, f)| {
+            e.len() == f.len()
+                && e.iter()
+                    .zip(f)
+                    .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits())
+        });
+
+    let qps_exact = queries.len() as f64 / (exact_ms / 1e3).max(1e-9);
+    let qps_approx = queries.len() as f64 / (approx_ms / 1e3).max(1e-9);
+    let verified = bitwise_ok && recall >= cfg.ann_recall_floor;
+
+    result
+        .metric("approx_ms", approx_ms)
+        .metric("naive_ms", exact_ms)
+        .metric("speedup", exact_ms / approx_ms.max(1e-9))
+        .metric("qps_exact", qps_exact)
+        .metric("qps_approx", qps_approx)
+        .metric("recall", recall)
+        .metric("queries", queries.len() as f64)
+        .metric("candidates", engine.num_candidates() as f64)
+        .metric("k", k as f64)
+        .metric("nlist", index.nlist() as f64)
+        .metric("nprobe", nprobe as f64)
+        .metric("probed_fraction", index.probed_fraction_bound(nprobe))
+        .flag("verified", verified)
+        .flag("full_probe_bitwise", bitwise_ok)
+}
+
+// ---------------------------------------------------------------------
 // Scenario: serve-while-train (concurrent queries against the service)
 // ---------------------------------------------------------------------
 
@@ -672,18 +878,27 @@ struct ServedQuery {
     /// Publications that landed between grab and completion
     /// (`latest_version_at_completion - observed_version`).
     lag: u64,
+    /// Whether this answer came from a full-probe `Approx` query (readers
+    /// alternate modes; a full probe must equal the exact answer, so the
+    /// naive replay verifies both uniformly).
+    approx: bool,
 }
 
 /// Reader threads issue `top_k` queries against an [`AlignmentService`]
-/// (built through the `daakg::Pipeline` facade) while the main thread runs
-/// `align_rounds`, publishing `serve_publishes` fresh snapshot versions.
+/// (built through the `daakg::Pipeline` facade, **with a per-snapshot IVF
+/// index**) while the main thread runs `align_rounds`, publishing
+/// `serve_publishes` fresh snapshot versions. Readers alternate exact and
+/// full-probe approximate queries, so the lazy one-build-per-version index
+/// path is exercised under racing readers and concurrent publishes.
 ///
 /// Oracle verification replays a sample of the recorded answers against
 /// `rank_entities_naive` **on the exact snapshot version each reader
-/// observed** (the registry retains every publication), and checks that
-/// per-reader versions were monotone and the final version accounts for
-/// every publish. Metrics: queries-per-second under live training, and the
-/// mean/max version lag readers experienced.
+/// observed** (the registry retains every publication; full-probe `Approx`
+/// answers must match it too), checks that per-reader versions were
+/// monotone and the final version accounts for every publish, and that
+/// every retained version carries exactly one stable index (never rebuilt
+/// for a live version). Metrics: queries-per-second under live training,
+/// and the mean/max version lag readers experienced.
 fn serve_while_train(cfg: &BenchConfig) -> ScenarioResult {
     use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -707,10 +922,14 @@ fn serve_while_train(cfg: &BenchConfig) -> ScenarioResult {
         .kg1(kg1)
         .kg2(kg2)
         .joint(jcfg)
+        .index(cfg.serve_nlist)
         .build()
         .expect("valid bench pipeline");
     // Warm training pass so readers hit a trained snapshot (version 2).
     service.train(&labels).expect("warm-up train");
+    let full_probe = daakg::QueryMode::Approx {
+        nprobe: cfg.serve_nlist,
+    };
 
     let k = cfg.rank_k;
     let stop = AtomicBool::new(false);
@@ -724,19 +943,34 @@ fn serve_while_train(cfg: &BenchConfig) -> ScenarioResult {
                     let n1 = service.kg1().num_entities() as u32;
                     let mut obs: Vec<ServedQuery> = Vec::new();
                     let mut q = (ri as u32).wrapping_mul(17) % n1;
+                    // Stagger the mode phase per reader so even a single
+                    // query per reader exercises both modes fleet-wide.
+                    let mut tick = ri;
                     loop {
                         // Check `stop` before the query so at least one
                         // query lands even if training already finished.
                         let done = stop.load(Ordering::Relaxed);
-                        let ans = service.top_k(q, k).expect("in-bounds query");
+                        // Alternate exact and full-probe approximate
+                        // queries: the latter hit the per-version lazy
+                        // index build under reader/publisher races, and
+                        // must answer exactly like the exact path.
+                        let approx = tick % 2 == 1;
+                        let ans = if approx {
+                            service.top_k_with(q, k, full_probe)
+                        } else {
+                            service.top_k(q, k)
+                        }
+                        .expect("in-bounds query");
                         let lag = service.version().get() - ans.version.get();
                         obs.push(ServedQuery {
                             version: ans.version,
                             query: q,
                             top: ans.value,
                             lag,
+                            approx,
                         });
                         q = (q + 1) % n1;
+                        tick += 1;
                         if done {
                             break;
                         }
@@ -767,9 +1001,27 @@ fn serve_while_train(cfg: &BenchConfig) -> ScenarioResult {
 
     let final_version = service.version().get();
     let queries = observations.len();
+    let approx_queries = observations.iter().filter(|o| o.approx).count();
     let qps = queries as f64 / (train_ms / 1e3).max(1e-9);
     let mean_lag = observations.iter().map(|o| o.lag as f64).sum::<f64>() / queries.max(1) as f64;
     let max_lag = observations.iter().map(|o| o.lag).max().unwrap_or(0);
+
+    // Index atomicity: every retained version carries exactly one index,
+    // built at most once (two grabs of the same version must hand back
+    // the same `Arc`), and distinct versions never share one.
+    let mut index_ok = true;
+    let mut prev_index: Option<std::sync::Arc<daakg::IvfIndex>> = None;
+    for v in 1..=final_version {
+        let pinned = service
+            .snapshot_at(daakg::SnapshotVersion::of(v))
+            .expect("versions are retained");
+        let first = std::sync::Arc::clone(pinned.snapshot.ivf_index().expect("index configured"));
+        index_ok &= std::sync::Arc::ptr_eq(&first, pinned.snapshot.ivf_index().unwrap());
+        if let Some(prev) = &prev_index {
+            index_ok &= !std::sync::Arc::ptr_eq(prev, &first);
+        }
+        prev_index = Some(first);
+    }
 
     // Oracle verification: replay a bounded per-version sample of the
     // recorded answers against the naive ranker on the snapshot version
@@ -777,6 +1029,8 @@ fn serve_while_train(cfg: &BenchConfig) -> ScenarioResult {
     const VERIFY_PER_VERSION: usize = 8;
     observations.sort_by_key(|o| o.version);
     let mut verified = monotone
+        && index_ok
+        && approx_queries > 0
         // Initial publish + warm-up train + one per align_rounds call.
         && final_version == 2 + cfg.serve_publishes as u64
         && observations
@@ -819,6 +1073,8 @@ fn serve_while_train(cfg: &BenchConfig) -> ScenarioResult {
         .metric("mean_version_lag", mean_lag)
         .metric("max_version_lag", max_lag as f64)
         .metric("verified_queries", checked as f64)
+        .metric("approx_queries", approx_queries as f64)
+        .metric("nlist", cfg.serve_nlist as f64)
         .flag("verified", verified)
 }
 
@@ -830,7 +1086,7 @@ mod tests {
     fn quick_config_runs_all_scenarios_verified() {
         let cfg = BenchConfig::quick();
         let results = run_all(&cfg);
-        assert_eq!(results.len(), 9);
+        assert_eq!(results.len(), 11);
         for r in &results {
             for (k, v) in &r.metrics {
                 assert!(v.is_finite(), "{}:{k} not finite", r.name);

@@ -1,1 +1,21 @@
-//! placeholder (implemented later)
+//! # daakg-datasets
+//!
+//! **Placeholder crate — no implementation yet.** Reserved for loaders of
+//! the public entity-alignment benchmarks the DAAKG paper evaluates on,
+//! normalized into `daakg_graph::KnowledgeGraph` pairs plus
+//! `daakg_graph::GoldAlignment` references:
+//!
+//! * **OpenEA-style benchmark pairs** (D-W, D-Y, EN-FR, EN-DE splits):
+//!   triple files, attribute files, and reference alignments mapped onto
+//!   dense `u32` ids via `daakg_graph::KgBuilder`;
+//! * **DBpedia–Wikidata samples** like the paper's running example, at
+//!   sizes the bench harness can sweep;
+//! * deterministic train/validation/test splitting of gold matches with
+//!   the seeded `rand` shim, so experiments are reproducible offline;
+//! * a manifest format describing where the raw dumps live on disk —
+//!   the build environment has no network access, so loaders read local
+//!   files only and never download.
+//!
+//! Until those land, `daakg-bench`'s synthetic generator
+//! (`daakg_bench::synth`) is the only dataset source in the workspace.
+//! Nothing here is public API yet.

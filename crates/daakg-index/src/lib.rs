@@ -1,0 +1,93 @@
+//! # daakg-index
+//!
+//! Approximate nearest-neighbor serving for the DAAKG workspace: an
+//! inverted-file (IVF) index that turns the `O(n·d)` exhaustive top-k
+//! scan into an `nprobe / nlist` fraction of the corpus with a tunable
+//! recall/speed trade-off — the standard production pattern for embedding
+//! serving at scale.
+//!
+//! * [`scan`] — the shared candidate-scan machinery: the bounded
+//!   [`scan::TopKSelector`], the 4×16 register-tiled [`scan::scan_block`]
+//!   kernel with runtime AVX2+FMA dispatch, and the cosine-convention row
+//!   normalization. `daakg_align::BatchedSimilarity` (the exhaustive
+//!   oracle) runs on exactly this kernel, which is what makes full-probe
+//!   IVF searches bitwise comparable to it.
+//! * [`kmeans`] — the coarse quantizer: k-means++-seeded spherical
+//!   k-means with parallel Lloyd iterations and empty-cluster re-seeding.
+//! * [`ivf`] — [`IvfIndex`]: contiguous centroid-major inverted lists
+//!   over normalized embeddings, built once per published snapshot,
+//!   served lock-free ([`IvfIndex::search`] / [`IvfIndex::search_batch`]).
+//!
+//! [`QueryMode`] is the serving-layer switch consumed by
+//! `daakg_align::AlignmentService` and the `daakg::Pipeline` builder:
+//! `Exact` keeps the exhaustive scan (the default — existing behavior and
+//! every oracle untouched), `Approx { nprobe }` routes queries through
+//! the snapshot's index.
+
+pub mod ivf;
+pub mod kmeans;
+pub mod scan;
+
+pub use ivf::{IvfConfig, IvfIndex};
+pub use kmeans::{spherical_kmeans, KMeans};
+pub use scan::{normalize_rows_cosine, scan_block, top_k_of_scores, TopKSelector};
+
+/// How a serving-layer query is executed.
+///
+/// The default is [`QueryMode::Exact`]: the exhaustive batched scan, with
+/// results identical to the pre-index system. [`QueryMode::Approx`] scans
+/// only the `nprobe` most-similar inverted lists of the snapshot's
+/// [`IvfIndex`] — sublinear in the corpus size, returning exact cosine
+/// scores over the probed candidates; at `nprobe == nlist` it reproduces
+/// the exact result set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryMode {
+    /// Exhaustive scan over every candidate (the default).
+    #[default]
+    Exact,
+    /// IVF-approximate scan over the `nprobe` best inverted lists.
+    Approx {
+        /// Number of inverted lists to probe (`1..=nlist`; clamped high,
+        /// rejected at 0 by the service layer).
+        nprobe: usize,
+    },
+}
+
+impl QueryMode {
+    /// Validate the mode for a service whose index presence is known.
+    pub fn validate(&self, has_index: bool) -> Result<(), daakg_graph::DaakgError> {
+        match *self {
+            QueryMode::Exact => Ok(()),
+            QueryMode::Approx { nprobe } => {
+                if nprobe == 0 {
+                    Err(daakg_graph::DaakgError::invalid(
+                        "QueryMode",
+                        "Approx nprobe must be at least 1",
+                    ))
+                } else if !has_index {
+                    Err(daakg_graph::DaakgError::invalid(
+                        "QueryMode",
+                        "Approx queries need an IVF index; configure one \
+                         (e.g. Pipeline::index(nlist)) before using Approx mode",
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_mode_defaults_to_exact_and_validates() {
+        assert_eq!(QueryMode::default(), QueryMode::Exact);
+        assert!(QueryMode::Exact.validate(false).is_ok());
+        assert!(QueryMode::Approx { nprobe: 4 }.validate(true).is_ok());
+        assert!(QueryMode::Approx { nprobe: 0 }.validate(true).is_err());
+        assert!(QueryMode::Approx { nprobe: 4 }.validate(false).is_err());
+    }
+}

@@ -9,6 +9,8 @@
 //!        ┌────────┴────────┐
 //!   daakg-embed       daakg-align (models / joint alignment + batched
 //!        │                 │       top-k engine + AlignmentService)
+//!        │            daakg-index (IVF approximate search: shared scan
+//!        │                 │       kernel, spherical k-means, IvfIndex)
 //!        └───────┬─────────┘
 //!           daakg-autograd        (tensors, blocked parallel matmul, tape)
 //!                 │
@@ -49,6 +51,13 @@
 //! println!("top-5 computed on snapshot {}", answer.version);
 //! # Ok::<(), daakg::DaakgError>(())
 //! ```
+//!
+//! For sublinear serving at scale, give the builder an IVF index
+//! (`.index(nlist)`) — every published snapshot then carries a
+//! lazily-built [`IvfIndex`] — and query in
+//! [`QueryMode::Approx { nprobe }`](QueryMode), either per call
+//! (`service.top_k_with(e, k, mode)?`) or as the session default
+//! (`.query_mode(..)`). `Exact` remains the default everywhere.
 //!
 //! Every fallible entry point of the service API returns the typed
 //! [`DaakgError`] — no `Result<_, String>`s, and construction/validation
@@ -93,6 +102,7 @@ pub use daakg_autograd as autograd;
 pub use daakg_embed as embed;
 pub use daakg_eval as eval;
 pub use daakg_graph as graph;
+pub use daakg_index as index;
 pub use daakg_infer as infer;
 pub use daakg_parallel as parallel;
 
@@ -100,11 +110,12 @@ pub use daakg_parallel as parallel;
 pub use daakg_active::{ActiveConfig, ActiveLoop, GoldOracle, Strategy};
 pub use daakg_align::{
     AlignmentService, AlignmentSnapshot, BatchedSimilarity, JointConfig, JointModel,
-    LabeledMatches, SnapshotVersion, Versioned, VersionedSnapshot,
+    LabeledMatches, ServingConfig, SnapshotVersion, Versioned, VersionedSnapshot,
 };
 pub use daakg_autograd::{Graph, ParamStore, TapeSession, Tensor};
 pub use daakg_embed::{EmbedConfig, KgEmbedding, ModelKind, TrainMode};
 pub use daakg_graph::{DaakgError, GoldAlignment, KgBuilder, KnowledgeGraph};
+pub use daakg_index::{IvfConfig, IvfIndex, QueryMode};
 pub use daakg_infer::{InferConfig, InferenceEngine, RelationMatches};
 pub use pipeline::{Pipeline, PipelineBuilder};
 

@@ -18,18 +18,21 @@
 //!     .train_mode(TrainMode::Sparse)
 //!     .threads(2)
 //!     .dim(16)
+//!     .index(32) // IVF index on every published snapshot
 //!     .build()?;
 //! let labels = daakg::LabeledMatches::new();
 //! service.train(&labels)?;
-//! let top = service.top_k(0, 5)?; // lock-free, versioned
-//! println!("answered on snapshot {}", top.version);
+//! let top = service.top_k(0, 5)?; // lock-free, versioned, exact
+//! let fast = service.top_k_with(0, 5, daakg::QueryMode::Approx { nprobe: 4 })?;
+//! println!("answered on snapshots {} / {}", top.version, fast.version);
 //! # Ok::<(), daakg::DaakgError>(())
 //! ```
 
 use daakg_active::{ActiveConfig, ActiveLoop, Strategy};
-use daakg_align::{AlignmentService, JointConfig};
+use daakg_align::{AlignmentService, JointConfig, ServingConfig};
 use daakg_embed::{EmbedConfig, ModelKind, TrainMode};
 use daakg_graph::{DaakgError, KnowledgeGraph};
+use daakg_index::{IvfConfig, QueryMode};
 use daakg_infer::InferConfig;
 use std::sync::Arc;
 
@@ -56,6 +59,7 @@ pub struct PipelineBuilder {
     joint: JointConfig,
     active: ActiveConfig,
     strategy: Strategy,
+    serving: ServingConfig,
 }
 
 impl Default for PipelineBuilder {
@@ -66,6 +70,7 @@ impl Default for PipelineBuilder {
             joint: JointConfig::default(),
             active: ActiveConfig::default(),
             strategy: Strategy::InferencePower,
+            serving: ServingConfig::default(),
         }
     }
 }
@@ -158,6 +163,31 @@ impl PipelineBuilder {
         self
     }
 
+    /// Build an IVF approximate-search index with `nlist` inverted lists
+    /// into every snapshot the service publishes. Validation (`nlist ≥ 1`)
+    /// happens in [`PipelineBuilder::build`]; use
+    /// [`PipelineBuilder::index_config`] for non-default k-means settings.
+    pub fn index(mut self, nlist: usize) -> Self {
+        self.serving.index = Some(IvfConfig::new(nlist));
+        self
+    }
+
+    /// Replace the whole IVF index configuration (last call wins against
+    /// [`PipelineBuilder::index`]).
+    pub fn index_config(mut self, cfg: IvfConfig) -> Self {
+        self.serving.index = Some(cfg);
+        self
+    }
+
+    /// The default [`QueryMode`] of the service's plain query methods
+    /// (`rank` / `top_k` / `batch_top_k`). Defaults to [`QueryMode::Exact`];
+    /// `Approx` requires an index ([`PipelineBuilder::index`]) and
+    /// `nprobe ≥ 1` — both checked at build time.
+    pub fn query_mode(mut self, mode: QueryMode) -> Self {
+        self.serving.mode = mode;
+        self
+    }
+
     /// Validate the composed configuration and build the service.
     pub fn build(self) -> Result<AlignmentService, DaakgError> {
         let (service, _) = self.build_parts()?;
@@ -176,7 +206,7 @@ impl PipelineBuilder {
         let kg2 = self.kg2.ok_or(DaakgError::MissingInput { what: "kg2" })?;
         self.joint.validate()?;
         let active = ActiveLoop::new(self.active, self.strategy)?;
-        let service = AlignmentService::new(self.joint, kg1, kg2)?;
+        let service = AlignmentService::with_serving(self.joint, self.serving, kg1, kg2)?;
         Ok((service, active))
     }
 }
@@ -242,6 +272,45 @@ mod tests {
             })
             .build();
         assert!(matches!(err, Err(DaakgError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn index_and_query_mode_compose_and_validate() {
+        // nlist = 0 is caught by the one-stop validation.
+        let err = fast_builder().index(0).build();
+        match err {
+            Err(DaakgError::InvalidConfig { context, .. }) => assert_eq!(context, "IvfConfig"),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        // Approx default mode without an index is rejected.
+        let err = fast_builder()
+            .query_mode(QueryMode::Approx { nprobe: 2 })
+            .build();
+        assert!(matches!(err, Err(DaakgError::InvalidConfig { .. })));
+        // A valid composition serves approximate queries out of the box.
+        let service = fast_builder()
+            .index(3)
+            .query_mode(QueryMode::Approx { nprobe: 3 })
+            .build()
+            .unwrap();
+        let labels = LabeledMatches::new();
+        service.train(&labels).unwrap();
+        let plain = service.top_k(0, 3).unwrap();
+        let exact = service.top_k_with(0, 3, QueryMode::Exact).unwrap();
+        // nprobe == nlist: the approximate default answers exactly.
+        assert_eq!(plain.value, exact.value);
+        // index_config overrides index (last call wins).
+        let cfg = IvfConfig {
+            max_iters: 3,
+            seed: 7,
+            ..IvfConfig::new(2)
+        };
+        let service = fast_builder()
+            .index(9)
+            .index_config(cfg.clone())
+            .build()
+            .unwrap();
+        assert_eq!(service.serving().index.as_ref(), Some(&cfg));
     }
 
     #[test]

@@ -170,7 +170,7 @@ fn end_to_end_pipeline_aligns_synthetic_pair() {
 fn bench_harness_verifies_and_serializes() {
     let cfg = BenchConfig::quick();
     let results = run_all(&cfg);
-    assert_eq!(results.len(), 9);
+    assert_eq!(results.len(), 11);
     for r in &results {
         if let Some(v) = r.get_flag("verified") {
             assert!(v, "{} failed oracle verification", r.name);
@@ -183,6 +183,9 @@ fn bench_harness_verifies_and_serializes() {
     assert!(text.contains("train_epoch_sparse"));
     assert!(text.contains("joint_round"));
     assert!(text.contains("active_round"));
+    assert!(text.contains("ann_build"));
+    assert!(text.contains("ann_top_k"));
+    assert!(text.contains("\"recall\""));
     assert!(text.contains("serve_while_train"));
     // The document round-trips through the parser the regression gate
     // uses, and a self-comparison reports no regression.
@@ -559,4 +562,128 @@ fn inference_power_selector_beats_random_at_equal_budget() {
         power_labeled > random_labeled,
         "power labeled {power_labeled} vs random {random_labeled}"
     );
+}
+
+/// Satellite property test: for random small corpora, a full-probe
+/// (`nprobe == nlist`) IVF search must equal the `BatchedSimilarity`
+/// exact oracle for *every* query — same candidates, same order, scores
+/// bitwise identical — across corpus sizes, dims, and list counts.
+#[test]
+fn ivf_full_probe_equals_batched_similarity_oracle() {
+    use daakg::{IvfConfig, IvfIndex};
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(900 + seed);
+        let n = rng.gen_range(20usize..250);
+        let d = rng.gen_range(4usize..40);
+        let nlist = rng.gen_range(1usize..20);
+        let queries = random_tensor(8, d, seed * 3 + 1);
+        let cands = random_tensor(n, d, seed * 3 + 2);
+        let engine = BatchedSimilarity::new(&queries, &cands);
+        let index = IvfIndex::build(engine.normalized_candidates(), &IvfConfig::new(nlist));
+        for q in 0..queries.rows() as u32 {
+            for k in [1usize, 5, n, n + 3] {
+                let exact = engine.top_k(q, k);
+                let approx = index.search(engine.normalized_query(q), k, index.nlist());
+                assert_eq!(exact.len(), approx.len(), "seed {seed} q{q} k{k}");
+                for (rank, (e, a)) in exact.iter().zip(&approx).enumerate() {
+                    assert_eq!(e.0, a.0, "seed {seed} q{q} k{k} rank {rank}");
+                    assert_eq!(
+                        e.1.to_bits(),
+                        a.1.to_bits(),
+                        "seed {seed} q{q} k{k} rank {rank}: score bits diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Satellite: service-layer edge cases — `k = 0`, `k ≥ n`, and
+/// duplicate-score ties — with exact and approximate modes agreeing on
+/// the returned candidate sets (order-insensitive on ties).
+#[test]
+fn service_edge_cases_agree_across_query_modes() {
+    use daakg::graph::kg::{example_dbpedia, example_wikidata};
+    use daakg::QueryMode;
+    use std::collections::BTreeSet;
+
+    let service = Pipeline::builder()
+        .kg1(example_dbpedia())
+        .kg2(example_wikidata())
+        .dim(8)
+        .epochs(2)
+        .align_epochs(2)
+        .index(3)
+        .build()
+        .unwrap();
+    service.train(&LabeledMatches::new()).unwrap();
+    let nlist = service
+        .current()
+        .snapshot
+        .ivf_index()
+        .expect("index configured")
+        .nlist();
+    let full = QueryMode::Approx { nprobe: nlist };
+    let n1 = service.kg1().num_entities();
+    let n2 = service.kg2().num_entities();
+    let queries: Vec<u32> = (0..n1 as u32).collect();
+
+    for k in [0usize, 1, n2, n2 + 7] {
+        // k = 0 answers empty; k ≥ n answers the complete candidate set —
+        // in both modes, for single and batch queries.
+        let exact = service
+            .batch_top_k_with(&queries, k, QueryMode::Exact)
+            .unwrap();
+        let approx = service.batch_top_k_with(&queries, k, full).unwrap();
+        assert_eq!(exact.value.len(), queries.len());
+        for (q, (e, a)) in exact.value.iter().zip(&approx.value).enumerate() {
+            assert_eq!(e.len(), k.min(n2), "k={k} q={q}");
+            // Order-insensitive set agreement (ties may reorder only
+            // between equal scores; the sets must match regardless).
+            let es: BTreeSet<u32> = e.iter().map(|&(id, _)| id).collect();
+            let as_: BTreeSet<u32> = a.iter().map(|&(id, _)| id).collect();
+            assert_eq!(es, as_, "k={k} q={q}: modes disagree on the set");
+            let single = service.top_k_with(q as u32, k, full).unwrap();
+            assert_eq!(&single.value, a, "k={k} q={q}: batch vs single");
+        }
+    }
+}
+
+/// Satellite: duplicate-score ties at the engine/index layer (the service
+/// serves exactly these semantics): with a corpus of repeated rows nearly
+/// every score is tied, and exact and full-probe approximate rankings
+/// must agree on the returned sets at every tie-crossing `k` —
+/// order-insensitively — while partial probes stay subsets of the
+/// candidate universe with exact scores.
+#[test]
+fn duplicate_score_ties_agree_between_exact_and_approx() {
+    use daakg::{IvfConfig, IvfIndex};
+    use std::collections::BTreeSet;
+
+    let base = random_tensor(3, 6, 77);
+    let rows: Vec<&[f32]> = (0..24).map(|j| base.row(j % 3)).collect();
+    let cands = Tensor::from_rows(&rows);
+    let queries = random_tensor(5, 6, 78);
+    let engine = BatchedSimilarity::new(&queries, &cands);
+    let index = IvfIndex::build(engine.normalized_candidates(), &IvfConfig::new(4));
+
+    for q in 0..queries.rows() as u32 {
+        for k in [1usize, 4, 8, 9, 24, 30] {
+            let exact = engine.top_k(q, k);
+            let approx = index.search(engine.normalized_query(q), k, index.nlist());
+            let es: BTreeSet<u32> = exact.iter().map(|&(id, _)| id).collect();
+            let as_: BTreeSet<u32> = approx.iter().map(|&(id, _)| id).collect();
+            assert_eq!(es, as_, "q{q} k{k}: tied sets diverged");
+            // Full probe is in fact order-identical too (global-id ties).
+            assert_eq!(exact, approx, "q{q} k{k}: tie order diverged");
+        }
+        // Partial probe: every returned id carries its exact score.
+        let full_ranking = engine.top_k(q, 24);
+        let partial = index.search(engine.normalized_query(q), 24, 1);
+        assert!(!partial.is_empty() && partial.len() <= 24);
+        for &(id, s) in &partial {
+            let (_, exact_score) = full_ranking.iter().find(|(e, _)| *e == id).unwrap();
+            assert_eq!(s.to_bits(), exact_score.to_bits(), "q{q} id {id}");
+        }
+    }
 }
