@@ -29,7 +29,11 @@
 //!   queries run lock-free on whatever version they grab while training
 //!   publishes new versions. With a [`ServingConfig`] index, each
 //!   publication carries a lazily-built `daakg_index::IvfIndex` and
-//!   queries can run in sublinear [`QueryMode::Approx`].
+//!   queries can run in sublinear [`QueryMode::Approx`],
+//! * [`persist`] — crash-safe durability: the checksummed snapshot codec
+//!   on the `daakg-store` section format and [`DurableRegistry`], the
+//!   on-disk version registry that `AlignmentService::open` warm-restarts
+//!   from, skipping corrupt or torn files with typed diagnostics.
 
 pub mod batched;
 pub mod calibrate;
@@ -38,6 +42,7 @@ pub mod joint;
 pub mod losses;
 pub mod mapping;
 pub mod mean_embed;
+pub mod persist;
 pub mod semi;
 pub mod service;
 pub mod snapshot;
@@ -49,6 +54,7 @@ pub use config::JointConfig;
 // service API consumes them.
 pub use daakg_index::{IvfConfig, IvfIndex, QueryMode};
 pub use joint::{JointModel, LabeledMatches};
+pub use persist::{DurableRegistry, RecoveryReport};
 pub use service::{
     AlignmentService, ServingConfig, SnapshotRegistry, SnapshotVersion, Versioned,
     VersionedSnapshot,

@@ -30,13 +30,23 @@
 //! run in [`QueryMode::Approx`] — sublinear scans over the probed
 //! inverted lists — either as the service default or per call via the
 //! `*_with` query variants. The default remains [`QueryMode::Exact`].
+//!
+//! A service built with [`AlignmentService::open`] is additionally
+//! **durable**: every publication is persisted crash-safely through
+//! [`crate::persist::DurableRegistry`], and reopening the same directory
+//! warm-restarts from the newest intact versions — skipping corrupt or
+//! torn files with typed diagnostics, resuming version numbering
+//! monotonically, and serving bitwise-identical answers from the
+//! restored snapshots.
 
 use crate::config::JointConfig;
 use crate::joint::{JointModel, LabeledMatches};
+use crate::persist::{DurableRegistry, RecoveryReport};
 use crate::snapshot::AlignmentSnapshot;
 use daakg_graph::{DaakgError, KnowledgeGraph};
 use daakg_index::{IvfConfig, QueryMode};
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -208,6 +218,35 @@ impl SnapshotRegistry {
         }
     }
 
+    /// A registry re-seeded from recovered `(version, snapshot)` pairs
+    /// (ascending, non-empty) — the warm-restart counterpart of
+    /// [`SnapshotRegistry::new`]. The newest recovered version becomes
+    /// `current`, and the next publish continues from it (`latest + 1`),
+    /// so version numbering resumes monotonically across restarts even
+    /// when corrupt intermediate versions were skipped.
+    pub fn from_entries(entries: Vec<(u64, AlignmentSnapshot)>) -> Self {
+        assert!(!entries.is_empty(), "from_entries needs at least one entry");
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "entries must be ascending by version"
+        );
+        let history: Vec<*mut VersionedSnapshot> = entries
+            .into_iter()
+            .map(|(version, snapshot)| {
+                Box::into_raw(Box::new(VersionedSnapshot {
+                    version: SnapshotVersion(version),
+                    snapshot: Arc::new(snapshot),
+                }))
+            })
+            .collect();
+        Self {
+            current: AtomicPtr::new(*history.last().expect("checked non-empty")),
+            history: Mutex::new(history),
+            active_readers: AtomicUsize::new(0),
+            retention: AtomicUsize::new(0),
+        }
+    }
+
     /// Publish `snapshot` as the new current version and return its stamp.
     ///
     /// Publishers serialize on an internal mutex; readers are never
@@ -291,6 +330,24 @@ impl SnapshotRegistry {
             .ok()?;
         // SAFETY: entry still attached to `history`, cloned under the mutex.
         Some(unsafe { (*history[idx]).clone() })
+    }
+
+    /// [`SnapshotRegistry::get`] with a typed diagnosis instead of
+    /// `None`: a missing version at or below the latest was published but
+    /// pruned out of retention (or skipped as corrupt during recovery),
+    /// while a version above the latest (or 0) was never published.
+    pub fn get_checked(&self, version: SnapshotVersion) -> Result<VersionedSnapshot, DaakgError> {
+        match self.get(version) {
+            Some(v) => Ok(v),
+            None => {
+                let latest = self.version().0;
+                Err(DaakgError::UnknownVersion {
+                    requested: version.0,
+                    latest,
+                    pruned: version.0 >= 1 && version.0 <= latest,
+                })
+            }
+        }
     }
 
     /// Number of retained publications.
@@ -419,6 +476,13 @@ pub struct AlignmentService {
     /// published snapshot is stamped with `serving.index` before the
     /// atomic publish, so a version and its index travel together.
     serving: ServingConfig,
+    /// When present, every publication is also persisted crash-safely to
+    /// this on-disk registry (under the model lock, so writes serialize
+    /// with publications).
+    store: Option<DurableRegistry>,
+    /// What [`AlignmentService::open`] found on disk; `None` for
+    /// non-durable or fresh-directory services.
+    recovery: Option<RecoveryReport>,
 }
 
 impl fmt::Debug for AlignmentService {
@@ -428,6 +492,7 @@ impl fmt::Debug for AlignmentService {
             .field("kg2", &self.kg2.name())
             .field("version", &self.version())
             .field("retained_versions", &self.retained_versions())
+            .field("store", &self.store.as_ref().map(|s| s.dir()))
             .finish_non_exhaustive()
     }
 }
@@ -464,7 +529,104 @@ impl AlignmentService {
             kg1,
             kg2,
             serving,
+            store: None,
+            recovery: None,
         })
+    }
+
+    /// A **durable** service: persist every publication crash-safely to
+    /// `dir` and warm-restart from whatever intact versions the directory
+    /// already holds.
+    ///
+    /// * Fresh (or fully corrupt) directory: behaves like
+    ///   [`AlignmentService::with_serving`] and immediately persists the
+    ///   initial publication as version 1.
+    /// * Populated directory: every intact version is validated
+    ///   (checksums, structure, semantic consistency) and re-seeded into
+    ///   the registry; corrupt or torn files are skipped with typed
+    ///   diagnostics in [`AlignmentService::recovery`], recovery degrades
+    ///   to the newest intact version, and the next publication resumes
+    ///   numbering at `latest_intact + 1`. Restored snapshots answer
+    ///   queries bitwise-identically to the services that saved them.
+    ///
+    /// Snapshots restored with an index configuration matching
+    /// `serving.index` serve the *persisted* index without re-clustering;
+    /// on a configuration change the index is lazily rebuilt under the
+    /// new configuration instead. Only serving state is durable — the
+    /// training model restarts from its seeded initialization, so
+    /// continued training explores anew while queries keep answering from
+    /// the restored versions.
+    pub fn open(
+        cfg: JointConfig,
+        serving: ServingConfig,
+        kg1: Arc<KnowledgeGraph>,
+        kg2: Arc<KnowledgeGraph>,
+        dir: impl Into<PathBuf>,
+    ) -> Result<Self, DaakgError> {
+        serving.validate()?;
+        let store = DurableRegistry::open(dir)?;
+        let (mut entries, report) = store.recover()?;
+        let model = JointModel::new(cfg, &kg1, &kg2)?;
+        let fresh = entries.is_empty();
+        let registry = if fresh {
+            let mut initial = model.snapshot(&kg1, &kg2);
+            initial.set_index_config(serving.index.clone());
+            SnapshotRegistry::new(initial)
+        } else {
+            for (_, snap) in &mut entries {
+                // Reconcile a serving-config change across the restart:
+                // re-stamping resets the lazy index cell, so queries
+                // rebuild under the new configuration instead of serving
+                // a stale persisted index (or panicking on a missing
+                // one).
+                if snap.index_config() != serving.index.as_ref() {
+                    snap.set_index_config(serving.index.clone());
+                }
+            }
+            SnapshotRegistry::from_entries(entries)
+        };
+        let svc = Self {
+            registry,
+            model: Mutex::new(model),
+            kg1,
+            kg2,
+            serving,
+            store: Some(store),
+            recovery: Some(report),
+        };
+        if fresh {
+            let cur = svc.registry.current();
+            svc.persist(&cur)?;
+        }
+        Ok(svc)
+    }
+
+    /// Persist one publication to the durable store, if configured. Save
+    /// errors propagate to the training caller, but the in-memory publish
+    /// stands — readers already serve the new version; only its
+    /// durability failed.
+    fn persist(&self, published: &VersionedSnapshot) -> Result<(), DaakgError> {
+        match &self.store {
+            Some(store) => store.save(published.version.get(), &published.snapshot),
+            None => Ok(()),
+        }
+    }
+
+    /// The snapshot directory of a durable service.
+    pub fn store_dir(&self) -> Option<&Path> {
+        self.store.as_ref().map(|s| s.dir())
+    }
+
+    /// Whether publications are persisted to disk.
+    pub fn is_durable(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// What [`AlignmentService::open`] found on disk: versions loaded,
+    /// versions skipped as corrupt (with their typed errors), torn
+    /// temp files removed, manifest staleness.
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// The serving configuration (index + default query mode).
@@ -507,6 +669,17 @@ impl AlignmentService {
         self.registry.get(version)
     }
 
+    /// [`AlignmentService::snapshot_at`] with a typed diagnosis instead
+    /// of `None`: [`DaakgError::UnknownVersion`] distinguishes a version
+    /// pruned out of retention (or skipped as corrupt at recovery) from
+    /// one that was never published.
+    pub fn snapshot_at_checked(
+        &self,
+        version: SnapshotVersion,
+    ) -> Result<VersionedSnapshot, DaakgError> {
+        self.registry.get_checked(version)
+    }
+
     /// Number of retained publications (see [`AlignmentService::prune`]).
     pub fn retained_versions(&self) -> usize {
         self.registry.retained()
@@ -516,6 +689,19 @@ impl AlignmentService {
     /// exclusive access, so it cannot race in-flight queries.
     pub fn prune(&mut self, keep: usize) {
         self.registry.prune(keep);
+    }
+
+    /// [`AlignmentService::prune`] plus on-disk garbage collection: drop
+    /// all but the newest `keep` retained versions *and* delete their
+    /// persisted files (each removed crash-safely; at least the newest
+    /// on-disk version is always kept). Returns the versions whose files
+    /// were deleted — empty for a non-durable service.
+    pub fn prune_with_store(&mut self, keep: usize) -> Result<Vec<u64>, DaakgError> {
+        self.registry.prune(keep);
+        match &self.store {
+            Some(store) => store.gc(keep),
+            None => Ok(Vec::new()),
+        }
     }
 
     /// Best-effort shared reclamation of all but the newest `keep`
@@ -678,7 +864,9 @@ impl AlignmentService {
     pub fn train(&self, labels: &LabeledMatches) -> Result<VersionedSnapshot, DaakgError> {
         let mut model = self.model.lock().expect("model mutex poisoned");
         let snap = self.prepare(model.train(&self.kg1, &self.kg2, labels));
-        Ok(self.registry.publish_pinned(snap))
+        let published = self.registry.publish_pinned(snap);
+        self.persist(&published)?;
+        Ok(published)
     }
 
     /// Run `epochs` alignment epochs over `labels` and publish the result.
@@ -692,8 +880,10 @@ impl AlignmentService {
         let mut model = self.model.lock().expect("model mutex poisoned");
         let losses = model.align_rounds(&self.kg1, &self.kg2, labels, epochs);
         let snap = self.prepare(model.snapshot(&self.kg1, &self.kg2));
+        let published = self.registry.publish_pinned(snap);
+        self.persist(&published)?;
         Ok(Versioned {
-            version: self.registry.publish(snap),
+            version: published.version,
             value: losses,
         })
     }
@@ -717,7 +907,9 @@ impl AlignmentService {
         let mut model = self.model.lock().expect("model mutex poisoned");
         let snap = self
             .prepare(model.fine_tune_with_inferred(&self.kg1, &self.kg2, labels, inferred, accept));
-        Ok(self.registry.publish_pinned(snap))
+        let published = self.registry.publish_pinned(snap);
+        self.persist(&published)?;
+        Ok(published)
     }
 }
 
@@ -1147,6 +1339,177 @@ mod tests {
                 .unwrap(),
         );
         assert!(!Arc::ptr_eq(&i2, &i3));
+    }
+
+    #[test]
+    fn snapshot_at_checked_diagnoses_pruned_vs_never_published() {
+        let mut svc = example_service();
+        let labels = example_labels(&svc);
+        for _ in 0..3 {
+            svc.align_rounds(&labels, 1).unwrap();
+        }
+        svc.prune(2);
+        // Version 1 existed but fell out of retention.
+        match svc.snapshot_at_checked(SnapshotVersion::of(1)) {
+            Err(DaakgError::UnknownVersion {
+                requested: 1,
+                latest: 4,
+                pruned: true,
+            }) => {}
+            other => panic!("expected pruned UnknownVersion, got {other:?}"),
+        }
+        // Version 9 was never published.
+        match svc.snapshot_at_checked(SnapshotVersion::of(9)) {
+            Err(DaakgError::UnknownVersion {
+                requested: 9,
+                latest: 4,
+                pruned: false,
+            }) => {}
+            other => panic!("expected never-published UnknownVersion, got {other:?}"),
+        }
+        // Retained versions resolve.
+        assert_eq!(
+            svc.snapshot_at_checked(SnapshotVersion::of(4))
+                .unwrap()
+                .version
+                .get(),
+            4
+        );
+    }
+
+    #[test]
+    fn open_on_a_fresh_directory_persists_the_initial_version() {
+        let td = daakg_store::TestDir::new("svc-fresh");
+        let svc = AlignmentService::open(
+            tiny_cfg(),
+            ServingConfig::default(),
+            Arc::new(example_dbpedia()),
+            Arc::new(example_wikidata()),
+            td.path(),
+        )
+        .unwrap();
+        assert!(svc.is_durable());
+        assert_eq!(svc.store_dir().unwrap(), td.path());
+        assert_eq!(svc.version().get(), 1);
+        let report = svc.recovery().unwrap();
+        assert!(report.loaded.is_empty());
+        assert!(report.skipped.is_empty());
+        // v1 is on disk immediately.
+        let reg = DurableRegistry::open(td.path()).unwrap();
+        assert_eq!(reg.versions().unwrap(), vec![1]);
+        assert!(reg.load(1).unwrap().bitwise_eq(&svc.current().snapshot));
+    }
+
+    #[test]
+    fn warm_restart_restores_versions_and_resumes_numbering() {
+        let td = daakg_store::TestDir::new("svc-restart");
+        let open = || {
+            AlignmentService::open(
+                tiny_cfg(),
+                ServingConfig::default(),
+                Arc::new(example_dbpedia()),
+                Arc::new(example_wikidata()),
+                td.path(),
+            )
+            .unwrap()
+        };
+        let answers = {
+            let svc = open();
+            let labels = example_labels(&svc);
+            svc.train(&labels).unwrap();
+            svc.align_rounds(&labels, 1).unwrap();
+            assert_eq!(svc.version().get(), 3);
+            svc.batch_top_k(&[0, 1, 2], 3).unwrap()
+        }; // drop = process "exit"
+        let svc = open();
+        assert_eq!(svc.version().get(), 3);
+        let report = svc.recovery().unwrap();
+        assert_eq!(report.loaded, vec![1, 2, 3]);
+        assert!(report.skipped.is_empty());
+        // Restored answers are bitwise identical to pre-restart ones.
+        let restored = svc.batch_top_k(&[0, 1, 2], 3).unwrap();
+        assert_eq!(restored.version.get(), 3);
+        for (a, b) in answers.value.iter().zip(&restored.value) {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.0, y.0);
+                assert_eq!(x.1.to_bits(), y.1.to_bits());
+            }
+        }
+        // Numbering resumes monotonically: next publish is v4, on disk.
+        let labels = example_labels(&svc);
+        let v4 = svc.train(&labels).unwrap();
+        assert_eq!(v4.version.get(), 4);
+        let reg = DurableRegistry::open(td.path()).unwrap();
+        assert_eq!(reg.versions().unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn warm_restart_skips_corrupt_newest_and_republishes_over_it() {
+        let td = daakg_store::TestDir::new("svc-corrupt");
+        let open = || {
+            AlignmentService::open(
+                tiny_cfg(),
+                ServingConfig::default(),
+                Arc::new(example_dbpedia()),
+                Arc::new(example_wikidata()),
+                td.path(),
+            )
+            .unwrap()
+        };
+        {
+            let svc = open();
+            let labels = example_labels(&svc);
+            svc.train(&labels).unwrap();
+            svc.align_rounds(&labels, 1).unwrap();
+        }
+        // Corrupt the newest version on disk.
+        daakg_store::fault::flip_bit(&td.path().join("v0000000003.snap"), 64, 5).unwrap();
+        let svc = open();
+        // Degraded to the newest intact version...
+        assert_eq!(svc.version().get(), 2);
+        let report = svc.recovery().unwrap();
+        assert_eq!(report.loaded, vec![1, 2]);
+        assert_eq!(report.skipped.len(), 1);
+        assert_eq!(report.skipped[0].0, 3);
+        assert!(matches!(report.skipped[0].1, DaakgError::Corrupt { .. }));
+        assert!(report.manifest_was_stale());
+        svc.rank(0).unwrap();
+        // ...and the next publish reclaims version 3, atomically replacing
+        // the corrupt file with an intact one.
+        let labels = example_labels(&svc);
+        let v3 = svc.train(&labels).unwrap();
+        assert_eq!(v3.version.get(), 3);
+        let reg = DurableRegistry::open(td.path()).unwrap();
+        assert_eq!(reg.versions().unwrap(), vec![1, 2, 3]);
+        assert!(reg.load(3).unwrap().bitwise_eq(&v3.snapshot));
+    }
+
+    #[test]
+    fn prune_with_store_garbage_collects_snapshot_files() {
+        let td = daakg_store::TestDir::new("svc-gc");
+        let mut svc = AlignmentService::open(
+            tiny_cfg(),
+            ServingConfig::default(),
+            Arc::new(example_dbpedia()),
+            Arc::new(example_wikidata()),
+            td.path(),
+        )
+        .unwrap();
+        let labels = example_labels(&svc);
+        for _ in 0..3 {
+            svc.align_rounds(&labels, 1).unwrap();
+        }
+        let deleted = svc.prune_with_store(2).unwrap();
+        assert_eq!(deleted, vec![1, 2]);
+        assert_eq!(svc.retained_versions(), 2);
+        let reg = DurableRegistry::open(td.path()).unwrap();
+        assert_eq!(reg.versions().unwrap(), vec![3, 4]);
+        // Non-durable services GC nothing but still prune memory.
+        let mut plain = example_service();
+        plain.align_rounds(&labels, 1).unwrap();
+        assert_eq!(plain.prune_with_store(1).unwrap(), Vec::<u64>::new());
+        assert_eq!(plain.retained_versions(), 1);
     }
 
     /// Registry-level satellite: versions stay dense and strictly monotone

@@ -69,6 +69,31 @@ pub struct AlignmentSnapshot {
     index_cell: OnceLock<Arc<IvfIndex>>,
 }
 
+/// The owned pieces [`AlignmentSnapshot::from_parts`] reassembles a
+/// snapshot from — exactly the public cached matrices plus weights and
+/// ablation flags (the entity engine is derived, the index travels
+/// separately through [`AlignmentSnapshot::prime_index`]).
+pub(crate) struct SnapshotParts {
+    pub ents1: Tensor,
+    pub ents2: Tensor,
+    pub mapped_ents1: Tensor,
+    pub rels1: Tensor,
+    pub rels2: Tensor,
+    pub mapped_rels1: Tensor,
+    pub cls1: Tensor,
+    pub cls2: Tensor,
+    pub mapped_cls1: Tensor,
+    pub mean_rels1: Tensor,
+    pub mean_rels2: Tensor,
+    pub mapped_mean_rels1: Tensor,
+    pub mean_cls1: Tensor,
+    pub mean_cls2: Tensor,
+    pub mapped_mean_cls1: Tensor,
+    pub weights: EntityWeights,
+    pub use_mean_embeddings: bool,
+    pub use_class_embeddings: bool,
+}
+
 impl AlignmentSnapshot {
     /// Build a snapshot from the current parameters.
     ///
@@ -144,6 +169,111 @@ impl AlignmentSnapshot {
             index_cfg: None,
             index_cell: OnceLock::new(),
         }
+    }
+
+    /// Reassemble a snapshot from persisted slabs (the [`crate::persist`]
+    /// codec's constructor). The entity engine is rebuilt by normalizing
+    /// `(mapped_ents1, ents2)` exactly as [`AlignmentSnapshot::build`]
+    /// does — normalization is a pure function of the slabs, so
+    /// bitwise-equal inputs yield a bitwise-equal engine and therefore
+    /// bitwise-identical rankings. Shape inconsistencies return a reason
+    /// string (the codec wraps it into a typed corruption error) instead
+    /// of panicking.
+    pub(crate) fn from_parts(p: SnapshotParts) -> Result<Self, String> {
+        if p.mapped_ents1.rows() != p.ents1.rows() {
+            return Err(format!(
+                "mapped_ents1 holds {} rows but ents1 holds {}",
+                p.mapped_ents1.rows(),
+                p.ents1.rows()
+            ));
+        }
+        if p.mapped_ents1.cols() != p.ents2.cols() {
+            return Err(format!(
+                "mapped_ents1 width {} disagrees with ents2 width {}",
+                p.mapped_ents1.cols(),
+                p.ents2.cols()
+            ));
+        }
+        if p.weights.left.len() != p.ents1.rows() || p.weights.right.len() != p.ents2.rows() {
+            return Err(format!(
+                "weights hold {}/{} entries for {}/{} entities",
+                p.weights.left.len(),
+                p.weights.right.len(),
+                p.ents1.rows(),
+                p.ents2.rows()
+            ));
+        }
+        let entity_engine = BatchedSimilarity::new(&p.mapped_ents1, &p.ents2);
+        Ok(Self {
+            ents1: p.ents1,
+            ents2: p.ents2,
+            mapped_ents1: p.mapped_ents1,
+            rels1: p.rels1,
+            rels2: p.rels2,
+            mapped_rels1: p.mapped_rels1,
+            cls1: p.cls1,
+            cls2: p.cls2,
+            mapped_cls1: p.mapped_cls1,
+            mean_rels1: p.mean_rels1,
+            mean_rels2: p.mean_rels2,
+            mapped_mean_rels1: p.mapped_mean_rels1,
+            mean_cls1: p.mean_cls1,
+            mean_cls2: p.mean_cls2,
+            mapped_mean_cls1: p.mapped_mean_cls1,
+            weights: p.weights,
+            use_mean_embeddings: p.use_mean_embeddings,
+            use_class_embeddings: p.use_class_embeddings,
+            entity_engine,
+            index_cfg: None,
+            index_cell: OnceLock::new(),
+        })
+    }
+
+    /// Seed the lazy index cell with an already-built (persisted) index,
+    /// so the first approximate query serves the exact index that was
+    /// saved instead of re-clustering. A no-op if an index was already
+    /// built or primed for this snapshot.
+    pub(crate) fn prime_index(&self, index: Arc<IvfIndex>) {
+        let _ = self.index_cell.set(index);
+    }
+
+    /// Whether `other` is bit-for-bit the same served state: every cached
+    /// matrix, the entity weights, the ablation flags and the index
+    /// configuration compared on exact bit patterns (`f32::to_bits`, so
+    /// `NaN`s and signed zeros count too). This is the equality the
+    /// durability tests assert across save/load cycles — it implies
+    /// bitwise-identical answers from every query path.
+    pub fn bitwise_eq(&self, other: &Self) -> bool {
+        fn teq(a: &Tensor, b: &Tensor) -> bool {
+            a.shape() == b.shape()
+                && a.as_slice()
+                    .iter()
+                    .zip(b.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits())
+        }
+        fn veq(a: &[f32], b: &[f32]) -> bool {
+            a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+        }
+        teq(&self.ents1, &other.ents1)
+            && teq(&self.ents2, &other.ents2)
+            && teq(&self.mapped_ents1, &other.mapped_ents1)
+            && teq(&self.rels1, &other.rels1)
+            && teq(&self.rels2, &other.rels2)
+            && teq(&self.mapped_rels1, &other.mapped_rels1)
+            && teq(&self.cls1, &other.cls1)
+            && teq(&self.cls2, &other.cls2)
+            && teq(&self.mapped_cls1, &other.mapped_cls1)
+            && teq(&self.mean_rels1, &other.mean_rels1)
+            && teq(&self.mean_rels2, &other.mean_rels2)
+            && teq(&self.mapped_mean_rels1, &other.mapped_mean_rels1)
+            && teq(&self.mean_cls1, &other.mean_cls1)
+            && teq(&self.mean_cls2, &other.mean_cls2)
+            && teq(&self.mapped_mean_cls1, &other.mapped_mean_cls1)
+            && veq(&self.weights.left, &other.weights.left)
+            && veq(&self.weights.right, &other.weights.right)
+            && self.use_mean_embeddings == other.use_mean_embeddings
+            && self.use_class_embeddings == other.use_class_embeddings
+            && self.index_cfg == other.index_cfg
     }
 
     /// Configure (or clear) approximate entity search for this snapshot.

@@ -126,6 +126,8 @@ pub struct BenchConfig {
     pub ann_k: usize,
     /// Minimum acceptable recall@k at the default probe width.
     pub ann_recall_floor: f64,
+    /// Entity count of the snapshot persistence round-trip scenario.
+    pub persist_entities: usize,
     /// Embedding dimension used across scenarios.
     pub dim: usize,
     /// Timing repetitions (median-of-N after one untimed warm-up run).
@@ -156,6 +158,7 @@ impl Default for BenchConfig {
             ann_nprobe: 8,
             ann_k: 10,
             ann_recall_floor: 0.95,
+            persist_entities: 20_000,
             dim: 32,
             reps: 3,
         }
@@ -195,6 +198,7 @@ impl BenchConfig {
             // the floor is slightly relaxed; the cross-scale `--compare`
             // recall rule still gates it against the recorded baseline.
             ann_recall_floor: 0.90,
+            persist_entities: 2000,
             dim: 16,
             // Median-of-3 keeps the smoke run seconds-scale while damping
             // the single-outlier jitter that can trip the `--compare` gate
@@ -218,6 +222,7 @@ pub fn run_all(cfg: &BenchConfig) -> Vec<ScenarioResult> {
         ann_build(cfg),
         ann_top_k(cfg),
         serve_while_train(cfg),
+        persist_roundtrip(cfg),
     ]
 }
 
@@ -1078,6 +1083,50 @@ fn serve_while_train(cfg: &BenchConfig) -> ScenarioResult {
         .flag("verified", verified)
 }
 
+// ---------------------------------------------------------------------
+// Scenario: durable snapshot persistence round-trip
+// ---------------------------------------------------------------------
+
+/// Time the crash-safe save and checksummed load of a full
+/// [`AlignmentSnapshot`] through `DurableRegistry` and verify the loaded
+/// snapshot is **bitwise identical** — same slabs, same top-k answers bit
+/// for bit. Loading is bulk contiguous slab reads, so `load_ms` tracks
+/// file size, not entity count times allocator traffic.
+fn persist_roundtrip(cfg: &BenchConfig) -> ScenarioResult {
+    let entities = cfg.persist_entities;
+    let fixture = PairFixture::build(entities, cfg.dim, 61);
+    let snap = fixture.snapshot();
+    let dir = daakg::store::TestDir::new("bench-persist");
+    let reg = daakg::DurableRegistry::open(dir.path()).expect("open bench store");
+
+    let (_, save_ms) = time_median_of(cfg.reps, || reg.save(1, &snap).expect("save"));
+    let (loaded, load_ms) = time_median_of(cfg.reps, || reg.load(1).expect("load"));
+    let file_bytes = std::fs::metadata(dir.path().join("v0000000001.snap"))
+        .map(|m| m.len())
+        .unwrap_or(0);
+
+    // Bitwise slab identity plus bitwise top-k identity over a query
+    // sample: the restored snapshot must be indistinguishable from the
+    // saved one.
+    let mut verified = loaded.bitwise_eq(&snap);
+    let step = (entities / 32).max(1);
+    for q in (0..entities as u32).step_by(step) {
+        let a = snap.top_k_entities(q, cfg.rank_k);
+        let b = loaded.top_k_entities(q, cfg.rank_k);
+        verified &= a.len() == b.len()
+            && a.iter()
+                .zip(&b)
+                .all(|(x, y)| x.0 == y.0 && x.1.to_bits() == y.1.to_bits());
+    }
+
+    ScenarioResult::new(&format!("persist_roundtrip_{}", short_count(entities)))
+        .metric("save_ms", save_ms)
+        .metric("load_ms", load_ms)
+        .metric("file_mb", file_bytes as f64 / 1e6)
+        .metric("entities", entities as f64)
+        .flag("verified", verified)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1086,7 +1135,7 @@ mod tests {
     fn quick_config_runs_all_scenarios_verified() {
         let cfg = BenchConfig::quick();
         let results = run_all(&cfg);
-        assert_eq!(results.len(), 11);
+        assert_eq!(results.len(), 12);
         for r in &results {
             for (k, v) in &r.metrics {
                 assert!(v.is_finite(), "{}:{k} not finite", r.name);

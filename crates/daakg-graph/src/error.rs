@@ -11,6 +11,7 @@
 
 use std::fmt;
 use std::io;
+use std::path::PathBuf;
 
 /// Errors raised by the DAAKG public API.
 #[derive(Debug)]
@@ -49,6 +50,40 @@ pub enum DaakgError {
     },
     /// Underlying I/O failure.
     Io(io::Error),
+    /// An I/O failure with the path it happened on — the store layer's
+    /// replacement for a bare [`DaakgError::Io`], so operators learn *which*
+    /// version file failed, not just that "permission denied" happened.
+    IoAt {
+        /// The file or directory the operation targeted.
+        path: PathBuf,
+        /// The underlying OS error.
+        source: io::Error,
+    },
+    /// A persisted file failed structural or checksum validation. The file
+    /// is intact on disk (nothing is deleted on load failure); `section`
+    /// pinpoints the region that failed so fault triage does not start from
+    /// a hex dump.
+    Corrupt {
+        /// The file that failed validation.
+        path: PathBuf,
+        /// Which region failed (e.g. `"header"`, `"footer"`, `"ents2"`).
+        section: String,
+        /// What exactly was wrong, human-readable.
+        reason: String,
+    },
+    /// A snapshot version that is not materialized: either pruned out of
+    /// the retention window or never published. Replaces the `None`
+    /// ambiguity of `snapshot_at` for callers that need to distinguish the
+    /// two cases.
+    UnknownVersion {
+        /// The version the caller asked for.
+        requested: u64,
+        /// The newest version the registry currently holds.
+        latest: u64,
+        /// `true` when the version existed but fell out of retention;
+        /// `false` when it was never published.
+        pruned: bool,
+    },
     /// A malformed line in a dataset file, with its 1-based number.
     Parse {
         /// 1-based line number.
@@ -82,6 +117,27 @@ impl DaakgError {
             bound,
         }
     }
+
+    /// Shorthand for an [`DaakgError::IoAt`] value.
+    pub fn io_at(path: impl Into<PathBuf>, source: io::Error) -> Self {
+        Self::IoAt {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// Shorthand for a [`DaakgError::Corrupt`] value.
+    pub fn corrupt(
+        path: impl Into<PathBuf>,
+        section: impl Into<String>,
+        reason: impl Into<String>,
+    ) -> Self {
+        Self::Corrupt {
+            path: path.into(),
+            section: section.into(),
+            reason: reason.into(),
+        }
+    }
 }
 
 impl fmt::Display for DaakgError {
@@ -103,6 +159,31 @@ impl fmt::Display for DaakgError {
             }
             DaakgError::MissingInput { what } => write!(f, "missing required input: {what}"),
             DaakgError::Io(e) => write!(f, "i/o error: {e}"),
+            DaakgError::IoAt { path, source } => {
+                write!(f, "i/o error at {}: {source}", path.display())
+            }
+            DaakgError::Corrupt {
+                path,
+                section,
+                reason,
+            } => write!(
+                f,
+                "corrupt file {} (section {section:?}): {reason}",
+                path.display()
+            ),
+            DaakgError::UnknownVersion {
+                requested,
+                latest,
+                pruned,
+            } => write!(
+                f,
+                "unknown snapshot version {requested} ({}; latest is {latest})",
+                if *pruned {
+                    "pruned out of retention"
+                } else {
+                    "never published"
+                }
+            ),
             DaakgError::Parse { line, content } => {
                 write!(f, "parse error at line {line}: {content:?}")
             }
@@ -117,6 +198,7 @@ impl std::error::Error for DaakgError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DaakgError::Io(e) => Some(e),
+            DaakgError::IoAt { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -125,6 +207,12 @@ impl std::error::Error for DaakgError {
 impl From<io::Error> for DaakgError {
     fn from(e: io::Error) -> Self {
         DaakgError::Io(e)
+    }
+}
+
+impl From<(PathBuf, io::Error)> for DaakgError {
+    fn from((path, source): (PathBuf, io::Error)) -> Self {
+        DaakgError::IoAt { path, source }
     }
 }
 
@@ -161,5 +249,42 @@ mod tests {
             content: "bogus".into(),
         };
         assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn io_at_carries_the_path_and_chains() {
+        use std::error::Error as _;
+        let inner = io::Error::new(io::ErrorKind::PermissionDenied, "locked");
+        let e: DaakgError = (PathBuf::from("/data/v1.snap"), inner).into();
+        assert!(matches!(e, DaakgError::IoAt { .. }));
+        assert!(e.to_string().contains("/data/v1.snap"));
+        assert!(e.to_string().contains("locked"));
+        assert!(e.source().is_some());
+        let e = DaakgError::io_at("/data/MANIFEST", io::Error::other("boom"));
+        assert!(e.to_string().contains("MANIFEST"));
+    }
+
+    #[test]
+    fn corrupt_names_file_and_section() {
+        let e = DaakgError::corrupt("/data/v2.snap", "ents2", "payload crc mismatch");
+        assert!(e.to_string().contains("v2.snap"));
+        assert!(e.to_string().contains("ents2"));
+        assert!(e.to_string().contains("crc"));
+    }
+
+    #[test]
+    fn unknown_version_distinguishes_pruned_from_never_published() {
+        let pruned = DaakgError::UnknownVersion {
+            requested: 1,
+            latest: 9,
+            pruned: true,
+        };
+        assert!(pruned.to_string().contains("pruned"));
+        let future = DaakgError::UnknownVersion {
+            requested: 12,
+            latest: 9,
+            pruned: false,
+        };
+        assert!(future.to_string().contains("never published"));
     }
 }

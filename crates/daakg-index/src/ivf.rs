@@ -172,6 +172,41 @@ impl IvfIndex {
         &self.centroids
     }
 
+    /// The raw list offsets (`nlist + 1` entries, in vectors) — persistence
+    /// codec access.
+    pub(crate) fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw grouped candidate ids — persistence codec access.
+    pub(crate) fn raw_ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// The raw concatenated transposed list blocks — persistence codec
+    /// access.
+    pub(crate) fn raw_blocks_t(&self) -> &[f32] {
+        &self.blocks_t
+    }
+
+    /// Reassemble an index from persisted parts. The caller (the codec in
+    /// [`crate::persist`]) has already validated the structural invariants.
+    pub(crate) fn from_raw_parts(
+        dim: usize,
+        centroids: Tensor,
+        offsets: Vec<usize>,
+        ids: Vec<u32>,
+        blocks_t: Vec<f32>,
+    ) -> Self {
+        Self {
+            dim,
+            centroids,
+            offsets,
+            ids,
+            blocks_t,
+        }
+    }
+
     /// Fraction of the corpus a search at `nprobe` scans, averaged over
     /// queries that probe the `nprobe` *largest* lists (an upper bound on
     /// the per-query cost; useful for tuning tables).

@@ -17,6 +17,10 @@
 //! * [`ivf`] — [`IvfIndex`]: contiguous centroid-major inverted lists
 //!   over normalized embeddings, built once per published snapshot,
 //!   served lock-free ([`IvfIndex::search`] / [`IvfIndex::search_batch`]).
+//! * [`persist`] — the `daakg-store` codec: every slab of a built index
+//!   round-trips bitwise through the checksummed section format
+//!   ([`IvfIndex::to_bytes`] / [`IvfIndex::from_bytes`]), so persisted
+//!   indexes search identically to the ones they were saved from.
 //!
 //! [`QueryMode`] is the serving-layer switch consumed by
 //! `daakg_align::AlignmentService` and the `daakg::Pipeline` builder:
@@ -26,6 +30,7 @@
 
 pub mod ivf;
 pub mod kmeans;
+pub mod persist;
 pub mod scan;
 
 pub use ivf::{IvfConfig, IvfIndex};

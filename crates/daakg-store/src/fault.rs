@@ -1,0 +1,115 @@
+//! Fault-injection helpers: the controlled ways a store directory can be
+//! damaged, used by the property suites that prove recovery never panics
+//! and never serves silently-wrong data.
+//!
+//! Each helper models one real failure mode:
+//!
+//! * [`truncate_file`] — a crash mid-write on a filesystem without the
+//!   atomic-rename protocol, or a torn copy/restore. Driven at every
+//!   structural boundary by [`crate::format::SectionReader::boundaries`].
+//! * [`flip_bit`] / [`flip_random_bits`] — bit rot, bad RAM on the
+//!   storage path, or a buggy transport.
+//! * [`tear_tmp_write`] — a kill between the tmp write and the rename:
+//!   a (possibly partial) `*.tmp` left beside intact versions.
+//!
+//! Deleted / stale `MANIFEST` faults need no helper — tests simply
+//! `fs::remove_file` or rewrite it, because recovery treats the manifest
+//! as advisory.
+
+use daakg_graph::DaakgError;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::store::TMP_SUFFIX;
+
+/// Truncate `path` to `len` bytes (a torn write / partial copy).
+pub fn truncate_file(path: &Path, len: usize) -> Result<(), DaakgError> {
+    let mut bytes = fs::read(path).map_err(|e| DaakgError::io_at(path, e))?;
+    bytes.truncate(len);
+    fs::write(path, &bytes).map_err(|e| DaakgError::io_at(path, e))
+}
+
+/// Flip one bit of `path` in place (bit rot at a known location).
+pub fn flip_bit(path: &Path, byte: usize, bit: u8) -> Result<(), DaakgError> {
+    let mut bytes = fs::read(path).map_err(|e| DaakgError::io_at(path, e))?;
+    assert!(
+        byte < bytes.len(),
+        "flip offset {byte} beyond file length {}",
+        bytes.len()
+    );
+    bytes[byte] ^= 1 << (bit & 7);
+    fs::write(path, &bytes).map_err(|e| DaakgError::io_at(path, e))
+}
+
+/// Flip `count` seeded-random bits of `path`, returning the `(byte, bit)`
+/// positions flipped — so a failing property case reports exactly which
+/// damage escaped detection.
+pub fn flip_random_bits(
+    path: &Path,
+    count: usize,
+    seed: u64,
+) -> Result<Vec<(usize, u8)>, DaakgError> {
+    let mut bytes = fs::read(path).map_err(|e| DaakgError::io_at(path, e))?;
+    assert!(!bytes.is_empty(), "cannot flip bits of an empty file");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut flips = Vec::with_capacity(count);
+    for _ in 0..count {
+        let byte = rng.gen_range(0..bytes.len());
+        let bit = rng.gen_range(0u32..8) as u8;
+        bytes[byte] ^= 1 << bit;
+        flips.push((byte, bit));
+    }
+    fs::write(path, &bytes).map_err(|e| DaakgError::io_at(path, e))?;
+    Ok(flips)
+}
+
+/// Simulate a kill between the tmp write and the rename: write the first
+/// `cut` bytes of `bytes` to `<final_name>.tmp` in `dir` and *do not*
+/// rename. Returns the torn tmp path. With `cut == bytes.len()` this
+/// models a kill after a complete tmp write but before the rename — the
+/// file content is valid yet must still be invisible to recovery.
+pub fn tear_tmp_write(
+    dir: &Path,
+    final_name: &str,
+    bytes: &[u8],
+    cut: usize,
+) -> Result<PathBuf, DaakgError> {
+    let cut = cut.min(bytes.len());
+    let path = dir.join(format!("{final_name}{TMP_SUFFIX}"));
+    fs::write(&path, &bytes[..cut]).map_err(|e| DaakgError::io_at(&path, e))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdir::TestDir;
+
+    #[test]
+    fn helpers_apply_exactly_the_advertised_damage() {
+        let td = TestDir::new("fault-helpers");
+        let path = td.path().join("victim.bin");
+        fs::write(&path, [0u8; 16]).unwrap();
+
+        truncate_file(&path, 5).unwrap();
+        assert_eq!(fs::read(&path).unwrap().len(), 5);
+
+        flip_bit(&path, 2, 3).unwrap();
+        assert_eq!(fs::read(&path).unwrap()[2], 1 << 3);
+        flip_bit(&path, 2, 3).unwrap(); // flipping twice restores
+        assert_eq!(fs::read(&path).unwrap()[2], 0);
+
+        let flips = flip_random_bits(&path, 4, 99).unwrap();
+        assert_eq!(flips.len(), 4);
+        // Same seed, same damage: undo by replaying.
+        for &(byte, bit) in &flips {
+            flip_bit(&path, byte, bit).unwrap();
+        }
+        assert_eq!(fs::read(&path).unwrap(), vec![0u8; 5]);
+
+        let torn = tear_tmp_write(td.path(), "v0000000009.snap", b"payload", 3).unwrap();
+        assert!(torn.to_string_lossy().ends_with("v0000000009.snap.tmp"));
+        assert_eq!(fs::read(&torn).unwrap(), b"pay");
+    }
+}

@@ -1,0 +1,639 @@
+//! The versioned little-endian section format every durable DAAKG file
+//! uses: a fixed header, tagged typed slabs, per-section CRC32 checksums,
+//! and a full-file footer checksum.
+//!
+//! ```text
+//! ┌────────────────────────────────────────────────────────┐
+//! │ file header (32 B)                                     │
+//! │   magic "DAAKGSF1" · format version · payload kind     │
+//! │   section count · reserved · header CRC32              │
+//! ├────────────────────────────────────────────────────────┤
+//! │ section 0 header (48 B)                                │
+//! │   tag (8 B) · elem kind · rows · cols                  │
+//! │   payload length · payload CRC32                       │
+//! ├────────────────────────────────────────────────────────┤
+//! │ section 0 payload (contiguous LE slab)                 │
+//! ├────────────────────────────────────────────────────────┤
+//! │ …                                                      │
+//! ├────────────────────────────────────────────────────────┤
+//! │ footer (20 B)                                          │
+//! │   magic "DAAKGEND" · total file length                 │
+//! │   CRC32 over every preceding byte                      │
+//! └────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Robustness properties the layout is chosen for:
+//!
+//! * **Truncation at any byte is detected** — the footer records the total
+//!   file length and a cut file either loses the footer magic or
+//!   contradicts the recorded length.
+//! * **Any bit flip is detected** — the footer CRC covers every byte
+//!   before it (including both magics, all section headers and payloads);
+//!   a flip inside the footer CRC field itself simply mismatches the
+//!   recomputed value. There is no unprotected byte in the file.
+//! * **Diagnostics are sectioned** — validation walks the structure and
+//!   per-section checksums first, so a corrupt slab is reported as
+//!   `Corrupt { section: "ents2", .. }` rather than a bare "bad file".
+//!
+//! All multi-byte values are little-endian on disk; big-endian hosts
+//! transcode on the (cold) load path so files are portable.
+
+use crate::crc32::crc32;
+use daakg_graph::DaakgError;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every durable DAAKG file.
+pub const FILE_MAGIC: [u8; 8] = *b"DAAKGSF1";
+/// Magic bytes opening the footer.
+pub const FOOTER_MAGIC: [u8; 8] = *b"DAAKGEND";
+/// On-disk format version written by this build.
+pub const FORMAT_VERSION: u32 = 1;
+/// Fixed file-header size in bytes.
+pub const HEADER_LEN: usize = 32;
+/// Fixed per-section header size in bytes.
+pub const SECTION_HEADER_LEN: usize = 48;
+/// Fixed footer size in bytes.
+pub const FOOTER_LEN: usize = 20;
+
+/// Element type of a section payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum ElemKind {
+    /// 32-bit IEEE-754 floats (embedding slabs).
+    F32 = 1,
+    /// 32-bit unsigned integers (id lists).
+    U32 = 2,
+    /// 64-bit unsigned integers (offsets, configuration words).
+    U64 = 3,
+    /// Raw bytes (flags, small blobs).
+    U8 = 4,
+}
+
+impl ElemKind {
+    fn from_u32(v: u32) -> Option<Self> {
+        match v {
+            1 => Some(Self::F32),
+            2 => Some(Self::U32),
+            3 => Some(Self::U64),
+            4 => Some(Self::U8),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian slab transcoding. On little-endian hosts (every supported
+// target in practice) these are single bulk memcpys — one contiguous copy
+// per slab, never a per-row allocation. Big-endian hosts fall back to
+// per-element transcoding on the same single allocation.
+// ---------------------------------------------------------------------------
+
+macro_rules! slab_codec {
+    ($encode:ident, $decode:ident, $t:ty, $width:expr) => {
+        /// Append the slab to `out` in little-endian byte order.
+        fn $encode(out: &mut Vec<u8>, data: &[$t]) {
+            #[cfg(target_endian = "little")]
+            {
+                // SAFETY: `$t` is a plain-old-data numeric type; viewing its
+                // initialized slice as bytes is always valid.
+                let bytes = unsafe {
+                    std::slice::from_raw_parts(data.as_ptr() as *const u8, data.len() * $width)
+                };
+                out.extend_from_slice(bytes);
+            }
+            #[cfg(target_endian = "big")]
+            {
+                for v in data {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+
+        /// Decode a little-endian slab into one contiguous vector.
+        /// `bytes.len()` must be a multiple of the element width (the
+        /// caller validates this before dispatching here).
+        fn $decode(bytes: &[u8]) -> Vec<$t> {
+            let n = bytes.len() / $width;
+            let mut out = Vec::<$t>::with_capacity(n);
+            #[cfg(target_endian = "little")]
+            {
+                // SAFETY: the destination has capacity for `n` elements and
+                // `bytes` holds exactly `n * width` initialized bytes; a raw
+                // byte copy produces `n` valid `$t` values on an LE host.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        bytes.as_ptr(),
+                        out.as_mut_ptr() as *mut u8,
+                        n * $width,
+                    );
+                    out.set_len(n);
+                }
+            }
+            #[cfg(target_endian = "big")]
+            {
+                out.extend(
+                    bytes
+                        .chunks_exact($width)
+                        .map(|c| <$t>::from_le_bytes(c.try_into().unwrap())),
+                );
+            }
+            out
+        }
+    };
+}
+
+slab_codec!(encode_f32, decode_f32, f32, 4);
+slab_codec!(encode_u32, decode_u32, u32, 4);
+slab_codec!(encode_u64, decode_u64, u64, 8);
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Serializes tagged typed sections into one checksummed byte buffer.
+///
+/// Usage: create with the payload `kind`, append sections, then
+/// [`SectionWriter::finish`] to patch the header and append the footer.
+/// Tags are at most 8 bytes of ASCII and must be unique within a file —
+/// both are programmer invariants of the calling codec and asserted.
+#[derive(Debug)]
+pub struct SectionWriter {
+    buf: Vec<u8>,
+    kind: u32,
+    sections: u32,
+    tags: Vec<[u8; 8]>,
+}
+
+impl SectionWriter {
+    /// Start a file of the given payload `kind` (a caller-defined
+    /// discriminator checked again at read time).
+    pub fn new(kind: u32) -> Self {
+        Self {
+            buf: vec![0u8; HEADER_LEN],
+            kind,
+            sections: 0,
+            tags: Vec::new(),
+        }
+    }
+
+    fn tag_bytes(tag: &str) -> [u8; 8] {
+        assert!(
+            !tag.is_empty() && tag.len() <= 8 && tag.is_ascii(),
+            "section tag must be 1..=8 ASCII bytes, got {tag:?}"
+        );
+        let mut out = [0u8; 8];
+        out[..tag.len()].copy_from_slice(tag.as_bytes());
+        out
+    }
+
+    fn push_section(&mut self, tag: &str, kind: ElemKind, aux0: u64, aux1: u64, payload: &[u8]) {
+        let tag = Self::tag_bytes(tag);
+        assert!(
+            !self.tags.contains(&tag),
+            "duplicate section tag {:?}",
+            String::from_utf8_lossy(&tag)
+        );
+        self.tags.push(tag);
+        self.buf.extend_from_slice(&tag);
+        self.buf.extend_from_slice(&(kind as u32).to_le_bytes());
+        self.buf.extend_from_slice(&0u32.to_le_bytes());
+        self.buf.extend_from_slice(&aux0.to_le_bytes());
+        self.buf.extend_from_slice(&aux1.to_le_bytes());
+        self.buf
+            .extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        self.buf.extend_from_slice(&crc32(payload).to_le_bytes());
+        self.buf.extend_from_slice(&0u32.to_le_bytes());
+        self.buf.extend_from_slice(payload);
+        self.sections += 1;
+    }
+
+    /// Append an `rows × cols` f32 slab (row-major, `data.len() == rows·cols`).
+    pub fn f32s(&mut self, tag: &str, rows: usize, cols: usize, data: &[f32]) {
+        assert_eq!(
+            rows * cols,
+            data.len(),
+            "f32 slab shape mismatch for {tag:?}"
+        );
+        let mut payload = Vec::with_capacity(data.len() * 4);
+        encode_f32(&mut payload, data);
+        self.push_section(tag, ElemKind::F32, rows as u64, cols as u64, &payload);
+    }
+
+    /// Append a u32 vector section.
+    pub fn u32s(&mut self, tag: &str, data: &[u32]) {
+        let mut payload = Vec::with_capacity(data.len() * 4);
+        encode_u32(&mut payload, data);
+        self.push_section(tag, ElemKind::U32, data.len() as u64, 1, &payload);
+    }
+
+    /// Append a u64 vector section.
+    pub fn u64s(&mut self, tag: &str, data: &[u64]) {
+        let mut payload = Vec::with_capacity(data.len() * 8);
+        encode_u64(&mut payload, data);
+        self.push_section(tag, ElemKind::U64, data.len() as u64, 1, &payload);
+    }
+
+    /// Append a raw byte section.
+    pub fn bytes(&mut self, tag: &str, data: &[u8]) {
+        self.push_section(tag, ElemKind::U8, data.len() as u64, 1, data);
+    }
+
+    /// Patch the header, append the footer, and return the finished file
+    /// image — ready for [`crate::store::write_atomic`].
+    pub fn finish(mut self) -> Vec<u8> {
+        // File header: magic · version · kind · section count · reserved · crc.
+        self.buf[0..8].copy_from_slice(&FILE_MAGIC);
+        self.buf[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+        self.buf[12..16].copy_from_slice(&self.kind.to_le_bytes());
+        self.buf[16..20].copy_from_slice(&self.sections.to_le_bytes());
+        self.buf[20..28].copy_from_slice(&0u64.to_le_bytes());
+        let header_crc = crc32(&self.buf[0..28]);
+        self.buf[28..32].copy_from_slice(&header_crc.to_le_bytes());
+        // Footer: magic · total length · crc over everything before the
+        // final crc field (magic and length included).
+        let total_len = (self.buf.len() + FOOTER_LEN) as u64;
+        self.buf.extend_from_slice(&FOOTER_MAGIC);
+        self.buf.extend_from_slice(&total_len.to_le_bytes());
+        let full_crc = crc32(&self.buf);
+        self.buf.extend_from_slice(&full_crc.to_le_bytes());
+        self.buf
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct RawSection {
+    tag: String,
+    kind: ElemKind,
+    aux0: u64,
+    aux1: u64,
+    /// Payload byte range within the file buffer.
+    start: usize,
+    len: usize,
+}
+
+/// A decoded f32 slab with its recorded shape.
+#[derive(Debug, Clone)]
+pub struct F32Section {
+    /// Recorded row count.
+    pub rows: usize,
+    /// Recorded column count.
+    pub cols: usize,
+    /// Row-major contiguous data, `rows · cols` elements.
+    pub data: Vec<f32>,
+}
+
+/// Validating reader over a serialized section file.
+///
+/// [`SectionReader::parse`] performs the full integrity sweep up front —
+/// structural bounds, per-section payload CRCs, then the footer CRC over
+/// the whole file — so every getter afterwards works on verified bytes.
+/// Any failure is a typed [`DaakgError::Corrupt`] naming the file and the
+/// failing region; this type never panics on untrusted input.
+#[derive(Debug)]
+pub struct SectionReader {
+    path: PathBuf,
+    buf: Vec<u8>,
+    kind: u32,
+    sections: Vec<RawSection>,
+}
+
+fn read_u32(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(buf[at..at + 4].try_into().unwrap())
+}
+
+fn read_u64(buf: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(buf[at..at + 8].try_into().unwrap())
+}
+
+impl SectionReader {
+    /// Read `path` from disk and [`SectionReader::parse`] it.
+    pub fn open(path: &Path, expected_kind: u32) -> Result<Self, DaakgError> {
+        let buf = std::fs::read(path).map_err(|e| DaakgError::io_at(path, e))?;
+        Self::parse(path, buf, expected_kind)
+    }
+
+    /// Validate `buf` (structure, per-section CRCs, footer CRC) and index
+    /// its sections. `path` is used for diagnostics only.
+    pub fn parse(path: &Path, buf: Vec<u8>, expected_kind: u32) -> Result<Self, DaakgError> {
+        let corrupt = |section: &str, reason: String| DaakgError::corrupt(path, section, reason);
+        let len = buf.len();
+        if len < HEADER_LEN + FOOTER_LEN {
+            return Err(corrupt(
+                "footer",
+                format!(
+                    "file truncated: {len} bytes is below the {}-byte minimum",
+                    HEADER_LEN + FOOTER_LEN
+                ),
+            ));
+        }
+        // File header first: magic, version and kind gate everything else.
+        if buf[0..8] != FILE_MAGIC {
+            return Err(corrupt("header", "bad file magic".into()));
+        }
+        if crc32(&buf[0..28]) != read_u32(&buf, 28) {
+            return Err(corrupt("header", "header crc mismatch".into()));
+        }
+        let version = read_u32(&buf, 8);
+        if version != FORMAT_VERSION {
+            return Err(corrupt(
+                "header",
+                format!("unsupported format version {version} (this build reads {FORMAT_VERSION})"),
+            ));
+        }
+        let kind = read_u32(&buf, 12);
+        if kind != expected_kind {
+            return Err(corrupt(
+                "header",
+                format!("payload kind {kind} where {expected_kind} was expected"),
+            ));
+        }
+        // Footer: recorded length and the whole-file checksum. Checked
+        // before walking sections so a flipped section-header byte cannot
+        // steer the walk (lengths are attacker^W bit-rot controlled data).
+        let footer = len - FOOTER_LEN;
+        if buf[footer..footer + 8] != FOOTER_MAGIC {
+            return Err(corrupt(
+                "footer",
+                "bad footer magic (file truncated or torn)".into(),
+            ));
+        }
+        let recorded_len = read_u64(&buf, footer + 8);
+        if recorded_len != len as u64 {
+            return Err(corrupt(
+                "footer",
+                format!("recorded length {recorded_len} but file holds {len} bytes"),
+            ));
+        }
+        if crc32(&buf[..len - 4]) != read_u32(&buf, len - 4) {
+            return Err(corrupt("footer", "full-file crc mismatch".into()));
+        }
+        // Structural walk over the (now checksum-verified) sections. The
+        // per-section CRC re-check is defense in depth: it localizes which
+        // slab went bad if a caller ever relaxes the footer check.
+        let section_count = read_u32(&buf, 16) as usize;
+        let mut sections = Vec::with_capacity(section_count);
+        let mut cursor = HEADER_LEN;
+        for i in 0..section_count {
+            if cursor + SECTION_HEADER_LEN > footer {
+                return Err(corrupt(
+                    "layout",
+                    format!("section {i} header runs past the footer"),
+                ));
+            }
+            let tag_raw = &buf[cursor..cursor + 8];
+            let tag_len = tag_raw.iter().position(|&b| b == 0).unwrap_or(8);
+            let tag = String::from_utf8_lossy(&tag_raw[..tag_len]).into_owned();
+            let elem = read_u32(&buf, cursor + 8);
+            let kind = ElemKind::from_u32(elem)
+                .ok_or_else(|| corrupt(&tag, format!("unknown element kind {elem}")))?;
+            let aux0 = read_u64(&buf, cursor + 16);
+            let aux1 = read_u64(&buf, cursor + 24);
+            let payload_len = read_u64(&buf, cursor + 32) as usize;
+            let payload_crc = read_u32(&buf, cursor + 40);
+            let start = cursor + SECTION_HEADER_LEN;
+            if payload_len > footer - start {
+                return Err(corrupt(
+                    &tag,
+                    format!("payload length {payload_len} runs past the footer"),
+                ));
+            }
+            let payload = &buf[start..start + payload_len];
+            if crc32(payload) != payload_crc {
+                return Err(corrupt(&tag, "payload crc mismatch".into()));
+            }
+            let width = match kind {
+                ElemKind::F32 | ElemKind::U32 => 4,
+                ElemKind::U64 => 8,
+                ElemKind::U8 => 1,
+            };
+            let elems = aux0
+                .checked_mul(aux1)
+                .ok_or_else(|| corrupt(&tag, format!("shape {aux0}×{aux1} overflows")))?;
+            if elems.checked_mul(width) != Some(payload_len as u64) {
+                return Err(corrupt(
+                    &tag,
+                    format!("shape {aux0}×{aux1} disagrees with payload length {payload_len}"),
+                ));
+            }
+            sections.push(RawSection {
+                tag,
+                kind,
+                aux0,
+                aux1,
+                start,
+                len: payload_len,
+            });
+            cursor = start + payload_len;
+        }
+        if cursor != footer {
+            return Err(corrupt(
+                "layout",
+                format!(
+                    "{} trailing bytes between last section and footer",
+                    footer - cursor
+                ),
+            ));
+        }
+        Ok(Self {
+            path: path.to_path_buf(),
+            buf,
+            kind,
+            sections,
+        })
+    }
+
+    /// The payload kind recorded in the header.
+    pub fn kind(&self) -> u32 {
+        self.kind
+    }
+
+    /// The file this reader was parsed from (diagnostics).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Tags present, in file order.
+    pub fn tags(&self) -> Vec<&str> {
+        self.sections.iter().map(|s| s.tag.as_str()).collect()
+    }
+
+    /// Whether a section with this tag exists.
+    pub fn has(&self, tag: &str) -> bool {
+        self.sections.iter().any(|s| s.tag == tag)
+    }
+
+    fn section(&self, tag: &str, want: ElemKind) -> Result<&RawSection, DaakgError> {
+        let s = self
+            .sections
+            .iter()
+            .find(|s| s.tag == tag)
+            .ok_or_else(|| DaakgError::corrupt(&self.path, tag, "required section missing"))?;
+        if s.kind != want {
+            return Err(DaakgError::corrupt(
+                &self.path,
+                tag,
+                format!("element kind {:?} where {want:?} was expected", s.kind),
+            ));
+        }
+        Ok(s)
+    }
+
+    fn payload(&self, s: &RawSection) -> &[u8] {
+        &self.buf[s.start..s.start + s.len]
+    }
+
+    /// Decode an f32 slab section (one contiguous bulk copy).
+    pub fn f32s(&self, tag: &str) -> Result<F32Section, DaakgError> {
+        let s = self.section(tag, ElemKind::F32)?;
+        Ok(F32Section {
+            rows: s.aux0 as usize,
+            cols: s.aux1 as usize,
+            data: decode_f32(self.payload(s)),
+        })
+    }
+
+    /// Decode a u32 vector section.
+    pub fn u32s(&self, tag: &str) -> Result<Vec<u32>, DaakgError> {
+        let s = self.section(tag, ElemKind::U32)?;
+        Ok(decode_u32(self.payload(s)))
+    }
+
+    /// Decode a u64 vector section.
+    pub fn u64s(&self, tag: &str) -> Result<Vec<u64>, DaakgError> {
+        let s = self.section(tag, ElemKind::U64)?;
+        Ok(decode_u64(self.payload(s)))
+    }
+
+    /// Borrow a raw byte section.
+    pub fn bytes(&self, tag: &str) -> Result<&[u8], DaakgError> {
+        let s = self.section(tag, ElemKind::U8)?;
+        Ok(self.payload(s))
+    }
+
+    /// A typed corruption error anchored to this file — for codecs that
+    /// discover semantic inconsistencies (e.g. slab shapes that disagree
+    /// with each other) after the structural checks pass.
+    pub fn corrupt(&self, section: &str, reason: impl Into<String>) -> DaakgError {
+        DaakgError::corrupt(&self.path, section, reason)
+    }
+
+    /// File offsets of every structural boundary: start of file, each
+    /// section header, each payload, the footer, and end of file. The
+    /// fault-injection harness truncates at exactly these offsets.
+    pub fn boundaries(&self) -> Vec<usize> {
+        let mut out = vec![0, HEADER_LEN];
+        for s in &self.sections {
+            out.push(s.start);
+            out.push(s.start + s.len);
+        }
+        out.push(self.buf.len() - FOOTER_LEN);
+        out.push(self.buf.len());
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut w = SectionWriter::new(7);
+        w.f32s("emb", 2, 3, &[1.0, -2.5, 0.0, f32::MIN_POSITIVE, 4.0, -0.0]);
+        w.u32s("ids", &[3, 1, 4, 1, 5]);
+        w.u64s("offs", &[0, 2, 5]);
+        w.bytes("flags", &[1, 0]);
+        w.finish()
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_section_bitwise() {
+        let bytes = sample();
+        let r = SectionReader::parse(Path::new("mem"), bytes, 7).unwrap();
+        assert_eq!(r.kind(), 7);
+        assert_eq!(r.tags(), vec!["emb", "ids", "offs", "flags"]);
+        let emb = r.f32s("emb").unwrap();
+        assert_eq!((emb.rows, emb.cols), (2, 3));
+        let expect = [1.0f32, -2.5, 0.0, f32::MIN_POSITIVE, 4.0, -0.0];
+        assert_eq!(
+            emb.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            expect.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(r.u32s("ids").unwrap(), vec![3, 1, 4, 1, 5]);
+        assert_eq!(r.u64s("offs").unwrap(), vec![0, 2, 5]);
+        assert_eq!(r.bytes("flags").unwrap(), &[1, 0]);
+        assert!(r.has("emb"));
+        assert!(!r.has("nope"));
+    }
+
+    #[test]
+    fn wrong_kind_and_missing_sections_are_typed() {
+        let bytes = sample();
+        let err = SectionReader::parse(Path::new("mem"), bytes.clone(), 8).unwrap_err();
+        assert!(matches!(err, DaakgError::Corrupt { .. }), "{err}");
+        let r = SectionReader::parse(Path::new("mem"), bytes, 7).unwrap();
+        let err = r.f32s("missing").unwrap_err();
+        assert!(err.to_string().contains("missing"));
+        // Wrong element kind for an existing tag is also typed.
+        let err = r.u32s("emb").unwrap_err();
+        assert!(matches!(err, DaakgError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn every_truncation_point_is_detected() {
+        let bytes = sample();
+        for cut in 0..bytes.len() {
+            let err = SectionReader::parse(Path::new("mem"), bytes[..cut].to_vec(), 7)
+                .expect_err("truncated file must not parse");
+            assert!(
+                matches!(err, DaakgError::Corrupt { .. }),
+                "cut {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let bytes = sample();
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[byte] ^= 1 << bit;
+                let err = SectionReader::parse(Path::new("mem"), bad, 7)
+                    .expect_err("flipped file must not parse");
+                assert!(
+                    matches!(err, DaakgError::Corrupt { .. }),
+                    "flip {byte}:{bit}: {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boundaries_cover_header_sections_and_footer() {
+        let bytes = sample();
+        let total = bytes.len();
+        let r = SectionReader::parse(Path::new("mem"), bytes, 7).unwrap();
+        let b = r.boundaries();
+        assert_eq!(b.first(), Some(&0));
+        assert_eq!(b.last(), Some(&total));
+        assert!(b.contains(&HEADER_LEN));
+        assert!(b.contains(&(total - FOOTER_LEN)));
+        assert!(b.windows(2).all(|w| w[0] < w[1]), "sorted unique: {b:?}");
+    }
+
+    #[test]
+    fn empty_sections_roundtrip() {
+        let mut w = SectionWriter::new(1);
+        w.f32s("empty", 0, 0, &[]);
+        w.u32s("none", &[]);
+        let bytes = w.finish();
+        let r = SectionReader::parse(Path::new("mem"), bytes, 1).unwrap();
+        assert!(r.f32s("empty").unwrap().data.is_empty());
+        assert!(r.u32s("none").unwrap().is_empty());
+    }
+}

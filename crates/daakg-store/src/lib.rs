@@ -1,0 +1,40 @@
+//! # daakg-store
+//!
+//! The durability layer of the DAAKG workspace: a versioned, checksummed
+//! binary section format plus crash-safe version-file management — the
+//! machinery beneath `daakg_align`'s `DurableRegistry` and
+//! `AlignmentService::open` warm restarts.
+//!
+//! The crate deliberately sits *below* the alignment stack (it depends
+//! only on `daakg-graph` for the typed error): `daakg-index` and
+//! `daakg-align` layer their codecs on top of the generic
+//! [`format::SectionWriter`] / [`format::SectionReader`] pair, which keeps
+//! the dependency graph acyclic while letting each crate serialize its own
+//! private fields.
+//!
+//! * [`mod@format`] — the on-disk layout: 32-byte header, tagged typed slabs
+//!   with per-section CRC32s, and a footer whose CRC32 covers every
+//!   preceding byte. Truncation at any offset and any single bit flip are
+//!   detected (property-tested exhaustively), and every failure is a
+//!   typed [`daakg_graph::DaakgError::Corrupt`] naming file and section.
+//! * [`store`] — [`store::write_atomic`] (tmp → fsync → rename →
+//!   dir-fsync) and [`store::VersionStore`]: immutable `vNNNNNNNNNN.snap`
+//!   files, an advisory `MANIFEST` written last, directory scans as
+//!   recovery ground truth, stale-tmp hygiene and retention GC.
+//! * [`fault`] — the fault-injection helpers (truncation, bit flips,
+//!   torn tmp writes) that the robustness property suites drive.
+//! * [`testdir`] — self-cleaning scratch directories (the offline
+//!   stand-in for `tempfile`).
+//! * [`mod@crc32`] — the IEEE CRC-32 used throughout, implemented in-repo
+//!   for the offline build environment.
+
+pub mod crc32;
+pub mod fault;
+pub mod format;
+pub mod store;
+pub mod testdir;
+
+pub use crc32::crc32;
+pub use format::{ElemKind, F32Section, SectionReader, SectionWriter, FORMAT_VERSION};
+pub use store::{write_atomic, VersionStore, MANIFEST_NAME};
+pub use testdir::TestDir;

@@ -1,0 +1,275 @@
+//! Crash-safe version-file management: atomic publication of immutable
+//! version files plus an advisory `MANIFEST`.
+//!
+//! The write protocol for every file is the classic durable sequence:
+//!
+//! 1. write the full image to `<name>.tmp`,
+//! 2. `fsync` the tmp file,
+//! 3. `rename` it over the final name (atomic on POSIX),
+//! 4. `fsync` the directory so the rename itself survives power loss.
+//!
+//! A crash between any two steps leaves either no new file or a stale
+//! `*.tmp` next to the intact previous versions — never a half-written
+//! final file. The `MANIFEST` (a tiny text file recording the newest
+//! version) is written with the same protocol and written *last*, after
+//! the version file it points at, so it can never reference a version
+//! that does not fully exist. Recovery treats it as advisory only: the
+//! directory scan plus per-file checksums are the ground truth, which is
+//! what makes a deleted or stale manifest a non-event.
+//!
+//! A [`VersionStore`] assumes a single writing process (the owning
+//! `AlignmentService` serializes publications); concurrent readers are
+//! always safe because visible files are immutable once renamed in.
+
+use daakg_graph::DaakgError;
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// File name of the advisory manifest.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+/// Extension of version files.
+pub const SNAPSHOT_EXT: &str = "snap";
+/// Suffix of in-flight (torn if left behind) writes.
+pub const TMP_SUFFIX: &str = ".tmp";
+/// First line of the manifest format.
+const MANIFEST_HEADER: &str = "daakg-store-manifest v1";
+
+/// Write `bytes` to `path` with the tmp → fsync → rename → dir-fsync
+/// protocol. On success the file is durably visible under its final name;
+/// on a crash at any point the previous content of `path` (or its
+/// absence) is preserved.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), DaakgError> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(TMP_SUFFIX);
+    let tmp = PathBuf::from(tmp);
+    let run = || -> io::Result<()> {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent() {
+            // Durability of the rename: fsync the containing directory.
+            // Some filesystems refuse fsync on a directory handle; that
+            // only weakens the power-loss window, never atomicity.
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    };
+    run().map_err(|e| DaakgError::io_at(path, e))
+}
+
+/// A directory of immutable, checksummed version files
+/// (`v0000000042.snap`) plus the advisory `MANIFEST`.
+///
+/// The store manages naming, atomic publication, scanning, stale-tmp
+/// hygiene and retention GC; it is agnostic to the payload format (the
+/// codecs in `daakg-index` / `daakg-align` produce the byte images).
+#[derive(Debug, Clone)]
+pub struct VersionStore {
+    dir: PathBuf,
+}
+
+impl VersionStore {
+    /// Open (creating if needed) the store directory.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, DaakgError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| DaakgError::io_at(&dir, e))?;
+        Ok(Self { dir })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of a version file (zero-padded so lexicographic order is
+    /// version order).
+    pub fn version_path(&self, version: u64) -> PathBuf {
+        self.dir.join(format!("v{version:010}.{SNAPSHOT_EXT}"))
+    }
+
+    /// Path of the advisory manifest.
+    pub fn manifest_path(&self) -> PathBuf {
+        self.dir.join(MANIFEST_NAME)
+    }
+
+    /// Atomically publish `bytes` as `version`, then update the manifest.
+    /// The manifest write happens strictly after the version file is
+    /// durable, so a crash in between leaves a valid store whose manifest
+    /// is merely one version behind — exactly what recovery tolerates.
+    pub fn save(&self, version: u64, bytes: &[u8]) -> Result<(), DaakgError> {
+        write_atomic(&self.version_path(version), bytes)?;
+        let manifest = format!("{MANIFEST_HEADER}\nlatest {version}\n");
+        write_atomic(&self.manifest_path(), manifest.as_bytes())
+    }
+
+    /// All committed versions on disk, ascending. Stale `*.tmp` files and
+    /// foreign names are ignored — only fully renamed-in version files
+    /// count as published.
+    pub fn versions(&self) -> Result<Vec<u64>, DaakgError> {
+        let mut out = Vec::new();
+        let entries = fs::read_dir(&self.dir).map_err(|e| DaakgError::io_at(&self.dir, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| DaakgError::io_at(&self.dir, e))?;
+            if let Some(v) = parse_version_name(&entry.file_name().to_string_lossy()) {
+                out.push(v);
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// The version the manifest claims is newest — advisory only (`None`
+    /// when the manifest is missing or malformed; recovery never trusts
+    /// it over the directory scan).
+    pub fn manifest_latest(&self) -> Option<u64> {
+        let text = fs::read_to_string(self.manifest_path()).ok()?;
+        let mut lines = text.lines();
+        if lines.next()? != MANIFEST_HEADER {
+            return None;
+        }
+        let latest = lines.next()?.strip_prefix("latest ")?;
+        latest.trim().parse().ok()
+    }
+
+    /// Leftover `*.tmp` files from writes that never reached their rename
+    /// (a torn write / crash mid-publication).
+    pub fn stale_tmp_files(&self) -> Result<Vec<PathBuf>, DaakgError> {
+        let mut out = Vec::new();
+        let entries = fs::read_dir(&self.dir).map_err(|e| DaakgError::io_at(&self.dir, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| DaakgError::io_at(&self.dir, e))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(TMP_SUFFIX) {
+                out.push(entry.path());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Delete leftover `*.tmp` files (they are by definition incomplete —
+    /// a completed write always ends in a rename). Returns what was
+    /// removed. Safe under the single-writer assumption.
+    pub fn remove_stale_tmp(&self) -> Result<Vec<PathBuf>, DaakgError> {
+        let stale = self.stale_tmp_files()?;
+        for path in &stale {
+            fs::remove_file(path).map_err(|e| DaakgError::io_at(path, e))?;
+        }
+        Ok(stale)
+    }
+
+    /// Garbage-collect committed versions beyond the newest `keep`,
+    /// returning the versions whose files were deleted. `keep == 0` is
+    /// clamped to 1 — the store never deletes its only recovery point.
+    pub fn gc(&self, keep: usize) -> Result<Vec<u64>, DaakgError> {
+        let versions = self.versions()?;
+        let keep = keep.max(1);
+        if versions.len() <= keep {
+            return Ok(Vec::new());
+        }
+        let doomed = versions[..versions.len() - keep].to_vec();
+        for &v in &doomed {
+            let path = self.version_path(v);
+            fs::remove_file(&path).map_err(|e| DaakgError::io_at(&path, e))?;
+        }
+        Ok(doomed)
+    }
+}
+
+/// Parse `v0000000042.snap` → `Some(42)`; anything else → `None`.
+fn parse_version_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix('v')?.strip_suffix(".snap")?;
+    if digits.len() != 10 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdir::TestDir;
+
+    #[test]
+    fn version_names_are_zero_padded_and_parse_back() {
+        let td = TestDir::new("store-names");
+        let store = VersionStore::open(td.path()).unwrap();
+        let p = store.version_path(42);
+        assert!(p.to_string_lossy().ends_with("v0000000042.snap"));
+        assert_eq!(parse_version_name("v0000000042.snap"), Some(42));
+        assert_eq!(parse_version_name("v42.snap"), None);
+        assert_eq!(parse_version_name("v0000000042.snap.tmp"), None);
+        assert_eq!(parse_version_name("MANIFEST"), None);
+    }
+
+    #[test]
+    fn save_scan_and_manifest_agree() {
+        let td = TestDir::new("store-save");
+        let store = VersionStore::open(td.path()).unwrap();
+        assert!(store.versions().unwrap().is_empty());
+        assert_eq!(store.manifest_latest(), None);
+        store.save(1, b"one").unwrap();
+        store.save(2, b"two").unwrap();
+        assert_eq!(store.versions().unwrap(), vec![1, 2]);
+        assert_eq!(store.manifest_latest(), Some(2));
+        assert_eq!(fs::read(store.version_path(2)).unwrap(), b"two");
+    }
+
+    #[test]
+    fn stale_tmp_files_are_listed_and_removed_not_counted_as_versions() {
+        let td = TestDir::new("store-tmp");
+        let store = VersionStore::open(td.path()).unwrap();
+        store.save(1, b"one").unwrap();
+        let torn = td.path().join("v0000000002.snap.tmp");
+        fs::write(&torn, b"half-wri").unwrap();
+        assert_eq!(store.versions().unwrap(), vec![1]);
+        assert_eq!(store.stale_tmp_files().unwrap(), vec![torn.clone()]);
+        let removed = store.remove_stale_tmp().unwrap();
+        assert_eq!(removed, vec![torn.clone()]);
+        assert!(!torn.exists());
+    }
+
+    #[test]
+    fn gc_keeps_the_newest_and_never_deletes_everything() {
+        let td = TestDir::new("store-gc");
+        let store = VersionStore::open(td.path()).unwrap();
+        for v in 1..=5 {
+            store.save(v, format!("v{v}").as_bytes()).unwrap();
+        }
+        assert_eq!(store.gc(2).unwrap(), vec![1, 2, 3]);
+        assert_eq!(store.versions().unwrap(), vec![4, 5]);
+        // keep = 0 clamps to 1: the last recovery point survives.
+        assert_eq!(store.gc(0).unwrap(), vec![4]);
+        assert_eq!(store.versions().unwrap(), vec![5]);
+        assert_eq!(store.gc(3).unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn malformed_manifest_is_advisory_none() {
+        let td = TestDir::new("store-manifest");
+        let store = VersionStore::open(td.path()).unwrap();
+        fs::write(store.manifest_path(), b"not a manifest").unwrap();
+        assert_eq!(store.manifest_latest(), None);
+        fs::write(
+            store.manifest_path(),
+            b"daakg-store-manifest v1\nlatest x\n",
+        )
+        .unwrap();
+        assert_eq!(store.manifest_latest(), None);
+    }
+
+    #[test]
+    fn write_atomic_replaces_existing_content() {
+        let td = TestDir::new("store-atomic");
+        let path = td.path().join("file.bin");
+        write_atomic(&path, b"first").unwrap();
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second");
+        assert!(!path.with_extension("bin.tmp").exists());
+    }
+}

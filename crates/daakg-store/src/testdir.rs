@@ -1,0 +1,37 @@
+//! Self-cleaning scratch directories for tests, benches and the
+//! fault-injection harness — the offline stand-in for the `tempfile`
+//! crate (the build environment cannot add dependencies).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A unique directory under the system temp dir, removed (best-effort)
+/// on drop. Uniqueness combines the process id with a process-local
+/// counter, so parallel test binaries and threads never collide.
+#[derive(Debug)]
+pub struct TestDir {
+    path: PathBuf,
+}
+
+impl TestDir {
+    /// Create `…/daakg-<label>-<pid>-<n>/`.
+    pub fn new(label: &str) -> Self {
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("daakg-{label}-{}-{id}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create test dir");
+        Self { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}

@@ -105,12 +105,14 @@ pub use daakg_graph as graph;
 pub use daakg_index as index;
 pub use daakg_infer as infer;
 pub use daakg_parallel as parallel;
+pub use daakg_store as store;
 
 // The most commonly used types, re-exported flat.
 pub use daakg_active::{ActiveConfig, ActiveLoop, GoldOracle, Strategy};
 pub use daakg_align::{
-    AlignmentService, AlignmentSnapshot, BatchedSimilarity, JointConfig, JointModel,
-    LabeledMatches, ServingConfig, SnapshotVersion, Versioned, VersionedSnapshot,
+    AlignmentService, AlignmentSnapshot, BatchedSimilarity, DurableRegistry, JointConfig,
+    JointModel, LabeledMatches, RecoveryReport, ServingConfig, SnapshotVersion, Versioned,
+    VersionedSnapshot,
 };
 pub use daakg_autograd::{Graph, ParamStore, TapeSession, Tensor};
 pub use daakg_embed::{EmbedConfig, KgEmbedding, ModelKind, TrainMode};

@@ -34,6 +34,7 @@ use daakg_embed::{EmbedConfig, ModelKind, TrainMode};
 use daakg_graph::{DaakgError, KnowledgeGraph};
 use daakg_index::{IvfConfig, QueryMode};
 use daakg_infer::InferConfig;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Entry point: [`Pipeline::builder`] starts a [`PipelineBuilder`].
@@ -60,6 +61,7 @@ pub struct PipelineBuilder {
     active: ActiveConfig,
     strategy: Strategy,
     serving: ServingConfig,
+    store: Option<PathBuf>,
 }
 
 impl Default for PipelineBuilder {
@@ -71,6 +73,7 @@ impl Default for PipelineBuilder {
             active: ActiveConfig::default(),
             strategy: Strategy::InferencePower,
             serving: ServingConfig::default(),
+            store: None,
         }
     }
 }
@@ -179,6 +182,18 @@ impl PipelineBuilder {
         self
     }
 
+    /// Make the service **durable**: persist every published snapshot
+    /// crash-safely to `dir` and warm-restart from whatever intact
+    /// versions the directory already holds (corrupt or torn files are
+    /// skipped with typed diagnostics — inspect
+    /// [`AlignmentService::recovery`] after building). The directory is
+    /// created if missing; a fresh directory persists the initial
+    /// publication immediately.
+    pub fn store(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store = Some(dir.into());
+        self
+    }
+
     /// The default [`QueryMode`] of the service's plain query methods
     /// (`rank` / `top_k` / `batch_top_k`). Defaults to [`QueryMode::Exact`];
     /// `Approx` requires an index ([`PipelineBuilder::index`]) and
@@ -206,7 +221,10 @@ impl PipelineBuilder {
         let kg2 = self.kg2.ok_or(DaakgError::MissingInput { what: "kg2" })?;
         self.joint.validate()?;
         let active = ActiveLoop::new(self.active, self.strategy)?;
-        let service = AlignmentService::with_serving(self.joint, self.serving, kg1, kg2)?;
+        let service = match self.store {
+            Some(dir) => AlignmentService::open(self.joint, self.serving, kg1, kg2, dir)?,
+            None => AlignmentService::with_serving(self.joint, self.serving, kg1, kg2)?,
+        };
         Ok((service, active))
     }
 }
@@ -311,6 +329,29 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(service.serving().index.as_ref(), Some(&cfg));
+    }
+
+    #[test]
+    fn store_builds_a_durable_service_that_warm_restarts() {
+        let td = daakg_store::TestDir::new("pipeline-store");
+        let build = || fast_builder().seed(5).store(td.path()).build().unwrap();
+        let answers = {
+            let service = build();
+            assert!(service.is_durable());
+            let labels = LabeledMatches::new();
+            service.train(&labels).unwrap();
+            service.top_k(0, 3).unwrap()
+        };
+        let service = build();
+        // Restarted from disk: same latest version, bitwise-same answers.
+        assert_eq!(service.version().get(), 2);
+        assert_eq!(service.recovery().unwrap().loaded, vec![1, 2]);
+        let restored = service.top_k(0, 3).unwrap();
+        assert_eq!(restored.version, answers.version);
+        for (a, b) in answers.value.iter().zip(&restored.value) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
     }
 
     #[test]

@@ -170,7 +170,7 @@ fn end_to_end_pipeline_aligns_synthetic_pair() {
 fn bench_harness_verifies_and_serializes() {
     let cfg = BenchConfig::quick();
     let results = run_all(&cfg);
-    assert_eq!(results.len(), 11);
+    assert_eq!(results.len(), 12);
     for r in &results {
         if let Some(v) = r.get_flag("verified") {
             assert!(v, "{} failed oracle verification", r.name);
@@ -187,6 +187,7 @@ fn bench_harness_verifies_and_serializes() {
     assert!(text.contains("ann_top_k"));
     assert!(text.contains("\"recall\""));
     assert!(text.contains("serve_while_train"));
+    assert!(text.contains("persist_roundtrip"));
     // The document round-trips through the parser the regression gate
     // uses, and a self-comparison reports no regression.
     let parsed = daakg_bench::JsonValue::parse(&text).expect("bench JSON must parse");
