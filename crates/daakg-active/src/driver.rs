@@ -2,7 +2,7 @@
 
 use crate::oracle::Oracle;
 use crate::select::{generate_candidates, select_batch, PowerContext, Strategy};
-use daakg_align::{AlignmentService, AlignmentSnapshot, JointModel, LabeledMatches};
+use daakg_align::{AlignmentService, AlignmentSnapshot, LabeledMatches};
 use daakg_eval::{CostCurve, CostPoint, RankingScores};
 use daakg_graph::{DaakgError, ElementPair, EntityId, FxHashSet, GoldAlignment, KnowledgeGraph};
 use daakg_infer::{InferConfig, InferenceEngine, KnownMatches, RelationMatches};
@@ -123,7 +123,7 @@ pub fn evaluate_alignment(
 /// Each round: generate candidates from the current snapshot, select a
 /// question batch with the configured [`Strategy`], ask the [`Oracle`],
 /// propagate the labeled matches through the [`InferenceEngine`], feed
-/// labels and inferred matches back into the [`JointModel`] via focal
+/// labels and inferred matches back into the [`JointModel`](daakg_align::JointModel) via focal
 /// fine-tuning, and record a [`CostPoint`].
 pub struct ActiveLoop {
     cfg: ActiveConfig,
@@ -179,41 +179,6 @@ impl ActiveLoop {
                     .snapshot)
             },
         )
-    }
-
-    /// Run the loop against a bare [`JointModel`] plus its KG pair — the
-    /// pre-service calling convention.
-    #[deprecated(
-        since = "0.1.0",
-        note = "build an AlignmentService (e.g. via daakg::Pipeline) and use run_service"
-    )]
-    #[allow(clippy::too_many_arguments)]
-    pub fn run(
-        &self,
-        model: &mut JointModel,
-        kg1: &KnowledgeGraph,
-        kg2: &KnowledgeGraph,
-        rels: &RelationMatches,
-        oracle: &mut dyn Oracle,
-        eval_gold: &GoldAlignment,
-        initial: &LabeledMatches,
-    ) -> CostCurve {
-        let model = std::cell::RefCell::new(model);
-        self.run_core(
-            kg1,
-            kg2,
-            rels,
-            oracle,
-            eval_gold,
-            initial,
-            |labels| Ok(Arc::new(model.borrow_mut().train(kg1, kg2, labels))),
-            |labels, inferred, accept| {
-                Ok(Arc::new(model.borrow_mut().fine_tune_with_inferred(
-                    kg1, kg2, labels, inferred, accept,
-                )))
-            },
-        )
-        .expect("model-backed retraining is infallible")
     }
 
     /// The select → label → infer → retrain loop, generic over how
@@ -342,7 +307,7 @@ impl ActiveLoop {
 mod tests {
     use super::*;
     use crate::oracle::GoldOracle;
-    use daakg_align::JointConfig;
+    use daakg_align::{JointConfig, JointModel};
     use daakg_graph::kg::{example_dbpedia, example_wikidata};
     use daakg_graph::ElementPair;
 
@@ -488,39 +453,6 @@ mod tests {
         // The candidate pool (left entities × per_query) is finite and
         // shrinking; 50 rounds must terminate early by exhaustion.
         assert!(curve.len() < 50);
-    }
-
-    /// The deprecated model-backed `run` is a shim over the same core as
-    /// `run_service`: identical configuration and seeds must produce the
-    /// identical cost curve.
-    #[test]
-    fn deprecated_run_matches_run_service() {
-        let (kg1, kg2, gold, labels, rels) = example_setup();
-        let cfg = ActiveConfig {
-            rounds: 2,
-            batch_size: 2,
-            ..ActiveConfig::default()
-        };
-        let active = ActiveLoop::new(cfg, Strategy::Margin).unwrap();
-
-        let service = service_for(&kg1, &kg2);
-        let mut oracle = GoldOracle::new(&gold);
-        let via_service = active
-            .run_service(&service, &rels, &mut oracle, &gold, &labels)
-            .unwrap();
-
-        let mut model = JointModel::new(small_joint_cfg(), &kg1, &kg2).unwrap();
-        let mut oracle = GoldOracle::new(&gold);
-        #[allow(deprecated)]
-        let via_model = active.run(&mut model, &kg1, &kg2, &rels, &mut oracle, &gold, &labels);
-
-        assert_eq!(via_service.len(), via_model.len());
-        for (a, b) in via_service.points().iter().zip(via_model.points()) {
-            assert_eq!(a.questions, b.questions);
-            assert_eq!(a.labeled, b.labeled);
-            assert_eq!(a.h1, b.h1);
-            assert_eq!(a.mrr, b.mrr);
-        }
     }
 
     #[test]

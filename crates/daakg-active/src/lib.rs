@@ -14,11 +14,10 @@
 //!   random baselines,
 //! * [`ActiveLoop`] — the round driver, emitting an annotation
 //!   [`CostCurve`](daakg_eval::CostCurve) (H@1 / MRR vs. questions asked).
-//!   The primary entry point is
+//!   The entry point is
 //!   [`run_service`](ActiveLoop::run_service), which drives an
 //!   [`AlignmentService`](daakg_align::AlignmentService) so each round's
-//!   retrain publishes a fresh snapshot version to concurrent readers;
-//!   the model-backed `run` survives as a deprecated shim.
+//!   retrain publishes a fresh snapshot version to concurrent readers.
 
 pub mod driver;
 pub mod oracle;

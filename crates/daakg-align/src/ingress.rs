@@ -1,0 +1,331 @@
+//! The micro-batching ingress: coalesce concurrent single queries into
+//! batched kernel dispatches.
+//!
+//! A single [`ShardedService::query`](crate::ShardedService::query) pays
+//! the full scatter-gather dispatch cost alone — panel gather, per-shard
+//! scan setup, merge — while the batched kernel amortizes all of it
+//! across a 4-query × 16-candidate register tile. Under heavy
+//! single-query traffic that difference is the whole throughput story,
+//! so the ingress queues incoming queries and a dedicated worker drains
+//! them under a **time/size window** ([`IngressConfig`]): a batch is
+//! dispatched as soon as `max_batch` queries are pending, or `max_wait`
+//! after the oldest pending query arrived, whichever comes first.
+//!
+//! Each drained batch is grouped by [`QueryOptions`] (concurrent traffic
+//! is usually uniform, so one group is the common case) and every group
+//! runs as **one** coherent
+//! [`query_batch`](crate::ShardedService::query_batch) dispatch — all
+//! answers of a group carry the same snapshot version. Waiting callers
+//! are then woken with their slice of the batch.
+//!
+//! Tuning: `max_wait` is the latency floor a lone query pays when no
+//! traffic arrives to share its batch, and `max_batch` bounds how much
+//! sharing a dispatch can exploit. Size `max_batch` near the expected
+//! number of concurrent callers — a window much larger than the
+//! concurrency level just waits out `max_wait` without ever filling.
+
+use crate::service::{Ranking, Versioned};
+use crate::shard::ShardCore;
+use daakg_graph::DaakgError;
+use daakg_index::QueryOptions;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// The coalescing window of the micro-batching ingress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngressConfig {
+    /// Dispatch as soon as this many queries are pending (`1..=65536`).
+    pub max_batch: usize,
+    /// Dispatch at the latest this long after the oldest pending query
+    /// arrived (at most 1 s — the window is a latency floor under light
+    /// traffic, not a scheduling period).
+    pub max_wait: Duration,
+}
+
+impl Default for IngressConfig {
+    /// 64 queries / 200 µs — sized for the batched kernel's panel width
+    /// and for sub-millisecond worst-case queueing latency.
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            max_wait: Duration::from_micros(200),
+        }
+    }
+}
+
+impl IngressConfig {
+    /// Validate the window.
+    pub fn validate(&self) -> Result<(), DaakgError> {
+        if self.max_batch == 0 {
+            return Err(DaakgError::invalid(
+                "IngressConfig",
+                "max_batch must be at least 1",
+            ));
+        }
+        if self.max_batch > 65536 {
+            return Err(DaakgError::invalid(
+                "IngressConfig",
+                format!("max_batch {} exceeds the 65536 maximum", self.max_batch),
+            ));
+        }
+        if self.max_wait > Duration::from_secs(1) {
+            return Err(DaakgError::invalid(
+                "IngressConfig",
+                format!(
+                    "max_wait {:?} exceeds the 1 s maximum — the window is \
+                     a queueing delay every lone query pays",
+                    self.max_wait
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Dispatch counters of a running ingress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngressStats {
+    /// Queries admitted through the ingress.
+    pub queries: u64,
+    /// Batched kernel dispatches issued (`queries / batches` is the mean
+    /// coalescing factor).
+    pub batches: u64,
+}
+
+/// One waiting caller's answer slot.
+struct ResponseSlot {
+    result: Mutex<Option<Result<Versioned<Ranking>, DaakgError>>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> Self {
+        Self {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, result: Result<Versioned<Ranking>, DaakgError>) {
+        *self.result.lock().expect("slot mutex poisoned") = Some(result);
+        self.ready.notify_one();
+    }
+
+    fn wait(&self) -> Result<Versioned<Ranking>, DaakgError> {
+        let mut guard = self.result.lock().expect("slot mutex poisoned");
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            guard = self.ready.wait(guard).expect("slot mutex poisoned");
+        }
+    }
+}
+
+struct PendingQuery {
+    e1: u32,
+    opts: QueryOptions,
+    slot: Arc<ResponseSlot>,
+}
+
+struct IngressQueue {
+    pending: VecDeque<PendingQuery>,
+    shutdown: bool,
+}
+
+struct IngressShared {
+    queue: Mutex<IngressQueue>,
+    /// Signaled on every enqueue and on shutdown.
+    arrived: Condvar,
+    queries: AtomicU64,
+    batches: AtomicU64,
+}
+
+/// The running ingress: a queue, a worker thread, and the window
+/// configuration. Dropping it shuts the worker down after draining every
+/// pending query (no caller is left blocked).
+pub struct Ingress {
+    shared: Arc<IngressShared>,
+    cfg: IngressConfig,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Ingress {
+    /// Spawn the worker over the scatter-gather core. `cfg` must already
+    /// be validated.
+    pub(crate) fn start(cfg: IngressConfig, core: Arc<ShardCore>) -> Self {
+        let shared = Arc::new(IngressShared {
+            queue: Mutex::new(IngressQueue {
+                pending: VecDeque::new(),
+                shutdown: false,
+            }),
+            arrived: Condvar::new(),
+            queries: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("daakg-ingress".into())
+            .spawn(move || worker_loop(cfg, worker_shared, core))
+            .expect("spawn ingress worker");
+        Self {
+            shared,
+            cfg,
+            worker: Some(worker),
+        }
+    }
+
+    pub(crate) fn config(&self) -> IngressConfig {
+        self.cfg
+    }
+
+    pub(crate) fn stats(&self) -> IngressStats {
+        IngressStats {
+            queries: self.shared.queries.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Enqueue one (pre-validated) query and block until its batch is
+    /// answered.
+    pub(crate) fn submit(
+        &self,
+        e1: u32,
+        opts: QueryOptions,
+    ) -> Result<Versioned<Ranking>, DaakgError> {
+        let slot = Arc::new(ResponseSlot::new());
+        {
+            let mut queue = self.shared.queue.lock().expect("ingress queue poisoned");
+            queue.pending.push_back(PendingQuery {
+                e1,
+                opts,
+                slot: Arc::clone(&slot),
+            });
+        }
+        self.shared.queries.fetch_add(1, Ordering::Relaxed);
+        self.shared.arrived.notify_one();
+        slot.wait()
+    }
+}
+
+impl Drop for Ingress {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("ingress queue poisoned");
+            queue.shutdown = true;
+        }
+        self.shared.arrived.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(cfg: IngressConfig, shared: Arc<IngressShared>, core: Arc<ShardCore>) {
+    loop {
+        let batch = {
+            let mut queue = shared.queue.lock().expect("ingress queue poisoned");
+            // Sleep until traffic (or shutdown) arrives.
+            while queue.pending.is_empty() {
+                if queue.shutdown {
+                    return;
+                }
+                queue = shared.arrived.wait(queue).expect("ingress queue poisoned");
+            }
+            // The window opens with the oldest pending query: collect
+            // until the batch fills or `max_wait` elapses. Shutdown
+            // short-circuits the wait but still drains what's queued.
+            let deadline = Instant::now() + cfg.max_wait;
+            while queue.pending.len() < cfg.max_batch && !queue.shutdown {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = shared
+                    .arrived
+                    .wait_timeout(queue, deadline - now)
+                    .expect("ingress queue poisoned");
+                queue = guard;
+            }
+            let take = queue.pending.len().min(cfg.max_batch);
+            queue.pending.drain(..take).collect::<Vec<_>>()
+        };
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        dispatch(&core, batch);
+    }
+}
+
+/// Run one drained batch: group by options, one coherent
+/// `query_batch` per group, distribute the slices to the waiting
+/// callers.
+fn dispatch(core: &ShardCore, batch: Vec<PendingQuery>) {
+    let mut rest = batch;
+    while !rest.is_empty() {
+        let opts = rest[0].opts;
+        let (group, others): (Vec<_>, Vec<_>) = rest.into_iter().partition(|p| p.opts == opts);
+        rest = others;
+        let queries: Vec<u32> = group.iter().map(|p| p.e1).collect();
+        match core.query_batch(&queries, opts) {
+            Ok(answered) => {
+                let version = answered.version;
+                for (pending, value) in group.into_iter().zip(answered.value) {
+                    pending.slot.fill(Ok(Versioned { version, value }));
+                }
+            }
+            // Queries are validated before enqueue, so a batch failure is
+            // exceptional; re-dispatching individually gives every caller
+            // its own typed error (DaakgError is not Clone).
+            Err(_) => {
+                for pending in group {
+                    pending.slot.fill(core.query(pending.e1, pending.opts));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ingress_config_is_validated() {
+        assert!(IngressConfig::default().validate().is_ok());
+        let zero = IngressConfig {
+            max_batch: 0,
+            ..IngressConfig::default()
+        };
+        assert!(matches!(
+            zero.validate(),
+            Err(DaakgError::InvalidConfig { .. })
+        ));
+        let huge = IngressConfig {
+            max_batch: 1 << 20,
+            ..IngressConfig::default()
+        };
+        assert!(huge.validate().is_err());
+        let slow = IngressConfig {
+            max_wait: Duration::from_secs(5),
+            ..IngressConfig::default()
+        };
+        assert!(slow.validate().is_err());
+    }
+
+    #[test]
+    fn response_slot_roundtrips() {
+        let slot = Arc::new(ResponseSlot::new());
+        let waiter = {
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || slot.wait())
+        };
+        slot.fill(Ok(Versioned {
+            version: crate::service::SnapshotVersion::of(7),
+            value: vec![(1, 0.5)],
+        }));
+        let got = waiter.join().expect("waiter").expect("ok");
+        assert_eq!(got.version.get(), 7);
+        assert_eq!(got.value, vec![(1, 0.5)]);
+    }
+}

@@ -33,18 +33,29 @@
 //! * [`persist`] — crash-safe durability: the checksummed snapshot codec
 //!   on the `daakg-store` section format and [`DurableRegistry`], the
 //!   on-disk version registry that `AlignmentService::open` warm-restarts
-//!   from, skipping corrupt or torn files with typed diagnostics.
+//!   from, skipping corrupt or torn files with typed diagnostics,
+//! * [`query`] — [`QueryExecutor`], the unified options-based query
+//!   surface both serving front-ends implement,
+//! * [`shard`] — [`ShardedService`], scatter-gather serving: the corpus
+//!   partitioned across N shards (each with its own slab and per-shard
+//!   IVF index), merged bitwise-identically to the unsharded scan,
+//! * [`ingress`] — the micro-batching ingress coalescing concurrent
+//!   single queries into batched kernel dispatches under a configurable
+//!   time/size window ([`IngressConfig`]).
 
 pub mod batched;
 pub mod calibrate;
 pub mod config;
+pub mod ingress;
 pub mod joint;
 pub mod losses;
 pub mod mapping;
 pub mod mean_embed;
 pub mod persist;
+pub mod query;
 pub mod semi;
 pub mod service;
+pub mod shard;
 pub mod snapshot;
 pub mod weights;
 
@@ -52,11 +63,14 @@ pub use batched::BatchedSimilarity;
 pub use config::JointConfig;
 // Serving-mode types live in `daakg-index`; re-exported here because the
 // service API consumes them.
-pub use daakg_index::{IvfConfig, IvfIndex, QueryMode};
+pub use daakg_index::{IvfConfig, IvfIndex, QueryMode, QueryOptions};
+pub use ingress::{IngressConfig, IngressStats};
 pub use joint::{JointModel, LabeledMatches};
 pub use persist::{DurableRegistry, RecoveryReport};
+pub use query::QueryExecutor;
 pub use service::{
     AlignmentService, ServingConfig, SnapshotRegistry, SnapshotVersion, Versioned,
     VersionedSnapshot,
 };
+pub use shard::ShardedService;
 pub use snapshot::AlignmentSnapshot;

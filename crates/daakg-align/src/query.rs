@@ -1,0 +1,84 @@
+//! The unified query surface: [`QueryExecutor`].
+//!
+//! Two serving front-ends answer alignment queries — the single-corpus
+//! [`AlignmentService`](crate::AlignmentService) and the scatter-gather
+//! [`ShardedService`](crate::ShardedService) — and both take the same
+//! inputs: a left-entity id (or a batch of them) plus a
+//! [`QueryOptions`] bundling the result bound `k` with the execution
+//! [`QueryMode`](daakg_index::QueryMode). This trait captures exactly
+//! that contract, so callers (evaluation sweeps, load generators, the
+//! micro-batching ingress) can be written once against `&dyn
+//! QueryExecutor` or a generic bound and pointed at either topology.
+//!
+//! Both implementations uphold the same semantics:
+//!
+//! * every answer is stamped with the **one** snapshot version it was
+//!   computed on — for a batch, a single version covers every query;
+//! * `Exact` answers are bitwise-identical across implementations
+//!   (ties included): the sharded scatter-gather merge reproduces the
+//!   unsharded scan exactly;
+//! * errors are typed ([`DaakgError`]): out-of-bounds entities and
+//!   invalid modes are rejected before any kernel runs.
+
+use crate::service::{Ranking, Versioned};
+use daakg_graph::DaakgError;
+use daakg_index::QueryOptions;
+
+/// A serving front-end that answers versioned alignment queries under
+/// explicit [`QueryOptions`].
+pub trait QueryExecutor {
+    /// Answer one left entity under `opts`, stamped with the snapshot
+    /// version the answer was computed on.
+    fn query(&self, e1: u32, opts: QueryOptions) -> Result<Versioned<Ranking>, DaakgError>;
+
+    /// Answer every query under `opts`, all on **one** coherent snapshot
+    /// version.
+    fn query_batch(
+        &self,
+        queries: &[u32],
+        opts: QueryOptions,
+    ) -> Result<Versioned<Vec<Ranking>>, DaakgError>;
+}
+
+impl QueryExecutor for crate::AlignmentService {
+    fn query(&self, e1: u32, opts: QueryOptions) -> Result<Versioned<Ranking>, DaakgError> {
+        crate::AlignmentService::query(self, e1, opts)
+    }
+
+    fn query_batch(
+        &self,
+        queries: &[u32],
+        opts: QueryOptions,
+    ) -> Result<Versioned<Vec<Ranking>>, DaakgError> {
+        crate::AlignmentService::query_batch(self, queries, opts)
+    }
+}
+
+impl QueryExecutor for crate::ShardedService {
+    fn query(&self, e1: u32, opts: QueryOptions) -> Result<Versioned<Ranking>, DaakgError> {
+        crate::ShardedService::query(self, e1, opts)
+    }
+
+    fn query_batch(
+        &self,
+        queries: &[u32],
+        opts: QueryOptions,
+    ) -> Result<Versioned<Vec<Ranking>>, DaakgError> {
+        crate::ShardedService::query_batch(self, queries, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // `QueryExecutor` must stay object-safe: the ingress and generic
+    // load generators hold `&dyn QueryExecutor`.
+    #[allow(dead_code)]
+    fn assert_object_safe(_: &dyn QueryExecutor) {}
+
+    #[allow(dead_code)]
+    fn generic_front_end<E: QueryExecutor>(svc: &E, e1: u32) -> Result<Ranking, DaakgError> {
+        Ok(svc.query(e1, QueryOptions::top_k(3))?.value)
+    }
+}

@@ -28,8 +28,9 @@
 //! publication is additionally stamped with it, so each version owns a
 //! lazily-built, never-rebuilt [`daakg_index::IvfIndex`] and queries can
 //! run in [`QueryMode::Approx`] — sublinear scans over the probed
-//! inverted lists — either as the service default or per call via the
-//! `*_with` query variants. The default remains [`QueryMode::Exact`].
+//! inverted lists — either as the service default or per call through
+//! [`AlignmentService::query`] / [`AlignmentService::query_batch`] with
+//! explicit [`QueryOptions`]. The default remains [`QueryMode::Exact`].
 //!
 //! A service built with [`AlignmentService::open`] is additionally
 //! **durable**: every publication is persisted crash-safely through
@@ -44,7 +45,7 @@ use crate::joint::{JointModel, LabeledMatches};
 use crate::persist::{DurableRegistry, RecoveryReport};
 use crate::snapshot::AlignmentSnapshot;
 use daakg_graph::{DaakgError, KnowledgeGraph};
-use daakg_index::{IvfConfig, QueryMode};
+use daakg_index::{IvfConfig, QueryMode, QueryOptions};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
@@ -720,7 +721,7 @@ impl AlignmentService {
         self.registry.set_retention(keep);
     }
 
-    fn check_query(&self, e1: u32) -> Result<(), DaakgError> {
+    pub(crate) fn check_query(&self, e1: u32) -> Result<(), DaakgError> {
         let bound = self.kg1.num_entities();
         if (e1 as usize) < bound {
             Ok(())
@@ -731,7 +732,7 @@ impl AlignmentService {
 
     /// Validate a per-call mode against this service's index presence and
     /// extract the probe width (`None` = exact).
-    fn resolve_mode(&self, mode: QueryMode) -> Result<Option<usize>, DaakgError> {
+    pub(crate) fn resolve_mode(&self, mode: QueryMode) -> Result<Option<usize>, DaakgError> {
         mode.validate(self.serving.index.is_some())?;
         Ok(match mode {
             QueryMode::Exact => None,
@@ -739,60 +740,26 @@ impl AlignmentService {
         })
     }
 
-    /// Rank all right entities for `e1`, descending, on the current
-    /// version, in the service's default [`QueryMode`]. Runs lock-free on
-    /// the version it grabs.
-    pub fn rank(&self, e1: u32) -> Result<Versioned<Vec<(u32, f32)>>, DaakgError> {
-        self.rank_with(e1, self.serving.mode)
-    }
-
-    /// [`AlignmentService::rank`] with an explicit mode. In `Approx` mode
-    /// the ranking covers the candidates of the `nprobe` probed inverted
-    /// lists (the unscanned tail is absent, not approximated).
-    pub fn rank_with(
-        &self,
-        e1: u32,
-        mode: QueryMode,
-    ) -> Result<Versioned<Vec<(u32, f32)>>, DaakgError> {
+    /// The unified single-query entry point: answer `e1` under `opts` on
+    /// the current version. `opts.k` selects a bounded top-k
+    /// (`Some(k)`) or a full ranking (`None`); `opts.mode` selects the
+    /// exhaustive scan or an IVF probe (in `Approx` mode the ranking
+    /// covers the candidates of the `nprobe` probed inverted lists — the
+    /// unscanned tail is absent, not approximated, and `nprobe == nlist`
+    /// reproduces the exact answer). Runs lock-free on the version it
+    /// grabs.
+    pub fn query(&self, e1: u32, opts: QueryOptions) -> Result<Versioned<Ranking>, DaakgError> {
         self.check_query(e1)?;
-        let nprobe = self.resolve_mode(mode)?;
+        let nprobe = self.resolve_mode(opts.mode)?;
         let cur = self.current();
-        let value = match nprobe {
-            None => cur.snapshot.rank_entities(e1),
-            Some(nprobe) => cur
+        let value = match (opts.k, nprobe) {
+            (None, None) => cur.snapshot.rank_entities(e1),
+            (Some(k), None) => cur.snapshot.top_k_entities(e1, k),
+            (None, Some(nprobe)) => cur
                 .snapshot
                 .rank_entities_approx(e1, nprobe)
                 .expect("validated: index configured"),
-        };
-        Ok(Versioned {
-            version: cur.version,
-            value,
-        })
-    }
-
-    /// Best `k` right entities for `e1`, descending, on the current
-    /// version, in the service's default [`QueryMode`].
-    pub fn top_k(&self, e1: u32, k: usize) -> Result<Versioned<Vec<(u32, f32)>>, DaakgError> {
-        self.top_k_with(e1, k, self.serving.mode)
-    }
-
-    /// [`AlignmentService::top_k`] with an explicit mode: `Exact` scans
-    /// every candidate, `Approx { nprobe }` scans the `nprobe` best
-    /// inverted lists of the version's IVF index (sublinear; exact cosine
-    /// scores over the probed candidates, and `nprobe == nlist`
-    /// reproduces the exact answer).
-    pub fn top_k_with(
-        &self,
-        e1: u32,
-        k: usize,
-        mode: QueryMode,
-    ) -> Result<Versioned<Vec<(u32, f32)>>, DaakgError> {
-        self.check_query(e1)?;
-        let nprobe = self.resolve_mode(mode)?;
-        let cur = self.current();
-        let value = match nprobe {
-            None => cur.snapshot.top_k_entities(e1, k),
-            Some(nprobe) => cur
+            (Some(k), Some(nprobe)) => cur
                 .snapshot
                 .top_k_entities_approx(e1, k, nprobe)
                 .expect("validated: index configured"),
@@ -803,32 +770,21 @@ impl AlignmentService {
         })
     }
 
-    /// Best `k` right entities for *each* query, all answered on **one**
-    /// version (a single grab covers the whole batch), sharded across
-    /// worker threads via `daakg-parallel`, in the service's default
-    /// [`QueryMode`].
-    pub fn batch_top_k(
+    /// The unified batch entry point: answer every query under `opts`,
+    /// all on **one** version (a single grab covers the whole batch),
+    /// sharded across worker threads via `daakg-parallel`. Exact shards
+    /// run the blocked panel scan; approximate shards run one IVF probe
+    /// per query (already inside a worker shard, so the index's own batch
+    /// entry point is deliberately not nested here).
+    pub fn query_batch(
         &self,
         queries: &[u32],
-        k: usize,
-    ) -> Result<Versioned<Vec<Ranking>>, DaakgError> {
-        self.batch_top_k_with(queries, k, self.serving.mode)
-    }
-
-    /// [`AlignmentService::batch_top_k`] with an explicit mode. Exact
-    /// shards run the blocked panel scan; approximate shards run one IVF
-    /// probe per query (already inside a worker shard, so the index's own
-    /// batch entry point is deliberately not nested here).
-    pub fn batch_top_k_with(
-        &self,
-        queries: &[u32],
-        k: usize,
-        mode: QueryMode,
+        opts: QueryOptions,
     ) -> Result<Versioned<Vec<Ranking>>, DaakgError> {
         for &q in queries {
             self.check_query(q)?;
         }
-        let nprobe = self.resolve_mode(mode)?;
+        let nprobe = self.resolve_mode(opts.mode)?;
         let cur = self.current();
         let snap = &cur.snapshot;
         // Build the index before fanning out, so shards never race the
@@ -838,22 +794,94 @@ impl AlignmentService {
         }
         let shards = daakg_parallel::num_threads();
         let mut value: Vec<Ranking> = Vec::with_capacity(queries.len());
-        for shard in daakg_parallel::par_map_ranges(queries.len(), shards, |r| match nprobe {
-            None => snap.top_k_entities_block(&queries[r], k),
-            Some(nprobe) => queries[r]
-                .iter()
-                .map(|&q| {
-                    snap.top_k_entities_approx(q, k, nprobe)
-                        .expect("validated: index configured")
-                })
-                .collect(),
-        }) {
+        for shard in
+            daakg_parallel::par_map_ranges(queries.len(), shards, |r| match (opts.k, nprobe) {
+                (Some(k), None) => snap.top_k_entities_block(&queries[r], k),
+                (None, None) => queries[r].iter().map(|&q| snap.rank_entities(q)).collect(),
+                (k, Some(nprobe)) => queries[r]
+                    .iter()
+                    .map(|&q| match k {
+                        Some(k) => snap
+                            .top_k_entities_approx(q, k, nprobe)
+                            .expect("validated: index configured"),
+                        None => snap
+                            .rank_entities_approx(q, nprobe)
+                            .expect("validated: index configured"),
+                    })
+                    .collect(),
+            })
+        {
             value.extend(shard);
         }
         Ok(Versioned {
             version: cur.version,
             value,
         })
+    }
+
+    /// Rank all right entities for `e1`, descending, on the current
+    /// version, in the service's default [`QueryMode`]. Runs lock-free on
+    /// the version it grabs.
+    pub fn rank(&self, e1: u32) -> Result<Versioned<Vec<(u32, f32)>>, DaakgError> {
+        self.query(e1, QueryOptions::rank().with_mode(self.serving.mode))
+    }
+
+    /// [`AlignmentService::rank`] with an explicit mode.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use query(e1, QueryOptions::rank().with_mode(mode))"
+    )]
+    pub fn rank_with(
+        &self,
+        e1: u32,
+        mode: QueryMode,
+    ) -> Result<Versioned<Vec<(u32, f32)>>, DaakgError> {
+        self.query(e1, QueryOptions::rank().with_mode(mode))
+    }
+
+    /// Best `k` right entities for `e1`, descending, on the current
+    /// version, in the service's default [`QueryMode`].
+    pub fn top_k(&self, e1: u32, k: usize) -> Result<Versioned<Vec<(u32, f32)>>, DaakgError> {
+        self.query(e1, QueryOptions::top_k(k).with_mode(self.serving.mode))
+    }
+
+    /// [`AlignmentService::top_k`] with an explicit mode.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use query(e1, QueryOptions::top_k(k).with_mode(mode))"
+    )]
+    pub fn top_k_with(
+        &self,
+        e1: u32,
+        k: usize,
+        mode: QueryMode,
+    ) -> Result<Versioned<Vec<(u32, f32)>>, DaakgError> {
+        self.query(e1, QueryOptions::top_k(k).with_mode(mode))
+    }
+
+    /// Best `k` right entities for *each* query, all answered on **one**
+    /// version, sharded across worker threads via `daakg-parallel`, in
+    /// the service's default [`QueryMode`].
+    pub fn batch_top_k(
+        &self,
+        queries: &[u32],
+        k: usize,
+    ) -> Result<Versioned<Vec<Ranking>>, DaakgError> {
+        self.query_batch(queries, QueryOptions::top_k(k).with_mode(self.serving.mode))
+    }
+
+    /// [`AlignmentService::batch_top_k`] with an explicit mode.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use query_batch(queries, QueryOptions::top_k(k).with_mode(mode))"
+    )]
+    pub fn batch_top_k_with(
+        &self,
+        queries: &[u32],
+        k: usize,
+        mode: QueryMode,
+    ) -> Result<Versioned<Vec<Ranking>>, DaakgError> {
+        self.query_batch(queries, QueryOptions::top_k(k).with_mode(mode))
     }
 
     /// Full training (embedding warm-up plus alignment rounds) over
@@ -1224,25 +1252,44 @@ mod tests {
 
     #[test]
     fn approx_queries_without_an_index_are_typed_errors() {
-        use daakg_index::QueryMode;
         let svc = example_service();
         for res in [
-            svc.top_k_with(0, 3, QueryMode::Approx { nprobe: 2 })
+            svc.query(0, QueryOptions::top_k(3).approx(2))
                 .map(|v| v.value),
-            svc.rank_with(0, QueryMode::Approx { nprobe: 2 })
+            svc.query(0, QueryOptions::rank().approx(2))
                 .map(|v| v.value),
         ] {
             assert!(matches!(res, Err(DaakgError::InvalidConfig { .. })));
         }
         let err = svc
-            .batch_top_k_with(&[0, 1], 2, QueryMode::Approx { nprobe: 2 })
+            .query_batch(&[0, 1], QueryOptions::top_k(2).approx(2))
             .unwrap_err();
         assert!(matches!(err, DaakgError::InvalidConfig { .. }));
         // And nprobe = 0 is rejected even with an index present.
         let svc = example_indexed_service();
-        assert!(svc
-            .top_k_with(0, 3, QueryMode::Approx { nprobe: 0 })
-            .is_err());
+        assert!(svc.query(0, QueryOptions::top_k(3).approx(0)).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_shims_match_the_options_api() {
+        use daakg_index::QueryMode;
+        let svc = example_indexed_service();
+        let full = QueryMode::Approx { nprobe: 4 };
+        assert_eq!(
+            svc.rank_with(0, full).unwrap(),
+            svc.query(0, QueryOptions::rank().with_mode(full)).unwrap()
+        );
+        assert_eq!(
+            svc.top_k_with(0, 3, full).unwrap(),
+            svc.query(0, QueryOptions::top_k(3).with_mode(full))
+                .unwrap()
+        );
+        assert_eq!(
+            svc.batch_top_k_with(&[0, 1], 2, full).unwrap(),
+            svc.query_batch(&[0, 1], QueryOptions::top_k(2).with_mode(full))
+                .unwrap()
+        );
     }
 
     #[test]
@@ -1263,20 +1310,22 @@ mod tests {
         for e1 in 0..n1 as u32 {
             for k in [0usize, 1, 3, n2, n2 + 5] {
                 let exact = svc.top_k(e1, k).unwrap();
-                let approx = svc.top_k_with(e1, k, full).unwrap();
+                let approx = svc
+                    .query(e1, QueryOptions::top_k(k).with_mode(full))
+                    .unwrap();
                 assert_eq!(exact.version, approx.version);
                 assert_eq!(exact.value, approx.value, "e1={e1} k={k}");
             }
         }
         let queries: Vec<u32> = (0..n1 as u32).collect();
         let exact = svc.batch_top_k(&queries, 4).unwrap();
-        let approx = svc.batch_top_k_with(&queries, 4, full).unwrap();
+        let approx = svc
+            .query_batch(&queries, QueryOptions::top_k(4).with_mode(full))
+            .unwrap();
         assert_eq!(exact.value, approx.value);
         // Partial probes stay within the exact candidate universe and
         // carry exact scores for everything they return.
-        let partial = svc
-            .top_k_with(0, n2, QueryMode::Approx { nprobe: 1 })
-            .unwrap();
+        let partial = svc.query(0, QueryOptions::top_k(n2).approx(1)).unwrap();
         let exact_all = svc.rank(0).unwrap();
         for (id, s) in &partial.value {
             let (_, es) = exact_all.value.iter().find(|(e, _)| e == id).unwrap();
@@ -1299,7 +1348,9 @@ mod tests {
         .unwrap();
         // nprobe == nlist: the default-mode plain calls must equal the
         // explicit exact answers.
-        let exact = svc.top_k_with(0, 4, QueryMode::Exact).unwrap();
+        let exact = svc
+            .query(0, QueryOptions::top_k(4).with_mode(QueryMode::Exact))
+            .unwrap();
         let plain = svc.top_k(0, 4).unwrap();
         assert_eq!(exact.value, plain.value);
     }

@@ -1,0 +1,576 @@
+//! Sharded scatter-gather serving: [`ShardedService`].
+//!
+//! One [`AlignmentService`] equals one corpus
+//! scanned as a single slab. This module partitions the right-KG corpus
+//! across `N` shards — each holding its own copy of the snapshot's
+//! normalized candidate rows (transposed for the scan kernel) and its own
+//! per-shard IVF index — and answers queries by scattering the scan
+//! across shards via [`daakg_parallel::par_map_ranges`], then merging the
+//! per-shard candidates with the bounded-heap
+//! [`TopKSelector`].
+//!
+//! # Bitwise-identical exact answers
+//!
+//! Sharded `Exact` results reproduce the unsharded scan **bitwise, ties
+//! included**, by construction:
+//!
+//! * row normalization is per-row, so slicing the already-normalized
+//!   candidate matrix yields exactly the rows the unsharded engine scans;
+//! * the scan kernel computes each (query, candidate) dot product by the
+//!   same sequential accumulation over the depth dimension regardless of
+//!   the candidate's column position, so per-shard scores equal unsharded
+//!   scores bitwise;
+//! * each shard scans with the candidates' **global** ids threaded
+//!   through the kernel's id-remap slice, and
+//!   [`TopKSelector`] selection is
+//!   push-order-independent under *(score desc, id asc)* — so merging the
+//!   per-shard top-k lists through one more selector yields exactly the
+//!   unsharded top-k (every globally retained candidate is necessarily in
+//!   its own shard's top-k).
+//!
+//! # One coherent version per request
+//!
+//! Every query pins **one** [`VersionedSnapshot`] up front and resolves
+//! the shard set for exactly that version; concurrent publishes never mix
+//! shard slabs of different versions into one answer (the shard-set cache
+//! is keyed by version, and a request that pinned version `v` uses a set
+//! built from `v`'s snapshot even while a newer set is being installed).
+//!
+//! With a [`crate::IngressConfig`], a micro-batching ingress sits in
+//! front of the single-query path: see [`crate::ingress`].
+
+use crate::ingress::{Ingress, IngressConfig, IngressStats};
+use crate::service::{AlignmentService, Ranking, Versioned, VersionedSnapshot};
+use crate::snapshot::AlignmentSnapshot;
+use daakg_autograd::Tensor;
+use daakg_graph::DaakgError;
+use daakg_index::{scan_block, IvfIndex, QueryMode, QueryOptions, TopKSelector};
+use std::sync::{Arc, Mutex};
+
+/// Queries per gathered panel of the sharded scan — the same blocking the
+/// unsharded engine uses, so panel shapes (and thus cache behavior) match.
+const QUERY_BLOCK: usize = 64;
+
+/// One shard's slice of the corpus: a transposed copy of its normalized
+/// candidate rows, the global ids those columns map back to, and the
+/// shard-local IVF index when the service is configured for approximate
+/// serving.
+struct ShardSlab {
+    /// Global id of this shard's first candidate.
+    base: usize,
+    /// Number of candidates in this shard.
+    len: usize,
+    /// The shard's normalized candidate block, transposed: `d` rows of
+    /// `len` floats — the layout [`scan_block`] consumes.
+    ct: Vec<f32>,
+    /// Global candidate ids of the shard's columns
+    /// (`base..base + len`), threaded through the kernel's id remap so
+    /// selectors hold global ids with globally consistent tie-breaking.
+    ids: Vec<u32>,
+    /// Shard-local IVF index over the shard's rows; its search results
+    /// are shard-local ids offset by `base` at merge time.
+    index: Option<Arc<IvfIndex>>,
+}
+
+impl ShardSlab {
+    fn build(snap: &AlignmentSnapshot, base: usize, len: usize) -> Self {
+        let engine = snap.entity_engine();
+        let nc = engine.normalized_candidates();
+        let d = nc.cols();
+        let src = nc.as_slice();
+        // Transpose the shard's rows into the kernel's column-major-block
+        // layout. Normalization is per-row, so these are bitwise the rows
+        // the unsharded engine scans.
+        let mut ct = vec![0.0f32; d * len];
+        for j in 0..len {
+            let row = &src[(base + j) * d..(base + j + 1) * d];
+            for (l, &v) in row.iter().enumerate() {
+                ct[l * len + j] = v;
+            }
+        }
+        let ids: Vec<u32> = (base as u32..(base + len) as u32).collect();
+        // The shard's own index, under the service-wide configuration
+        // (`nlist` clamps to the shard size). Built eagerly: the slab
+        // itself is built lazily once per version, so this is the
+        // one-time cost the snapshot's whole-corpus index also pays.
+        let index = snap.index_config().map(|cfg| {
+            let rows = Tensor::from_vec(len, d, src[base * d..(base + len) * d].to_vec());
+            Arc::new(IvfIndex::build(&rows, cfg))
+        });
+        Self {
+            base,
+            len,
+            ct,
+            ids,
+            index,
+        }
+    }
+
+    /// Scan `nq` panel rows (`ps`, `nq × d`) against this shard,
+    /// returning each query's shard-local top-`k` with **global** ids.
+    fn scan(&self, ps: &[f32], d: usize, nq: usize, k: usize) -> Vec<Ranking> {
+        let mut selectors: Vec<TopKSelector> = (0..nq)
+            .map(|_| TopKSelector::new(k.min(self.len)))
+            .collect();
+        scan_block(ps, d, nq, &self.ct, self.len, &self.ids, &mut selectors);
+        selectors
+            .into_iter()
+            .map(TopKSelector::into_sorted)
+            .collect()
+    }
+
+    /// Probe this shard's IVF index, offsetting the shard-local result
+    /// ids back into the global id space.
+    fn search(&self, query: &[f32], k: usize, nprobe: usize) -> Ranking {
+        let index = self
+            .index
+            .as_ref()
+            .expect("validated: index configured before Approx dispatch");
+        index
+            .search(query, k, nprobe)
+            .into_iter()
+            .map(|(id, s)| (self.base as u32 + id, s))
+            .collect()
+    }
+}
+
+/// The shard slabs of one snapshot version.
+struct ShardSet {
+    /// Embedding dimension of the scan.
+    dim: usize,
+    /// Total candidates across shards.
+    total: usize,
+    slabs: Vec<ShardSlab>,
+}
+
+impl ShardSet {
+    fn build(snap: &AlignmentSnapshot, shards: usize) -> Self {
+        let engine = snap.entity_engine();
+        let n = engine.num_candidates();
+        let dim = engine.normalized_candidates().cols();
+        let ranges = daakg_parallel::split_ranges(n, shards.max(1));
+        let slabs = daakg_parallel::par_map_ranges(ranges.len(), ranges.len(), |sr| {
+            sr.map(|si| {
+                let r = &ranges[si];
+                ShardSlab::build(snap, r.start, r.len())
+            })
+            .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        Self {
+            dim,
+            total: n,
+            slabs,
+        }
+    }
+
+    /// Merge per-shard rankings for one query through one more bounded
+    /// selector: selection is push-order-independent under *(score desc,
+    /// id asc)*, so this reproduces the unsharded scan's list bitwise.
+    fn merge(&self, k: Option<usize>, per_shard: impl Iterator<Item = Ranking>) -> Ranking {
+        let bound = k.map_or(self.total, |k| k.min(self.total));
+        let mut sel = TopKSelector::new(bound);
+        for shard in per_shard {
+            for (id, s) in shard {
+                sel.push(id, s);
+            }
+        }
+        sel.into_sorted()
+    }
+}
+
+/// The shared scatter-gather state: the wrapped service plus the
+/// per-version shard-set cache. Split out of [`ShardedService`] so the
+/// ingress worker thread can hold it without a reference cycle.
+pub(crate) struct ShardCore {
+    service: AlignmentService,
+    shards: usize,
+    /// Latest shard set, keyed by snapshot version. One entry suffices:
+    /// a request that pinned an older version while a publish was
+    /// in-flight rebuilds its own set rather than mixing versions.
+    cache: Mutex<Option<(u64, Arc<ShardSet>)>>,
+}
+
+impl ShardCore {
+    /// The shard set of exactly `cur`'s version, building (and caching)
+    /// it on first use.
+    fn shard_set(&self, cur: &VersionedSnapshot) -> Arc<ShardSet> {
+        let v = cur.version.get();
+        if let Some((cv, set)) = self.cache.lock().expect("shard cache poisoned").as_ref() {
+            if *cv == v {
+                return Arc::clone(set);
+            }
+        }
+        // Build outside the lock — a slab build is the expensive path and
+        // must not serialize readers of the cached version. Two requests
+        // racing on a fresh version may both build; the sets are
+        // deterministic, so either install is correct.
+        let set = Arc::new(ShardSet::build(&cur.snapshot, self.shards));
+        let mut cache = self.cache.lock().expect("shard cache poisoned");
+        match cache.as_ref() {
+            // Never clobber a newer version's set with an older one.
+            Some((cv, _)) if *cv > v => {}
+            _ => *cache = Some((v, Arc::clone(&set))),
+        }
+        set
+    }
+
+    pub(crate) fn query(
+        &self,
+        e1: u32,
+        opts: QueryOptions,
+    ) -> Result<Versioned<Ranking>, DaakgError> {
+        self.service.check_query(e1)?;
+        let nprobe = self.service.resolve_mode(opts.mode)?;
+        let cur = self.service.current();
+        let set = self.shard_set(&cur);
+        let engine = cur.snapshot.entity_engine();
+        let q = engine.normalized_query(e1);
+        let per_shard = daakg_parallel::par_map_ranges(set.slabs.len(), set.slabs.len(), |sr| {
+            sr.map(|si| {
+                let slab = &set.slabs[si];
+                match nprobe {
+                    None => {
+                        let k = opts.k.map_or(slab.len, |k| k.min(slab.len));
+                        slab.scan(q, set.dim, 1, k).pop().unwrap_or_default()
+                    }
+                    Some(nprobe) => slab.search(q, opts.k.unwrap_or(slab.len), nprobe),
+                }
+            })
+            .collect::<Vec<_>>()
+        });
+        let value = set.merge(opts.k, per_shard.into_iter().flatten());
+        Ok(Versioned {
+            version: cur.version,
+            value,
+        })
+    }
+
+    pub(crate) fn query_batch(
+        &self,
+        queries: &[u32],
+        opts: QueryOptions,
+    ) -> Result<Versioned<Vec<Ranking>>, DaakgError> {
+        for &q in queries {
+            self.service.check_query(q)?;
+        }
+        let nprobe = self.service.resolve_mode(opts.mode)?;
+        let cur = self.service.current();
+        let set = self.shard_set(&cur);
+        let engine = cur.snapshot.entity_engine();
+        // Gather the query panels once; every shard scans the same
+        // panels, so the gather must not be repeated per shard.
+        let panels: Vec<Tensor> = queries
+            .chunks(QUERY_BLOCK)
+            .map(|chunk| engine.normalized_queries().gather_rows(chunk))
+            .collect();
+        // Scatter: each shard answers every query with global ids.
+        let per_shard: Vec<Vec<Ranking>> =
+            daakg_parallel::par_map_ranges(set.slabs.len(), set.slabs.len(), |sr| {
+                sr.map(|si| {
+                    let slab = &set.slabs[si];
+                    let mut out: Vec<Ranking> = Vec::with_capacity(queries.len());
+                    match nprobe {
+                        None => {
+                            let k = opts.k.map_or(slab.len, |k| k.min(slab.len));
+                            for (ci, chunk) in queries.chunks(QUERY_BLOCK).enumerate() {
+                                out.extend(slab.scan(
+                                    panels[ci].as_slice(),
+                                    set.dim,
+                                    chunk.len(),
+                                    k,
+                                ));
+                            }
+                        }
+                        Some(nprobe) => {
+                            for &e1 in queries {
+                                out.push(slab.search(
+                                    engine.normalized_query(e1),
+                                    opts.k.unwrap_or(slab.len),
+                                    nprobe,
+                                ));
+                            }
+                        }
+                    }
+                    out
+                })
+                .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        // Gather: merge each query's per-shard lists.
+        let mut per_shard = per_shard;
+        let value: Vec<Ranking> = (0..queries.len())
+            .map(|qi| {
+                set.merge(
+                    opts.k,
+                    per_shard
+                        .iter_mut()
+                        .map(|shard| std::mem::take(&mut shard[qi])),
+                )
+            })
+            .collect();
+        Ok(Versioned {
+            version: cur.version,
+            value,
+        })
+    }
+}
+
+/// A sharded scatter-gather serving front-end over an
+/// [`AlignmentService`].
+///
+/// Construction partitions nothing yet — shard slabs are built lazily,
+/// once per published snapshot version, on first query of that version
+/// (and cached, so steady-state queries pay only the scatter). Training
+/// still happens through the wrapped service
+/// ([`ShardedService::service`]); the next query after a publish picks up
+/// the new version and rebuilds its shard set.
+///
+/// `Exact` answers are bitwise-identical to the unsharded service's
+/// (ties included); see the [module docs](self) for why. With an
+/// [`IngressConfig`], single queries additionally coalesce through the
+/// micro-batching ingress ([`crate::ingress`]) into batched kernel
+/// dispatches.
+pub struct ShardedService {
+    core: Arc<ShardCore>,
+    ingress: Option<Ingress>,
+}
+
+impl std::fmt::Debug for ShardedService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedService")
+            .field("shards", &self.core.shards)
+            .field("ingress", &self.ingress.as_ref().map(Ingress::config))
+            .field("service", &self.core.service)
+            .finish()
+    }
+}
+
+impl ShardedService {
+    /// Shard `service`'s corpus across `shards` partitions
+    /// (`1..=4096`; counts above the corpus size degrade gracefully to
+    /// one candidate per shard).
+    pub fn new(service: AlignmentService, shards: usize) -> Result<Self, DaakgError> {
+        if shards == 0 {
+            return Err(DaakgError::invalid(
+                "ShardedService",
+                "shard count must be at least 1",
+            ));
+        }
+        if shards > 4096 {
+            return Err(DaakgError::invalid(
+                "ShardedService",
+                format!("shard count {shards} exceeds the 4096 maximum"),
+            ));
+        }
+        Ok(Self {
+            core: Arc::new(ShardCore {
+                service,
+                shards,
+                cache: Mutex::new(None),
+            }),
+            ingress: None,
+        })
+    }
+
+    /// [`ShardedService::new`] with a micro-batching ingress in front of
+    /// the single-query path: concurrent [`ShardedService::query`] calls
+    /// coalesce under `ingress`'s time/size window into one batched
+    /// kernel dispatch (see [`IngressConfig`]).
+    pub fn with_ingress(
+        service: AlignmentService,
+        shards: usize,
+        ingress: IngressConfig,
+    ) -> Result<Self, DaakgError> {
+        ingress.validate()?;
+        let mut svc = Self::new(service, shards)?;
+        svc.ingress = Some(Ingress::start(ingress, Arc::clone(&svc.core)));
+        Ok(svc)
+    }
+
+    /// The wrapped service — train and publish through this handle;
+    /// queries on the sharded front-end observe each publish on their
+    /// next version grab.
+    pub fn service(&self) -> &AlignmentService {
+        &self.core.service
+    }
+
+    /// Number of corpus partitions.
+    pub fn shards(&self) -> usize {
+        self.core.shards
+    }
+
+    /// The ingress window configuration, when one is running.
+    pub fn ingress_config(&self) -> Option<IngressConfig> {
+        self.ingress.as_ref().map(Ingress::config)
+    }
+
+    /// Dispatch counters of the running ingress (total queries admitted,
+    /// batched kernel dispatches issued) — `None` without an ingress.
+    pub fn ingress_stats(&self) -> Option<IngressStats> {
+        self.ingress.as_ref().map(Ingress::stats)
+    }
+
+    /// Answer one left entity under `opts`. With an ingress configured,
+    /// the call enqueues and blocks until its coalesced batch is
+    /// answered; without one, it scatters immediately.
+    pub fn query(&self, e1: u32, opts: QueryOptions) -> Result<Versioned<Ranking>, DaakgError> {
+        match &self.ingress {
+            Some(ingress) => {
+                // Fail fast (and keep the worker infallible): bounds and
+                // mode are validated before the queue ever sees the query.
+                self.core.service.check_query(e1)?;
+                self.core.service.resolve_mode(opts.mode)?;
+                ingress.submit(e1, opts)
+            }
+            None => self.core.query(e1, opts),
+        }
+    }
+
+    /// Answer every query under `opts` on **one** coherent snapshot
+    /// version, scattered across shards. Already batched, so the ingress
+    /// is bypassed.
+    pub fn query_batch(
+        &self,
+        queries: &[u32],
+        opts: QueryOptions,
+    ) -> Result<Versioned<Vec<Ranking>>, DaakgError> {
+        self.core.query_batch(queries, opts)
+    }
+
+    /// Rank all right entities for `e1` in the wrapped service's default
+    /// [`QueryMode`].
+    pub fn rank(&self, e1: u32) -> Result<Versioned<Ranking>, DaakgError> {
+        self.query(e1, QueryOptions::rank().with_mode(self.default_mode()))
+    }
+
+    /// Best `k` right entities for `e1` in the default [`QueryMode`].
+    pub fn top_k(&self, e1: u32, k: usize) -> Result<Versioned<Ranking>, DaakgError> {
+        self.query(e1, QueryOptions::top_k(k).with_mode(self.default_mode()))
+    }
+
+    /// Best `k` right entities for each query, one coherent version, in
+    /// the default [`QueryMode`].
+    pub fn batch_top_k(
+        &self,
+        queries: &[u32],
+        k: usize,
+    ) -> Result<Versioned<Vec<Ranking>>, DaakgError> {
+        self.query_batch(
+            queries,
+            QueryOptions::top_k(k).with_mode(self.default_mode()),
+        )
+    }
+
+    fn default_mode(&self) -> QueryMode {
+        self.core.service.serving().mode
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::JointConfig;
+    use crate::service::ServingConfig;
+    use daakg_embed::EmbedConfig;
+    use daakg_graph::kg::{example_dbpedia, example_wikidata};
+
+    fn tiny_cfg() -> JointConfig {
+        JointConfig {
+            embed: EmbedConfig {
+                dim: 8,
+                class_dim: 4,
+                epochs: 2,
+                batch_size: 16,
+                ..EmbedConfig::default()
+            },
+            align_epochs: 3,
+            ..JointConfig::default()
+        }
+    }
+
+    fn example_service(serving: ServingConfig) -> AlignmentService {
+        AlignmentService::with_serving(
+            tiny_cfg(),
+            serving,
+            Arc::new(example_dbpedia()),
+            Arc::new(example_wikidata()),
+        )
+        .expect("example service")
+    }
+
+    #[test]
+    fn shard_count_is_validated() {
+        let svc = example_service(ServingConfig::default());
+        assert!(matches!(
+            ShardedService::new(svc, 0),
+            Err(DaakgError::InvalidConfig { .. })
+        ));
+        let svc = example_service(ServingConfig::default());
+        assert!(matches!(
+            ShardedService::new(svc, 5000),
+            Err(DaakgError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn sharded_exact_matches_unsharded_bitwise() {
+        let svc = example_service(ServingConfig::default());
+        let n1 = svc.kg1().num_entities();
+        let queries: Vec<u32> = (0..n1 as u32).collect();
+        let reference = svc.batch_top_k(&queries, 3).expect("unsharded");
+        for shards in [1usize, 2, 3, 7] {
+            let sharded = ShardedService::new(example_service(ServingConfig::default()), shards)
+                .expect("sharded");
+            let got = sharded.batch_top_k(&queries, 3).expect("sharded batch");
+            assert_eq!(got.value, reference.value, "shards={shards}");
+            for &q in &queries {
+                let one = sharded.top_k(q, 3).expect("sharded single");
+                let exact = svc.top_k(q, 3).expect("unsharded single");
+                assert_eq!(one.value, exact.value, "shards={shards} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_rank_matches_unsharded() {
+        let svc = example_service(ServingConfig::default());
+        let sharded =
+            ShardedService::new(example_service(ServingConfig::default()), 3).expect("sharded");
+        for q in 0..svc.kg1().num_entities() as u32 {
+            assert_eq!(
+                sharded.rank(q).expect("sharded").value,
+                svc.rank(q).expect("unsharded").value,
+                "q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_answers_carry_one_version_across_publishes() {
+        let svc = example_service(ServingConfig::default());
+        let sharded = ShardedService::new(svc, 2).expect("sharded");
+        let before = sharded.top_k(0, 2).expect("v1 answer");
+        assert_eq!(before.version.get(), 1);
+        let labels = crate::joint::LabeledMatches::new();
+        sharded.service().train(&labels).expect("train");
+        let after = sharded.top_k(0, 2).expect("v2 answer");
+        assert_eq!(after.version.get(), 2);
+        // The new version's answer matches the unsharded scan of the new
+        // snapshot — the shard set was rebuilt, not served stale.
+        assert_eq!(
+            after.value,
+            sharded.service().top_k(0, 2).expect("unsharded").value
+        );
+    }
+
+    #[test]
+    fn sharded_service_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShardedService>();
+    }
+}

@@ -126,6 +126,13 @@ pub struct BenchConfig {
     pub ann_k: usize,
     /// Minimum acceptable recall@k at the default probe width.
     pub ann_recall_floor: f64,
+    /// Entity count of the sharded scatter-gather serving scenario.
+    pub shard_entities: usize,
+    /// Concurrent closed-loop clients driving the sharded scenario's
+    /// single-query ingress phases.
+    pub shard_clients: usize,
+    /// Single queries each client issues per ingress phase.
+    pub shard_queries_per_client: usize,
     /// Entity count of the snapshot persistence round-trip scenario.
     pub persist_entities: usize,
     /// Embedding dimension used across scenarios.
@@ -158,6 +165,9 @@ impl Default for BenchConfig {
             ann_nprobe: 8,
             ann_k: 10,
             ann_recall_floor: 0.95,
+            shard_entities: 100_000,
+            shard_clients: 8,
+            shard_queries_per_client: 40,
             persist_entities: 20_000,
             dim: 32,
             reps: 3,
@@ -198,6 +208,12 @@ impl BenchConfig {
             // the floor is slightly relaxed; the cross-scale `--compare`
             // recall rule still gates it against the recorded baseline.
             ann_recall_floor: 0.90,
+            // Large enough that the batched kernel's amortization — not
+            // queue/condvar overhead — dominates the ingress phases, so
+            // the speedup stays above the cross-scale gate floor.
+            shard_entities: 10_000,
+            shard_clients: 8,
+            shard_queries_per_client: 30,
             persist_entities: 2000,
             dim: 16,
             // Median-of-3 keeps the smoke run seconds-scale while damping
@@ -222,6 +238,7 @@ pub fn run_all(cfg: &BenchConfig) -> Vec<ScenarioResult> {
         ann_build(cfg),
         ann_top_k(cfg),
         serve_while_train(cfg),
+        serve_sharded(cfg),
         persist_roundtrip(cfg),
     ]
 }
@@ -961,7 +978,7 @@ fn serve_while_train(cfg: &BenchConfig) -> ScenarioResult {
                         // must answer exactly like the exact path.
                         let approx = tick % 2 == 1;
                         let ans = if approx {
-                            service.top_k_with(q, k, full_probe)
+                            service.query(q, daakg::QueryOptions::top_k(k).with_mode(full_probe))
                         } else {
                             service.top_k(q, k)
                         }
@@ -1084,6 +1101,208 @@ fn serve_while_train(cfg: &BenchConfig) -> ScenarioResult {
 }
 
 // ---------------------------------------------------------------------
+// Scenario: sharded scatter-gather serving with micro-batched ingress
+// ---------------------------------------------------------------------
+
+/// Nearest-rank percentile of an ascending-sorted latency sample (µs).
+fn percentile_us(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Closed-loop single-query load: `clients` threads each issue
+/// `per_client` `top_k` queries back to back, recording per-query latency
+/// (µs) and checking that every answer carries the one published snapshot
+/// version — the scatter must never mix versions across shards.
+fn sharded_closed_loop(
+    svc: &daakg::ShardedService,
+    clients: usize,
+    per_client: usize,
+    k: usize,
+) -> (Vec<f64>, bool) {
+    use std::time::Instant;
+    let n1 = svc.service().kg1().num_entities() as u32;
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(per_client);
+                    let mut coherent = true;
+                    for i in 0..per_client {
+                        let q = ((c * per_client + i) as u32).wrapping_mul(2654435761) % n1;
+                        let start = Instant::now();
+                        let ans = svc.top_k(q, k).expect("in-bounds query");
+                        lat.push(start.elapsed().as_secs_f64() * 1e6);
+                        coherent &= ans.version.get() == 1;
+                    }
+                    (lat, coherent)
+                })
+            })
+            .collect();
+        let mut lat = Vec::with_capacity(clients * per_client);
+        let mut coherent = true;
+        for w in workers {
+            let (l, c) = w.join().expect("client thread");
+            lat.extend(l);
+            coherent &= c;
+        }
+        (lat, coherent)
+    })
+}
+
+/// Sharded scatter-gather serving over a right corpus partitioned into
+/// per-shard slabs, fronted by the micro-batching ingress.
+///
+/// Three measurements over one 100k-entity service (construction
+/// publishes version 1 immediately — serving needs no training):
+///
+/// 1. **Shard scaling** — batched `batch_top_k` QPS at 1/2/4/8 shards
+///    (`batch_qps_{s}shard`), oracle-verified bitwise against the
+///    unsharded snapshot scan at every shard count.
+/// 2. **One query per dispatch** — closed-loop clients through an
+///    ingress window of `max_batch: 1`: every query pays the scatter
+///    dispatch alone. Same queue, same worker thread, no coalescing.
+/// 3. **Micro-batched ingress** — the same load through a
+///    `max_batch: clients` window: concurrent queries coalesce into
+///    batched kernel dispatches. `speedup` is (2) over (3) wall-clock;
+///    p50/p95/p99 queueing-inclusive latencies come from this phase.
+fn serve_sharded(cfg: &BenchConfig) -> ScenarioResult {
+    use daakg::{IngressConfig, ShardedService};
+    use std::sync::Arc;
+
+    let entities = cfg.shard_entities;
+    let spec = SynthSpec::with_entities(entities, 47);
+    let (kg1, kg2, _gold) = synthetic_pair(spec, 0.15);
+    let (kg1, kg2) = (Arc::new(kg1), Arc::new(kg2));
+    let joint = JointConfig {
+        embed: EmbedConfig {
+            dim: cfg.dim,
+            class_dim: (cfg.dim / 2).max(2),
+            ..EmbedConfig::default()
+        },
+        ..JointConfig::default()
+    };
+    let build = |shards: usize, ingress: Option<IngressConfig>| -> ShardedService {
+        let b = Pipeline::builder()
+            .kg1(Arc::clone(&kg1))
+            .kg2(Arc::clone(&kg2))
+            .joint(joint)
+            .shards(shards);
+        match ingress {
+            Some(w) => b.ingress(w),
+            None => b,
+        }
+        .build_sharded()
+        .expect("valid sharded pipeline")
+    };
+
+    let k = cfg.rank_k;
+    let mut verified = true;
+    let mut result = ScenarioResult::new(&format!("serve_sharded_{}", short_count(entities)));
+
+    // Phase 1: shard scaling of the batched scatter-gather path.
+    let scale_queries: Vec<u32> = (0..256.min(kg1.num_entities()) as u32).collect();
+    for shards in [1usize, 2, 4, 8] {
+        let svc = build(shards, None);
+        let (answers, batch_ms) = time_median_of(cfg.reps, || {
+            svc.batch_top_k(&scale_queries, k).expect("in-bounds batch")
+        });
+        result = result.metric(
+            &format!("batch_qps_{shards}shard"),
+            scale_queries.len() as f64 / (batch_ms / 1e3).max(1e-9),
+        );
+        // Oracle: the merge must reproduce the unsharded snapshot scan
+        // bitwise — ids, order, and score bits — on a query sample.
+        verified &= answers.version.get() == 1;
+        let snap = Arc::clone(&svc.service().current().snapshot);
+        for (qi, got) in answers
+            .value
+            .iter()
+            .enumerate()
+            .step_by((scale_queries.len() / 16).max(1))
+        {
+            let want = snap.top_k_entities(scale_queries[qi], k);
+            verified &= want.len() == got.len()
+                && want
+                    .iter()
+                    .zip(got)
+                    .all(|(w, g)| w.0 == g.0 && w.1.to_bits() == g.1.to_bits());
+        }
+    }
+
+    // Phases 2 and 3: one-query-per-dispatch vs micro-batched ingress,
+    // identical closed-loop load, 4 shards.
+    let shards = 4usize;
+    let clients = cfg.shard_clients.max(1);
+    let per_client = cfg.shard_queries_per_client.max(1);
+    let total = (clients * per_client) as f64;
+
+    let single = build(
+        shards,
+        Some(IngressConfig {
+            max_batch: 1,
+            ..IngressConfig::default()
+        }),
+    );
+    let ((_, single_coherent), single_ms) =
+        time_once(|| sharded_closed_loop(&single, clients, per_client, k));
+    verified &= single_coherent;
+    let single_stats = single.ingress_stats().expect("ingress running");
+    // max_batch = 1 means dispatches == queries, by construction.
+    verified &=
+        single_stats.queries == total as u64 && single_stats.batches == single_stats.queries;
+    drop(single);
+
+    let batched = build(
+        shards,
+        Some(IngressConfig {
+            max_batch: clients,
+            ..IngressConfig::default()
+        }),
+    );
+    let ((mut latencies, batched_coherent), serve_ms) =
+        time_once(|| sharded_closed_loop(&batched, clients, per_client, k));
+    verified &= batched_coherent;
+    let stats = batched.ingress_stats().expect("ingress running");
+    verified &= stats.queries == total as u64 && stats.batches >= 1;
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+
+    // Post-timing bitwise oracle for the ingress path itself.
+    let snap = Arc::clone(&batched.service().current().snapshot);
+    let n1 = kg1.num_entities() as u32;
+    for q in (0..n1).step_by((n1 as usize / 16).max(1)) {
+        let got = batched.top_k(q, k).expect("in-bounds query");
+        let want = snap.top_k_entities(q, k);
+        verified &= want.len() == got.value.len()
+            && want
+                .iter()
+                .zip(&got.value)
+                .all(|(w, g)| w.0 == g.0 && w.1.to_bits() == g.1.to_bits());
+    }
+
+    result
+        .metric("serve_ms", serve_ms)
+        .metric("single_dispatch_ms", single_ms)
+        .metric("speedup", single_ms / serve_ms.max(1e-9))
+        .metric("qps_ingress", total / (serve_ms / 1e3).max(1e-9))
+        .metric("qps_single_dispatch", total / (single_ms / 1e3).max(1e-9))
+        .metric("p50_us", percentile_us(&latencies, 50.0))
+        .metric("p95_us", percentile_us(&latencies, 95.0))
+        .metric("p99_us", percentile_us(&latencies, 99.0))
+        .metric(
+            "mean_batch",
+            stats.queries as f64 / (stats.batches as f64).max(1.0),
+        )
+        .metric("entities", entities as f64)
+        .metric("clients", clients as f64)
+        .metric("k", k as f64)
+        .flag("verified", verified)
+}
+
+// ---------------------------------------------------------------------
 // Scenario: durable snapshot persistence round-trip
 // ---------------------------------------------------------------------
 
@@ -1135,7 +1354,7 @@ mod tests {
     fn quick_config_runs_all_scenarios_verified() {
         let cfg = BenchConfig::quick();
         let results = run_all(&cfg);
-        assert_eq!(results.len(), 12);
+        assert_eq!(results.len(), 13);
         for r in &results {
             for (k, v) in &r.metrics {
                 assert!(v.is_finite(), "{}:{k} not finite", r.name);

@@ -17,14 +17,6 @@ use crate::kg::{KgBuilder, KnowledgeGraph};
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Read, Write};
 
-/// Former error type of the text loaders, now folded into the
-/// workspace-wide [`DaakgError`]. The `Io` / `Parse` / `UnknownElement`
-/// variants keep their names and shapes, but `DaakgError` carries more
-/// variants and is `#[non_exhaustive]` — previously exhaustive matches
-/// need a wildcard arm.
-#[deprecated(since = "0.1.0", note = "use daakg_graph::DaakgError")]
-pub type IoError = DaakgError;
-
 /// Serialize a KG to the text format.
 pub fn write_kg<W: Write>(kg: &KnowledgeGraph, mut w: W) -> Result<(), DaakgError> {
     let mut buf = String::new();

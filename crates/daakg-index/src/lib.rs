@@ -26,7 +26,9 @@
 //! `daakg_align::AlignmentService` and the `daakg::Pipeline` builder:
 //! `Exact` keeps the exhaustive scan (the default — existing behavior and
 //! every oracle untouched), `Approx { nprobe }` routes queries through
-//! the snapshot's index.
+//! the snapshot's index. [`QueryOptions`] bundles the mode with the
+//! result bound `k` into the one options struct every serving-layer query
+//! entry point (`daakg_align::QueryExecutor`) accepts.
 
 pub mod ivf;
 pub mod kmeans;
@@ -83,9 +85,98 @@ impl QueryMode {
     }
 }
 
+/// The unified per-call query options consumed by the serving layer
+/// (`daakg_align::QueryExecutor`): how many candidates to return and how
+/// to execute the scan.
+///
+/// One struct replaces the old `rank`/`rank_with` + `top_k`/`top_k_with` +
+/// `batch_top_k`/`batch_top_k_with` split: `k` selects between a bounded
+/// top-k (`Some(k)`) and a full ranking (`None`), and [`QueryMode`] picks
+/// exact or IVF-approximate execution. Build with the constructors and
+/// chain the modifiers:
+///
+/// ```
+/// use daakg_index::{QueryMode, QueryOptions};
+///
+/// let exact_top10 = QueryOptions::top_k(10);
+/// let approx_top10 = QueryOptions::top_k(10).approx(4);
+/// let full_ranking = QueryOptions::rank();
+/// assert_eq!(approx_top10.mode, QueryMode::Approx { nprobe: 4 });
+/// assert_eq!(full_ranking.k, None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryOptions {
+    /// How many candidates to return, best first; `None` ranks every
+    /// candidate the scan touches (all of them in `Exact` mode, the
+    /// probed lists' candidates in `Approx` mode).
+    pub k: Option<usize>,
+    /// How the scan executes (exhaustive or IVF-approximate).
+    pub mode: QueryMode,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        Self::rank()
+    }
+}
+
+impl QueryOptions {
+    /// Rank every candidate, exact (the default).
+    pub fn rank() -> Self {
+        Self {
+            k: None,
+            mode: QueryMode::Exact,
+        }
+    }
+
+    /// Return the best `k` candidates, exact.
+    pub fn top_k(k: usize) -> Self {
+        Self {
+            k: Some(k),
+            mode: QueryMode::Exact,
+        }
+    }
+
+    /// Replace the execution mode.
+    pub fn with_mode(mut self, mode: QueryMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Execute through the IVF index, probing `nprobe` inverted lists.
+    pub fn approx(mut self, nprobe: usize) -> Self {
+        self.mode = QueryMode::Approx { nprobe };
+        self
+    }
+
+    /// Validate against a service whose index presence is known (see
+    /// [`QueryMode::validate`]).
+    pub fn validate(&self, has_index: bool) -> Result<(), daakg_graph::DaakgError> {
+        self.mode.validate(has_index)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn query_options_constructors_compose() {
+        assert_eq!(QueryOptions::default(), QueryOptions::rank());
+        assert_eq!(QueryOptions::top_k(5).k, Some(5));
+        assert_eq!(QueryOptions::top_k(5).mode, QueryMode::Exact);
+        let opts = QueryOptions::rank().approx(3);
+        assert_eq!(opts.k, None);
+        assert_eq!(opts.mode, QueryMode::Approx { nprobe: 3 });
+        assert_eq!(
+            QueryOptions::top_k(2).with_mode(QueryMode::Exact),
+            QueryOptions::top_k(2)
+        );
+        assert!(QueryOptions::top_k(2).validate(false).is_ok());
+        assert!(QueryOptions::top_k(2).approx(1).validate(false).is_err());
+        assert!(QueryOptions::top_k(2).approx(1).validate(true).is_ok());
+        assert!(QueryOptions::top_k(2).approx(0).validate(true).is_err());
+    }
 
     #[test]
     fn query_mode_defaults_to_exact_and_validates() {

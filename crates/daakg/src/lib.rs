@@ -56,8 +56,25 @@
 //! (`.index(nlist)`) — every published snapshot then carries a
 //! lazily-built [`IvfIndex`] — and query in
 //! [`QueryMode::Approx { nprobe }`](QueryMode), either per call
-//! (`service.top_k_with(e, k, mode)?`) or as the session default
-//! (`.query_mode(..)`). `Exact` remains the default everywhere.
+//! (`service.query(e, QueryOptions::top_k(k).approx(nprobe))?`) or as
+//! the session default (`.query_mode(..)`). `Exact` remains the default
+//! everywhere.
+//!
+//! ## Serving topology
+//!
+//! Both serving front-ends implement the unified [`QueryExecutor`]
+//! trait over [`QueryOptions`]:
+//!
+//! * [`AlignmentService`] (from `.build()`) — one corpus, one slab, the
+//!   batched scan kernel;
+//! * [`ShardedService`] (from `.shards(n)` + `.build_sharded()`) — the
+//!   right-KG corpus partitioned across `n` scatter-gather shards, each
+//!   with its own slab and per-shard IVF index. Exact answers are
+//!   **bitwise-identical** to the unsharded service, ties included.
+//!   Adding `.ingress(IngressConfig { .. })` puts a micro-batching
+//!   window in front: concurrent single queries coalesce into batched
+//!   kernel dispatches (see the README's serving-topology section for
+//!   tuning guidance).
 //!
 //! Every fallible entry point of the service API returns the typed
 //! [`DaakgError`] — no `Result<_, String>`s, and construction/validation
@@ -80,9 +97,13 @@
 //! | `snapshot.rank_entities(e)` | `service.rank(e)?` (versioned, bounds-checked) |
 //! | `snapshot.top_k_entities(e, k)` | `service.top_k(e, k)?` |
 //! | `snapshot.top_k_entities_block(&qs, k)` | `service.batch_top_k(&qs, k)?` (sharded across workers) |
+//! | `service.rank_with(e, mode)` (deprecated) | `service.query(e, QueryOptions::rank().with_mode(mode))?` |
+//! | `service.top_k_with(e, k, mode)` (deprecated) | `service.query(e, QueryOptions::top_k(k).with_mode(mode))?` |
+//! | `service.batch_top_k_with(&qs, k, mode)` (deprecated) | `service.query_batch(&qs, QueryOptions::top_k(k).with_mode(mode))?` |
 //! | `ActiveLoop::new(cfg, strategy)` (panicked) + `.run(&mut model, ..)` | `Pipeline::builder()...build_active()?` + `.run_service(&service, ..)?` |
+//! | `ActiveLoop::run(&mut model, ..)` (shim, **removed**) | `ActiveLoop::run_service(&service, ..)?` |
 //! | `cfg.validate() -> Result<(), String>` | `cfg.validate() -> Result<(), DaakgError>` |
-//! | `daakg_graph::io::IoError` | [`DaakgError`] (same variants) |
+//! | `daakg_graph::io::IoError` (alias, **removed**) | [`DaakgError`] (same variants) |
 //! | `daakg::bench::...` | depend on `daakg-bench` directly |
 //!
 //! Holding an `Arc<AlignmentSnapshot>` from [`AlignmentService::current`]
@@ -110,14 +131,14 @@ pub use daakg_store as store;
 // The most commonly used types, re-exported flat.
 pub use daakg_active::{ActiveConfig, ActiveLoop, GoldOracle, Strategy};
 pub use daakg_align::{
-    AlignmentService, AlignmentSnapshot, BatchedSimilarity, DurableRegistry, JointConfig,
-    JointModel, LabeledMatches, RecoveryReport, ServingConfig, SnapshotVersion, Versioned,
-    VersionedSnapshot,
+    AlignmentService, AlignmentSnapshot, BatchedSimilarity, DurableRegistry, IngressConfig,
+    IngressStats, JointConfig, JointModel, LabeledMatches, QueryExecutor, RecoveryReport,
+    ServingConfig, ShardedService, SnapshotVersion, Versioned, VersionedSnapshot,
 };
 pub use daakg_autograd::{Graph, ParamStore, TapeSession, Tensor};
 pub use daakg_embed::{EmbedConfig, KgEmbedding, ModelKind, TrainMode};
 pub use daakg_graph::{DaakgError, GoldAlignment, KgBuilder, KnowledgeGraph};
-pub use daakg_index::{IvfConfig, IvfIndex, QueryMode};
+pub use daakg_index::{IvfConfig, IvfIndex, QueryMode, QueryOptions};
 pub use daakg_infer::{InferConfig, InferenceEngine, RelationMatches};
 pub use pipeline::{Pipeline, PipelineBuilder};
 

@@ -5,11 +5,14 @@
 //! builder, validates everything up front with typed [`DaakgError`]s, and
 //! produces a ready [`AlignmentService`] — the concurrent serve-while-train
 //! handle that replaces hand-wiring `KgBuilder → JointModel::train →
-//! snapshot() → rank_entities`.
+//! snapshot() → rank_entities`. With [`PipelineBuilder::shards`] (and
+//! optionally [`PipelineBuilder::ingress`]) the same builder produces a
+//! scatter-gather [`ShardedService`] instead, via
+//! [`PipelineBuilder::build_sharded`].
 //!
 //! ```no_run
 //! use daakg::graph::kg::{example_dbpedia, example_wikidata};
-//! use daakg::{ModelKind, Pipeline, TrainMode};
+//! use daakg::{ModelKind, Pipeline, QueryOptions, TrainMode};
 //!
 //! let service = Pipeline::builder()
 //!     .kg1(example_dbpedia())
@@ -23,13 +26,13 @@
 //! let labels = daakg::LabeledMatches::new();
 //! service.train(&labels)?;
 //! let top = service.top_k(0, 5)?; // lock-free, versioned, exact
-//! let fast = service.top_k_with(0, 5, daakg::QueryMode::Approx { nprobe: 4 })?;
+//! let fast = service.query(0, QueryOptions::top_k(5).approx(4))?;
 //! println!("answered on snapshots {} / {}", top.version, fast.version);
 //! # Ok::<(), daakg::DaakgError>(())
 //! ```
 
 use daakg_active::{ActiveConfig, ActiveLoop, Strategy};
-use daakg_align::{AlignmentService, JointConfig, ServingConfig};
+use daakg_align::{AlignmentService, IngressConfig, JointConfig, ServingConfig, ShardedService};
 use daakg_embed::{EmbedConfig, ModelKind, TrainMode};
 use daakg_graph::{DaakgError, KnowledgeGraph};
 use daakg_index::{IvfConfig, QueryMode};
@@ -62,6 +65,8 @@ pub struct PipelineBuilder {
     strategy: Strategy,
     serving: ServingConfig,
     store: Option<PathBuf>,
+    shards: Option<usize>,
+    ingress: Option<IngressConfig>,
 }
 
 impl Default for PipelineBuilder {
@@ -74,6 +79,8 @@ impl Default for PipelineBuilder {
             strategy: Strategy::InferencePower,
             serving: ServingConfig::default(),
             store: None,
+            shards: None,
+            ingress: None,
         }
     }
 }
@@ -203,17 +210,76 @@ impl PipelineBuilder {
         self
     }
 
+    /// Partition the right-KG corpus across `shards` scatter-gather
+    /// partitions, each with its own candidate slab (and per-shard IVF
+    /// index when [`PipelineBuilder::index`] is set). Switches the build
+    /// target to [`PipelineBuilder::build_sharded`]; `1..=4096` is
+    /// enforced there. Exact sharded answers are bitwise-identical to the
+    /// unsharded service's.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Put a micro-batching ingress in front of the sharded service:
+    /// concurrent single queries are coalesced into batched kernel
+    /// dispatches under the window's time/size bounds. Implies
+    /// [`PipelineBuilder::build_sharded`]; with no explicit
+    /// [`PipelineBuilder::shards`] the shard count defaults to the worker
+    /// thread count.
+    pub fn ingress(mut self, cfg: IngressConfig) -> Self {
+        self.ingress = Some(cfg);
+        self
+    }
+
     /// Validate the composed configuration and build the service.
+    ///
+    /// Fails with [`DaakgError::InvalidConfig`] if sharding options are
+    /// set — [`PipelineBuilder::shards`] / [`PipelineBuilder::ingress`]
+    /// describe a [`ShardedService`], which only
+    /// [`PipelineBuilder::build_sharded`] produces; silently dropping
+    /// them here would build a topology the caller didn't ask for.
     pub fn build(self) -> Result<AlignmentService, DaakgError> {
+        self.reject_sharding("build")?;
         let (service, _) = self.build_parts()?;
         Ok(service)
     }
 
     /// Validate and build the service *plus* an [`ActiveLoop`] configured
-    /// from the same builder, for active-alignment campaigns.
+    /// from the same builder, for active-alignment campaigns. Like
+    /// [`PipelineBuilder::build`], rejects sharding options.
     pub fn build_active(self) -> Result<(AlignmentService, ActiveLoop), DaakgError> {
+        self.reject_sharding("build_active")?;
         let (service, active) = self.build_parts()?;
         Ok((service, active))
+    }
+
+    /// Validate the composed configuration and build a scatter-gather
+    /// [`ShardedService`]: the wrapped [`AlignmentService`] plus the
+    /// shard partitioning from [`PipelineBuilder::shards`] (defaulting to
+    /// the worker thread count) and, when configured, the micro-batching
+    /// ingress from [`PipelineBuilder::ingress`].
+    pub fn build_sharded(mut self) -> Result<ShardedService, DaakgError> {
+        let shards = self
+            .shards
+            .take()
+            .unwrap_or_else(daakg_parallel::num_threads);
+        let ingress = self.ingress.take();
+        let (service, _) = self.build_parts()?;
+        match ingress {
+            Some(cfg) => ShardedService::with_ingress(service, shards, cfg),
+            None => ShardedService::new(service, shards),
+        }
+    }
+
+    fn reject_sharding(&self, target: &str) -> Result<(), DaakgError> {
+        if self.shards.is_some() || self.ingress.is_some() {
+            return Err(DaakgError::invalid(
+                "Pipeline",
+                format!("shards/ingress configure a ShardedService — use build_sharded(), not {target}()"),
+            ));
+        }
+        Ok(())
     }
 
     fn build_parts(self) -> Result<(AlignmentService, ActiveLoop), DaakgError> {
@@ -314,7 +380,9 @@ mod tests {
         let labels = LabeledMatches::new();
         service.train(&labels).unwrap();
         let plain = service.top_k(0, 3).unwrap();
-        let exact = service.top_k_with(0, 3, QueryMode::Exact).unwrap();
+        let exact = service
+            .query(0, daakg_align::QueryOptions::top_k(3))
+            .unwrap();
         // nprobe == nlist: the approximate default answers exactly.
         assert_eq!(plain.value, exact.value);
         // index_config overrides index (last call wins).
@@ -352,6 +420,50 @@ mod tests {
             assert_eq!(a.0, b.0);
             assert_eq!(a.1.to_bits(), b.1.to_bits());
         }
+    }
+
+    #[test]
+    fn build_sharded_composes_shards_and_ingress() {
+        // Explicit shard count, no ingress.
+        let sharded = fast_builder().shards(3).build_sharded().unwrap();
+        assert_eq!(sharded.shards(), 3);
+        assert!(sharded.ingress_config().is_none());
+        // Sharded exact answers are bitwise-identical to unsharded ones.
+        let unsharded = fast_builder().build().unwrap();
+        let a = sharded.top_k(0, 3).unwrap();
+        let b = unsharded.top_k(0, 3).unwrap();
+        assert_eq!(a.version, b.version);
+        for ((ia, sa), (ib, sb)) in a.value.iter().zip(&b.value) {
+            assert_eq!(ia, ib);
+            assert_eq!(sa.to_bits(), sb.to_bits());
+        }
+        // Ingress without shards: shard count defaults to the thread
+        // count, and the window is running.
+        let window = daakg_align::IngressConfig::default();
+        let sharded = fast_builder().ingress(window).build_sharded().unwrap();
+        assert_eq!(sharded.shards(), daakg_parallel::num_threads());
+        assert_eq!(sharded.ingress_config(), Some(window));
+        assert_eq!(sharded.top_k(0, 3).unwrap().value.len(), 3);
+
+        // Shard count is validated with a typed error.
+        let err = fast_builder().shards(0).build_sharded();
+        assert!(matches!(err, Err(DaakgError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn sharding_options_reject_the_unsharded_builds() {
+        let err = fast_builder().shards(2).build();
+        match err {
+            Err(DaakgError::InvalidConfig { context, reason }) => {
+                assert_eq!(context, "Pipeline");
+                assert!(reason.contains("build_sharded"), "{reason}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        let err = fast_builder()
+            .ingress(daakg_align::IngressConfig::default())
+            .build_active();
+        assert!(matches!(err, Err(DaakgError::InvalidConfig { .. })));
     }
 
     #[test]

@@ -17,7 +17,9 @@ use daakg::eval::report::{fmt3, TextTable};
 use daakg::graph::kg::{example_dbpedia, example_wikidata};
 use daakg::graph::{ElementPair, GoldAlignment};
 use daakg::infer::RelationMatches;
-use daakg::{DaakgError, EmbedConfig, JointConfig, LabeledMatches, Pipeline, QueryMode};
+use daakg::{
+    DaakgError, EmbedConfig, JointConfig, LabeledMatches, Pipeline, QueryMode, QueryOptions,
+};
 
 fn main() -> Result<(), DaakgError> {
     // 1. Two knowledge graphs describing the same slice of the world
@@ -146,7 +148,7 @@ fn main() -> Result<(), DaakgError> {
         .iter()
         .map(|&(l, r)| {
             let ranked: Vec<u32> = service
-                .rank_with(l, approx)
+                .query(l, QueryOptions::rank().with_mode(approx))
                 .expect("gold ids are in bounds")
                 .value
                 .into_iter()
@@ -160,7 +162,11 @@ fn main() -> Result<(), DaakgError> {
         let start = std::time::Instant::now();
         for _ in 0..2000 {
             for &(l, _) in &gold_ids {
-                std::hint::black_box(service.top_k_with(l, 3, mode).expect("in bounds"));
+                std::hint::black_box(
+                    service
+                        .query(l, QueryOptions::top_k(3).with_mode(mode))
+                        .expect("in bounds"),
+                );
             }
         }
         start.elapsed().as_secs_f64() * 1e9 / (2000.0 * gold_ids.len() as f64)
@@ -179,8 +185,8 @@ fn main() -> Result<(), DaakgError> {
     // matches exact on this example, but that is data-dependent, not a
     // contract.
     for &(l, _) in &gold_ids {
-        let exact = service.top_k_with(l, 3, QueryMode::Exact)?;
-        let full = service.top_k_with(l, 3, QueryMode::Approx { nprobe: 2 })?;
+        let exact = service.query(l, QueryOptions::top_k(3))?;
+        let full = service.query(l, QueryOptions::top_k(3).approx(2))?;
         assert_eq!(
             exact.value, full.value,
             "full-probe approximate serving diverged from exact"
@@ -229,6 +235,35 @@ fn main() -> Result<(), DaakgError> {
     );
     drop(restored);
     let _ = std::fs::remove_dir_all(&store_dir);
+
+    // 5d. Sharded serving: the same pipeline behind a scatter-gather
+    //     ShardedService. Results are bitwise-identical to the unsharded
+    //     service — merging per-shard top-k is exact, ties included — so
+    //     H@1 over the gold pairs matches exactly.
+    let sharded = Pipeline::builder()
+        .kg1(example_dbpedia())
+        .kg2(example_wikidata())
+        .joint(joint_cfg)
+        .shards(2)
+        .build_sharded()?;
+    sharded.service().train(&labels)?;
+    let sharded_h1 = {
+        let items: Vec<(u32, Vec<u32>)> = gold_ids
+            .iter()
+            .map(|&(l, r)| {
+                let ranked = sharded.rank(l).expect("in bounds").value;
+                (r, ranked.into_iter().map(|(e2, _)| e2).collect())
+            })
+            .collect();
+        RankingScores::from_rankings_parallel(&items).hits_at(1)
+    };
+    assert_eq!(sharded_h1, h1_of(sharded.service()));
+    println!(
+        "sharded serving: 2-shard scatter-gather H@1 {} — identical to the \
+         unsharded service",
+        fmt3(sharded_h1),
+    );
+    drop(sharded);
 
     // 6. Deep active alignment: start over with just one labeled pair and
     //    let the loop decide which questions to put to a (simulated) human

@@ -13,7 +13,9 @@ use daakg::eval::ranking::RankingScores;
 use daakg::eval::CostCurve;
 use daakg::graph::{ElementPair, GoldAlignment, KnowledgeGraph};
 use daakg::infer::{InferConfig, RelationMatches};
-use daakg::{BatchedSimilarity, EmbedConfig, JointConfig, JointModel, Pipeline, Tensor};
+use daakg::{
+    BatchedSimilarity, EmbedConfig, JointConfig, JointModel, Pipeline, QueryOptions, Tensor,
+};
 // The bench harness depends on the `daakg` facade (it drives the Pipeline
 // / AlignmentService scenarios), so these tests reach it directly instead
 // of through a facade re-export.
@@ -170,7 +172,7 @@ fn end_to_end_pipeline_aligns_synthetic_pair() {
 fn bench_harness_verifies_and_serializes() {
     let cfg = BenchConfig::quick();
     let results = run_all(&cfg);
-    assert_eq!(results.len(), 12);
+    assert_eq!(results.len(), 13);
     for r in &results {
         if let Some(v) = r.get_flag("verified") {
             assert!(v, "{} failed oracle verification", r.name);
@@ -187,6 +189,7 @@ fn bench_harness_verifies_and_serializes() {
     assert!(text.contains("ann_top_k"));
     assert!(text.contains("\"recall\""));
     assert!(text.contains("serve_while_train"));
+    assert!(text.contains("serve_sharded"));
     assert!(text.contains("persist_roundtrip"));
     // The document round-trips through the parser the regression gate
     // uses, and a self-comparison reports no regression.
@@ -633,9 +636,11 @@ fn service_edge_cases_agree_across_query_modes() {
         // k = 0 answers empty; k ≥ n answers the complete candidate set —
         // in both modes, for single and batch queries.
         let exact = service
-            .batch_top_k_with(&queries, k, QueryMode::Exact)
+            .query_batch(&queries, QueryOptions::top_k(k))
             .unwrap();
-        let approx = service.batch_top_k_with(&queries, k, full).unwrap();
+        let approx = service
+            .query_batch(&queries, QueryOptions::top_k(k).with_mode(full))
+            .unwrap();
         assert_eq!(exact.value.len(), queries.len());
         for (q, (e, a)) in exact.value.iter().zip(&approx.value).enumerate() {
             assert_eq!(e.len(), k.min(n2), "k={k} q={q}");
@@ -644,7 +649,9 @@ fn service_edge_cases_agree_across_query_modes() {
             let es: BTreeSet<u32> = e.iter().map(|&(id, _)| id).collect();
             let as_: BTreeSet<u32> = a.iter().map(|&(id, _)| id).collect();
             assert_eq!(es, as_, "k={k} q={q}: modes disagree on the set");
-            let single = service.top_k_with(q as u32, k, full).unwrap();
+            let single = service
+                .query(q as u32, QueryOptions::top_k(k).with_mode(full))
+                .unwrap();
             assert_eq!(&single.value, a, "k={k} q={q}: batch vs single");
         }
     }
@@ -687,4 +694,251 @@ fn duplicate_score_ties_agree_between_exact_and_approx() {
             assert_eq!(s.to_bits(), exact_score.to_bits(), "q{q} id {id}");
         }
     }
+}
+
+/// Tentpole property: a [`ShardedService`](daakg::ShardedService) built
+/// over the same corpus reproduces the unsharded service **bitwise** —
+/// same candidate ids in the same order with bit-identical scores — for
+/// shard counts spanning one partition, even splits, and uneven splits,
+/// at `k = 0`, a typical `k`, `k` ≥ the per-shard slab length, and
+/// `k` ≥ the whole corpus, for single queries, batches, and full
+/// rankings, in both exact and full-probe approximate modes.
+#[test]
+fn sharded_service_reproduces_unsharded_bitwise_across_shard_counts() {
+    use std::sync::Arc;
+
+    let spec = SynthSpec::with_entities(120, 9);
+    let (kg1, kg2, gold) = synthetic_pair(spec, 0.2);
+    let (kg1, kg2) = (Arc::new(kg1), Arc::new(kg2));
+    let mut labels = LabeledMatches::from_gold(&gold);
+    labels.entities.truncate(8);
+    let builder = || {
+        Pipeline::builder()
+            .kg1(Arc::clone(&kg1))
+            .kg2(Arc::clone(&kg2))
+            .joint(JointConfig {
+                embed: EmbedConfig {
+                    dim: 12,
+                    class_dim: 4,
+                    epochs: 1,
+                    ..EmbedConfig::default()
+                },
+                align_epochs: 2,
+                ..JointConfig::default()
+            })
+            .index(6)
+    };
+
+    // The oracle: an unsharded service, deterministically trained.
+    let oracle = builder().build().unwrap();
+    oracle.train(&labels).unwrap();
+    let n1 = kg1.num_entities() as u32;
+    let n2 = kg2.num_entities();
+    let queries: Vec<u32> = (0..n1).collect();
+    let nlist = oracle
+        .current()
+        .snapshot
+        .ivf_index()
+        .expect("index configured")
+        .nlist();
+
+    let assert_bitwise = |label: &str, a: &[(u32, f32)], b: &[(u32, f32)]| {
+        assert_eq!(a.len(), b.len(), "{label}: lengths diverged");
+        for (rank, ((ia, sa), (ib, sb))) in a.iter().zip(b).enumerate() {
+            assert_eq!(ia, ib, "{label} rank {rank}: ids diverged");
+            assert_eq!(
+                sa.to_bits(),
+                sb.to_bits(),
+                "{label} rank {rank}: score bits diverged"
+            );
+        }
+    };
+
+    // 1 shard (degenerate), even splits, and 7 (uneven: 120 % 7 != 0,
+    // per-shard slabs of ~17 rows make k = 40 exceed every slab).
+    for shards in [1usize, 2, 3, 7] {
+        let sharded = builder().shards(shards).build_sharded().unwrap();
+        sharded.service().train(&labels).unwrap();
+        assert_eq!(sharded.shards(), shards);
+
+        for k in [0usize, 5, 40, n2, n2 + 3] {
+            let want = oracle.batch_top_k(&queries, k).unwrap();
+            let got = sharded.batch_top_k(&queries, k).unwrap();
+            assert_eq!(got.version, want.version, "shards {shards} k {k}");
+            for (q, (w, g)) in want.value.iter().zip(&got.value).enumerate() {
+                assert_bitwise(&format!("shards {shards} k {k} q {q}"), w, g);
+            }
+        }
+        // Single-query path and full rankings.
+        for &q in queries.iter().step_by(17) {
+            let want = oracle.top_k(q, 7).unwrap();
+            let got = sharded.top_k(q, 7).unwrap();
+            assert_bitwise(
+                &format!("shards {shards} single q {q}"),
+                &want.value,
+                &got.value,
+            );
+            let want = oracle.rank(q).unwrap();
+            let got = sharded.rank(q).unwrap();
+            assert_bitwise(
+                &format!("shards {shards} rank q {q}"),
+                &want.value,
+                &got.value,
+            );
+        }
+        // Full-probe approximate: per-shard indexes clamp `nprobe` to
+        // their own list counts, so a corpus-wide full probe is exact on
+        // every shard and the merge must again be bitwise-identical.
+        let opts = QueryOptions::top_k(9).approx(nlist);
+        let want = oracle.query_batch(&queries, opts).unwrap();
+        let got = sharded.query_batch(&queries, opts).unwrap();
+        for (q, (w, g)) in want.value.iter().zip(&got.value).enumerate() {
+            assert_bitwise(&format!("shards {shards} full-probe q {q}"), w, g);
+        }
+    }
+}
+
+/// Tentpole property: the scatter-gather merge preserves duplicate-score
+/// ties exactly. With every candidate row repeated eight times, almost
+/// every score is tied; merging per-shard top-k lists (global ids, one
+/// more [`TopKSelector`](daakg::index::TopKSelector) pass — the sharded
+/// service's merge algorithm) must reproduce the unsharded ranking
+/// bitwise, ties resolved by ascending global id, for even and uneven
+/// shard splits and `k` values crossing every tie group.
+#[test]
+fn sharded_merge_preserves_duplicate_score_ties() {
+    use daakg::index::TopKSelector;
+    use daakg::{IvfConfig, IvfIndex};
+
+    // 6 distinct rows cycled over 48 candidates: ties cross every shard
+    // boundary for every split below.
+    let base = random_tensor(6, 8, 420);
+    let rows: Vec<&[f32]> = (0..48).map(|j| base.row(j % 6)).collect();
+    let cands = Tensor::from_rows(&rows);
+    let queries = random_tensor(4, 8, 421);
+    let engine = BatchedSimilarity::new(&queries, &cands);
+    let norm = engine.normalized_candidates();
+    let (n, d) = norm.shape();
+
+    for shards in [2usize, 3, 5, 7] {
+        // Contiguous split, uneven tail — the service's partitioning.
+        let chunk = n.div_ceil(shards);
+        let slabs: Vec<(usize, IvfIndex)> = (0..shards)
+            .map(|s| {
+                let base = s * chunk;
+                let len = chunk.min(n - base);
+                let slice = norm.as_slice()[base * d..(base + len) * d].to_vec();
+                let local = Tensor::from_vec(len, d, slice);
+                (base, IvfIndex::build(&local, &IvfConfig::new(3)))
+            })
+            .collect();
+
+        for q in 0..queries.rows() as u32 {
+            for k in [1usize, 6, 8, 9, 24, n, n + 5] {
+                let want = engine.top_k(q, k);
+                let mut merge = TopKSelector::new(k.min(n));
+                for (base, index) in &slabs {
+                    // Full probe == per-shard exact; ids are shard-local.
+                    let hits = index.search(engine.normalized_query(q), k, index.nlist());
+                    for (id, score) in hits {
+                        merge.push(*base as u32 + id, score);
+                    }
+                }
+                let got = merge.into_sorted();
+                assert_eq!(want.len(), got.len(), "shards {shards} q{q} k{k}");
+                for (rank, ((iw, sw), (ig, sg))) in want.iter().zip(&got).enumerate() {
+                    assert_eq!(iw, ig, "shards {shards} q{q} k{k} rank {rank}: tie order");
+                    assert_eq!(
+                        sw.to_bits(),
+                        sg.to_bits(),
+                        "shards {shards} q{q} k{k} rank {rank}: score bits"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Tentpole integration: concurrent single queries through the
+/// micro-batching ingress coalesce into batched dispatches, every answer
+/// is bitwise-correct against the unsharded oracle, and every answer of
+/// the (quiescent) campaign carries the one published snapshot version —
+/// no torn cross-shard version mixes.
+#[test]
+fn ingress_coalesces_concurrent_queries_with_coherent_versions() {
+    use daakg::IngressConfig;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let spec = SynthSpec::with_entities(90, 7);
+    let (kg1, kg2, gold) = synthetic_pair(spec, 0.2);
+    let (kg1, kg2) = (Arc::new(kg1), Arc::new(kg2));
+    let mut labels = LabeledMatches::from_gold(&gold);
+    labels.entities.truncate(6);
+    let builder = || {
+        Pipeline::builder()
+            .kg1(Arc::clone(&kg1))
+            .kg2(Arc::clone(&kg2))
+            .joint(JointConfig {
+                embed: EmbedConfig {
+                    dim: 10,
+                    class_dim: 4,
+                    epochs: 1,
+                    ..EmbedConfig::default()
+                },
+                align_epochs: 2,
+                ..JointConfig::default()
+            })
+    };
+    let oracle = builder().build().unwrap();
+    oracle.train(&labels).unwrap();
+    let sharded = builder()
+        .shards(3)
+        .ingress(IngressConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+        })
+        .build_sharded()
+        .unwrap();
+    sharded.service().train(&labels).unwrap();
+
+    let clients = 8usize;
+    let per_client = 25usize;
+    let n1 = kg1.num_entities() as u32;
+    std::thread::scope(|scope| {
+        let sharded = &sharded;
+        let oracle = &oracle;
+        let workers: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    for i in 0..per_client {
+                        let q = ((c * per_client + i) as u32 * 13) % n1;
+                        let got = sharded.top_k(q, 5).unwrap();
+                        // One coherent, current version per answer.
+                        assert_eq!(got.version, oracle.version());
+                        let want = oracle.top_k(q, 5).unwrap();
+                        assert_eq!(want.value.len(), got.value.len());
+                        for ((iw, sw), (ig, sg)) in want.value.iter().zip(&got.value) {
+                            assert_eq!(iw, ig, "client {c} q {q}");
+                            assert_eq!(sw.to_bits(), sg.to_bits(), "client {c} q {q}");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+    });
+
+    let stats = sharded.ingress_stats().expect("ingress running");
+    assert_eq!(stats.queries, (clients * per_client) as u64);
+    assert!(stats.batches >= 1 && stats.batches <= stats.queries);
+    // With 8 concurrent closed-loop clients and an 8-wide window, at
+    // least *some* coalescing must happen — the worker would need to
+    // win every race for the count to degenerate to one-per-dispatch.
+    assert!(
+        stats.batches < stats.queries,
+        "no coalescing at all: {stats:?}"
+    );
 }

@@ -12,7 +12,7 @@ use daakg::graph::kg::{example_dbpedia, example_wikidata};
 use daakg::store::{fault, SectionReader, TestDir, MANIFEST_NAME};
 use daakg::{
     AlignmentService, DaakgError, DurableRegistry, EmbedConfig, JointConfig, LabeledMatches,
-    Pipeline, QueryMode, ServingConfig, SnapshotVersion,
+    Pipeline, QueryMode, QueryOptions, ServingConfig, SnapshotVersion,
 };
 use std::path::Path;
 use std::sync::Arc;
@@ -71,14 +71,17 @@ fn warm_restart_mid_campaign_reproduces_versioned_answers_exact_and_approx() {
         assert_eq!(svc.version().get(), 3);
         (
             svc.batch_top_k(&queries, 4).unwrap(),
-            svc.batch_top_k_with(&queries, 4, full).unwrap(),
+            svc.query_batch(&queries, QueryOptions::top_k(4).with_mode(full))
+                .unwrap(),
         )
     }; // drop = simulated process death mid-campaign
     let svc = open_indexed(td.path());
     assert_eq!(svc.version().get(), 3);
     assert!(svc.recovery().unwrap().skipped.is_empty());
     let exact_after = svc.batch_top_k(&queries, 4).unwrap();
-    let approx_after = svc.batch_top_k_with(&queries, 4, full).unwrap();
+    let approx_after = svc
+        .query_batch(&queries, QueryOptions::top_k(4).with_mode(full))
+        .unwrap();
     assert_eq!(exact_after.version, exact_before.version);
     assert_eq!(approx_after.version, approx_before.version);
     assert_bitwise(&exact_before.value, &exact_after.value);
@@ -291,15 +294,11 @@ fn serving_config_changes_across_restart_are_reconciled() {
     assert_eq!(svc.version().get(), 2);
     let exact_after = svc.batch_top_k(&[0, 1, 2], 3).unwrap();
     assert_bitwise(&exact_before.value, &exact_after.value);
-    assert!(svc
-        .top_k_with(0, 3, QueryMode::Approx { nprobe: 1 })
-        .is_err());
+    assert!(svc.query(0, QueryOptions::top_k(3).approx(1)).is_err());
     // And reopening indexed again serves approx from a rebuilt index.
     drop(svc);
     let svc = open_indexed(td.path());
-    let full = svc
-        .top_k_with(0, 3, QueryMode::Approx { nprobe: 3 })
-        .unwrap();
+    let full = svc.query(0, QueryOptions::top_k(3).approx(3)).unwrap();
     let exact = svc.top_k(0, 3).unwrap();
     assert_bitwise(
         std::slice::from_ref(&exact.value),
