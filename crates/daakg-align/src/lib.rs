@@ -41,7 +41,10 @@
 //!   IVF index), merged bitwise-identically to the unsharded scan,
 //! * [`ingress`] — the micro-batching ingress coalescing concurrent
 //!   single queries into batched kernel dispatches under a configurable
-//!   time/size window ([`IngressConfig`]).
+//!   time/size window ([`IngressConfig`]) — with overload resilience:
+//!   bounded-queue admission control, per-query deadlines, panic
+//!   isolation at the dispatch boundary, typed shutdown, and opt-in
+//!   graceful degradation ([`DegradePolicy`]).
 
 pub mod batched;
 pub mod calibrate;
@@ -64,13 +67,13 @@ pub use config::JointConfig;
 // Serving-mode types live in `daakg-index`; re-exported here because the
 // service API consumes them.
 pub use daakg_index::{IvfConfig, IvfIndex, QueryMode, QueryOptions};
-pub use ingress::{IngressConfig, IngressStats};
+pub use ingress::{DegradePolicy, IngressConfig, IngressStats, PendingAnswer};
 pub use joint::{JointModel, LabeledMatches};
 pub use persist::{DurableRegistry, RecoveryReport};
 pub use query::QueryExecutor;
 pub use service::{
-    AlignmentService, ServingConfig, SnapshotRegistry, SnapshotVersion, Versioned,
-    VersionedSnapshot,
+    AlignmentService, Served, ServiceHealth, ServingConfig, SnapshotRegistry, SnapshotVersion,
+    Versioned, VersionedSnapshot,
 };
 pub use shard::ShardedService;
 pub use snapshot::AlignmentSnapshot;

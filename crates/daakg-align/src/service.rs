@@ -138,6 +138,58 @@ pub struct Versioned<T> {
     pub value: T,
 }
 
+/// A query answer stamped with the snapshot version it was computed on
+/// **and** the [`QueryMode`] it was actually served under.
+///
+/// The serving layer may answer an `Exact` request approximately when an
+/// opt-in [`crate::DegradePolicy`] is engaged under overload; this stamp
+/// makes that substitution observable per answer, so callers relying on
+/// the bitwise-exactness guarantee can check `served == QueryMode::Exact`
+/// rather than trusting the request mode they asked for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Served<T> {
+    /// The snapshot version the query ran against.
+    pub version: SnapshotVersion,
+    /// The query result.
+    pub value: T,
+    /// The execution mode actually used (may differ from the requested
+    /// mode only under an engaged [`crate::DegradePolicy`]).
+    pub served: QueryMode,
+}
+
+/// Liveness and durability health of a serving stack, surfaced so a
+/// failing disk (or engaged degradation) is observable without parsing
+/// logs — in-memory serving keeps answering either way.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServiceHealth {
+    /// `true` while the most recent persist attempt failed: publications
+    /// are serving from memory without durability. Cleared by the next
+    /// successful persist.
+    pub durability_degraded: bool,
+    /// The most recent persist error, rendered; `None` when the last
+    /// persist succeeded (or none was attempted).
+    pub last_persist_error: Option<String>,
+    /// Publications whose persist failed even after retries.
+    pub persist_failures: u64,
+    /// Persist attempts that were backoff retries of a transient IO
+    /// failure (successful recoveries included).
+    pub persist_retries: u64,
+    /// Whether an ingress [`crate::DegradePolicy`] is currently engaged
+    /// (always `false` for a bare [`AlignmentService`] — degradation is
+    /// an ingress-level mechanism).
+    pub degrade_engaged: bool,
+}
+
+/// Shared mutable health counters of an [`AlignmentService`] (interior
+/// mutability: persist runs under `&self`).
+#[derive(Debug, Default)]
+struct HealthState {
+    durability_degraded: std::sync::atomic::AtomicBool,
+    persist_failures: std::sync::atomic::AtomicU64,
+    persist_retries: std::sync::atomic::AtomicU64,
+    last_persist_error: Mutex<Option<String>>,
+}
+
 /// The versioned snapshot registry: atomic-swap publication, lock-free
 /// reads, retained history.
 ///
@@ -484,6 +536,8 @@ pub struct AlignmentService {
     /// What [`AlignmentService::open`] found on disk; `None` for
     /// non-durable or fresh-directory services.
     recovery: Option<RecoveryReport>,
+    /// Durability-health counters (see [`AlignmentService::health`]).
+    health: HealthState,
 }
 
 impl fmt::Debug for AlignmentService {
@@ -532,6 +586,7 @@ impl AlignmentService {
             serving,
             store: None,
             recovery: None,
+            health: HealthState::default(),
         })
     }
 
@@ -594,6 +649,7 @@ impl AlignmentService {
             serving,
             store: Some(store),
             recovery: Some(report),
+            health: HealthState::default(),
         };
         if fresh {
             let cur = svc.registry.current();
@@ -602,14 +658,66 @@ impl AlignmentService {
         Ok(svc)
     }
 
-    /// Persist one publication to the durable store, if configured. Save
-    /// errors propagate to the training caller, but the in-memory publish
+    /// Persist one publication to the durable store, if configured.
+    /// Transient IO failures are retried with bounded exponential backoff
+    /// ([`daakg_store::store::retry_with_backoff`]); the final error
+    /// still propagates to the training caller, but the in-memory publish
     /// stands — readers already serve the new version; only its
-    /// durability failed.
+    /// durability failed, which [`AlignmentService::health`] records so a
+    /// failing disk is observable without taking down serving.
     fn persist(&self, published: &VersionedSnapshot) -> Result<(), DaakgError> {
-        match &self.store {
-            Some(store) => store.save(published.version.get(), &published.snapshot),
-            None => Ok(()),
+        use std::sync::atomic::Ordering::Relaxed;
+        let Some(store) = &self.store else {
+            return Ok(());
+        };
+        let result = daakg_store::store::retry_with_backoff(
+            3,
+            std::time::Duration::from_millis(1),
+            |attempt| {
+                if attempt > 0 {
+                    self.health.persist_retries.fetch_add(1, Relaxed);
+                }
+                store.save(published.version.get(), &published.snapshot)
+            },
+        );
+        let mut last_error = self
+            .health
+            .last_persist_error
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match &result {
+            Ok(()) => {
+                self.health.durability_degraded.store(false, Relaxed);
+                *last_error = None;
+            }
+            Err(e) => {
+                self.health.persist_failures.fetch_add(1, Relaxed);
+                self.health.durability_degraded.store(true, Relaxed);
+                *last_error = Some(e.to_string());
+            }
+        }
+        result
+    }
+
+    /// The service's durability health: whether the latest persist
+    /// failed (and with what error), how many publications lost
+    /// durability, and how many transient-IO retries the store absorbed.
+    /// In-memory serving is unaffected by any of it — this surface exists
+    /// so operators notice a failing disk *before* a restart needs the
+    /// missing versions.
+    pub fn health(&self) -> ServiceHealth {
+        use std::sync::atomic::Ordering::Relaxed;
+        ServiceHealth {
+            durability_degraded: self.health.durability_degraded.load(Relaxed),
+            last_persist_error: self
+                .health
+                .last_persist_error
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clone(),
+            persist_failures: self.health.persist_failures.load(Relaxed),
+            persist_retries: self.health.persist_retries.load(Relaxed),
+            degrade_engaged: false,
         }
     }
 
@@ -1561,6 +1669,56 @@ mod tests {
         plain.align_rounds(&labels, 1).unwrap();
         assert_eq!(plain.prune_with_store(1).unwrap(), Vec::<u64>::new());
         assert_eq!(plain.retained_versions(), 1);
+    }
+
+    /// A failing disk degrades durability, never in-memory serving: the
+    /// persist error propagates (after bounded retries) and is recorded
+    /// in [`AlignmentService::health`], while the publish stands and
+    /// queries keep answering; a recovered disk clears the degradation.
+    #[test]
+    fn failing_disk_degrades_durability_not_serving() {
+        let td = daakg_store::TestDir::new("svc-health");
+        let svc = AlignmentService::open(
+            tiny_cfg(),
+            ServingConfig::default(),
+            Arc::new(example_dbpedia()),
+            Arc::new(example_wikidata()),
+            td.path(),
+        )
+        .unwrap();
+        let fresh = svc.health();
+        assert_eq!(fresh, ServiceHealth::default());
+        // Fault injection that works regardless of privileges: occupy the
+        // next version's tmp path with a *directory*, so the atomic-write
+        // protocol's File::create fails (EISDIR) on every attempt.
+        let blocker = td.path().join("v0000000002.snap.tmp");
+        std::fs::create_dir(&blocker).unwrap();
+        let labels = example_labels(&svc);
+        let err = svc.train(&labels).expect_err("persist must fail");
+        assert!(matches!(err, DaakgError::IoAt { .. }));
+        // The publish stands: in-memory serving moved to v2 and answers.
+        assert_eq!(svc.version().get(), 2);
+        assert_eq!(svc.top_k(0, 2).unwrap().version.get(), 2);
+        // Health records the degradation: transient IO was retried with
+        // backoff (3 attempts = 2 retries), then counted as a failure.
+        let health = svc.health();
+        assert!(health.durability_degraded);
+        assert_eq!(health.persist_failures, 1);
+        assert_eq!(health.persist_retries, 2);
+        let message = health.last_persist_error.expect("error recorded");
+        assert!(message.contains("v0000000002.snap"), "got: {message}");
+        assert!(!health.degrade_engaged);
+        // Disk "recovers": the next publish persists and clears the flag.
+        std::fs::remove_dir(&blocker).unwrap();
+        svc.train(&labels).expect("persist works again");
+        let health = svc.health();
+        assert!(!health.durability_degraded);
+        assert_eq!(health.last_persist_error, None);
+        assert_eq!(health.persist_failures, 1);
+        // Disk state: v1 (initial), v3 (recovered publish); v2 was the
+        // durability casualty — memory-only, by design.
+        let reg = DurableRegistry::open(td.path()).unwrap();
+        assert_eq!(reg.versions().unwrap(), vec![1, 3]);
     }
 
     /// Registry-level satellite: versions stay dense and strictly monotone

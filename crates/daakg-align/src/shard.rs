@@ -39,8 +39,10 @@
 //! With a [`crate::IngressConfig`], a micro-batching ingress sits in
 //! front of the single-query path: see [`crate::ingress`].
 
-use crate::ingress::{Ingress, IngressConfig, IngressStats};
-use crate::service::{AlignmentService, Ranking, Versioned, VersionedSnapshot};
+use crate::ingress::{lock_recover, Ingress, IngressConfig, IngressStats, PendingAnswer};
+use crate::service::{
+    AlignmentService, Ranking, Served, ServiceHealth, Versioned, VersionedSnapshot,
+};
 use crate::snapshot::AlignmentSnapshot;
 use daakg_autograd::Tensor;
 use daakg_graph::DaakgError;
@@ -198,7 +200,7 @@ impl ShardCore {
     /// it on first use.
     fn shard_set(&self, cur: &VersionedSnapshot) -> Arc<ShardSet> {
         let v = cur.version.get();
-        if let Some((cv, set)) = self.cache.lock().expect("shard cache poisoned").as_ref() {
+        if let Some((cv, set)) = lock_recover(&self.cache).as_ref() {
             if *cv == v {
                 return Arc::clone(set);
             }
@@ -208,13 +210,28 @@ impl ShardCore {
         // racing on a fresh version may both build; the sets are
         // deterministic, so either install is correct.
         let set = Arc::new(ShardSet::build(&cur.snapshot, self.shards));
-        let mut cache = self.cache.lock().expect("shard cache poisoned");
+        let mut cache = lock_recover(&self.cache);
         match cache.as_ref() {
             // Never clobber a newer version's set with an older one.
             Some((cv, _)) if *cv > v => {}
             _ => *cache = Some((v, Arc::clone(&set))),
         }
         set
+    }
+
+    /// Build (and cache) the current version's shard set ahead of
+    /// traffic, so no query pays the partitioning cost in its own
+    /// latency. Called on construction and after every publish through
+    /// the sharded front-end; a no-op when the set is already cached.
+    pub(crate) fn prewarm(&self) {
+        let cur = self.service.current();
+        self.shard_set(&cur);
+    }
+
+    /// Whether the wrapped service carries an IVF index — the
+    /// precondition for serving degraded (`Approx`) answers.
+    pub(crate) fn has_index(&self) -> bool {
+        self.service.serving().index.is_some()
     }
 
     pub(crate) fn query(
@@ -323,18 +340,22 @@ impl ShardCore {
 /// A sharded scatter-gather serving front-end over an
 /// [`AlignmentService`].
 ///
-/// Construction partitions nothing yet — shard slabs are built lazily,
-/// once per published snapshot version, on first query of that version
-/// (and cached, so steady-state queries pay only the scatter). Training
-/// still happens through the wrapped service
-/// ([`ShardedService::service`]); the next query after a publish picks up
-/// the new version and rebuilds its shard set.
+/// Shard slabs are built once per published snapshot version and cached,
+/// so steady-state queries pay only the scatter. Construction
+/// **pre-warms** the initial version's set, and publishing through the
+/// front-end's own [`ShardedService::train`] /
+/// [`ShardedService::align_rounds`] wrappers pre-warms the new version —
+/// so no query pays the partitioning cost in its own tail latency.
+/// Training through the wrapped service directly
+/// ([`ShardedService::service`]) still works; the first query after such
+/// a publish builds the new set lazily.
 ///
 /// `Exact` answers are bitwise-identical to the unsharded service's
 /// (ties included); see the [module docs](self) for why. With an
 /// [`IngressConfig`], single queries additionally coalesce through the
 /// micro-batching ingress ([`crate::ingress`]) into batched kernel
-/// dispatches.
+/// dispatches — which also brings admission control, deadlines, and the
+/// opt-in [`crate::DegradePolicy`] (see the ingress docs).
 pub struct ShardedService {
     core: Arc<ShardCore>,
     ingress: Option<Ingress>,
@@ -367,14 +388,18 @@ impl ShardedService {
                 format!("shard count {shards} exceeds the 4096 maximum"),
             ));
         }
-        Ok(Self {
+        let svc = Self {
             core: Arc::new(ShardCore {
                 service,
                 shards,
                 cache: Mutex::new(None),
             }),
             ingress: None,
-        })
+        };
+        // Pre-warm the initial version so the first query doesn't pay
+        // the shard-set build inside its own latency.
+        svc.core.prewarm();
+        Ok(svc)
     }
 
     /// [`ShardedService::new`] with a micro-batching ingress in front of
@@ -409,15 +434,64 @@ impl ShardedService {
         self.ingress.as_ref().map(Ingress::config)
     }
 
-    /// Dispatch counters of the running ingress (total queries admitted,
-    /// batched kernel dispatches issued) — `None` without an ingress.
+    /// Dispatch and resilience counters of the running ingress (queries
+    /// admitted, batched dispatches, shed/expired/degraded/panicked
+    /// queries, queue high-water mark) — `None` without an ingress.
     pub fn ingress_stats(&self) -> Option<IngressStats> {
         self.ingress.as_ref().map(Ingress::stats)
     }
 
+    /// Liveness and durability health of the serving stack: the wrapped
+    /// service's persist health plus whether the ingress
+    /// [`crate::DegradePolicy`] is currently engaged.
+    pub fn health(&self) -> ServiceHealth {
+        let mut health = self.core.service.health();
+        if let Some(ingress) = &self.ingress {
+            health.degrade_engaged = ingress.degrade_engaged();
+        }
+        health
+    }
+
+    /// Build (and cache) the current version's shard set ahead of
+    /// traffic. Construction and the [`ShardedService::train`] /
+    /// [`ShardedService::align_rounds`] wrappers already do this; call it
+    /// manually after publishing through
+    /// [`ShardedService::service`] directly to keep the build cost out of
+    /// the next query's latency.
+    pub fn prewarm(&self) {
+        self.core.prewarm();
+    }
+
+    /// Train on `labels` and publish through the wrapped service, then
+    /// pre-warm the new version's shard set so the publish — not the
+    /// next query — pays the partitioning cost.
+    pub fn train(
+        &self,
+        labels: &crate::joint::LabeledMatches,
+    ) -> Result<VersionedSnapshot, DaakgError> {
+        let published = self.core.service.train(labels)?;
+        self.core.prewarm();
+        Ok(published)
+    }
+
+    /// [`AlignmentService::align_rounds`] through the front-end, with the
+    /// new version's shard set pre-warmed (see [`ShardedService::train`]).
+    pub fn align_rounds(
+        &self,
+        labels: &crate::joint::LabeledMatches,
+        epochs: usize,
+    ) -> Result<Versioned<Vec<f32>>, DaakgError> {
+        let losses = self.core.service.align_rounds(labels, epochs)?;
+        self.core.prewarm();
+        Ok(losses)
+    }
+
     /// Answer one left entity under `opts`. With an ingress configured,
     /// the call enqueues and blocks until its coalesced batch is
-    /// answered; without one, it scatters immediately.
+    /// answered — subject to admission control
+    /// ([`DaakgError::Overloaded`]), the query's deadline, and the
+    /// opt-in [`crate::DegradePolicy`]; without one, it scatters
+    /// immediately (no queue, so deadlines are inert and nothing sheds).
     pub fn query(&self, e1: u32, opts: QueryOptions) -> Result<Versioned<Ranking>, DaakgError> {
         match &self.ingress {
             Some(ingress) => {
@@ -425,9 +499,51 @@ impl ShardedService {
                 // mode are validated before the queue ever sees the query.
                 self.core.service.check_query(e1)?;
                 self.core.service.resolve_mode(opts.mode)?;
-                ingress.submit(e1, opts)
+                ingress.submit(e1, opts).map(|(answer, _served)| answer)
             }
             None => self.core.query(e1, opts),
+        }
+    }
+
+    /// [`ShardedService::query`], with the answer stamped by the
+    /// [`QueryMode`] it was actually served under — the mode can differ
+    /// from the requested one only while an explicitly configured
+    /// [`crate::DegradePolicy`] is engaged.
+    pub fn query_served(&self, e1: u32, opts: QueryOptions) -> Result<Served<Ranking>, DaakgError> {
+        match &self.ingress {
+            Some(ingress) => {
+                self.core.service.check_query(e1)?;
+                self.core.service.resolve_mode(opts.mode)?;
+                ingress.submit(e1, opts).map(|(answer, served)| Served {
+                    version: answer.version,
+                    value: answer.value,
+                    served,
+                })
+            }
+            None => self.core.query(e1, opts).map(|answer| Served {
+                version: answer.version,
+                value: answer.value,
+                served: opts.mode,
+            }),
+        }
+    }
+
+    /// Admit one query without blocking for its answer: the open-loop
+    /// submission path. Admission outcomes ([`DaakgError::Overloaded`],
+    /// an already-elapsed deadline, shutdown) surface here synchronously;
+    /// the returned [`PendingAnswer`] then blocks only for the answer
+    /// itself. Without an ingress the query executes inline and the
+    /// returned handle is already resolved.
+    pub fn submit(&self, e1: u32, opts: QueryOptions) -> Result<PendingAnswer, DaakgError> {
+        match &self.ingress {
+            Some(ingress) => {
+                self.core.service.check_query(e1)?;
+                self.core.service.resolve_mode(opts.mode)?;
+                ingress.submit_ticket(e1, opts)
+            }
+            None => Ok(PendingAnswer::filled(
+                self.core.query(e1, opts).map(|answer| (answer, opts.mode)),
+            )),
         }
     }
 

@@ -107,6 +107,7 @@ fn main() {
             .or_else(|| r.get_metric("epoch_ms"))
             .or_else(|| r.get_metric("round_ms"))
             .or_else(|| r.get_metric("serve_ms"))
+            .or_else(|| r.get_metric("overload_ms"))
             .or_else(|| r.get_metric("load_ms"))
             .map(|ms| fmt_duration(ms / 1e3))
             .unwrap_or_default();

@@ -98,6 +98,40 @@ pub enum DaakgError {
         /// The unresolvable element name.
         name: String,
     },
+    /// Admission control rejected the query: the ingress queue was already
+    /// at capacity when the query arrived. The caller should back off and
+    /// retry; nothing was enqueued.
+    Overloaded {
+        /// Queue depth observed at admission time.
+        queued: usize,
+        /// The configured queue capacity (`IngressConfig::max_queue`).
+        capacity: usize,
+    },
+    /// The query's deadline elapsed before a kernel ran it. The work was
+    /// shed without burning compute; the caller decides whether to retry
+    /// with a looser deadline.
+    DeadlineExceeded {
+        /// The deadline the caller attached to the query.
+        deadline: std::time::Duration,
+        /// How long the query had actually waited when it was shed.
+        waited: std::time::Duration,
+    },
+    /// The serving component shut down while the request was in flight.
+    /// Waiters are woken with this instead of hanging on a dead worker.
+    Shutdown {
+        /// Which component shut down (e.g. `"ingress"`).
+        context: &'static str,
+    },
+    /// A query panicked inside the execution engine. The panic was caught
+    /// at the dispatch boundary: the worker and all other in-flight
+    /// queries survive, and only the offending query observes this error.
+    Panicked {
+        /// The dispatch boundary that caught the panic (e.g.
+        /// `"ingress batch"`).
+        context: &'static str,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl DaakgError {
@@ -190,6 +224,22 @@ impl fmt::Display for DaakgError {
             DaakgError::UnknownElement { line, name } => {
                 write!(f, "unknown element {name:?} at line {line}")
             }
+            DaakgError::Overloaded { queued, capacity } => write!(
+                f,
+                "overloaded: {queued} queries queued at capacity {capacity}; \
+                 admission rejected"
+            ),
+            DaakgError::DeadlineExceeded { deadline, waited } => write!(
+                f,
+                "deadline exceeded: query waited {waited:?} against a \
+                 {deadline:?} deadline and was shed before execution"
+            ),
+            DaakgError::Shutdown { context } => {
+                write!(f, "{context} shut down while the request was in flight")
+            }
+            DaakgError::Panicked { context, message } => {
+                write!(f, "query panicked in {context}: {message}")
+            }
         }
     }
 }
@@ -270,6 +320,30 @@ mod tests {
         assert!(e.to_string().contains("v2.snap"));
         assert!(e.to_string().contains("ents2"));
         assert!(e.to_string().contains("crc"));
+    }
+
+    #[test]
+    fn overload_taxonomy_displays_are_informative() {
+        let e = DaakgError::Overloaded {
+            queued: 8192,
+            capacity: 8192,
+        };
+        assert!(e.to_string().contains("8192"));
+        assert!(e.to_string().contains("admission rejected"));
+        let e = DaakgError::DeadlineExceeded {
+            deadline: std::time::Duration::from_millis(5),
+            waited: std::time::Duration::from_millis(7),
+        };
+        assert!(e.to_string().contains("5ms"));
+        assert!(e.to_string().contains("shed"));
+        let e = DaakgError::Shutdown { context: "ingress" };
+        assert!(e.to_string().contains("ingress shut down"));
+        let e = DaakgError::Panicked {
+            context: "ingress batch",
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("boom"));
+        assert!(e.to_string().contains("ingress batch"));
     }
 
     #[test]

@@ -112,6 +112,18 @@ pub struct QueryOptions {
     pub k: Option<usize>,
     /// How the scan executes (exhaustive or IVF-approximate).
     pub mode: QueryMode,
+    /// Optional per-query deadline, measured from submission. A query
+    /// still queued when its deadline elapses is shed with
+    /// `DaakgError::DeadlineExceeded` instead of burning kernel time on
+    /// an answer nobody is waiting for. `None` (the default) never sheds.
+    ///
+    /// The deadline only bounds *queueing* delay — a query handed to the
+    /// execution kernel runs to completion. A zero (or otherwise already
+    /// elapsed) deadline is therefore shed at admission, a documented way
+    /// to probe queue health without doing work. Deadlines do not affect
+    /// batching: queries differing only in deadline still coalesce into
+    /// one kernel dispatch.
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl Default for QueryOptions {
@@ -126,6 +138,7 @@ impl QueryOptions {
         Self {
             k: None,
             mode: QueryMode::Exact,
+            deadline: None,
         }
     }
 
@@ -134,6 +147,7 @@ impl QueryOptions {
         Self {
             k: Some(k),
             mode: QueryMode::Exact,
+            deadline: None,
         }
     }
 
@@ -147,6 +161,21 @@ impl QueryOptions {
     pub fn approx(mut self, nprobe: usize) -> Self {
         self.mode = QueryMode::Approx { nprobe };
         self
+    }
+
+    /// Attach a queueing deadline, measured from submission (see
+    /// [`QueryOptions::deadline`]).
+    pub fn with_deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Whether two queries may share one coherent kernel dispatch: equal
+    /// in everything the *kernel* sees (`k` and `mode`). Deadlines are
+    /// queueing metadata, not execution parameters, so queries differing
+    /// only in deadline still coalesce.
+    pub fn coalesces_with(&self, other: &Self) -> bool {
+        self.k == other.k && self.mode == other.mode
     }
 
     /// Validate against a service whose index presence is known (see
@@ -176,6 +205,24 @@ mod tests {
         assert!(QueryOptions::top_k(2).approx(1).validate(false).is_err());
         assert!(QueryOptions::top_k(2).approx(1).validate(true).is_ok());
         assert!(QueryOptions::top_k(2).approx(0).validate(true).is_err());
+    }
+
+    #[test]
+    fn deadlines_are_queueing_metadata_not_kernel_parameters() {
+        use std::time::Duration;
+        let plain = QueryOptions::top_k(5);
+        assert_eq!(plain.deadline, None);
+        let tight = plain.with_deadline(Duration::from_millis(2));
+        assert_eq!(tight.deadline, Some(Duration::from_millis(2)));
+        // Differing deadlines still share a kernel dispatch...
+        assert!(plain.coalesces_with(&tight));
+        assert!(tight.coalesces_with(&plain));
+        // ...but differing kernel parameters never do.
+        assert!(!plain.coalesces_with(&QueryOptions::top_k(6)));
+        assert!(!plain.coalesces_with(&QueryOptions::top_k(5).approx(2)));
+        // The deadline participates in equality (it is real per-query
+        // state), just not in coalescing.
+        assert_ne!(plain, tight);
     }
 
     #[test]

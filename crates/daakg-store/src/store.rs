@@ -62,6 +62,43 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), DaakgError> {
     run().map_err(|e| DaakgError::io_at(path, e))
 }
 
+/// Whether an error is a transient IO failure worth retrying — as
+/// opposed to validation failures ([`DaakgError::Corrupt`], config
+/// errors) where a retry would deterministically fail again.
+pub fn is_transient_io(err: &DaakgError) -> bool {
+    matches!(err, DaakgError::Io(_) | DaakgError::IoAt { .. })
+}
+
+/// Run `op` up to `attempts` times, sleeping `base_delay · 2^i` between
+/// tries, retrying only transient IO failures ([`is_transient_io`]).
+/// The closure receives the 0-based attempt number, so callers can count
+/// retries. The final error (transient or not) is returned unchanged.
+///
+/// The backoff is bounded by construction: with `attempts` tries the
+/// total sleep is `base_delay · (2^(attempts-1) − 1)` — size it so a
+/// genuinely dead disk fails the publication in bounded time instead of
+/// wedging the training thread.
+pub fn retry_with_backoff<T>(
+    attempts: usize,
+    base_delay: std::time::Duration,
+    mut op: impl FnMut(usize) -> Result<T, DaakgError>,
+) -> Result<T, DaakgError> {
+    let attempts = attempts.max(1);
+    let mut delay = base_delay;
+    let mut attempt = 0;
+    loop {
+        match op(attempt) {
+            Ok(value) => return Ok(value),
+            Err(err) if attempt + 1 < attempts && is_transient_io(&err) => {
+                std::thread::sleep(delay);
+                delay = delay.saturating_mul(2);
+                attempt += 1;
+            }
+            Err(err) => return Err(err),
+        }
+    }
+}
+
 /// A directory of immutable, checksummed version files
 /// (`v0000000042.snap`) plus the advisory `MANIFEST`.
 ///
@@ -271,5 +308,50 @@ mod tests {
         write_atomic(&path, b"second").unwrap();
         assert_eq!(fs::read(&path).unwrap(), b"second");
         assert!(!path.with_extension("bin.tmp").exists());
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_io_and_counts_attempts() {
+        use std::time::Duration;
+        // Fails transiently twice, then succeeds: three attempts total.
+        let mut seen = Vec::new();
+        let result = retry_with_backoff(3, Duration::from_micros(10), |attempt| {
+            seen.push(attempt);
+            if attempt < 2 {
+                Err(DaakgError::Io(io::Error::other("disk hiccup")))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(result.unwrap(), 42);
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn retry_is_bounded_and_skips_non_transient_errors() {
+        use std::time::Duration;
+        // A persistently failing disk exhausts the attempt budget.
+        let mut tries = 0;
+        let result: Result<(), _> = retry_with_backoff(3, Duration::from_micros(10), |_| {
+            tries += 1;
+            Err(DaakgError::io_at("/dead/disk", io::Error::other("gone")))
+        });
+        assert!(matches!(result, Err(DaakgError::IoAt { .. })));
+        assert_eq!(tries, 3);
+        // Non-transient failures (corruption, validation) never retry —
+        // the second attempt would deterministically fail the same way.
+        let mut tries = 0;
+        let result: Result<(), _> = retry_with_backoff(5, Duration::from_micros(10), |_| {
+            tries += 1;
+            Err(DaakgError::corrupt(
+                "/data/v1.snap",
+                "footer",
+                "crc mismatch",
+            ))
+        });
+        assert!(matches!(result, Err(DaakgError::Corrupt { .. })));
+        assert_eq!(tries, 1);
+        assert!(!is_transient_io(&DaakgError::invalid("X", "y")));
+        assert!(is_transient_io(&DaakgError::Io(io::Error::other("x"))));
     }
 }

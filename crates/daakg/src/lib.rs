@@ -74,7 +74,16 @@
 //!   Adding `.ingress(IngressConfig { .. })` puts a micro-batching
 //!   window in front: concurrent single queries coalesce into batched
 //!   kernel dispatches (see the README's serving-topology section for
-//!   tuning guidance).
+//!   tuning guidance). The ingress is also the overload-resilience
+//!   layer: a bounded queue that rejects over-capacity admissions with
+//!   [`DaakgError::Overloaded`], per-query deadlines
+//!   ([`QueryOptions::with_deadline`]) shed with
+//!   [`DaakgError::DeadlineExceeded`], panic isolation (a poisonous
+//!   query becomes a typed error to its own caller; the worker and its
+//!   batch peers survive), and opt-in degradation ([`DegradePolicy`])
+//!   that answers `Exact` requests approximately under pressure,
+//!   stamping every answer with the mode actually served
+//!   ([`ShardedService::query_served`], [`ServiceHealth`]).
 //!
 //! Every fallible entry point of the service API returns the typed
 //! [`DaakgError`] — no `Result<_, String>`s, and construction/validation
@@ -131,9 +140,10 @@ pub use daakg_store as store;
 // The most commonly used types, re-exported flat.
 pub use daakg_active::{ActiveConfig, ActiveLoop, GoldOracle, Strategy};
 pub use daakg_align::{
-    AlignmentService, AlignmentSnapshot, BatchedSimilarity, DurableRegistry, IngressConfig,
-    IngressStats, JointConfig, JointModel, LabeledMatches, QueryExecutor, RecoveryReport,
-    ServingConfig, ShardedService, SnapshotVersion, Versioned, VersionedSnapshot,
+    AlignmentService, AlignmentSnapshot, BatchedSimilarity, DegradePolicy, DurableRegistry,
+    IngressConfig, IngressStats, JointConfig, JointModel, LabeledMatches, PendingAnswer,
+    QueryExecutor, RecoveryReport, Served, ServiceHealth, ServingConfig, ShardedService,
+    SnapshotVersion, Versioned, VersionedSnapshot,
 };
 pub use daakg_autograd::{Graph, ParamStore, TapeSession, Tensor};
 pub use daakg_embed::{EmbedConfig, KgEmbedding, ModelKind, TrainMode};

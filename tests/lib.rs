@@ -172,10 +172,14 @@ fn end_to_end_pipeline_aligns_synthetic_pair() {
 fn bench_harness_verifies_and_serializes() {
     let cfg = BenchConfig::quick();
     let results = run_all(&cfg);
-    assert_eq!(results.len(), 13);
+    assert_eq!(results.len(), 14);
     for r in &results {
         if let Some(v) = r.get_flag("verified") {
-            assert!(v, "{} failed oracle verification", r.name);
+            assert!(
+                v,
+                "{} failed oracle verification; flags {:?}, metrics {:?}",
+                r.name, r.flags, r.metrics
+            );
         }
     }
     let doc = daakg_bench::scenarios::results_to_json(&cfg, &results);
@@ -897,6 +901,7 @@ fn ingress_coalesces_concurrent_queries_with_coherent_versions() {
         .ingress(IngressConfig {
             max_batch: 8,
             max_wait: Duration::from_millis(2),
+            ..IngressConfig::default()
         })
         .build_sharded()
         .unwrap();
