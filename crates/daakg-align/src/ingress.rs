@@ -342,6 +342,7 @@ impl PendingAnswer {
         self.slot.wait().map(|(answer, served)| Served {
             version: answer.version,
             value: answer.value,
+            deltas_merged: answer.deltas_merged,
             served,
         })
     }
@@ -677,10 +678,16 @@ fn dispatch<B: IngressBackend + ?Sized>(
         })) {
             Ok(Ok(answered)) => {
                 let version = answered.version;
+                let deltas_merged = answered.deltas_merged;
                 for (pending, value) in group.into_iter().zip(answered.value) {
-                    pending
-                        .slot
-                        .fill(Ok((Versioned { version, value }, served)));
+                    pending.slot.fill(Ok((
+                        Versioned {
+                            version,
+                            value,
+                            deltas_merged,
+                        },
+                        served,
+                    )));
                 }
             }
             // A batch error (queries are validated before enqueue, so
@@ -794,6 +801,7 @@ mod tests {
             Versioned {
                 version: SnapshotVersion::of(7),
                 value: vec![(1, 0.5)],
+                deltas_merged: 0,
             },
             QueryMode::Exact,
         )));
@@ -840,6 +848,7 @@ mod tests {
             Versioned {
                 version: SnapshotVersion::of(3),
                 value: vec![(2, 1.0)],
+                deltas_merged: 0,
             },
             QueryMode::Exact,
         )));
@@ -907,6 +916,7 @@ mod tests {
             Ok(Versioned {
                 version: SnapshotVersion::of(self.version),
                 value: self.answer(e1),
+                deltas_merged: 0,
             })
         }
 
@@ -919,6 +929,7 @@ mod tests {
             Ok(Versioned {
                 version: SnapshotVersion::of(self.version),
                 value: queries.iter().map(|&q| self.answer(q)).collect(),
+                deltas_merged: 0,
             })
         }
 

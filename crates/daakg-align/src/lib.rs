@@ -44,11 +44,20 @@
 //!   time/size window ([`IngressConfig`]) — with overload resilience:
 //!   bounded-queue admission control, per-query deadlines, panic
 //!   isolation at the dispatch boundary, typed shutdown, and opt-in
-//!   graceful degradation ([`DegradePolicy`]).
+//!   graceful degradation ([`DegradePolicy`]),
+//! * [`delta`] — **live KG updates**: an append-only delta layer
+//!   ([`AlignmentService::upsert_entity`]) accepting new right-KG
+//!   entities while serving, warm-start fine-tuned embeddings
+//!   (`daakg_embed::warm_start_row`), a background compactor folding
+//!   deltas into the next published snapshot, and crash-safe delta
+//!   segments so durable services warm-restart with base + uncompacted
+//!   deltas. Delta-merged answers are bitwise-equal to an exact scan
+//!   over the union corpus.
 
 pub mod batched;
 pub mod calibrate;
 pub mod config;
+pub mod delta;
 pub mod ingress;
 pub mod joint;
 pub mod losses;
@@ -64,6 +73,7 @@ pub mod weights;
 
 pub use batched::BatchedSimilarity;
 pub use config::JointConfig;
+pub use delta::{DeltaEntry, DeltaRecovery, DeltaTriple, LiveConfig, LiveHealth};
 // Serving-mode types live in `daakg-index`; re-exported here because the
 // service API consumes them.
 pub use daakg_index::{IvfConfig, IvfIndex, QueryMode, QueryOptions};

@@ -41,10 +41,18 @@
 //! restored snapshots.
 
 use crate::config::JointConfig;
+use crate::delta::{
+    self, Compactor, DeltaBuffer, DeltaEntry, DeltaRecovery, DeltaSlab, DeltaTriple, LiveConfig,
+    LiveHealth, LiveStats,
+};
+use crate::ingress::{lock_recover, IngressStats};
 use crate::joint::{JointModel, LabeledMatches};
 use crate::persist::{DurableRegistry, RecoveryReport};
-use crate::snapshot::AlignmentSnapshot;
+use crate::snapshot::{AlignmentSnapshot, SnapshotParts};
+use daakg_autograd::Tensor;
+use daakg_embed::warm_start_row;
 use daakg_graph::{DaakgError, KnowledgeGraph};
+use daakg_index::scan::normalize_rows_cosine;
 use daakg_index::{IvfConfig, QueryMode, QueryOptions};
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -60,8 +68,9 @@ use std::sync::{Arc, Mutex};
 /// the configuration and builds its index lazily (at most once per
 /// version, shared by all readers of that version); `mode` then selects
 /// what [`AlignmentService::rank`] / [`AlignmentService::top_k`] /
-/// [`AlignmentService::batch_top_k`] do, with the `*_with` variants
-/// overriding per call.
+/// [`AlignmentService::batch_top_k`] do, with
+/// [`AlignmentService::query`] / [`AlignmentService::query_batch`] and
+/// explicit [`QueryOptions`] overriding per call.
 #[derive(Debug, Clone, Default)]
 pub struct ServingConfig {
     /// Build an IVF index into every published snapshot.
@@ -136,6 +145,10 @@ pub struct Versioned<T> {
     pub version: SnapshotVersion,
     /// The query result.
     pub value: T,
+    /// How many live delta entries ([`AlignmentService::upsert_entity`])
+    /// were merged into this answer beyond the snapshot's own corpus.
+    /// `0` means the answer came from the published snapshot alone.
+    pub deltas_merged: u32,
 }
 
 /// A query answer stamped with the snapshot version it was computed on
@@ -152,6 +165,9 @@ pub struct Served<T> {
     pub version: SnapshotVersion,
     /// The query result.
     pub value: T,
+    /// How many live delta entries were merged into this answer (see
+    /// [`Versioned::deltas_merged`]).
+    pub deltas_merged: u32,
     /// The execution mode actually used (may differ from the requested
     /// mode only under an engaged [`crate::DegradePolicy`]).
     pub served: QueryMode,
@@ -178,6 +194,14 @@ pub struct ServiceHealth {
     /// (always `false` for a bare [`AlignmentService`] — degradation is
     /// an ingress-level mechanism).
     pub degrade_engaged: bool,
+    /// Ingress admission/dispatch counters — `Some` only for a
+    /// [`crate::ShardedService`] with an ingress attached, so overload
+    /// state and durability state read as one coherent view.
+    pub ingress: Option<IngressStats>,
+    /// Live-update counters (delta depth, compaction lag) — `Some` only
+    /// when the live subsystem is enabled
+    /// ([`AlignmentService::enable_live`]).
+    pub live: Option<LiveHealth>,
 }
 
 /// Shared mutable health counters of an [`AlignmentService`] (interior
@@ -188,6 +212,79 @@ struct HealthState {
     persist_failures: std::sync::atomic::AtomicU64,
     persist_retries: std::sync::atomic::AtomicU64,
     last_persist_error: Mutex<Option<String>>,
+}
+
+/// The durable store together with its health counters — one shareable
+/// unit, because the background compactor persists folded publications
+/// through exactly the same retry/degradation path as training
+/// publications.
+#[derive(Debug, Default)]
+struct PersistState {
+    store: Option<DurableRegistry>,
+    health: HealthState,
+}
+
+impl PersistState {
+    /// Persist one publication to the durable store, if configured.
+    /// Transient IO failures are retried with bounded exponential backoff
+    /// ([`daakg_store::store::retry_with_backoff`]); the final error
+    /// still propagates to the caller, but the in-memory publish stands —
+    /// readers already serve the new version; only its durability failed,
+    /// which the health counters record so a failing disk is observable
+    /// without taking down serving.
+    fn persist(&self, published: &VersionedSnapshot) -> Result<(), DaakgError> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let Some(store) = &self.store else {
+            return Ok(());
+        };
+        let result = daakg_store::store::retry_with_backoff(
+            3,
+            std::time::Duration::from_millis(1),
+            |attempt| {
+                if attempt > 0 {
+                    self.health.persist_retries.fetch_add(1, Relaxed);
+                }
+                store.save(published.version.get(), &published.snapshot)
+            },
+        );
+        let mut last_error = self
+            .health
+            .last_persist_error
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match &result {
+            Ok(()) => {
+                self.health.durability_degraded.store(false, Relaxed);
+                *last_error = None;
+            }
+            Err(e) => {
+                self.health.persist_failures.fetch_add(1, Relaxed);
+                self.health.durability_degraded.store(true, Relaxed);
+                *last_error = Some(e.to_string());
+            }
+        }
+        result
+    }
+}
+
+/// The live-update subsystem attached to a service by
+/// [`AlignmentService::enable_live`].
+struct LiveState {
+    cfg: LiveConfig,
+    /// The append-only delta corpus, shared with the compactor.
+    buffer: Arc<DeltaBuffer>,
+    /// Compaction counters, shared with the compactor.
+    stats: Arc<LiveStats>,
+    /// Serializes upserts: id assignment, warm start, and the segment
+    /// write must be one unit.
+    upsert_lock: Mutex<()>,
+    /// Serializes folds between the compactor thread and `compact_now`.
+    fold_lock: Arc<Mutex<()>>,
+    /// The background compaction thread; dropped (stop + join) with the
+    /// service.
+    compactor: Option<Compactor>,
+    /// What delta-segment replay found on a warm restart.
+    recovery: Option<DeltaRecovery>,
 }
 
 /// The versioned snapshot registry: atomic-swap publication, lock-free
@@ -342,6 +439,43 @@ impl SnapshotRegistry {
             self.prune_shared(keep);
         }
         published
+    }
+
+    /// Publish `snapshot` only if the latest version is still `expected`
+    /// — the compare-and-publish the background compactor uses, so a fold
+    /// derived from version `v` can never overwrite a training publish
+    /// that landed concurrently. Returns `None` (dropping the snapshot)
+    /// when the registry has moved past `expected`.
+    pub fn publish_if_current(
+        &self,
+        snapshot: AlignmentSnapshot,
+        expected: SnapshotVersion,
+    ) -> Option<VersionedSnapshot> {
+        let published = {
+            let mut history = self.history.lock().expect("registry mutex poisoned");
+            // SAFETY: entries in `history` stay allocated while `&self`
+            // exists.
+            let last = unsafe { (*history.last().expect("never empty")).as_ref() }
+                .expect("history pointers are non-null");
+            if last.version != expected {
+                return None;
+            }
+            let version = SnapshotVersion(last.version.0 + 1);
+            let ptr = Box::into_raw(Box::new(VersionedSnapshot {
+                version,
+                snapshot: Arc::new(snapshot),
+            }));
+            history.push(ptr);
+            // SeqCst: same quiescence argument as `publish_pinned`.
+            self.current.store(ptr, Ordering::SeqCst);
+            // SAFETY: just allocated above; cloning under the mutex.
+            unsafe { (*ptr).clone() }
+        };
+        let keep = self.retention.load(Ordering::Relaxed);
+        if keep > 0 {
+            self.prune_shared(keep);
+        }
+        Some(published)
     }
 
     /// The latest publication — one atomic load plus one `Arc` clone; never
@@ -524,20 +658,22 @@ pub struct AlignmentService {
     /// The training side. One training call at a time; queries never take
     /// this lock.
     model: Mutex<JointModel>,
-    registry: SnapshotRegistry,
+    /// Shared with the background compactor thread (when live updates are
+    /// enabled), which publishes folded snapshots through it.
+    registry: Arc<SnapshotRegistry>,
     /// Index + default-mode configuration, fixed at construction; every
     /// published snapshot is stamped with `serving.index` before the
     /// atomic publish, so a version and its index travel together.
     serving: ServingConfig,
-    /// When present, every publication is also persisted crash-safely to
-    /// this on-disk registry (under the model lock, so writes serialize
-    /// with publications).
-    store: Option<DurableRegistry>,
+    /// Durable store + durability-health counters, shared with the
+    /// compactor so folded publications persist with the same retry /
+    /// degradation discipline as training publications.
+    durable: Arc<PersistState>,
     /// What [`AlignmentService::open`] found on disk; `None` for
     /// non-durable or fresh-directory services.
     recovery: Option<RecoveryReport>,
-    /// Durability-health counters (see [`AlignmentService::health`]).
-    health: HealthState,
+    /// The live-update subsystem (delta buffer + compactor), when enabled.
+    live: Option<LiveState>,
 }
 
 impl fmt::Debug for AlignmentService {
@@ -547,7 +683,8 @@ impl fmt::Debug for AlignmentService {
             .field("kg2", &self.kg2.name())
             .field("version", &self.version())
             .field("retained_versions", &self.retained_versions())
-            .field("store", &self.store.as_ref().map(|s| s.dir()))
+            .field("store", &self.durable.store.as_ref().map(|s| s.dir()))
+            .field("live", &self.live.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -579,14 +716,14 @@ impl AlignmentService {
         let mut initial = model.snapshot(&kg1, &kg2);
         initial.set_index_config(serving.index.clone());
         Ok(Self {
-            registry: SnapshotRegistry::new(initial),
+            registry: Arc::new(SnapshotRegistry::new(initial)),
             model: Mutex::new(model),
             kg1,
             kg2,
             serving,
-            store: None,
+            durable: Arc::new(PersistState::default()),
             recovery: None,
-            health: HealthState::default(),
+            live: None,
         })
     }
 
@@ -642,14 +779,17 @@ impl AlignmentService {
             SnapshotRegistry::from_entries(entries)
         };
         let svc = Self {
-            registry,
+            registry: Arc::new(registry),
             model: Mutex::new(model),
             kg1,
             kg2,
             serving,
-            store: Some(store),
+            durable: Arc::new(PersistState {
+                store: Some(store),
+                health: HealthState::default(),
+            }),
             recovery: Some(report),
-            health: HealthState::default(),
+            live: None,
         };
         if fresh {
             let cur = svc.registry.current();
@@ -658,77 +798,45 @@ impl AlignmentService {
         Ok(svc)
     }
 
-    /// Persist one publication to the durable store, if configured.
-    /// Transient IO failures are retried with bounded exponential backoff
-    /// ([`daakg_store::store::retry_with_backoff`]); the final error
-    /// still propagates to the training caller, but the in-memory publish
-    /// stands — readers already serve the new version; only its
-    /// durability failed, which [`AlignmentService::health`] records so a
-    /// failing disk is observable without taking down serving.
+    /// Persist one publication through the shared [`PersistState`] (see
+    /// there for the retry/degradation discipline).
     fn persist(&self, published: &VersionedSnapshot) -> Result<(), DaakgError> {
-        use std::sync::atomic::Ordering::Relaxed;
-        let Some(store) = &self.store else {
-            return Ok(());
-        };
-        let result = daakg_store::store::retry_with_backoff(
-            3,
-            std::time::Duration::from_millis(1),
-            |attempt| {
-                if attempt > 0 {
-                    self.health.persist_retries.fetch_add(1, Relaxed);
-                }
-                store.save(published.version.get(), &published.snapshot)
-            },
-        );
-        let mut last_error = self
-            .health
-            .last_persist_error
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        match &result {
-            Ok(()) => {
-                self.health.durability_degraded.store(false, Relaxed);
-                *last_error = None;
-            }
-            Err(e) => {
-                self.health.persist_failures.fetch_add(1, Relaxed);
-                self.health.durability_degraded.store(true, Relaxed);
-                *last_error = Some(e.to_string());
-            }
-        }
-        result
+        self.durable.persist(published)
     }
 
-    /// The service's durability health: whether the latest persist
-    /// failed (and with what error), how many publications lost
-    /// durability, and how many transient-IO retries the store absorbed.
-    /// In-memory serving is unaffected by any of it — this surface exists
-    /// so operators notice a failing disk *before* a restart needs the
-    /// missing versions.
+    /// The service's health: whether the latest persist failed (and with
+    /// what error), how many publications lost durability, how many
+    /// transient-IO retries the store absorbed — plus, when live updates
+    /// are enabled, the delta depth and compaction counters. In-memory
+    /// serving is unaffected by any of it — this surface exists so
+    /// operators notice a failing disk (or a lagging compactor) *before*
+    /// it matters.
     pub fn health(&self) -> ServiceHealth {
         use std::sync::atomic::Ordering::Relaxed;
+        let health = &self.durable.health;
         ServiceHealth {
-            durability_degraded: self.health.durability_degraded.load(Relaxed),
-            last_persist_error: self
-                .health
+            durability_degraded: health.durability_degraded.load(Relaxed),
+            last_persist_error: health
                 .last_persist_error
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .clone(),
-            persist_failures: self.health.persist_failures.load(Relaxed),
-            persist_retries: self.health.persist_retries.load(Relaxed),
+            persist_failures: health.persist_failures.load(Relaxed),
+            persist_retries: health.persist_retries.load(Relaxed),
             degrade_engaged: false,
+            ingress: None,
+            live: self.live_health(),
         }
     }
 
     /// The snapshot directory of a durable service.
     pub fn store_dir(&self) -> Option<&Path> {
-        self.store.as_ref().map(|s| s.dir())
+        self.durable.store.as_ref().map(|s| s.dir())
     }
 
     /// Whether publications are persisted to disk.
     pub fn is_durable(&self) -> bool {
-        self.store.is_some()
+        self.durable.store.is_some()
     }
 
     /// What [`AlignmentService::open`] found on disk: versions loaded,
@@ -794,10 +902,17 @@ impl AlignmentService {
         self.registry.retained()
     }
 
-    /// Drop all but the newest `keep` retained versions. Requires
-    /// exclusive access, so it cannot race in-flight queries.
+    /// Drop all but the newest `keep` retained versions. With exclusive
+    /// registry access this is the unconditional free; when the registry
+    /// is shared with a live compactor thread it falls back to the
+    /// quiescence-protocol shared prune.
     pub fn prune(&mut self, keep: usize) {
-        self.registry.prune(keep);
+        match Arc::get_mut(&mut self.registry) {
+            Some(registry) => registry.prune(keep),
+            None => {
+                self.registry.prune_shared(keep);
+            }
+        }
     }
 
     /// [`AlignmentService::prune`] plus on-disk garbage collection: drop
@@ -806,8 +921,8 @@ impl AlignmentService {
     /// on-disk version is always kept). Returns the versions whose files
     /// were deleted — empty for a non-durable service.
     pub fn prune_with_store(&mut self, keep: usize) -> Result<Vec<u64>, DaakgError> {
-        self.registry.prune(keep);
-        match &self.store {
+        self.prune(keep);
+        match &self.durable.store {
             Some(store) => store.gc(keep),
             None => Ok(Vec::new()),
         }
@@ -860,7 +975,7 @@ impl AlignmentService {
         self.check_query(e1)?;
         let nprobe = self.resolve_mode(opts.mode)?;
         let cur = self.current();
-        let value = match (opts.k, nprobe) {
+        let mut value = match (opts.k, nprobe) {
             (None, None) => cur.snapshot.rank_entities(e1),
             (Some(k), None) => cur.snapshot.top_k_entities(e1, k),
             (None, Some(nprobe)) => cur
@@ -872,9 +987,20 @@ impl AlignmentService {
                 .top_k_entities_approx(e1, k, nprobe)
                 .expect("validated: index configured"),
         };
+        let mut deltas_merged = 0u32;
+        let n2 = cur.snapshot.entity_counts().1;
+        if let Some(slab) = self.live_slab_for(n2) {
+            let q = cur.snapshot.entity_engine().normalized_query(e1);
+            value = slab
+                .merge_into(q, 1, opts.k, n2, vec![value])
+                .pop()
+                .expect("one query in, one ranking out");
+            deltas_merged = slab.len() as u32;
+        }
         Ok(Versioned {
             version: cur.version,
             value,
+            deltas_merged,
         })
     }
 
@@ -921,9 +1047,20 @@ impl AlignmentService {
         {
             value.extend(shard);
         }
+        let mut deltas_merged = 0u32;
+        let n2 = snap.entity_counts().1;
+        if let Some(slab) = self.live_slab_for(n2) {
+            let panel = snap
+                .entity_engine()
+                .normalized_queries()
+                .gather_rows(queries);
+            value = slab.merge_into(panel.as_slice(), queries.len(), opts.k, n2, value);
+            deltas_merged = slab.len() as u32;
+        }
         Ok(Versioned {
             version: cur.version,
             value,
+            deltas_merged,
         })
     }
 
@@ -934,37 +1071,10 @@ impl AlignmentService {
         self.query(e1, QueryOptions::rank().with_mode(self.serving.mode))
     }
 
-    /// [`AlignmentService::rank`] with an explicit mode.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use query(e1, QueryOptions::rank().with_mode(mode))"
-    )]
-    pub fn rank_with(
-        &self,
-        e1: u32,
-        mode: QueryMode,
-    ) -> Result<Versioned<Vec<(u32, f32)>>, DaakgError> {
-        self.query(e1, QueryOptions::rank().with_mode(mode))
-    }
-
     /// Best `k` right entities for `e1`, descending, on the current
     /// version, in the service's default [`QueryMode`].
     pub fn top_k(&self, e1: u32, k: usize) -> Result<Versioned<Vec<(u32, f32)>>, DaakgError> {
         self.query(e1, QueryOptions::top_k(k).with_mode(self.serving.mode))
-    }
-
-    /// [`AlignmentService::top_k`] with an explicit mode.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use query(e1, QueryOptions::top_k(k).with_mode(mode))"
-    )]
-    pub fn top_k_with(
-        &self,
-        e1: u32,
-        k: usize,
-        mode: QueryMode,
-    ) -> Result<Versioned<Vec<(u32, f32)>>, DaakgError> {
-        self.query(e1, QueryOptions::top_k(k).with_mode(mode))
     }
 
     /// Best `k` right entities for *each* query, all answered on **one**
@@ -978,20 +1088,6 @@ impl AlignmentService {
         self.query_batch(queries, QueryOptions::top_k(k).with_mode(self.serving.mode))
     }
 
-    /// [`AlignmentService::batch_top_k`] with an explicit mode.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use query_batch(queries, QueryOptions::top_k(k).with_mode(mode))"
-    )]
-    pub fn batch_top_k_with(
-        &self,
-        queries: &[u32],
-        k: usize,
-        mode: QueryMode,
-    ) -> Result<Versioned<Vec<Ranking>>, DaakgError> {
-        self.query_batch(queries, QueryOptions::top_k(k).with_mode(mode))
-    }
-
     /// Full training (embedding warm-up plus alignment rounds) over
     /// `labels`; publishes the resulting snapshot and returns the exact
     /// publication (version + pinned snapshot — re-reading `current()`
@@ -1001,6 +1097,7 @@ impl AlignmentService {
         let mut model = self.model.lock().expect("model mutex poisoned");
         let snap = self.prepare(model.train(&self.kg1, &self.kg2, labels));
         let published = self.registry.publish_pinned(snap);
+        self.reanchor_live(&published);
         self.persist(&published)?;
         Ok(published)
     }
@@ -1017,10 +1114,12 @@ impl AlignmentService {
         let losses = model.align_rounds(&self.kg1, &self.kg2, labels, epochs);
         let snap = self.prepare(model.snapshot(&self.kg1, &self.kg2));
         let published = self.registry.publish_pinned(snap);
+        self.reanchor_live(&published);
         self.persist(&published)?;
         Ok(Versioned {
             version: published.version,
             value: losses,
+            deltas_merged: 0,
         })
     }
 
@@ -1044,9 +1143,403 @@ impl AlignmentService {
         let snap = self
             .prepare(model.fine_tune_with_inferred(&self.kg1, &self.kg2, labels, inferred, accept));
         let published = self.registry.publish_pinned(snap);
+        self.reanchor_live(&published);
         self.persist(&published)?;
         Ok(published)
     }
+
+    // -----------------------------------------------------------------
+    // Live updates: upsert → delta buffer → background compaction
+    // -----------------------------------------------------------------
+
+    /// Enable the live-update subsystem: an append-only [`DeltaBuffer`]
+    /// that [`AlignmentService::upsert_entity`] feeds while serving, and
+    /// a background compactor thread that periodically folds pending
+    /// entries into a newly published snapshot (rebuilt IVF included).
+    ///
+    /// On a durable service, pending deltas are also persisted as atomic
+    /// segment files next to the snapshots, and this call first replays
+    /// whatever intact segments a previous process left behind (the
+    /// returned [`DeltaRecovery`] says what was replayed, skipped, or
+    /// cleaned up). Torn or corrupt segments end the replay at the last
+    /// intact prefix with typed [`DaakgError::Corrupt`] diagnostics.
+    ///
+    /// Call once, before sharing the service; a second call is a typed
+    /// error. What segment replay found is kept in
+    /// [`AlignmentService::live_recovery`].
+    pub fn enable_live(&mut self, cfg: LiveConfig) -> Result<(), DaakgError> {
+        cfg.validate()?;
+        if self.live.is_some() {
+            return Err(DaakgError::InvalidConfig {
+                context: "LiveConfig",
+                reason: "live updates are already enabled on this service".into(),
+            });
+        }
+        let cur = self.registry.current();
+        let base_n = cur.snapshot.entity_counts().1;
+        let dim = cur.snapshot.ents2.cols();
+        let buffer = Arc::new(DeltaBuffer::new(base_n, dim));
+        let mut recovery = None;
+        if let Some(dir) = self.store_dir() {
+            let (entries, report) = delta::recover_segments(dir, base_n)?;
+            buffer.restore(entries)?;
+            recovery = Some(report);
+        }
+        let stats = Arc::new(LiveStats::default());
+        let fold_lock = Arc::new(Mutex::new(()));
+        let task = {
+            let registry = Arc::clone(&self.registry);
+            let durable = Arc::clone(&self.durable);
+            let buffer = Arc::clone(&buffer);
+            let stats = Arc::clone(&stats);
+            let fold_lock = Arc::clone(&fold_lock);
+            let index = self.serving.index.clone();
+            Box::new(move || {
+                let _guard = lock_recover(&fold_lock);
+                // Persist failures are already recorded in the shared
+                // health counters; the tick has no caller to surface the
+                // error to, so it is dropped here after recording.
+                let _ = fold_once(&registry, &durable, &buffer, &stats, index.as_ref());
+            })
+        };
+        let compactor = Compactor::spawn(cfg.tick, Arc::clone(&stats), task);
+        if buffer.depth() >= cfg.compact_after {
+            // Replay alone may already warrant a fold.
+            compactor.nudge();
+        }
+        self.live = Some(LiveState {
+            cfg,
+            buffer,
+            stats,
+            upsert_lock: Mutex::new(()),
+            fold_lock,
+            compactor: Some(compactor),
+            recovery,
+        });
+        Ok(())
+    }
+
+    /// Whether the live-update subsystem is enabled.
+    pub fn is_live(&self) -> bool {
+        self.live.is_some()
+    }
+
+    /// The live configuration, when enabled.
+    pub fn live_config(&self) -> Option<&LiveConfig> {
+        self.live.as_ref().map(|l| &l.cfg)
+    }
+
+    /// What delta-segment replay found when [`AlignmentService::enable_live`]
+    /// warm-restarted a durable service; `None` when live updates are off
+    /// or nothing was on disk to replay.
+    pub fn live_recovery(&self) -> Option<&DeltaRecovery> {
+        self.live.as_ref().and_then(|l| l.recovery.as_ref())
+    }
+
+    /// Live-update health counters, when enabled (also folded into
+    /// [`AlignmentService::health`]).
+    pub fn live_health(&self) -> Option<LiveHealth> {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.live.as_ref().map(|l| {
+            let delta_depth = l.buffer.depth();
+            LiveHealth {
+                delta_depth,
+                upserts: l.buffer.upserts(),
+                compactions: l.stats.compactions.load(Relaxed),
+                compactor_panics: l.stats.panics.load(Relaxed),
+                compaction_lag: (delta_depth / l.cfg.compact_after) as u64,
+                last_compacted_version: l.stats.last_compacted(),
+            }
+        })
+    }
+
+    /// The slab to merge into a query answered on a snapshot with `n2`
+    /// right entities, if live updates are enabled and deltas are pending
+    /// against that anchor.
+    pub(crate) fn live_slab_for(&self, n2: usize) -> Option<Arc<DeltaSlab>> {
+        self.live.as_ref().and_then(|l| l.buffer.slab_for(n2))
+    }
+
+    /// Insert one new right-KG entity while serving. `triples` anchor it
+    /// to existing right entities (or earlier pending delta entities) —
+    /// its embedding is warm-start fine-tuned against the frozen
+    /// published tables ([`daakg_embed::warm_start_row`]: deterministic
+    /// at any thread count), appended to the delta buffer, and, on a
+    /// durable service, persisted as an atomic segment file *before* it
+    /// becomes queryable. Returns the new global right-entity id: every
+    /// subsequent query merges the entity exactly (bitwise-equal to a
+    /// scan over the union corpus) until a compaction folds it into the
+    /// published snapshot — or a full retrain supersedes it.
+    pub fn upsert_entity(&self, triples: &[DeltaTriple]) -> Result<u32, DaakgError> {
+        let live = self.live_required()?;
+        if triples.is_empty() {
+            return Err(DaakgError::InvalidConfig {
+                context: "upsert_entity",
+                reason: "at least one anchoring triple is required".into(),
+            });
+        }
+        let _serial = lock_recover(&live.upsert_lock);
+        let cur = self.registry.current();
+        let (base_n, pending) = live.buffer.pending();
+        let id = (base_n + pending.len()) as u32;
+        let raw = self.warm_start(&cur, base_n, &pending, id, triples, &live.cfg)?;
+        let entry = DeltaEntry {
+            global_id: id,
+            raw,
+            triples: triples.to_vec(),
+        };
+        if let Some(dir) = self.store_dir() {
+            delta::write_segment(dir, &entry)?;
+        }
+        if let Err(e) = live.buffer.append(entry) {
+            // Undo the segment write so a failed append cannot leave an
+            // orphan that a later restart would replay.
+            if let Some(dir) = self.store_dir() {
+                let _ = delta::remove_segment(dir, id);
+            }
+            return Err(e);
+        }
+        if live.buffer.depth() >= live.cfg.compact_after {
+            if let Some(c) = &live.compactor {
+                c.nudge();
+            }
+        }
+        Ok(id)
+    }
+
+    /// Attach additional triples to a *pending* delta entity and re-run
+    /// its warm-start fine-tune over the extended positive set (same
+    /// deterministic seed — the result depends only on the final triple
+    /// set, not on how it arrived). Entities already folded into the
+    /// published corpus are a retrain's business and yield a typed
+    /// [`DaakgError::UnknownEntity`].
+    pub fn upsert_triples(
+        &self,
+        global_id: u32,
+        triples: &[DeltaTriple],
+    ) -> Result<(), DaakgError> {
+        let live = self.live_required()?;
+        if triples.is_empty() {
+            return Err(DaakgError::InvalidConfig {
+                context: "upsert_triples",
+                reason: "at least one triple is required".into(),
+            });
+        }
+        let _serial = lock_recover(&live.upsert_lock);
+        let cur = self.registry.current();
+        let (base_n, pending) = live.buffer.pending();
+        let pos = (global_id as usize)
+            .checked_sub(base_n)
+            .filter(|&p| p < pending.len())
+            .ok_or_else(|| DaakgError::UnknownEntity {
+                kg: "delta".into(),
+                id: global_id,
+                bound: base_n + pending.len(),
+            })?;
+        let mut merged = pending[pos].triples.clone();
+        merged.extend_from_slice(triples);
+        let raw = self.warm_start(&cur, base_n, &pending, global_id, &merged, &live.cfg)?;
+        let entry = DeltaEntry {
+            global_id,
+            raw,
+            triples: merged,
+        };
+        if let Some(dir) = self.store_dir() {
+            delta::write_segment(dir, &entry)?;
+        }
+        live.buffer.replace(entry)
+    }
+
+    /// Synchronously fold all pending delta entries into a new published
+    /// snapshot (what the background compactor does on its tick).
+    /// Returns the publication, or `None` when nothing was pending.
+    pub fn compact_now(&self) -> Result<Option<VersionedSnapshot>, DaakgError> {
+        let live = self.live_required()?;
+        let _guard = lock_recover(&live.fold_lock);
+        fold_once(
+            &self.registry,
+            &self.durable,
+            &live.buffer,
+            &live.stats,
+            self.serving.index.as_ref(),
+        )
+    }
+
+    fn live_required(&self) -> Result<&LiveState, DaakgError> {
+        self.live.as_ref().ok_or(DaakgError::InvalidConfig {
+            context: "live",
+            reason: "live updates are not enabled (call enable_live / Pipeline::live first)".into(),
+        })
+    }
+
+    /// Resolve each triple's neighbor to its raw embedding row (base
+    /// corpus or an earlier pending delta row) and warm-start the new
+    /// row's embedding against the frozen published tables.
+    fn warm_start(
+        &self,
+        cur: &VersionedSnapshot,
+        base_n: usize,
+        pending: &[DeltaEntry],
+        global_id: u32,
+        triples: &[DeltaTriple],
+        cfg: &LiveConfig,
+    ) -> Result<Vec<f32>, DaakgError> {
+        let rows: Vec<&[f32]> = triples
+            .iter()
+            .map(|t| {
+                let nb = t.neighbor as usize;
+                if nb < base_n {
+                    Ok(cur.snapshot.ents2.row(nb))
+                } else if nb < base_n + pending.len() && (nb as u32) < global_id {
+                    Ok(pending[nb - base_n].raw.as_slice())
+                } else {
+                    Err(DaakgError::UnknownEntity {
+                        kg: "delta".into(),
+                        id: t.neighbor,
+                        bound: base_n + pending.len(),
+                    })
+                }
+            })
+            .collect::<Result<_, _>>()?;
+        let positives = Tensor::from_rows(&rows);
+        warm_start_row(&cur.snapshot.ents2, &positives, global_id as u64, &cfg.warm)
+    }
+
+    /// A training publish supersedes the pending delta: the retrained
+    /// snapshot re-derives every row from the KGs, so delta rows trained
+    /// against the *previous* tables no longer extend it coherently.
+    /// Re-anchor the buffer at the fresh corpus and drop the stale
+    /// segments — superseded entities re-enter through the KGs at the
+    /// next retrain, or through fresh upserts.
+    fn reanchor_live(&self, published: &VersionedSnapshot) {
+        let Some(live) = &self.live else { return };
+        let n2 = published.snapshot.entity_counts().1;
+        let dropped = live.buffer.reanchor(n2);
+        if let Some(dir) = self.store_dir() {
+            for e in &dropped {
+                let _ = delta::remove_segment(dir, e.global_id);
+            }
+        }
+    }
+}
+
+/// One compaction pass: fold every pending delta entry into a newly
+/// published snapshot (serialized by the caller's fold lock).
+///
+/// The folded snapshot appends the **raw** delta rows to `ents2` —
+/// snapshot construction then normalizes per-row, which is bitwise the
+/// normalization the delta slab applied — so answers before and after the
+/// fold are bit-for-bit identical. Dangling-entity weights (Eq. 6) are
+/// extended for the new rows; schema-level mean embeddings refresh at the
+/// next full retrain (they aggregate entity evidence that did not change
+/// for existing rows).
+fn fold_once(
+    registry: &SnapshotRegistry,
+    durable: &PersistState,
+    buffer: &DeltaBuffer,
+    stats: &LiveStats,
+    index: Option<&IvfConfig>,
+) -> Result<Option<VersionedSnapshot>, DaakgError> {
+    let cur = registry.current();
+    let n2 = cur.snapshot.entity_counts().1;
+    if buffer.base_n() != n2 {
+        // A publish moved the corpus under the pending delta (retrain
+        // supersession not yet observed): re-anchor and skip this pass.
+        let dropped = buffer.reanchor(n2);
+        if let Some(store) = &durable.store {
+            for e in &dropped {
+                let _ = delta::remove_segment(store.dir(), e.global_id);
+            }
+        }
+        return Ok(None);
+    }
+    let Some(entries) = buffer.fold_candidates(n2) else {
+        return Ok(None);
+    };
+    let count = entries.len();
+    let mut snap = fold_snapshot(&cur.snapshot, &entries)?;
+    snap.set_index_config(index.cloned());
+    // Compare-and-publish: if training published while the fold was being
+    // built, the fold is based on a superseded corpus — drop it and let
+    // the next pass re-anchor. Entries stay pending either way.
+    let Some(published) = registry.publish_if_current(snap, cur.version) else {
+        return Ok(None);
+    };
+    let persisted = durable.persist(&published);
+    // Commit before surfacing any persist failure: the publish stands
+    // (readers already serve the folded corpus), so the buffer must
+    // advance either way.
+    buffer.fold_committed(count);
+    if let Some(store) = &durable.store {
+        for e in &entries {
+            delta::remove_segment(store.dir(), e.global_id)?;
+        }
+    }
+    stats.record(published.version.get());
+    persisted?;
+    Ok(Some(published))
+}
+
+/// Build the folded snapshot: `base` with the delta rows appended.
+fn fold_snapshot(
+    base: &AlignmentSnapshot,
+    entries: &[DeltaEntry],
+) -> Result<AlignmentSnapshot, DaakgError> {
+    let dim = base.ents2.cols();
+    let n2 = base.ents2.rows();
+    let mut data = base.ents2.as_slice().to_vec();
+    for e in entries {
+        data.extend_from_slice(&e.raw);
+    }
+    let ents2 = Tensor::from_vec(n2 + entries.len(), dim, data);
+
+    // Eq. 6 for the appended rows: w_e' = max_e clamp(S(e, e'), 0), with
+    // S the cosine the engine serves — normalize the new rows exactly as
+    // the slab/engine does and take the best clamped dot against every
+    // (already normalized) mapped left query row.
+    let mut stacked = Tensor::zeros(entries.len(), dim);
+    for (i, e) in entries.iter().enumerate() {
+        stacked.row_mut(i).copy_from_slice(&e.raw);
+    }
+    normalize_rows_cosine(&mut stacked);
+    let queries = base.entity_engine().normalized_queries();
+    let mut weights = base.weights.clone();
+    for i in 0..entries.len() {
+        let row = stacked.row(i);
+        let mut best = 0.0f32;
+        for q in 0..queries.rows() {
+            let s: f32 = queries.row(q).iter().zip(row).map(|(a, b)| a * b).sum();
+            if s > best {
+                best = s;
+            }
+        }
+        weights.right.push(best);
+    }
+
+    let parts = SnapshotParts {
+        ents1: base.ents1.clone(),
+        ents2,
+        mapped_ents1: base.mapped_ents1.clone(),
+        rels1: base.rels1.clone(),
+        rels2: base.rels2.clone(),
+        mapped_rels1: base.mapped_rels1.clone(),
+        cls1: base.cls1.clone(),
+        cls2: base.cls2.clone(),
+        mapped_cls1: base.mapped_cls1.clone(),
+        mean_rels1: base.mean_rels1.clone(),
+        mean_rels2: base.mean_rels2.clone(),
+        mapped_mean_rels1: base.mapped_mean_rels1.clone(),
+        mean_cls1: base.mean_cls1.clone(),
+        mean_cls2: base.mean_cls2.clone(),
+        mapped_mean_cls1: base.mapped_mean_cls1.clone(),
+        weights,
+        use_mean_embeddings: base.use_mean_embeddings,
+        use_class_embeddings: base.use_class_embeddings,
+    };
+    AlignmentSnapshot::from_parts(parts).map_err(|reason| DaakgError::InvalidConfig {
+        context: "delta fold",
+        reason,
+    })
 }
 
 #[cfg(test)]
@@ -1376,28 +1869,6 @@ mod tests {
         // And nprobe = 0 is rejected even with an index present.
         let svc = example_indexed_service();
         assert!(svc.query(0, QueryOptions::top_k(3).approx(0)).is_err());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_with_shims_match_the_options_api() {
-        use daakg_index::QueryMode;
-        let svc = example_indexed_service();
-        let full = QueryMode::Approx { nprobe: 4 };
-        assert_eq!(
-            svc.rank_with(0, full).unwrap(),
-            svc.query(0, QueryOptions::rank().with_mode(full)).unwrap()
-        );
-        assert_eq!(
-            svc.top_k_with(0, 3, full).unwrap(),
-            svc.query(0, QueryOptions::top_k(3).with_mode(full))
-                .unwrap()
-        );
-        assert_eq!(
-            svc.batch_top_k_with(&[0, 1], 2, full).unwrap(),
-            svc.query_batch(&[0, 1], QueryOptions::top_k(2).with_mode(full))
-                .unwrap()
-        );
     }
 
     #[test]
@@ -1758,5 +2229,290 @@ mod tests {
         assert_eq!(all, expect);
         assert_eq!(registry.version().get(), *expect.last().unwrap());
         assert_eq!(registry.retained(), 1 + threads * per_thread);
+    }
+
+    // -- live updates --------------------------------------------------
+
+    /// A live config whose compactor never runs on its own: folds happen
+    /// only through `compact_now`, keeping the tests deterministic.
+    fn manual_live() -> LiveConfig {
+        LiveConfig {
+            compact_after: 10_000,
+            tick: std::time::Duration::from_secs(3600),
+            ..LiveConfig::default()
+        }
+    }
+
+    fn triple(rel: u32, neighbor: u32) -> DeltaTriple {
+        DeltaTriple {
+            rel,
+            neighbor,
+            outgoing: true,
+        }
+    }
+
+    fn assert_bitwise(a: &[(u32, f32)], b: &[(u32, f32)], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.0, y.0, "{what}: id at {i}");
+            assert_eq!(x.1.to_bits(), y.1.to_bits(), "{what}: score bits at {i}");
+        }
+    }
+
+    /// The exactness contract: merged base ∪ delta answers are bitwise
+    /// what the *folded* snapshot — the union corpus scanned by the
+    /// standard engine — produces, across `rank`, `top_k`, and
+    /// `batch_top_k` shapes, for k at and beyond every boundary.
+    #[test]
+    fn live_merged_answers_are_bitwise_the_folded_union() {
+        let mut svc = example_service();
+        svc.train(&example_labels(&svc)).unwrap();
+        svc.enable_live(manual_live()).unwrap();
+        let n2 = svc.kg2().num_entities();
+        // Three new right-KG entities; the third anchors on a pending
+        // delta neighbor, exercising delta-on-delta warm starts.
+        let a = svc.upsert_entity(&[triple(0, 0), triple(1, 2)]).unwrap();
+        assert_eq!(a as usize, n2);
+        svc.upsert_entity(&[triple(0, 1)]).unwrap();
+        let c = svc.upsert_entity(&[triple(1, a), triple(0, 3)]).unwrap();
+        assert_eq!(c as usize, n2 + 2);
+        let union_n = n2 + 3;
+        let queries: Vec<u32> = (0..svc.kg1().num_entities() as u32).collect();
+        let ks = [Some(0), Some(5), Some(union_n), Some(union_n + 3), None];
+        let opts_of = |k: Option<usize>| match k {
+            Some(k) => QueryOptions::top_k(k),
+            None => QueryOptions::rank(),
+        };
+        let pre: Vec<_> = ks
+            .iter()
+            .map(|&k| {
+                let single = svc.query(0, opts_of(k)).unwrap();
+                assert_eq!(single.deltas_merged, 3, "k={k:?}");
+                let batch = svc.query_batch(&queries, opts_of(k)).unwrap();
+                assert_eq!(batch.deltas_merged, 3, "k={k:?}");
+                assert_bitwise(&batch.value[0], &single.value, "batch[0] vs single");
+                (single, batch)
+            })
+            .collect();
+        // New entities are queryable pre-fold: the full ranking sees all
+        // union_n candidates.
+        assert_eq!(pre.last().unwrap().0.value.len(), union_n);
+        // Fold: the published snapshot IS the union corpus.
+        let published = svc.compact_now().unwrap().expect("entries were pending");
+        assert_eq!(published.snapshot.entity_counts().1, union_n);
+        assert_eq!(svc.live_health().unwrap().delta_depth, 0);
+        assert!(svc.compact_now().unwrap().is_none(), "nothing left to fold");
+        for (&k, (pre_single, pre_batch)) in ks.iter().zip(&pre) {
+            let single = svc.query(0, opts_of(k)).unwrap();
+            assert_eq!(single.deltas_merged, 0, "folded: no deltas left");
+            assert_bitwise(&pre_single.value, &single.value, "single");
+            let batch = svc.query_batch(&queries, opts_of(k)).unwrap();
+            for (qi, (pre_r, post_r)) in pre_batch.value.iter().zip(&batch.value).enumerate() {
+                assert_bitwise(pre_r, post_r, &format!("batch q={qi} k={k:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn live_segments_warm_restart_and_survive_torn_writes() {
+        let td = daakg_store::TestDir::new("live-segments");
+        let open = || {
+            let mut svc = AlignmentService::open(
+                tiny_cfg(),
+                ServingConfig::default(),
+                Arc::new(example_dbpedia()),
+                Arc::new(example_wikidata()),
+                td.path(),
+            )
+            .unwrap();
+            svc.enable_live(manual_live()).unwrap();
+            svc
+        };
+        let (pre, ids) = {
+            let svc = open();
+            let i0 = svc.upsert_entity(&[triple(0, 0)]).unwrap();
+            let i1 = svc.upsert_entity(&[triple(0, 1)]).unwrap();
+            let i2 = svc.upsert_entity(&[triple(1, i0)]).unwrap();
+            (svc.query(0, QueryOptions::rank()).unwrap(), [i0, i1, i2])
+        };
+        // Clean warm restart: every segment replays, answers are bitwise
+        // what the previous process served.
+        {
+            let svc = open();
+            let rec = svc.live_recovery().unwrap();
+            assert_eq!(rec.replayed, 3);
+            assert!(rec.skipped.is_empty(), "{:?}", rec.skipped);
+            let post = svc.query(0, QueryOptions::rank()).unwrap();
+            assert_eq!(post.deltas_merged, 3);
+            assert_bitwise(&pre.value, &post.value, "restart");
+        }
+        // Torn write on the middle segment: replay stops at the last
+        // intact prefix with a typed Corrupt diagnostic; the torn file
+        // and everything after it are removed so their ids can be
+        // re-issued safely.
+        let seg1 = td.path().join(delta::segment_name(ids[1]));
+        let bytes = std::fs::read(&seg1).unwrap();
+        std::fs::write(&seg1, &bytes[..bytes.len() / 2]).unwrap();
+        {
+            let svc = open();
+            let rec = svc.live_recovery().unwrap();
+            assert_eq!(rec.replayed, 1, "only the intact prefix replays");
+            assert!(
+                rec.skipped
+                    .iter()
+                    .any(|(id, e)| *id == ids[1] && matches!(e, DaakgError::Corrupt { .. })),
+                "torn segment must surface as Corrupt: {:?}",
+                rec.skipped
+            );
+            let post = svc.query(0, QueryOptions::rank()).unwrap();
+            assert_eq!(post.deltas_merged, 1);
+            assert_eq!(
+                post.value.len(),
+                svc.kg2().num_entities() + 1,
+                "exactly the intact prefix is queryable"
+            );
+            // The re-issued id lands on the first removed slot.
+            assert_eq!(svc.upsert_entity(&[triple(0, 2)]).unwrap(), ids[1]);
+        }
+    }
+
+    #[test]
+    fn retraining_supersedes_pending_deltas() {
+        let mut svc = example_service();
+        svc.enable_live(manual_live()).unwrap();
+        let id = svc.upsert_entity(&[triple(0, 0)]).unwrap();
+        assert_eq!(svc.live_health().unwrap().delta_depth, 1);
+        assert_eq!(svc.query(0, QueryOptions::rank()).unwrap().deltas_merged, 1);
+        // A full retrain replaces the embedding tables the delta rows
+        // were warm-started against: the pending entries are dropped,
+        // not folded into the fresh publication.
+        svc.train(&example_labels(&svc)).unwrap();
+        let health = svc.live_health().unwrap();
+        assert_eq!(health.delta_depth, 0);
+        assert_eq!(health.upserts, 1, "accepted-upsert count is monotonic");
+        let post = svc.query(0, QueryOptions::rank()).unwrap();
+        assert_eq!(post.deltas_merged, 0);
+        assert_eq!(post.value.len(), svc.kg2().num_entities());
+        // The id is re-issued for the next upsert against the new tables.
+        assert_eq!(svc.upsert_entity(&[triple(0, 0)]).unwrap(), id);
+    }
+
+    #[test]
+    fn live_misuse_is_typed_errors() {
+        let mut svc = example_service();
+        // Not enabled yet: upserts and compaction are typed errors.
+        assert!(matches!(
+            svc.upsert_entity(&[triple(0, 0)]),
+            Err(DaakgError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            svc.compact_now(),
+            Err(DaakgError::InvalidConfig { .. })
+        ));
+        svc.enable_live(manual_live()).unwrap();
+        // Double-enable is rejected.
+        assert!(matches!(
+            svc.enable_live(manual_live()),
+            Err(DaakgError::InvalidConfig { .. })
+        ));
+        // Empty triple sets are rejected.
+        assert!(matches!(
+            svc.upsert_entity(&[]),
+            Err(DaakgError::InvalidConfig { .. })
+        ));
+        // Unknown triple neighbors are bounds-checked.
+        let err = svc.upsert_entity(&[triple(0, 10_000)]).unwrap_err();
+        assert!(matches!(err, DaakgError::UnknownEntity { .. }), "{err}");
+        // upsert_triples targets pending entities only.
+        let err = svc.upsert_triples(0, &[triple(0, 0)]).unwrap_err();
+        assert!(matches!(err, DaakgError::UnknownEntity { .. }), "{err}");
+        // Invalid configs are rejected up front.
+        let mut fresh = example_service();
+        assert!(matches!(
+            fresh.enable_live(LiveConfig {
+                compact_after: 0,
+                ..LiveConfig::default()
+            }),
+            Err(DaakgError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn upsert_triples_extends_a_pending_entity_deterministically() {
+        let mut svc = example_service();
+        svc.enable_live(manual_live()).unwrap();
+        // One entity upserted with the full triple set in one call...
+        let all_at_once = svc.upsert_entity(&[triple(0, 0), triple(1, 2)]).unwrap();
+        let reference = svc.query(0, QueryOptions::rank()).unwrap();
+        // ...must be bitwise the same as arriving incrementally: the
+        // warm start depends only on the final triple set.
+        let mut svc2 = example_service();
+        svc2.enable_live(manual_live()).unwrap();
+        let grown = svc2.upsert_entity(&[triple(0, 0)]).unwrap();
+        assert_eq!(grown, all_at_once);
+        svc2.upsert_triples(grown, &[triple(1, 2)]).unwrap();
+        let incremental = svc2.query(0, QueryOptions::rank()).unwrap();
+        assert_bitwise(&reference.value, &incremental.value, "incremental");
+    }
+
+    #[test]
+    fn live_health_reports_depth_compactions_and_lag() {
+        let mut svc = example_service();
+        assert!(svc.live_health().is_none());
+        assert!(svc.health().live.is_none());
+        // Threshold above the upsert count: no background nudge fires,
+        // so the pre-fold counters are deterministic.
+        svc.enable_live(LiveConfig {
+            compact_after: 4,
+            tick: std::time::Duration::from_secs(3600),
+            ..LiveConfig::default()
+        })
+        .unwrap();
+        assert_eq!(svc.live_health().unwrap(), LiveHealth::default());
+        svc.upsert_entity(&[triple(0, 0)]).unwrap();
+        svc.upsert_entity(&[triple(0, 1)]).unwrap();
+        svc.upsert_entity(&[triple(0, 2)]).unwrap();
+        let health = svc.health().live.unwrap();
+        assert_eq!(health.delta_depth, 3);
+        assert_eq!(health.upserts, 3);
+        assert_eq!(health.compaction_lag, 0, "under one full fold behind");
+        let published = svc.compact_now().unwrap().unwrap();
+        let health = svc.live_health().unwrap();
+        assert_eq!(health.delta_depth, 0);
+        assert_eq!(health.compactions, 1);
+        assert_eq!(health.compaction_lag, 0);
+        assert_eq!(health.compactor_panics, 0);
+        assert_eq!(health.last_compacted_version, Some(published.version.get()));
+    }
+
+    #[test]
+    fn background_compactor_folds_past_the_threshold() {
+        let mut svc = example_service();
+        svc.enable_live(LiveConfig {
+            compact_after: 2,
+            tick: std::time::Duration::from_millis(5),
+            ..LiveConfig::default()
+        })
+        .unwrap();
+        let n2 = svc.kg2().num_entities();
+        svc.upsert_entity(&[triple(0, 0)]).unwrap();
+        svc.upsert_entity(&[triple(0, 1)]).unwrap();
+        // The threshold nudge (or the next tick) folds both entries into
+        // a published snapshot without any explicit compact_now.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let health = svc.live_health().unwrap();
+            if health.compactions >= 1 && health.delta_depth == 0 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "compactor never folded: {health:?}"
+            );
+            std::thread::yield_now();
+        }
+        let post = svc.query(0, QueryOptions::rank()).unwrap();
+        assert_eq!(post.deltas_merged, 0);
+        assert_eq!(post.value.len(), n2 + 2, "folded corpus serves plainly");
     }
 }

@@ -258,10 +258,22 @@ impl ShardCore {
             })
             .collect::<Vec<_>>()
         });
-        let value = set.merge(opts.k, per_shard.into_iter().flatten());
+        let mut value = set.merge(opts.k, per_shard.into_iter().flatten());
+        // Live deltas are one more (unsharded) scatter target: the slab
+        // scan merges through the same bounded selector, so the answer
+        // stays bitwise-equal to an exact scan over base ∪ delta.
+        let mut deltas_merged = 0u32;
+        if let Some(slab) = self.service.live_slab_for(set.total) {
+            value = slab
+                .merge_into(q, 1, opts.k, set.total, vec![value])
+                .pop()
+                .expect("one query in, one ranking out");
+            deltas_merged = slab.len() as u32;
+        }
         Ok(Versioned {
             version: cur.version,
             value,
+            deltas_merged,
         })
     }
 
@@ -320,7 +332,7 @@ impl ShardCore {
             .collect();
         // Gather: merge each query's per-shard lists.
         let mut per_shard = per_shard;
-        let value: Vec<Ranking> = (0..queries.len())
+        let mut value: Vec<Ranking> = (0..queries.len())
             .map(|qi| {
                 set.merge(
                     opts.k,
@@ -330,9 +342,29 @@ impl ShardCore {
                 )
             })
             .collect();
+        // Merge live deltas per panel chunk (the panels were gathered
+        // above for the scatter; the slab reuses them bitwise).
+        let mut deltas_merged = 0u32;
+        if let Some(slab) = self.service.live_slab_for(set.total) {
+            let mut vals = value.into_iter();
+            let mut merged = Vec::with_capacity(queries.len());
+            for (ci, chunk) in queries.chunks(QUERY_BLOCK).enumerate() {
+                let base: Vec<Ranking> = (&mut vals).take(chunk.len()).collect();
+                merged.extend(slab.merge_into(
+                    panels[ci].as_slice(),
+                    chunk.len(),
+                    opts.k,
+                    set.total,
+                    base,
+                ));
+            }
+            value = merged;
+            deltas_merged = slab.len() as u32;
+        }
         Ok(Versioned {
             version: cur.version,
             value,
+            deltas_merged,
         })
     }
 }
@@ -442,10 +474,12 @@ impl ShardedService {
     }
 
     /// Liveness and durability health of the serving stack: the wrapped
-    /// service's persist health plus whether the ingress
-    /// [`crate::DegradePolicy`] is currently engaged.
+    /// service's persist health and live-update health, the ingress
+    /// counters, and whether the ingress [`crate::DegradePolicy`] is
+    /// currently engaged — one coherent view of the whole front-end.
     pub fn health(&self) -> ServiceHealth {
         let mut health = self.core.service.health();
+        health.ingress = self.ingress_stats();
         if let Some(ingress) = &self.ingress {
             health.degrade_engaged = ingress.degrade_engaged();
         }
@@ -517,12 +551,14 @@ impl ShardedService {
                 ingress.submit(e1, opts).map(|(answer, served)| Served {
                     version: answer.version,
                     value: answer.value,
+                    deltas_merged: answer.deltas_merged,
                     served,
                 })
             }
             None => self.core.query(e1, opts).map(|answer| Served {
                 version: answer.version,
                 value: answer.value,
+                deltas_merged: answer.deltas_merged,
                 served: opts.mode,
             }),
         }
@@ -688,5 +724,98 @@ mod tests {
     fn sharded_service_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ShardedService>();
+    }
+
+    fn live_service() -> AlignmentService {
+        let mut svc = example_service(ServingConfig::default());
+        svc.enable_live(crate::LiveConfig {
+            compact_after: 10_000,
+            tick: std::time::Duration::from_secs(3600),
+            ..crate::LiveConfig::default()
+        })
+        .expect("enable live");
+        svc
+    }
+
+    fn triple(rel: u32, neighbor: u32) -> crate::DeltaTriple {
+        crate::DeltaTriple {
+            rel,
+            neighbor,
+            outgoing: true,
+        }
+    }
+
+    /// Sharded scatter-gather over base ∪ delta stays bitwise-identical
+    /// to the unsharded merged answer, at every shard count and k shape
+    /// (the delta slab is one more scatter target, merged through the
+    /// same bounded selector).
+    #[test]
+    fn sharded_live_answers_match_unsharded_bitwise() {
+        for shards in [1usize, 2, 7] {
+            let sharded = ShardedService::new(live_service(), shards).expect("sharded");
+            let svc = sharded.service();
+            let a = svc.upsert_entity(&[triple(0, 0)]).expect("upsert");
+            svc.upsert_entity(&[triple(1, a)]).expect("upsert");
+            let n2 = svc.kg2().num_entities();
+            let union_n = n2 + 2;
+            let queries: Vec<u32> = (0..svc.kg1().num_entities() as u32).collect();
+            for k in [Some(0), Some(5), Some(union_n), Some(union_n + 3), None] {
+                let opts = match k {
+                    Some(k) => QueryOptions::top_k(k),
+                    None => QueryOptions::rank(),
+                };
+                let got = sharded.query(0, opts).expect("sharded single");
+                let want = svc.query(0, opts).expect("unsharded single");
+                assert_eq!(got.deltas_merged, 2, "shards={shards} k={k:?}");
+                assert_eq!(got.value.len(), want.value.len());
+                for (g, w) in got.value.iter().zip(&want.value) {
+                    assert_eq!(g.0, w.0, "shards={shards} k={k:?}");
+                    assert_eq!(g.1.to_bits(), w.1.to_bits(), "shards={shards} k={k:?}");
+                }
+                let got = sharded.query_batch(&queries, opts).expect("sharded batch");
+                let want = svc.query_batch(&queries, opts).expect("unsharded batch");
+                assert_eq!(got.deltas_merged, 2);
+                for (q, (gr, wr)) in got.value.iter().zip(&want.value).enumerate() {
+                    assert_eq!(gr.len(), wr.len());
+                    for (g, w) in gr.iter().zip(wr) {
+                        assert_eq!(g.0, w.0, "shards={shards} k={k:?} q={q}");
+                        assert_eq!(
+                            g.1.to_bits(),
+                            w.1.to_bits(),
+                            "shards={shards} k={k:?} q={q}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Queries through the micro-batching ingress carry the delta merge
+    /// too, and `health()` assembles persist + live + ingress counters
+    /// into one coherent view.
+    #[test]
+    fn sharded_health_unifies_ingress_and_live_counters() {
+        let sharded = ShardedService::with_ingress(live_service(), 2, IngressConfig::default())
+            .expect("sharded with ingress");
+        sharded
+            .service()
+            .upsert_entity(&[triple(0, 0)])
+            .expect("upsert");
+        let answer = sharded
+            .query_served(0, QueryOptions::top_k(3))
+            .expect("ingress query");
+        assert_eq!(answer.deltas_merged, 1, "ingress path merges deltas");
+        let health = sharded.health();
+        let ingress = health.ingress.expect("ingress stats surfaced");
+        assert!(ingress.queries >= 1, "{ingress:?}");
+        assert!(ingress.batches >= 1, "{ingress:?}");
+        let live = health.live.expect("live health surfaced");
+        assert_eq!(live.delta_depth, 1);
+        assert_eq!(live.upserts, 1);
+        // Without an ingress, the same view reports its absence.
+        let plain = ShardedService::new(live_service(), 2).expect("sharded");
+        let health = plain.health();
+        assert!(health.ingress.is_none());
+        assert!(health.live.is_some());
     }
 }

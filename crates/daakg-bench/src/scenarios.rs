@@ -141,6 +141,13 @@ pub struct BenchConfig {
     pub overload_generators: usize,
     /// Entity count of the snapshot persistence round-trip scenario.
     pub persist_entities: usize,
+    /// Right-corpus entity count of the live-upsert scenario.
+    pub live_entities: usize,
+    /// Entities upserted while serving in the live-upsert scenario.
+    pub live_upserts: usize,
+    /// Delta depth that triggers a background compaction in the
+    /// live-upsert scenario (sized so several folds happen mid-run).
+    pub live_compact_after: usize,
     /// Embedding dimension used across scenarios.
     pub dim: usize,
     /// Timing repetitions (median-of-N after one untimed warm-up run).
@@ -177,6 +184,9 @@ impl Default for BenchConfig {
             overload_submissions: 6000,
             overload_generators: 2,
             persist_entities: 20_000,
+            live_entities: 100_000,
+            live_upserts: 192,
+            live_compact_after: 64,
             dim: 32,
             reps: 3,
         }
@@ -225,6 +235,9 @@ impl BenchConfig {
             overload_submissions: 1500,
             overload_generators: 2,
             persist_entities: 2000,
+            live_entities: 10_000,
+            live_upserts: 32,
+            live_compact_after: 12,
             dim: 16,
             // Median-of-3 keeps the smoke run seconds-scale while damping
             // the single-outlier jitter that can trip the `--compare` gate
@@ -251,6 +264,7 @@ pub fn run_all(cfg: &BenchConfig) -> Vec<ScenarioResult> {
         serve_sharded(cfg),
         serve_overload(cfg),
         persist_roundtrip(cfg),
+        live_upsert(cfg),
     ]
 }
 
@@ -1613,6 +1627,273 @@ fn persist_roundtrip(cfg: &BenchConfig) -> ScenarioResult {
         .flag("verified", verified)
 }
 
+// ---------------------------------------------------------------------
+// Scenario: live KG updates (upsert-while-serving + background compaction)
+// ---------------------------------------------------------------------
+
+/// Sustained insert-while-serving over a sharded corpus with the live
+/// delta layer enabled:
+///
+/// 1. **Serving phase** — reader threads issue `top_k` queries while the
+///    main thread upserts `live_upserts` new right-KG entities one by
+///    one. Every upsert is followed by a full-ranking probe asserting
+///    the new id is queryable *immediately* (within one publish cycle by
+///    construction). The depth threshold nudges the background compactor
+///    several times mid-run, so folds happen under live traffic.
+/// 2. **Exactness phase** — drain with `compact_now`, upsert three more
+///    entities, record the delta-merged sample answers, fold again, and
+///    require the folded snapshot's answers to be **bitwise-identical**:
+///    merged base ∪ delta must equal an exact scan over the union
+///    corpus.
+/// 3. **Baseline phase** — `top_k` answers recorded before any upsert
+///    must survive unchanged: post-fold answers restricted to
+///    pre-existing ids reproduce the baseline bitwise (recall/H@k on the
+///    original corpus is untouched), and the rebuilt IVF index on the
+///    folded corpus serves the new entities under full-probe approximate
+///    queries.
+///
+/// Reports wall-clock serving metrics plus the upsert/compaction
+/// counters; `verified` is the conjunction of every flag. Deliberately
+/// no `speedup`/`recall` metrics: the scenario gates on exactness flags,
+/// which the cross-scale `--compare` rules evaluate through `verified`.
+fn live_upsert(cfg: &BenchConfig) -> ScenarioResult {
+    use daakg::{DeltaTriple, LiveConfig, QueryOptions, ShardedService};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let entities = cfg.live_entities;
+    let spec = SynthSpec::with_entities(entities, 67);
+    let (kg1, kg2, _gold) = synthetic_pair(spec, 0.15);
+    let (kg1, kg2) = (Arc::new(kg1), Arc::new(kg2));
+    let joint = JointConfig {
+        embed: EmbedConfig {
+            dim: cfg.dim,
+            class_dim: (cfg.dim / 2).max(2),
+            ..EmbedConfig::default()
+        },
+        ..JointConfig::default()
+    };
+    let svc: ShardedService = Pipeline::builder()
+        .kg1(Arc::clone(&kg1))
+        .kg2(Arc::clone(&kg2))
+        .joint(joint)
+        .index(cfg.serve_nlist)
+        .shards(4)
+        .live(LiveConfig {
+            compact_after: cfg.live_compact_after.max(1),
+            // Nudge-driven: the periodic tick stays out of the timing.
+            tick: Duration::from_secs(3600),
+            ..LiveConfig::default()
+        })
+        .build_sharded()
+        .expect("valid live pipeline");
+
+    let k = cfg.rank_k;
+    let n1 = kg1.num_entities() as u32;
+    let n2 = kg2.num_entities();
+    let mut verified = true;
+
+    // Baseline: pre-upsert answers on a query sample.
+    let sample: Vec<u32> = (0..n1).step_by((n1 as usize / 16).max(1)).collect();
+    let baseline: Vec<Vec<(u32, f32)>> = sample
+        .iter()
+        .map(|&q| svc.top_k(q, k).expect("baseline query").value)
+        .collect();
+
+    // Phase 1: upserts while reader threads serve.
+    let upserts = cfg.live_upserts;
+    let mut rng = StdRng::seed_from_u64(0xDE17A);
+    let triple_sets: Vec<Vec<DeltaTriple>> = (0..upserts)
+        .map(|_| {
+            (0..3)
+                .map(|_| DeltaTriple {
+                    rel: rng.gen_range(0..4),
+                    neighbor: rng.gen_range(0..n2 as u32),
+                    outgoing: rng.gen_bool(0.5),
+                })
+                .collect()
+        })
+        .collect();
+    let stop = AtomicBool::new(false);
+    let mut queryable_within_cycle = true;
+    let (reader_queries, serve_ms) = std::thread::scope(|scope| {
+        let svc = &svc;
+        let stop = &stop;
+        let readers: Vec<_> = (0..cfg.serve_readers)
+            .map(|ri| {
+                scope.spawn(move || {
+                    let mut queries = 0usize;
+                    let mut q = (ri as u32).wrapping_mul(13) % n1;
+                    loop {
+                        let done = stop.load(Ordering::Relaxed);
+                        let ans = svc.top_k(q, k).expect("in-bounds query");
+                        debug_assert!(ans.value.len() <= k);
+                        queries += 1;
+                        q = (q + 1) % n1;
+                        if done {
+                            break;
+                        }
+                    }
+                    queries
+                })
+            })
+            .collect();
+        let (qwc, serve_ms) = time_once(|| {
+            let mut all_seen = true;
+            for (i, triples) in triple_sets.iter().enumerate() {
+                let id = svc
+                    .service()
+                    .upsert_entity(triples)
+                    .expect("upsert while serving");
+                all_seen &= id as usize >= n2;
+                // Immediately queryable: the full union ranking carries
+                // the new id before any compaction or retrain. A
+                // background fold mid-publish can hide the freshest
+                // entry for the instant between its publish and its
+                // buffer commit — re-probe until a short deadline
+                // rather than flaking on that window.
+                let deadline = std::time::Instant::now() + Duration::from_secs(10);
+                let mut seen = false;
+                while !seen {
+                    let rank = svc.rank(i as u32 % n1).expect("probe rank");
+                    seen = rank.value.len() == n2 + i + 1
+                        && rank.value.iter().any(|&(got, _)| got == id);
+                    if std::time::Instant::now() >= deadline {
+                        break;
+                    }
+                }
+                all_seen &= seen;
+            }
+            all_seen
+        });
+        stop.store(true, Ordering::Relaxed);
+        queryable_within_cycle = qwc;
+        let queries: usize = readers
+            .into_iter()
+            .map(|r| r.join().expect("reader thread"))
+            .sum();
+        (queries, serve_ms)
+    });
+
+    // The threshold nudges must have folded at least once mid-run. The
+    // first nudge always reaches the idle compactor; give its fold a
+    // bounded moment to land instead of racing the thread scheduler.
+    let fold_deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let background_compactions = loop {
+        let live = svc.health().live.expect("live health");
+        if live.compactions >= 1 || std::time::Instant::now() >= fold_deadline {
+            break live.compactions;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    verified &= background_compactions >= 1;
+    let live = svc.health().live.expect("live health");
+    verified &= queryable_within_cycle && live.upserts == upserts as u64;
+
+    // Phase 2: exactness — merged base ∪ delta vs the folded union
+    // corpus. A compactor wake left over from the timed phase can fold
+    // the tail entries before they are sampled; at most one such stale
+    // wake exists, so a second attempt is deterministic.
+    let service = svc.service();
+    let mut exact_union_merge = true;
+    let mut merged_with_deltas = false;
+    let mut total_new = upserts;
+    let mut tail: Vec<u32> = Vec::new();
+    for _attempt in 0..2 {
+        service.compact_now().expect("drain folds");
+        tail = (0..3u32)
+            .map(|i| {
+                service
+                    .upsert_entity(&[DeltaTriple {
+                        rel: 0,
+                        neighbor: i * 7 % n2 as u32,
+                        outgoing: true,
+                    }])
+                    .expect("tail upsert")
+            })
+            .collect();
+        total_new += tail.len();
+        let mut with_deltas = true;
+        let merged: Vec<Vec<(u32, f32)>> = sample
+            .iter()
+            .map(|&q| {
+                let ans = svc.query(q, QueryOptions::top_k(k)).expect("merged query");
+                with_deltas &= ans.deltas_merged == 3;
+                ans.value
+            })
+            .collect();
+        service.compact_now().expect("fold tail");
+        for (&q, pre) in sample.iter().zip(&merged) {
+            let post = svc.top_k(q, k).expect("folded query");
+            exact_union_merge &= post.deltas_merged == 0
+                && pre.len() == post.value.len()
+                && pre
+                    .iter()
+                    .zip(&post.value)
+                    .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits());
+        }
+        merged_with_deltas = with_deltas;
+        if merged_with_deltas {
+            break;
+        }
+    }
+    verified &= exact_union_merge && merged_with_deltas;
+
+    // Phase 3: pre-existing answers unchanged + rebuilt IVF serves the
+    // folded corpus.
+    let mut recall_unchanged = true;
+    let mut hits1_unchanged = true;
+    for (&q, base) in sample.iter().zip(&baseline) {
+        let wide = svc.top_k(q, k + total_new).expect("wide query");
+        let kept: Vec<(u32, f32)> = wide
+            .value
+            .iter()
+            .copied()
+            .filter(|&(id, _)| (id as usize) < n2)
+            .take(k)
+            .collect();
+        recall_unchanged &= kept.len() == base.len()
+            && kept
+                .iter()
+                .zip(base)
+                .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits());
+        hits1_unchanged &= kept.first().map(|e| e.0) == base.first().map(|e| e.0);
+    }
+    verified &= recall_unchanged && hits1_unchanged;
+    // Full-probe approximate queries run on the IVF index rebuilt over
+    // the folded corpus — the freshly folded entities must be reachable.
+    let union_total = n2 + total_new;
+    let approx = svc
+        .query(0, QueryOptions::top_k(union_total).approx(cfg.serve_nlist))
+        .expect("approx query on rebuilt index");
+    let mut ivf_rebuilt = approx.value.len() == union_total;
+    for &id in &tail {
+        ivf_rebuilt &= approx.value.iter().any(|&(got, _)| got == id);
+    }
+    verified &= ivf_rebuilt;
+    let health = svc.health().live.expect("live health");
+    let no_panics = health.compactor_panics == 0;
+    verified &= health.delta_depth == 0 && no_panics;
+
+    ScenarioResult::new(&format!("live_upsert_{}", short_count(entities)))
+        .metric("serve_ms", serve_ms)
+        .metric("upserts", upserts as f64)
+        .metric("upserts_per_s", upserts as f64 / (serve_ms / 1e3).max(1e-9))
+        .metric("reader_queries", reader_queries as f64)
+        .metric("qps", reader_queries as f64 / (serve_ms / 1e3).max(1e-9))
+        .metric("background_compactions", background_compactions as f64)
+        .metric("compactions", health.compactions as f64)
+        .metric("entities", entities as f64)
+        .metric("k", k as f64)
+        .flag("verified", verified)
+        .flag("no_panics", no_panics)
+        .flag("queryable_within_cycle", queryable_within_cycle)
+        .flag("exact_union_merge", exact_union_merge)
+        .flag("recall_unchanged", recall_unchanged)
+        .flag("hits1_unchanged", hits1_unchanged)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1621,7 +1902,7 @@ mod tests {
     fn quick_config_runs_all_scenarios_verified() {
         let cfg = BenchConfig::quick();
         let results = run_all(&cfg);
-        assert_eq!(results.len(), 14);
+        assert_eq!(results.len(), 15);
         for r in &results {
             for (k, v) in &r.metrics {
                 assert!(v.is_finite(), "{}:{k} not finite", r.name);

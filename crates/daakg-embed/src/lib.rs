@@ -29,6 +29,7 @@ pub mod rotate;
 pub mod sampling;
 pub mod trainer;
 pub mod transe;
+pub mod warm;
 
 pub use compgcn::CompGcn;
 pub use config::{EmbedConfig, TrainMode};
@@ -37,6 +38,7 @@ pub use model::{KgEmbedding, ModelKind, RelationBound, TableParams};
 pub use rotate::RotatE;
 pub use trainer::{EmbedTrainer, TrainStats};
 pub use transe::TransE;
+pub use warm::{warm_start_row, WarmStartConfig};
 
 /// Construct a boxed model of the given kind for a KG shape.
 ///

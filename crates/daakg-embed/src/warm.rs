@@ -1,0 +1,276 @@
+//! Warm-start fine-tuning for live upserts: train *one new embedding row*
+//! against frozen base tables.
+//!
+//! A live `upsert_entity` cannot afford a full retrain — the published
+//! snapshot is immutable and the trainer owns the parameter store. What it
+//! can afford is a few dozen optimizer steps over a **single trainable
+//! row**, pulled toward the (frozen) embeddings of the entities its triples
+//! connect it to and pushed away from sampled negatives:
+//!
+//! ```text
+//! loss = relu(margin − mean(cos(x, positives)) + mean(cos(x, negatives)))
+//! ```
+//!
+//! The row lives in its own one-table [`ParamStore`] and trains through the
+//! same lazy sparse [`Adam`] path the joint trainer uses (refresh-before-
+//! read, flush-before-handoff), so the optimizer state machinery is shared
+//! rather than reimplemented. Every negative is presampled from a
+//! [`StdRng`] seeded by `cfg.seed` mixed with the caller-supplied salt
+//! *before* any training step, and the whole optimization is a sequential
+//! scalar loop over one row — the result is bit-for-bit deterministic at
+//! any thread count, on any machine with IEEE-754 f32.
+
+use daakg_autograd::{Adam, ParamStore, TapeSession, Tensor};
+use daakg_graph::DaakgError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Name of the single trainable row inside the throwaway store.
+const ROW: &str = "warm.row";
+
+/// Typed configuration of the warm-start path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarmStartConfig {
+    /// Optimizer steps over the new row.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Negatives sampled (per step) from the frozen base table.
+    pub negatives: usize,
+    /// Hinge margin between mean positive and mean negative cosine.
+    pub margin: f32,
+    /// Base RNG seed; mixed with the per-entity salt so every row draws an
+    /// independent, reproducible negative stream.
+    pub seed: u64,
+}
+
+impl Default for WarmStartConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 20,
+            lr: 0.05,
+            negatives: 8,
+            margin: 0.5,
+            seed: 0x57A2,
+        }
+    }
+}
+
+impl WarmStartConfig {
+    /// Reject unusable configurations with a typed error.
+    pub fn validate(&self) -> Result<(), DaakgError> {
+        let fail = |reason: String| DaakgError::InvalidConfig {
+            context: "WarmStartConfig",
+            reason,
+        };
+        if self.epochs == 0 {
+            return Err(fail("epochs must be at least 1".into()));
+        }
+        if !(self.lr.is_finite() && self.lr > 0.0) {
+            return Err(fail(format!(
+                "lr must be finite and positive, got {}",
+                self.lr
+            )));
+        }
+        if self.negatives == 0 {
+            return Err(fail("negatives must be at least 1".into()));
+        }
+        if !self.margin.is_finite() || self.margin < 0.0 {
+            return Err(fail(format!(
+                "margin must be finite and non-negative, got {}",
+                self.margin
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Train one new embedding row against frozen tables.
+///
+/// * `base` — the frozen corpus negatives are drawn from (`n × d`, `n ≥ 1`);
+/// * `positives` — the frozen target rows the new entity's triples point at
+///   (`p × d`, `p ≥ 1`), already gathered by the caller (they may come from
+///   the base table or from earlier delta rows);
+/// * `salt` — a per-entity value (e.g. the new global id) mixed into the
+///   seed so distinct upserts draw distinct negative streams while staying
+///   reproducible.
+///
+/// The row initializes to the mean of the positives and returns **raw**
+/// (un-normalized) — callers normalize exactly once, the same way snapshot
+/// construction normalizes its slabs.
+pub fn warm_start_row(
+    base: &Tensor,
+    positives: &Tensor,
+    salt: u64,
+    cfg: &WarmStartConfig,
+) -> Result<Vec<f32>, DaakgError> {
+    cfg.validate()?;
+    let d = base.cols();
+    if d == 0 || base.rows() == 0 {
+        return Err(DaakgError::InvalidConfig {
+            context: "WarmStartConfig",
+            reason: format!(
+                "base table is {}×{d}; need at least one row and column",
+                base.rows()
+            ),
+        });
+    }
+    if positives.rows() == 0 {
+        return Err(DaakgError::InvalidConfig {
+            context: "WarmStartConfig",
+            reason: "at least one positive row is required".into(),
+        });
+    }
+    if positives.cols() != d {
+        return Err(DaakgError::DimensionMismatch {
+            context: "warm_start_row positives",
+            expected: d,
+            got: positives.cols(),
+        });
+    }
+
+    // Init: mean of the positive rows.
+    let p = positives.rows();
+    let mut init = vec![0.0f32; d];
+    for r in 0..p {
+        for (acc, &v) in init.iter_mut().zip(positives.row(r)) {
+            *acc += v;
+        }
+    }
+    let inv = 1.0 / p as f32;
+    for v in init.iter_mut() {
+        *v *= inv;
+    }
+
+    // Presample every negative for every epoch before training starts, so
+    // the RNG consumption is independent of the optimization path.
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ salt.rotate_left(17));
+    let n = base.rows() as u32;
+    let neg_rows: Vec<Vec<u32>> = (0..cfg.epochs)
+        .map(|_| (0..cfg.negatives).map(|_| rng.gen_range(0..n)).collect())
+        .collect();
+
+    let mut store = ParamStore::new();
+    store.insert(ROW, Tensor::from_vec(1, d, init));
+    let mut opt = Adam::with_lr(cfg.lr);
+    let pos_rep: Vec<u32> = vec![0; p];
+    let neg_rep: Vec<u32> = vec![0; cfg.negatives];
+
+    for negs in &neg_rows {
+        // Lazy sparse Adam: rows the tape reads must be current first.
+        opt.refresh_rows(&mut store, ROW, &[0]);
+        let mut s = TapeSession::new();
+        let xp = s.gather_param(&store, ROW, &pos_rep);
+        let pos_t = s.graph.leaf(positives.clone());
+        let pos_sims = s.graph.cosine_rows(xp, pos_t);
+        let pos_mean = s.graph.mean_all(pos_sims);
+
+        let xn = s.gather_param(&store, ROW, &neg_rep);
+        let neg_t = s.graph.leaf(base.gather_rows(negs));
+        let neg_sims = s.graph.cosine_rows(xn, neg_t);
+        let neg_mean = s.graph.mean_all(neg_sims);
+
+        let gap = s.graph.sub(neg_mean, pos_mean);
+        let shifted = s.graph.add_scalar(gap, cfg.margin);
+        let loss = s.graph.relu(shifted);
+        s.backward(loss);
+        s.step(&mut store, &mut opt);
+    }
+    // Flush-before-handoff: materialize any lazily deferred update.
+    opt.flush(&mut store);
+    Ok(store.get(ROW).as_slice().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daakg_autograd::tensor::cosine;
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect();
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn config_validation_is_typed() {
+        assert!(WarmStartConfig::default().validate().is_ok());
+        for bad in [
+            WarmStartConfig {
+                epochs: 0,
+                ..Default::default()
+            },
+            WarmStartConfig {
+                lr: 0.0,
+                ..Default::default()
+            },
+            WarmStartConfig {
+                lr: f32::NAN,
+                ..Default::default()
+            },
+            WarmStartConfig {
+                negatives: 0,
+                ..Default::default()
+            },
+            WarmStartConfig {
+                margin: -1.0,
+                ..Default::default()
+            },
+        ] {
+            let err = bad.validate().unwrap_err();
+            assert!(matches!(err, DaakgError::InvalidConfig { .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn shape_errors_are_typed() {
+        let base = random_matrix(5, 8, 1);
+        let cfg = WarmStartConfig::default();
+        let empty = Tensor::zeros(0, 8);
+        assert!(warm_start_row(&base, &empty, 0, &cfg).is_err());
+        let wrong = random_matrix(2, 4, 2);
+        let err = warm_start_row(&base, &wrong, 0, &cfg).unwrap_err();
+        assert!(matches!(err, DaakgError::DimensionMismatch { .. }), "{err}");
+        let no_base = Tensor::zeros(0, 8);
+        assert!(warm_start_row(&no_base, &base, 0, &cfg).is_err());
+    }
+
+    #[test]
+    fn trained_row_moves_toward_positives() {
+        let base = random_matrix(60, 16, 3);
+        let positives = base.gather_rows(&[7, 8]);
+        let cfg = WarmStartConfig::default();
+        let row = warm_start_row(&base, &positives, 42, &cfg).unwrap();
+        assert_eq!(row.len(), 16);
+        // The trained row must be closer (in cosine) to its positives than
+        // to the average sampled candidate.
+        let pos_sim: f32 = (0..2).map(|r| cosine(&row, positives.row(r))).sum::<f32>() / 2.0;
+        let mean_sim: f32 = (0..60).map(|r| cosine(&row, base.row(r))).sum::<f32>() / 60.0;
+        assert!(
+            pos_sim > mean_sim,
+            "warm start did not attract the row: pos {pos_sim} vs mean {mean_sim}"
+        );
+        assert!(row.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn result_is_bitwise_deterministic() {
+        let base = random_matrix(40, 12, 9);
+        let positives = base.gather_rows(&[1, 2, 3]);
+        let cfg = WarmStartConfig::default();
+        let a = warm_start_row(&base, &positives, 5, &cfg).unwrap();
+        let b = warm_start_row(&base, &positives, 5, &cfg).unwrap();
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // A different salt draws a different negative stream.
+        let c = warm_start_row(&base, &positives, 6, &cfg).unwrap();
+        assert_ne!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            c.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}

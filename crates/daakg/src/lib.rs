@@ -106,9 +106,9 @@
 //! | `snapshot.rank_entities(e)` | `service.rank(e)?` (versioned, bounds-checked) |
 //! | `snapshot.top_k_entities(e, k)` | `service.top_k(e, k)?` |
 //! | `snapshot.top_k_entities_block(&qs, k)` | `service.batch_top_k(&qs, k)?` (sharded across workers) |
-//! | `service.rank_with(e, mode)` (deprecated) | `service.query(e, QueryOptions::rank().with_mode(mode))?` |
-//! | `service.top_k_with(e, k, mode)` (deprecated) | `service.query(e, QueryOptions::top_k(k).with_mode(mode))?` |
-//! | `service.batch_top_k_with(&qs, k, mode)` (deprecated) | `service.query_batch(&qs, QueryOptions::top_k(k).with_mode(mode))?` |
+//! | `service.rank_with(e, mode)` (shim, **removed**) | `service.query(e, QueryOptions::rank().with_mode(mode))?` |
+//! | `service.top_k_with(e, k, mode)` (shim, **removed**) | `service.query(e, QueryOptions::top_k(k).with_mode(mode))?` |
+//! | `service.batch_top_k_with(&qs, k, mode)` (shim, **removed**) | `service.query_batch(&qs, QueryOptions::top_k(k).with_mode(mode))?` |
 //! | `ActiveLoop::new(cfg, strategy)` (panicked) + `.run(&mut model, ..)` | `Pipeline::builder()...build_active()?` + `.run_service(&service, ..)?` |
 //! | `ActiveLoop::run(&mut model, ..)` (shim, **removed**) | `ActiveLoop::run_service(&service, ..)?` |
 //! | `cfg.validate() -> Result<(), String>` | `cfg.validate() -> Result<(), DaakgError>` |
@@ -140,10 +140,10 @@ pub use daakg_store as store;
 // The most commonly used types, re-exported flat.
 pub use daakg_active::{ActiveConfig, ActiveLoop, GoldOracle, Strategy};
 pub use daakg_align::{
-    AlignmentService, AlignmentSnapshot, BatchedSimilarity, DegradePolicy, DurableRegistry,
-    IngressConfig, IngressStats, JointConfig, JointModel, LabeledMatches, PendingAnswer,
-    QueryExecutor, RecoveryReport, Served, ServiceHealth, ServingConfig, ShardedService,
-    SnapshotVersion, Versioned, VersionedSnapshot,
+    AlignmentService, AlignmentSnapshot, BatchedSimilarity, DegradePolicy, DeltaRecovery,
+    DeltaTriple, DurableRegistry, IngressConfig, IngressStats, JointConfig, JointModel,
+    LabeledMatches, LiveConfig, LiveHealth, PendingAnswer, QueryExecutor, RecoveryReport, Served,
+    ServiceHealth, ServingConfig, ShardedService, SnapshotVersion, Versioned, VersionedSnapshot,
 };
 pub use daakg_autograd::{Graph, ParamStore, TapeSession, Tensor};
 pub use daakg_embed::{EmbedConfig, KgEmbedding, ModelKind, TrainMode};

@@ -32,7 +32,9 @@
 //! ```
 
 use daakg_active::{ActiveConfig, ActiveLoop, Strategy};
-use daakg_align::{AlignmentService, IngressConfig, JointConfig, ServingConfig, ShardedService};
+use daakg_align::{
+    AlignmentService, IngressConfig, JointConfig, LiveConfig, ServingConfig, ShardedService,
+};
 use daakg_embed::{EmbedConfig, ModelKind, TrainMode};
 use daakg_graph::{DaakgError, KnowledgeGraph};
 use daakg_index::{IvfConfig, QueryMode};
@@ -67,6 +69,7 @@ pub struct PipelineBuilder {
     store: Option<PathBuf>,
     shards: Option<usize>,
     ingress: Option<IngressConfig>,
+    live: Option<LiveConfig>,
 }
 
 impl Default for PipelineBuilder {
@@ -81,6 +84,7 @@ impl Default for PipelineBuilder {
             store: None,
             shards: None,
             ingress: None,
+            live: None,
         }
     }
 }
@@ -221,6 +225,19 @@ impl PipelineBuilder {
         self
     }
 
+    /// Enable **live KG updates** on the built service: an append-only
+    /// delta layer accepting [`AlignmentService::upsert_entity`] while
+    /// serving, warm-start fine-tuned embeddings for the new rows, and a
+    /// background compactor that folds pending deltas into the next
+    /// published snapshot. With [`PipelineBuilder::store`], delta
+    /// segments are persisted alongside snapshots so warm restarts
+    /// recover base + uncompacted deltas. Validation (`compact_after ≥
+    /// 1`, warm-start hyper-parameters) happens at build time.
+    pub fn live(mut self, cfg: LiveConfig) -> Self {
+        self.live = Some(cfg);
+        self
+    }
+
     /// Put a micro-batching ingress in front of the sharded service:
     /// concurrent single queries are coalesced into batched kernel
     /// dispatches under the window's time/size bounds. Implies
@@ -287,10 +304,13 @@ impl PipelineBuilder {
         let kg2 = self.kg2.ok_or(DaakgError::MissingInput { what: "kg2" })?;
         self.joint.validate()?;
         let active = ActiveLoop::new(self.active, self.strategy)?;
-        let service = match self.store {
+        let mut service = match self.store {
             Some(dir) => AlignmentService::open(self.joint, self.serving, kg1, kg2, dir)?,
             None => AlignmentService::with_serving(self.joint, self.serving, kg1, kg2)?,
         };
+        if let Some(cfg) = self.live {
+            service.enable_live(cfg)?;
+        }
         Ok((service, active))
     }
 }

@@ -265,6 +265,55 @@ fn main() -> Result<(), DaakgError> {
     );
     drop(sharded);
 
+    // 5e. Live updates: a brand-new right-KG entity arrives mid-campaign.
+    //     No retrain — `upsert_entity` warm-starts an embedding for it
+    //     against the frozen published tables, and every query merges it
+    //     exactly (bitwise what a scan over the union corpus would
+    //     return) until the background compactor folds it into the next
+    //     published snapshot.
+    let live = Pipeline::builder()
+        .kg1(example_dbpedia())
+        .kg2(example_wikidata())
+        .joint(joint_cfg)
+        // Long tick so the quickstart (not the background compactor)
+        // decides when the fold happens — keeps the output deterministic.
+        .live(daakg::LiveConfig {
+            tick: std::time::Duration::from_secs(3600),
+            ..daakg::LiveConfig::default()
+        })
+        .build()?;
+    live.train(&labels)?;
+    let new_id = live.upsert_entity(&[daakg::DeltaTriple {
+        rel: kg2
+            .relation_by_name("spouse")
+            .expect("right relation")
+            .raw(),
+        neighbor: gold_ids[0].1, // anchored to Q2831 (Michael Jackson)
+        outgoing: true,
+    }])?;
+    // Queryable before the next retrain or compaction: the top-k over
+    // the union corpus already carries the new entity.
+    let union_n = kg2.num_entities() + 1;
+    let top = live.top_k(gold_ids[0].0, union_n)?;
+    assert!(
+        top.deltas_merged >= 1 && top.value.iter().any(|&(e2, _)| e2 == new_id),
+        "upserted entity must be served before the next retrain"
+    );
+    let folded = live.compact_now()?.expect("one pending entry to fold");
+    let after = live.top_k(gold_ids[0].0, union_n)?;
+    assert_eq!(after.version, folded.version);
+    assert_eq!(
+        top.value, after.value,
+        "folding the delta must not change any answer"
+    );
+    println!(
+        "live updates: upserted entity {new_id} served immediately \
+         (deltas_merged {}), compaction published snapshot {} with \
+         identical answers",
+        top.deltas_merged, folded.version,
+    );
+    drop(live);
+
     // 6. Deep active alignment: start over with just one labeled pair and
     //    let the loop decide which questions to put to a (simulated) human
     //    oracle. A fresh pipeline builds the campaign's own service and a

@@ -11,11 +11,12 @@ use daakg::align::persist::FILE_KIND_SNAPSHOT;
 use daakg::graph::kg::{example_dbpedia, example_wikidata};
 use daakg::store::{fault, SectionReader, TestDir, MANIFEST_NAME};
 use daakg::{
-    AlignmentService, DaakgError, DurableRegistry, EmbedConfig, JointConfig, LabeledMatches,
-    Pipeline, QueryMode, QueryOptions, ServingConfig, SnapshotVersion,
+    AlignmentService, DaakgError, DeltaTriple, DurableRegistry, EmbedConfig, JointConfig,
+    LabeledMatches, LiveConfig, Pipeline, QueryMode, QueryOptions, ServingConfig, SnapshotVersion,
 };
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn tiny_cfg() -> JointConfig {
     JointConfig {
@@ -268,6 +269,115 @@ fn deleted_or_stale_manifest_never_confuses_recovery() {
     let (_, report) = reg.recover().unwrap();
     assert_eq!(report.manifest_latest, Some(3));
     assert!(!report.manifest_was_stale());
+}
+
+fn open_live(dir: &Path) -> AlignmentService {
+    Pipeline::builder()
+        .kg1(example_dbpedia())
+        .kg2(example_wikidata())
+        .joint(tiny_cfg())
+        .index(3)
+        .store(dir)
+        // Quiet compactor: folds happen only via `compact_now`, so every
+        // kill below really does leave uncompacted segments on disk.
+        .live(LiveConfig {
+            compact_after: 100,
+            tick: Duration::from_secs(3600),
+            ..LiveConfig::default()
+        })
+        .build()
+        .unwrap()
+}
+
+fn dt(rel: u32, neighbor: u32) -> DeltaTriple {
+    DeltaTriple {
+        rel,
+        neighbor,
+        outgoing: true,
+    }
+}
+
+/// Chaos kill-and-restart with uncompacted deltas on disk: a process
+/// that dies with pending delta segments — even mid-segment-write —
+/// restarts serving the same merged answers bitwise (last intact prefix,
+/// typed `Corrupt` for the torn tail), and folding the recovered prefix
+/// publishes a snapshot that answers identically with the segments
+/// retired.
+#[test]
+fn kill_and_restart_with_uncompacted_deltas_recovers_and_folds_identically() {
+    let td = TestDir::new("it-live-kill");
+    let n2 = example_wikidata().num_entities();
+    // Process 1: train, accept three upserts (the third anchored on a
+    // pending delta entity), then die without compacting.
+    let pre = {
+        let svc = open_live(td.path());
+        svc.train(&LabeledMatches::new()).unwrap();
+        let a = svc.upsert_entity(&[dt(0, 0), dt(1, 2)]).unwrap();
+        assert_eq!(a as usize, n2);
+        svc.upsert_entity(&[dt(0, 1)]).unwrap();
+        svc.upsert_entity(&[dt(1, a)]).unwrap();
+        svc.query(0, QueryOptions::rank()).unwrap()
+    }; // drop = simulated kill with three uncompacted segments on disk
+    assert_eq!(pre.deltas_merged, 3);
+    // Restart 1: every segment replays and the warm-started merged
+    // ranking is bitwise what the dead process served.
+    {
+        let svc = open_live(td.path());
+        let rec = svc.live_recovery().unwrap();
+        assert_eq!((rec.replayed, rec.skipped.len()), (3, 0));
+        let post = svc.query(0, QueryOptions::rank()).unwrap();
+        assert_eq!(post.deltas_merged, 3);
+        assert_bitwise(
+            std::slice::from_ref(&pre.value),
+            std::slice::from_ref(&post.value),
+        );
+    } // die again, still uncompacted
+      // Kill mid-segment-write: tear the newest segment in half. Replay
+      // must stop at the last intact prefix with a typed diagnostic.
+    let torn = td.path().join(format!("d{:010}.dseg", n2 as u32 + 2));
+    let bytes = std::fs::read(&torn).unwrap();
+    std::fs::write(&torn, &bytes[..bytes.len() / 2]).unwrap();
+    let svc = open_live(td.path());
+    let rec = svc.live_recovery().unwrap();
+    assert_eq!(rec.replayed, 2, "only the intact prefix replays");
+    assert!(
+        rec.skipped
+            .iter()
+            .any(|(id, e)| *id == n2 as u32 + 2 && matches!(e, DaakgError::Corrupt { .. })),
+        "torn segment must surface as Corrupt: {:?}",
+        rec.skipped
+    );
+    let merged = svc.query(0, QueryOptions::rank()).unwrap();
+    assert_eq!(merged.deltas_merged, 2);
+    assert_eq!(merged.value.len(), n2 + 2);
+    // Folding the recovered prefix publishes a union snapshot whose
+    // answers are bitwise the merged ones, exact and full-probe alike.
+    let published = svc.compact_now().unwrap().expect("two entries pending");
+    assert_eq!(published.version.get(), 3);
+    let folded = svc.query(0, QueryOptions::rank()).unwrap();
+    assert_eq!(folded.deltas_merged, 0);
+    assert_bitwise(
+        std::slice::from_ref(&merged.value),
+        std::slice::from_ref(&folded.value),
+    );
+    let full_probe = svc.query(0, QueryOptions::top_k(n2 + 2).approx(3)).unwrap();
+    assert_bitwise(
+        std::slice::from_ref(&folded.value),
+        std::slice::from_ref(&full_probe.value),
+    );
+    drop(svc);
+    // Restart after the fold: the segments are retired, nothing replays,
+    // and the published union snapshot is what serves.
+    let svc = open_live(td.path());
+    let rec = svc.live_recovery().unwrap();
+    assert_eq!((rec.replayed, rec.skipped.len()), (0, 0));
+    assert_eq!(svc.version().get(), 3);
+    let post = svc.query(0, QueryOptions::rank()).unwrap();
+    assert_eq!(post.deltas_merged, 0);
+    assert_bitwise(
+        std::slice::from_ref(&folded.value),
+        std::slice::from_ref(&post.value),
+    );
 }
 
 /// Serving-configuration changes across a restart are reconciled instead
