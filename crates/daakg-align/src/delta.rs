@@ -34,9 +34,13 @@
 //!   drain-then-join `Drop`.
 //!
 //! The anchor invariant that makes mixed-version serving safe: a slab is
-//! only merged into queries whose pinned snapshot has exactly
-//! `slab.base_n` right entities. Across a compaction publish the buffer
-//! keeps **two** slabs — the pre-fold slab (matching still-pinned older
+//! only merged into queries whose pinned snapshot is exactly the
+//! **version** the slab was built against. Anchoring by version (not by
+//! right-entity count) matters because a retrain typically publishes a
+//! snapshot with the *same* entity count but entirely re-derived tables —
+//! a count-keyed slab would transiently merge superseded delta rows into
+//! the fresh publication. Across a compaction publish the buffer keeps
+//! **two** slabs — the pre-fold slab (matching still-pinned older
 //! versions) and the post-fold remainder (matching the new version) — so
 //! no reader ever transiently loses a delta entity.
 
@@ -90,12 +94,13 @@ pub struct DeltaEntry {
 // Query-facing slab
 // ---------------------------------------------------------------------------
 
-/// An immutable scan view over the pending delta rows, anchored to the
-/// snapshot whose right-entity count is `base_n`.
+/// An immutable scan view over the pending delta rows, anchored to one
+/// published snapshot version.
 #[derive(Debug)]
 pub(crate) struct DeltaSlab {
-    /// Right-entity count of the snapshot this slab extends.
-    base_n: usize,
+    /// The snapshot version this slab extends — the merge key (see the
+    /// module docs for why the anchor is the version, not the count).
+    anchor: u64,
     /// Embedding width.
     dim: usize,
     /// Number of delta rows.
@@ -111,7 +116,7 @@ impl DeltaSlab {
     /// Build a slab from pending entries. Normalization is per-row and
     /// independent, exactly [`normalize_rows_cosine`] over the stacked raw
     /// rows — the same bits the rows would get inside a snapshot engine.
-    fn build(base_n: usize, dim: usize, entries: &[DeltaEntry]) -> Self {
+    fn build(anchor: u64, base_n: usize, dim: usize, entries: &[DeltaEntry]) -> Self {
         let len = entries.len();
         let mut rows = Tensor::zeros(len, dim);
         for (i, e) in entries.iter().enumerate() {
@@ -127,7 +132,7 @@ impl DeltaSlab {
         }
         let ids = (0..len).map(|i| (base_n + i) as u32).collect();
         Self {
-            base_n,
+            anchor,
             dim,
             len,
             ct,
@@ -197,11 +202,13 @@ impl DeltaSlab {
 // ---------------------------------------------------------------------------
 
 struct BufferInner {
-    /// Anchor: right-entity count of the snapshot pending entries extend.
+    /// Anchor: the published snapshot version pending entries extend.
+    anchor: u64,
+    /// Right-entity count of the anchor snapshot.
     base_n: usize,
     /// Pending (uncompacted) entries; entry `j` has global id `base_n + j`.
     entries: Vec<DeltaEntry>,
-    /// Scan view over `entries`, anchored at `base_n`.
+    /// Scan view over `entries`, anchored at `anchor`.
     current: Arc<DeltaSlab>,
     /// The pre-fold slab kept across one compaction publish, so queries
     /// pinned to the previous version keep seeing the folded entities.
@@ -218,14 +225,16 @@ pub(crate) struct DeltaBuffer {
 }
 
 impl DeltaBuffer {
-    /// An empty buffer anchored at `base_n` right entities of width `dim`.
-    pub(crate) fn new(base_n: usize, dim: usize) -> Self {
+    /// An empty buffer anchored at snapshot version `anchor` with `base_n`
+    /// right entities of width `dim`.
+    pub(crate) fn new(anchor: u64, base_n: usize, dim: usize) -> Self {
         Self {
             dim,
             inner: Mutex::new(BufferInner {
+                anchor,
                 base_n,
                 entries: Vec::new(),
-                current: Arc::new(DeltaSlab::build(base_n, dim, &[])),
+                current: Arc::new(DeltaSlab::build(anchor, base_n, dim, &[])),
                 prev: None,
             }),
             upserts: AtomicU64::new(0),
@@ -242,7 +251,13 @@ impl DeltaBuffer {
         self.upserts.load(Ordering::Relaxed)
     }
 
-    /// Current anchor (right-entity count the pending entries extend).
+    /// Current anchor (the snapshot version the pending entries extend).
+    pub(crate) fn anchor(&self) -> u64 {
+        lock_recover(&self.inner).anchor
+    }
+
+    /// Right-entity count of the anchor snapshot.
+    #[cfg(test)]
     pub(crate) fn base_n(&self) -> usize {
         lock_recover(&self.inner).base_n
     }
@@ -285,7 +300,12 @@ impl DeltaBuffer {
             });
         }
         inner.entries.push(entry);
-        inner.current = Arc::new(DeltaSlab::build(inner.base_n, self.dim, &inner.entries));
+        inner.current = Arc::new(DeltaSlab::build(
+            inner.anchor,
+            inner.base_n,
+            self.dim,
+            &inner.entries,
+        ));
         self.upserts.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -312,57 +332,74 @@ impl DeltaBuffer {
                 bound: base + inner.entries.len(),
             })?;
         inner.entries[pos] = entry;
-        inner.current = Arc::new(DeltaSlab::build(base, self.dim, &inner.entries));
+        inner.current = Arc::new(DeltaSlab::build(
+            inner.anchor,
+            base,
+            self.dim,
+            &inner.entries,
+        ));
         Ok(())
     }
 
-    /// The slab to merge into a query pinned to a snapshot with `n2`
-    /// right entities — the current slab, the kept pre-fold slab, or
-    /// nothing when neither anchor matches (e.g. a retrain superseded the
-    /// delta). Empty slabs return `None` (nothing to merge).
-    pub(crate) fn slab_for(&self, n2: usize) -> Option<Arc<DeltaSlab>> {
+    /// The slab to merge into a query pinned to snapshot `version` — the
+    /// current slab, the kept pre-fold slab, or nothing when neither
+    /// anchor matches (e.g. a retrain superseded the delta, or the query
+    /// pinned a fresh publication the buffer has not re-anchored to yet).
+    /// Empty slabs return `None` (nothing to merge).
+    pub(crate) fn slab_for(&self, version: u64) -> Option<Arc<DeltaSlab>> {
         let inner = lock_recover(&self.inner);
-        if inner.current.base_n == n2 && inner.current.len > 0 {
+        if inner.current.anchor == version && inner.current.len > 0 {
             return Some(Arc::clone(&inner.current));
         }
         inner
             .prev
             .as_ref()
-            .filter(|s| s.base_n == n2 && s.len > 0)
+            .filter(|s| s.anchor == version && s.len > 0)
             .map(Arc::clone)
     }
 
-    /// Entries eligible for folding into a snapshot that currently has
-    /// `n2` right entities: the pending prefix, only when the anchor
-    /// matches. `None` when there is nothing to fold or the anchor moved
-    /// (a retrain republished a model-shaped snapshot).
-    pub(crate) fn fold_candidates(&self, n2: usize) -> Option<Vec<DeltaEntry>> {
+    /// Entries eligible for folding into snapshot `version`: the pending
+    /// prefix, only when the anchor matches. `None` when there is nothing
+    /// to fold or the anchor moved (a retrain republished a model-shaped
+    /// snapshot).
+    pub(crate) fn fold_candidates(&self, version: u64) -> Option<Vec<DeltaEntry>> {
         let inner = lock_recover(&self.inner);
-        (inner.base_n == n2 && !inner.entries.is_empty()).then(|| inner.entries.clone())
+        (inner.anchor == version && !inner.entries.is_empty()).then(|| inner.entries.clone())
     }
 
-    /// Commit a fold of the first `count` pending entries: keep the
-    /// pre-fold slab for still-pinned readers, advance the anchor, and
-    /// rebuild the current slab from whatever was appended meanwhile.
-    pub(crate) fn fold_committed(&self, count: usize) {
+    /// Commit a fold of the first `count` pending entries into the newly
+    /// published snapshot `folded`: keep the pre-fold slab for
+    /// still-pinned readers, advance the anchor to the folded version,
+    /// and rebuild the current slab from whatever was appended meanwhile.
+    pub(crate) fn fold_committed(&self, count: usize, folded: u64) {
         let mut inner = lock_recover(&self.inner);
         debug_assert!(count <= inner.entries.len());
         inner.prev = Some(Arc::clone(&inner.current));
         inner.entries.drain(..count);
+        inner.anchor = folded;
         inner.base_n += count;
-        inner.current = Arc::new(DeltaSlab::build(inner.base_n, self.dim, &inner.entries));
+        inner.current = Arc::new(DeltaSlab::build(
+            folded,
+            inner.base_n,
+            self.dim,
+            &inner.entries,
+        ));
     }
 
     /// Re-anchor after a supersession (a retrain published a snapshot the
     /// pending entries no longer extend): drop everything and start fresh
-    /// at the new right-entity count. Returns the dropped entries so the
-    /// caller can clean their segments up.
-    pub(crate) fn reanchor(&self, base_n: usize) -> Vec<DeltaEntry> {
+    /// at the superseding version and right-entity count. Returns the
+    /// dropped entries so the caller can retire their segment files —
+    /// which it must do only once the superseding snapshot is durably
+    /// persisted, because until then those files are the only durable
+    /// copies of the acknowledged upserts.
+    pub(crate) fn reanchor(&self, anchor: u64, base_n: usize) -> Vec<DeltaEntry> {
         let mut inner = lock_recover(&self.inner);
         let dropped = std::mem::take(&mut inner.entries);
+        inner.anchor = anchor;
         inner.base_n = base_n;
         inner.prev = None;
-        inner.current = Arc::new(DeltaSlab::build(base_n, self.dim, &[]));
+        inner.current = Arc::new(DeltaSlab::build(anchor, base_n, self.dim, &[]));
         dropped
     }
 
@@ -500,10 +537,16 @@ pub struct DeltaRecovery {
 ///
 /// The rule is *last intact prefix*: segments must form the contiguous id
 /// run `base_n, base_n + 1, …`. Ids below `base_n` were already folded
-/// (crash after publish, before cleanup) and are deleted; the first gap or
-/// corrupt file ends the replay, and it plus everything after it is
-/// deleted with the typed error recorded — those ids will be re-issued,
-/// so stale rows must not resurface later.
+/// into the recovered snapshot and are deleted; the first gap or corrupt
+/// file ends the replay, and it plus everything after it is deleted with
+/// the typed error recorded — those ids will be re-issued, so stale rows
+/// must not resurface later.
+///
+/// Segments are only ever retired at runtime *after* a superseding
+/// snapshot (fold or retrain) persisted successfully, so when a persist
+/// failed before the crash, the files are still here and the recovered
+/// snapshot is the pre-fold/pre-retrain one they extend — the replay
+/// restores the acknowledged upserts instead of silently losing them.
 pub(crate) fn recover_segments(
     dir: &Path,
     base_n: usize,
@@ -822,7 +865,7 @@ mod tests {
             .enumerate()
             .map(|(i, r)| entry((base_n + i) as u32, r.clone()))
             .collect();
-        let slab = DeltaSlab::build(base_n, d, &entries);
+        let slab = DeltaSlab::build(1, base_n, d, &entries);
 
         let queries = random_rows(7, d, 3);
         for q in &queries {
@@ -863,7 +906,7 @@ mod tests {
         let delta_rows = [base_rows[2].clone()];
         let base_n = base_rows.len();
         let entries = vec![entry(base_n as u32, delta_rows[0].clone())];
-        let slab = DeltaSlab::build(base_n, d, &entries);
+        let slab = DeltaSlab::build(1, base_n, d, &entries);
 
         let mut qt = Tensor::from_rows(&[base_rows[2].as_slice()]);
         normalize_rows_cosine(&mut qt);
@@ -890,48 +933,74 @@ mod tests {
     #[test]
     fn buffer_appends_folds_and_reanchors() {
         let d = 4;
-        let buf = DeltaBuffer::new(10, d);
+        let buf = DeltaBuffer::new(1, 10, d);
         assert_eq!(buf.depth(), 0);
         assert_eq!(buf.next_id(), 10);
-        assert!(buf.slab_for(10).is_none(), "empty slab is not merged");
+        assert_eq!(buf.anchor(), 1);
+        assert!(buf.slab_for(1).is_none(), "empty slab is not merged");
 
         for i in 0..3u32 {
             buf.append(entry(10 + i, vec![i as f32 + 1.0; d])).unwrap();
         }
         assert_eq!(buf.depth(), 3);
         assert_eq!(buf.upserts(), 3);
-        let slab = buf.slab_for(10).expect("anchored slab");
+        let slab = buf.slab_for(1).expect("anchored slab");
         assert_eq!(slab.len(), 3);
-        assert!(buf.slab_for(11).is_none(), "anchor mismatch yields none");
+        assert!(buf.slab_for(2).is_none(), "anchor mismatch yields none");
 
         // Wrong id or width is typed.
         assert!(buf.append(entry(99, vec![0.0; d])).is_err());
         assert!(buf.append(entry(13, vec![0.0; d + 1])).is_err());
 
-        // Fold two of three: anchor advances, the pre-fold slab stays
-        // reachable for readers pinned to the old version.
-        let folding = buf.fold_candidates(10).unwrap();
+        // Fold two of three into published version 2: the anchor advances,
+        // the pre-fold slab stays reachable for readers pinned to the old
+        // version.
+        let folding = buf.fold_candidates(1).unwrap();
         assert_eq!(folding.len(), 3);
-        buf.fold_committed(2);
+        buf.fold_committed(2, 2);
         assert_eq!(buf.depth(), 1);
+        assert_eq!(buf.anchor(), 2);
         assert_eq!(buf.base_n(), 12);
         assert_eq!(buf.next_id(), 13);
-        let old = buf.slab_for(10).expect("pre-fold slab kept");
+        let old = buf.slab_for(1).expect("pre-fold slab kept");
         assert_eq!(old.len(), 3);
-        let new = buf.slab_for(12).expect("post-fold slab");
+        let new = buf.slab_for(2).expect("post-fold slab");
         assert_eq!(new.len(), 1);
-        assert!(buf.fold_candidates(10).is_none(), "anchor moved on");
+        assert!(buf.fold_candidates(1).is_none(), "anchor moved on");
 
         // Replace a pending entry; folded ids are rejected.
         buf.replace(entry(12, vec![9.0; d])).unwrap();
         assert!(buf.replace(entry(11, vec![9.0; d])).is_err());
 
-        // Re-anchor (retrain supersession) drops the pending tail.
-        let dropped = buf.reanchor(40);
+        // Re-anchor (retrain supersession, version 3) drops the pending
+        // tail — even though the retrain may keep the same entity count,
+        // version anchoring keeps the stale slab out of fresh queries.
+        let dropped = buf.reanchor(3, 40);
         assert_eq!(dropped.len(), 1);
         assert_eq!(buf.depth(), 0);
+        assert_eq!(buf.anchor(), 3);
         assert_eq!(buf.next_id(), 40);
-        assert!(buf.slab_for(12).is_none());
+        assert!(buf.slab_for(2).is_none());
+        assert!(buf.slab_for(3).is_none(), "fresh anchor starts empty");
+    }
+
+    /// The anchor is the *version*, not the entity count: a supersession
+    /// that keeps `base_n` unchanged must still unhook both slabs.
+    #[test]
+    fn same_count_reanchor_unhooks_stale_slabs() {
+        let d = 4;
+        let buf = DeltaBuffer::new(5, 10, d);
+        buf.append(entry(10, vec![1.0; d])).unwrap();
+        buf.fold_committed(1, 6);
+        buf.append(entry(11, vec![2.0; d])).unwrap();
+        assert!(buf.slab_for(5).is_some(), "pre-fold slab serves v5");
+        assert!(buf.slab_for(6).is_some(), "current slab serves v6");
+        // Retrain publishes v7 with the SAME right-entity count (11).
+        let dropped = buf.reanchor(7, 11);
+        assert_eq!(dropped.len(), 1);
+        for v in [5, 6, 7] {
+            assert!(buf.slab_for(v).is_none(), "v{v} must not merge stale rows");
+        }
     }
 
     #[test]

@@ -989,7 +989,7 @@ impl AlignmentService {
         };
         let mut deltas_merged = 0u32;
         let n2 = cur.snapshot.entity_counts().1;
-        if let Some(slab) = self.live_slab_for(n2) {
+        if let Some(slab) = self.live_slab_for(cur.version.get()) {
             let q = cur.snapshot.entity_engine().normalized_query(e1);
             value = slab
                 .merge_into(q, 1, opts.k, n2, vec![value])
@@ -1049,7 +1049,7 @@ impl AlignmentService {
         }
         let mut deltas_merged = 0u32;
         let n2 = snap.entity_counts().1;
-        if let Some(slab) = self.live_slab_for(n2) {
+        if let Some(slab) = self.live_slab_for(cur.version.get()) {
             let panel = snap
                 .entity_engine()
                 .normalized_queries()
@@ -1096,9 +1096,23 @@ impl AlignmentService {
     pub fn train(&self, labels: &LabeledMatches) -> Result<VersionedSnapshot, DaakgError> {
         let mut model = self.model.lock().expect("model mutex poisoned");
         let snap = self.prepare(model.train(&self.kg1, &self.kg2, labels));
+        self.publish_trained(snap)
+    }
+
+    /// Publish a training result: supersede the pending live delta (if
+    /// enabled), persist, and retire the superseded delta segment files
+    /// only once the superseding snapshot is durably on disk. If the
+    /// persist fails, the segments stay — they are the only durable
+    /// copies of the acknowledged upserts, and a restart then recovers
+    /// the pre-retrain snapshot and replays them intact.
+    fn publish_trained(&self, snap: AlignmentSnapshot) -> Result<VersionedSnapshot, DaakgError> {
         let published = self.registry.publish_pinned(snap);
-        self.reanchor_live(&published);
-        self.persist(&published)?;
+        let dropped = self.reanchor_live(&published);
+        let persisted = self.persist(&published);
+        if persisted.is_ok() {
+            self.remove_segments(&dropped);
+        }
+        persisted?;
         Ok(published)
     }
 
@@ -1113,9 +1127,7 @@ impl AlignmentService {
         let mut model = self.model.lock().expect("model mutex poisoned");
         let losses = model.align_rounds(&self.kg1, &self.kg2, labels, epochs);
         let snap = self.prepare(model.snapshot(&self.kg1, &self.kg2));
-        let published = self.registry.publish_pinned(snap);
-        self.reanchor_live(&published);
-        self.persist(&published)?;
+        let published = self.publish_trained(snap)?;
         Ok(Versioned {
             version: published.version,
             value: losses,
@@ -1142,10 +1154,7 @@ impl AlignmentService {
         let mut model = self.model.lock().expect("model mutex poisoned");
         let snap = self
             .prepare(model.fine_tune_with_inferred(&self.kg1, &self.kg2, labels, inferred, accept));
-        let published = self.registry.publish_pinned(snap);
-        self.reanchor_live(&published);
-        self.persist(&published)?;
-        Ok(published)
+        self.publish_trained(snap)
     }
 
     // -----------------------------------------------------------------
@@ -1178,7 +1187,7 @@ impl AlignmentService {
         let cur = self.registry.current();
         let base_n = cur.snapshot.entity_counts().1;
         let dim = cur.snapshot.ents2.cols();
-        let buffer = Arc::new(DeltaBuffer::new(base_n, dim));
+        let buffer = Arc::new(DeltaBuffer::new(cur.version.get(), base_n, dim));
         let mut recovery = None;
         if let Some(dir) = self.store_dir() {
             let (entries, report) = delta::recover_segments(dir, base_n)?;
@@ -1253,11 +1262,14 @@ impl AlignmentService {
         })
     }
 
-    /// The slab to merge into a query answered on a snapshot with `n2`
-    /// right entities, if live updates are enabled and deltas are pending
-    /// against that anchor.
-    pub(crate) fn live_slab_for(&self, n2: usize) -> Option<Arc<DeltaSlab>> {
-        self.live.as_ref().and_then(|l| l.buffer.slab_for(n2))
+    /// The slab to merge into a query answered on snapshot `version`, if
+    /// live updates are enabled and deltas are pending against exactly
+    /// that anchor. Version (not entity-count) keyed: a just-published
+    /// retrain — which typically keeps the right-entity count unchanged —
+    /// must never merge delta rows warm-started against its superseded
+    /// tables.
+    pub(crate) fn live_slab_for(&self, version: u64) -> Option<Arc<DeltaSlab>> {
+        self.live.as_ref().and_then(|l| l.buffer.slab_for(version))
     }
 
     /// Insert one new right-KG entity while serving. `triples` anchor it
@@ -1326,6 +1338,13 @@ impl AlignmentService {
             });
         }
         let _serial = lock_recover(&live.upsert_lock);
+        // Exclude a concurrent fold for the whole read → re-finetune →
+        // replace unit (lock order: upsert_lock before fold_lock; no path
+        // takes them in the reverse order). Without this, a fold could
+        // clone the entry, publish the folded snapshot with the OLD
+        // embedding, and then drain the replacement and delete its freshly
+        // written segment — silently losing an acknowledged update.
+        let _fold = lock_recover(&live.fold_lock);
         let cur = self.registry.current();
         let (base_n, pending) = live.buffer.pending();
         let pos = (global_id as usize)
@@ -1408,15 +1427,28 @@ impl AlignmentService {
     /// A training publish supersedes the pending delta: the retrained
     /// snapshot re-derives every row from the KGs, so delta rows trained
     /// against the *previous* tables no longer extend it coherently.
-    /// Re-anchor the buffer at the fresh corpus and drop the stale
-    /// segments — superseded entities re-enter through the KGs at the
-    /// next retrain, or through fresh upserts.
-    fn reanchor_live(&self, published: &VersionedSnapshot) {
-        let Some(live) = &self.live else { return };
+    /// Re-anchor the buffer at the fresh publication — under the fold
+    /// lock, so an in-flight fold can never commit (and drain the buffer)
+    /// against an anchor this supersession just invalidated — and return
+    /// the dropped entries. Superseded entities re-enter through the KGs
+    /// at the next retrain, or through fresh upserts; their segment files
+    /// are retired by the caller only after the superseding snapshot has
+    /// durably persisted ([`AlignmentService::remove_segments`]).
+    fn reanchor_live(&self, published: &VersionedSnapshot) -> Vec<DeltaEntry> {
+        let Some(live) = &self.live else {
+            return Vec::new();
+        };
+        let _guard = lock_recover(&live.fold_lock);
         let n2 = published.snapshot.entity_counts().1;
-        let dropped = live.buffer.reanchor(n2);
+        live.buffer.reanchor(published.version.get(), n2)
+    }
+
+    /// Best-effort removal of superseded delta segment files. Call only
+    /// once the superseding snapshot is durably on disk; anything missed
+    /// here is cleaned up by segment recovery at the next warm restart.
+    fn remove_segments(&self, dropped: &[DeltaEntry]) {
         if let Some(dir) = self.store_dir() {
-            for e in &dropped {
+            for e in dropped {
                 let _ = delta::remove_segment(dir, e.global_id);
             }
         }
@@ -1428,11 +1460,16 @@ impl AlignmentService {
 ///
 /// The folded snapshot appends the **raw** delta rows to `ents2` —
 /// snapshot construction then normalizes per-row, which is bitwise the
-/// normalization the delta slab applied — so answers before and after the
-/// fold are bit-for-bit identical. Dangling-entity weights (Eq. 6) are
-/// extended for the new rows; schema-level mean embeddings refresh at the
-/// next full retrain (they aggregate entity evidence that did not change
-/// for existing rows).
+/// normalization the delta slab applied — so [`QueryMode::Exact`] answers
+/// before and after the fold are bit-for-bit identical. `Approx` answers
+/// may legitimately differ across a fold: pre-fold the delta is an
+/// *exact* side scan merged into the IVF answer over the base corpus,
+/// while post-fold the rebuilt IVF probes the union corpus
+/// approximately, so a delta entity that was always merged pre-fold can
+/// land in an unprobed list afterwards. Dangling-entity weights (Eq. 6)
+/// are extended for the new rows; schema-level mean embeddings refresh at
+/// the next full retrain (they aggregate entity evidence that did not
+/// change for existing rows).
 fn fold_once(
     registry: &SnapshotRegistry,
     durable: &PersistState,
@@ -1442,18 +1479,19 @@ fn fold_once(
 ) -> Result<Option<VersionedSnapshot>, DaakgError> {
     let cur = registry.current();
     let n2 = cur.snapshot.entity_counts().1;
-    if buffer.base_n() != n2 {
-        // A publish moved the corpus under the pending delta (retrain
-        // supersession not yet observed): re-anchor and skip this pass.
-        let dropped = buffer.reanchor(n2);
-        if let Some(store) = &durable.store {
-            for e in &dropped {
-                let _ = delta::remove_segment(store.dir(), e.global_id);
-            }
-        }
+    let anchor = cur.version.get();
+    if buffer.anchor() != anchor {
+        // A publish moved the registry under the pending delta without a
+        // service-level reanchor (registry handles are shareable):
+        // re-anchor and skip this pass. The dropped entries' segment files
+        // are deliberately left in place — whether the superseding
+        // snapshot is durable is unknowable here, and until it is, those
+        // files are the only durable copies of the acknowledged upserts.
+        // Recovery removes whatever a later persisted snapshot folded in.
+        let _ = buffer.reanchor(anchor, n2);
         return Ok(None);
     }
-    let Some(entries) = buffer.fold_candidates(n2) else {
+    let Some(entries) = buffer.fold_candidates(anchor) else {
         return Ok(None);
     };
     let count = entries.len();
@@ -1469,10 +1507,19 @@ fn fold_once(
     // Commit before surfacing any persist failure: the publish stands
     // (readers already serve the folded corpus), so the buffer must
     // advance either way.
-    buffer.fold_committed(count);
-    if let Some(store) = &durable.store {
-        for e in &entries {
-            delta::remove_segment(store.dir(), e.global_id)?;
+    buffer.fold_committed(count, published.version.get());
+    if persisted.is_ok() {
+        // Retire segments only behind a successful persist: until the
+        // folded snapshot is durably on disk, the segment files are the
+        // only durable copies of the acknowledged upserts. On a persist
+        // failure they stay — a restart then recovers the pre-fold
+        // snapshot and replays them intact, and once a later snapshot
+        // persists, recovery's id rule deletes the folded leftovers.
+        // Removal itself is best-effort for the same reason.
+        if let Some(store) = &durable.store {
+            for e in &entries {
+                let _ = delta::remove_segment(store.dir(), e.global_id);
+            }
         }
     }
     stats.record(published.version.get());
@@ -2514,5 +2561,197 @@ mod tests {
         let post = svc.query(0, QueryOptions::rank()).unwrap();
         assert_eq!(post.deltas_merged, 0);
         assert_eq!(post.value.len(), n2 + 2, "folded corpus serves plainly");
+    }
+
+    /// A fold whose persist fails must NOT retire the folded delta
+    /// segments: until the folded snapshot is durably on disk they are
+    /// the only durable copies of the acknowledged upserts. The publish
+    /// still stands in memory; a restart recovers the pre-fold snapshot
+    /// and replays the surviving segments, bitwise.
+    #[test]
+    fn failed_fold_persist_keeps_segments_and_restart_replays_them() {
+        let td = daakg_store::TestDir::new("live-fold-persist");
+        let open = || {
+            let mut svc = AlignmentService::open(
+                tiny_cfg(),
+                ServingConfig::default(),
+                Arc::new(example_dbpedia()),
+                Arc::new(example_wikidata()),
+                td.path(),
+            )
+            .unwrap();
+            svc.enable_live(manual_live()).unwrap();
+            svc
+        };
+        let pre = {
+            let svc = open();
+            let i0 = svc.upsert_entity(&[triple(0, 0)]).unwrap();
+            let i1 = svc.upsert_entity(&[triple(0, 1)]).unwrap();
+            let pre = svc.query(0, QueryOptions::rank()).unwrap();
+            assert_eq!(pre.deltas_merged, 2);
+            // Block the fold's persist (directory at the tmp path, as in
+            // failing_disk_degrades_durability_not_serving).
+            let blocker = td.path().join("v0000000002.snap.tmp");
+            std::fs::create_dir(&blocker).unwrap();
+            let err = svc.compact_now().expect_err("fold persist must fail");
+            assert!(matches!(err, DaakgError::IoAt { .. }), "{err}");
+            // The publish stands: readers serve the folded corpus, and
+            // Exact answers are unchanged across the fold...
+            assert_eq!(svc.version().get(), 2);
+            let folded = svc.query(0, QueryOptions::rank()).unwrap();
+            assert_eq!(folded.deltas_merged, 0);
+            assert_bitwise(&pre.value, &folded.value, "fold");
+            assert!(svc.health().durability_degraded);
+            // ...but the segment files survive the failed persist.
+            for id in [i0, i1] {
+                assert!(
+                    td.path().join(delta::segment_name(id)).exists(),
+                    "segment {id} must stay on disk"
+                );
+            }
+            std::fs::remove_dir(&blocker).unwrap();
+            pre
+        };
+        // Restart: the store only ever persisted v1, so recovery loads
+        // the pre-fold snapshot and the replay restores both upserts.
+        let svc = open();
+        let rec = svc.live_recovery().unwrap();
+        assert_eq!(rec.replayed, 2);
+        assert!(rec.skipped.is_empty(), "{:?}", rec.skipped);
+        let post = svc.query(0, QueryOptions::rank()).unwrap();
+        assert_eq!(post.deltas_merged, 2);
+        assert_bitwise(&pre.value, &post.value, "replay");
+    }
+
+    /// A retrain whose persist fails superseded the pending delta in
+    /// memory, but no durable snapshot supersedes the segments — so they
+    /// must stay on disk and replay on top of the recovered pre-retrain
+    /// snapshot. Only a successfully persisted retrain retires them.
+    #[test]
+    fn failed_retrain_persist_keeps_superseded_segments_for_replay() {
+        let td = daakg_store::TestDir::new("live-retrain-persist");
+        let open = || {
+            let mut svc = AlignmentService::open(
+                tiny_cfg(),
+                ServingConfig::default(),
+                Arc::new(example_dbpedia()),
+                Arc::new(example_wikidata()),
+                td.path(),
+            )
+            .unwrap();
+            svc.enable_live(manual_live()).unwrap();
+            svc
+        };
+        let ids = {
+            let svc = open();
+            let i0 = svc.upsert_entity(&[triple(0, 0)]).unwrap();
+            let i1 = svc.upsert_entity(&[triple(1, i0)]).unwrap();
+            let blocker = td.path().join("v0000000002.snap.tmp");
+            std::fs::create_dir(&blocker).unwrap();
+            let labels = example_labels(&svc);
+            let err = svc.train(&labels).expect_err("retrain persist must fail");
+            assert!(matches!(err, DaakgError::IoAt { .. }), "{err}");
+            // In memory the retrain supersedes the pending delta...
+            assert_eq!(svc.live_health().unwrap().delta_depth, 0);
+            assert_eq!(svc.query(0, QueryOptions::rank()).unwrap().deltas_merged, 0);
+            // ...but without a durable superseding snapshot the segment
+            // files are not retired.
+            for id in [i0, i1] {
+                assert!(
+                    td.path().join(delta::segment_name(id)).exists(),
+                    "segment {id} must stay on disk"
+                );
+            }
+            std::fs::remove_dir(&blocker).unwrap();
+            [i0, i1]
+        };
+        // Restart: disk holds only the pre-retrain v1, which is exactly
+        // the snapshot the segments extend — the acknowledged upserts
+        // are back.
+        let svc = open();
+        let rec = svc.live_recovery().unwrap();
+        assert_eq!(rec.replayed, 2);
+        assert!(rec.skipped.is_empty(), "{:?}", rec.skipped);
+        let post = svc.query(0, QueryOptions::rank()).unwrap();
+        assert_eq!(post.deltas_merged, 2);
+        assert_eq!(post.value.len(), svc.kg2().num_entities() + 2);
+        // A retrain that persists successfully retires them for good.
+        svc.train(&example_labels(&svc)).unwrap();
+        for id in ids {
+            assert!(
+                !td.path().join(delta::segment_name(id)).exists(),
+                "segment {id} must be retired after a persisted retrain"
+            );
+        }
+    }
+
+    /// Slabs anchor to the snapshot *version*, so a publish that keeps
+    /// the right-entity count unchanged (the typical retrain) can never
+    /// merge delta rows warm-started against the superseded tables —
+    /// even in the window before any service-level reanchor runs.
+    #[test]
+    fn same_count_publish_never_merges_stale_delta_rows() {
+        let mut svc = example_service();
+        svc.enable_live(manual_live()).unwrap();
+        svc.upsert_entity(&[triple(0, 0)]).unwrap();
+        assert_eq!(svc.query(0, QueryOptions::rank()).unwrap().deltas_merged, 1);
+        // Publish a same-count snapshot directly through the registry —
+        // the widest version of the publish→reanchor window.
+        let cur = svc.current();
+        svc.registry.publish_pinned((*cur.snapshot).clone());
+        let post = svc.query(0, QueryOptions::rank()).unwrap();
+        assert_eq!(post.deltas_merged, 0, "stale slab must not merge");
+        assert_eq!(post.value.len(), svc.kg2().num_entities());
+    }
+
+    /// `upsert_triples` holds the fold lock, so an extend can never be
+    /// acknowledged while a concurrent fold drains the entry it
+    /// extended: every `Ok` extend is in the folded corpus. Verified by
+    /// racing extends against `compact_now` and comparing the folded
+    /// answers against a service given the same final triple set up
+    /// front (warm starts are deterministic in the triple set).
+    #[test]
+    fn upsert_triples_racing_a_fold_never_loses_acknowledged_triples() {
+        for round in 0..8u32 {
+            let mut svc = example_service();
+            svc.enable_live(manual_live()).unwrap();
+            let id = svc.upsert_entity(&[triple(0, 0)]).unwrap();
+            let svc_ref = &svc;
+            let landed = std::thread::scope(|scope| {
+                let extender = scope.spawn(move || {
+                    let mut landed = Vec::new();
+                    for i in 0..6u32 {
+                        if (round + i) % 3 == 0 {
+                            std::thread::yield_now();
+                        }
+                        match svc_ref.upsert_triples(id, &[triple(1, i)]) {
+                            Ok(()) => landed.push(triple(1, i)),
+                            // The fold landed first: the entity is no
+                            // longer pending, the extend is a typed
+                            // error and nothing was acknowledged.
+                            Err(DaakgError::UnknownEntity { .. }) => break,
+                            Err(e) => panic!("unexpected: {e}"),
+                        }
+                    }
+                    landed
+                });
+                scope
+                    .spawn(move || svc_ref.compact_now().unwrap())
+                    .join()
+                    .unwrap();
+                extender.join().unwrap()
+            });
+            svc.compact_now().unwrap();
+            let mut reference = example_service();
+            reference.enable_live(manual_live()).unwrap();
+            let mut triples = vec![triple(0, 0)];
+            triples.extend(landed);
+            reference.upsert_entity(&triples).unwrap();
+            reference.compact_now().unwrap();
+            let got = svc.query(0, QueryOptions::rank()).unwrap();
+            let want = reference.query(0, QueryOptions::rank()).unwrap();
+            assert_eq!(got.deltas_merged, 0);
+            assert_bitwise(&want.value, &got.value, "race round");
+        }
     }
 }

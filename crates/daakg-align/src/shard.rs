@@ -261,9 +261,11 @@ impl ShardCore {
         let mut value = set.merge(opts.k, per_shard.into_iter().flatten());
         // Live deltas are one more (unsharded) scatter target: the slab
         // scan merges through the same bounded selector, so the answer
-        // stays bitwise-equal to an exact scan over base ∪ delta.
+        // stays bitwise-equal to an exact scan over base ∪ delta. Keyed
+        // by the pinned version, so a just-published retrain can never
+        // pick up the superseded slab.
         let mut deltas_merged = 0u32;
-        if let Some(slab) = self.service.live_slab_for(set.total) {
+        if let Some(slab) = self.service.live_slab_for(cur.version.get()) {
             value = slab
                 .merge_into(q, 1, opts.k, set.total, vec![value])
                 .pop()
@@ -345,7 +347,7 @@ impl ShardCore {
         // Merge live deltas per panel chunk (the panels were gathered
         // above for the scatter; the slab reuses them bitwise).
         let mut deltas_merged = 0u32;
-        if let Some(slab) = self.service.live_slab_for(set.total) {
+        if let Some(slab) = self.service.live_slab_for(cur.version.get()) {
             let mut vals = value.into_iter();
             let mut merged = Vec::with_capacity(queries.len());
             for (ci, chunk) in queries.chunks(QUERY_BLOCK).enumerate() {
