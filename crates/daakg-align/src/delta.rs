@@ -6,16 +6,16 @@
 //! module adds the missing write path without giving up any read-side
 //! guarantee:
 //!
-//! * [`DeltaBuffer`] — an append-only side corpus of new right-KG
+//! * `DeltaBuffer` — an append-only side corpus of new right-KG
 //!   entities. Each entry's embedding is trained by the warm-start path
 //!   ([`daakg_embed::warm_start_row`]) against the frozen published
 //!   tables, then **normalized exactly as snapshot construction
 //!   normalizes its slabs** (per-row, independent), so a delta row scores
 //!   bit-for-bit as if it had been part of the base candidate matrix.
-//! * [`DeltaSlab`] — the query-facing view: normalized pending rows,
+//! * `DeltaSlab` — the query-facing view: normalized pending rows,
 //!   transposed for the shared [`daakg_index::scan::scan_block`] kernel,
 //!   with global candidate ids threaded through the kernel's remap slice.
-//!   [`DeltaSlab::merge_into`] folds a base ranking and the delta scan
+//!   `DeltaSlab::merge_into` folds a base ranking and the delta scan
 //!   through one bounded [`TopKSelector`] per query — selector pushes are
 //!   order-independent under *(score desc, id asc)*, so the merged top-k
 //!   over base ∪ delta is **bitwise-equal to an exact scan over the union
@@ -27,7 +27,7 @@
 //!   recovered snapshot's right-entity count (the *last intact prefix*)
 //!   and surface anything torn or flipped as a typed
 //!   [`DaakgError::Corrupt`].
-//! * [`Compactor`] — the background thread harness that periodically folds
+//! * `Compactor` — the background thread harness that periodically folds
 //!   the delta into the next published snapshot. Same lifecycle
 //!   discipline as the ingress worker: a named thread, condvar ticks, a
 //!   panic-isolated task boundary with a counter, and a
@@ -736,9 +736,13 @@ pub(crate) struct Compactor {
 
 impl Compactor {
     /// Spawn the `daakg-compact` thread running `task` every `interval`.
+    /// A caught task panic counts into `stats.panics` and journals a
+    /// [`daakg_telemetry::EventKind::CompactorPanic`] event (`journal`
+    /// may be a no-op handle).
     pub(crate) fn spawn(
         interval: Duration,
         stats: Arc<LiveStats>,
+        journal: daakg_telemetry::EventJournal,
         mut task: Box<dyn FnMut() + Send>,
     ) -> Self {
         let shared = Arc::new(CompactorShared {
@@ -772,6 +776,7 @@ impl Compactor {
                 // compactor — the next tick retries with fresh state.
                 if catch_unwind(AssertUnwindSafe(&mut task)).is_err() {
                     thread_stats.panics.fetch_add(1, Ordering::Relaxed);
+                    journal.record(daakg_telemetry::EventKind::CompactorPanic);
                 }
             })
             .expect("spawn daakg-compact thread");
@@ -1113,9 +1118,11 @@ mod tests {
         let stats = Arc::new(LiveStats::default());
         let runs = Arc::new(AtomicUsize::new(0));
         let task_runs = Arc::clone(&runs);
+        let journal = daakg_telemetry::EventJournal::new(16);
         let compactor = Compactor::spawn(
             Duration::from_millis(5),
             Arc::clone(&stats),
+            journal.clone(),
             Box::new(move || {
                 let n = task_runs.fetch_add(1, Ordering::SeqCst);
                 if n == 1 {
@@ -1142,6 +1149,12 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         assert_eq!(runs.load(Ordering::SeqCst), after, "thread joined on drop");
         assert_eq!(stats.panics.load(Ordering::Relaxed), 1);
+        let panics: Vec<_> = journal
+            .events()
+            .into_iter()
+            .filter(|e| e.kind == daakg_telemetry::EventKind::CompactorPanic)
+            .collect();
+        assert_eq!(panics.len(), 1, "panic journaled exactly once");
     }
 
     #[test]

@@ -61,9 +61,10 @@ use crate::service::{Ranking, Served, Versioned};
 use crate::shard::ShardCore;
 use daakg_graph::DaakgError;
 use daakg_index::{QueryMode, QueryOptions};
+use daakg_telemetry::{Counter, EventJournal, EventKind, Gauge, HistogramHandle, Telemetry};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -377,18 +378,58 @@ struct IngressQueue {
     shutdown: bool,
 }
 
+/// The ingress's registry handles and journal: every stat counter is a
+/// lock-free registry cell (pure-counting paths never take a lock —
+/// `lock_recover` guards only the pending queue and answer slots), the
+/// two stage histograms split queue wait from batch execution, and
+/// lifecycle transitions (shed / expired / degrade engage + recover) are
+/// journaled as structured events.
+struct IngressMetrics {
+    queries: Counter,
+    batches: Counter,
+    shed: Counter,
+    expired: Counter,
+    degraded: Counter,
+    panics: Counter,
+    /// High-water mark of the pending-queue depth.
+    max_depth: Gauge,
+    /// 1 while the [`DegradePolicy`] is engaged (exposition mirror of
+    /// the functional flag in [`IngressShared::degrade_engaged`]).
+    degrade_engaged: Gauge,
+    /// Admission → dequeue wait per query.
+    queue_wait: HistogramHandle,
+    /// Batched dispatch execution per drained batch.
+    execute: HistogramHandle,
+    journal: EventJournal,
+}
+
+impl IngressMetrics {
+    fn new(telemetry: &Telemetry) -> Self {
+        let reg = telemetry.registry();
+        Self {
+            queries: reg.counter("ingress_queries_total"),
+            batches: reg.counter("ingress_batches_total"),
+            shed: reg.counter("ingress_shed_total"),
+            expired: reg.counter("ingress_expired_total"),
+            degraded: reg.counter("ingress_degraded_total"),
+            panics: reg.counter("ingress_panics_total"),
+            max_depth: reg.gauge("ingress_queue_depth_max"),
+            degrade_engaged: reg.gauge("ingress_degrade_engaged"),
+            queue_wait: reg.histogram("stage_ingress_queue_wait_ns"),
+            execute: reg.histogram("stage_ingress_execute_ns"),
+            journal: telemetry.journal().clone(),
+        }
+    }
+}
+
 struct IngressShared {
     queue: Mutex<IngressQueue>,
     /// Signaled on every enqueue and on shutdown.
     arrived: Condvar,
-    queries: AtomicU64,
-    batches: AtomicU64,
-    shed: AtomicU64,
-    expired: AtomicU64,
-    degraded: AtomicU64,
-    panics: AtomicU64,
-    max_depth: AtomicU64,
-    /// Whether the [`DegradePolicy`] is currently engaged.
+    metrics: IngressMetrics,
+    /// Whether the [`DegradePolicy`] is currently engaged. Kept as a
+    /// plain atomic (not a registry cell) because it *drives* dispatch
+    /// decisions — it must work even with telemetry disabled.
     degrade_engaged: AtomicBool,
 }
 
@@ -436,22 +477,21 @@ pub struct Ingress {
 }
 
 impl Ingress {
-    /// Spawn the worker over the dispatch backend. `cfg` must already
-    /// be validated.
-    pub(crate) fn start<B: IngressBackend>(cfg: IngressConfig, backend: Arc<B>) -> Self {
+    /// Spawn the worker over the dispatch backend, recording into
+    /// `telemetry`'s registry and journal. `cfg` must already be
+    /// validated.
+    pub(crate) fn start<B: IngressBackend>(
+        cfg: IngressConfig,
+        backend: Arc<B>,
+        telemetry: &Telemetry,
+    ) -> Self {
         let shared = Arc::new(IngressShared {
             queue: Mutex::new(IngressQueue {
                 pending: VecDeque::new(),
                 shutdown: false,
             }),
             arrived: Condvar::new(),
-            queries: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            expired: AtomicU64::new(0),
-            degraded: AtomicU64::new(0),
-            panics: AtomicU64::new(0),
-            max_depth: AtomicU64::new(0),
+            metrics: IngressMetrics::new(telemetry),
             degrade_engaged: AtomicBool::new(false),
         });
         let worker_shared = Arc::clone(&shared);
@@ -470,15 +510,20 @@ impl Ingress {
         self.cfg
     }
 
+    /// A point-in-time read of the registry-backed counters. With
+    /// telemetry disabled every cell is a no-op, so the stats read as
+    /// all-zero — degradation itself (the functional
+    /// [`Ingress::degrade_engaged`] flag) keeps working regardless.
     pub(crate) fn stats(&self) -> IngressStats {
+        let m = &self.shared.metrics;
         IngressStats {
-            queries: self.shared.queries.load(Ordering::Relaxed),
-            batches: self.shared.batches.load(Ordering::Relaxed),
-            shed: self.shared.shed.load(Ordering::Relaxed),
-            expired: self.shared.expired.load(Ordering::Relaxed),
-            degraded: self.shared.degraded.load(Ordering::Relaxed),
-            panics: self.shared.panics.load(Ordering::Relaxed),
-            max_depth: self.shared.max_depth.load(Ordering::Relaxed),
+            queries: m.queries.get(),
+            batches: m.batches.get(),
+            shed: m.shed.get(),
+            expired: m.expired.get(),
+            degraded: m.degraded.get(),
+            panics: m.panics.get(),
+            max_depth: m.max_depth.get(),
         }
     }
 
@@ -502,7 +547,11 @@ impl Ingress {
             // A zero (or otherwise pre-elapsed) deadline can never be
             // met: shed at admission without touching the queue.
             if deadline.is_zero() {
-                self.shared.expired.fetch_add(1, Ordering::Relaxed);
+                self.shared.metrics.expired.incr();
+                self.shared
+                    .metrics
+                    .journal
+                    .record(EventKind::DeadlineExpired);
                 return Err(DaakgError::DeadlineExceeded {
                     deadline,
                     waited: Duration::ZERO,
@@ -518,7 +567,11 @@ impl Ingress {
             let depth = queue.pending.len();
             if depth >= self.cfg.max_queue {
                 drop(queue);
-                self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                self.shared.metrics.shed.incr();
+                self.shared
+                    .metrics
+                    .journal
+                    .record(EventKind::QueryShed { depth });
                 return Err(DaakgError::Overloaded {
                     queued: depth,
                     capacity: self.cfg.max_queue,
@@ -530,11 +583,9 @@ impl Ingress {
                 enqueued: now,
                 slot: Arc::clone(&slot),
             });
-            self.shared
-                .max_depth
-                .fetch_max(depth as u64 + 1, Ordering::Relaxed);
+            self.shared.metrics.max_depth.record_max(depth as u64 + 1);
         }
-        self.shared.queries.fetch_add(1, Ordering::Relaxed);
+        self.shared.metrics.queries.incr();
         self.shared.arrived.notify_one();
         Ok(PendingAnswer { slot })
     }
@@ -606,8 +657,18 @@ fn worker_loop<B: IngressBackend>(cfg: IngressConfig, shared: Arc<IngressShared>
                 let engaged = shared.degrade_engaged.load(Ordering::Relaxed);
                 if !engaged && depth >= policy.high_watermark {
                     shared.degrade_engaged.store(true, Ordering::Relaxed);
+                    shared.metrics.degrade_engaged.set(1);
+                    shared
+                        .metrics
+                        .journal
+                        .record(EventKind::DegradeEngage { depth });
                 } else if engaged && depth <= policy.low_watermark {
                     shared.degrade_engaged.store(false, Ordering::Relaxed);
+                    shared.metrics.degrade_engaged.set(0);
+                    shared
+                        .metrics
+                        .journal
+                        .record(EventKind::DegradeRecover { depth });
                 }
             }
             let take = queue.pending.len().min(cfg.max_batch);
@@ -619,9 +680,11 @@ fn worker_loop<B: IngressBackend>(cfg: IngressConfig, shared: Arc<IngressShared>
         let mut live = Vec::with_capacity(batch.len());
         for pending in batch {
             let waited = now.duration_since(pending.enqueued);
+            shared.metrics.queue_wait.record_duration(waited);
             match pending.opts.deadline {
                 Some(deadline) if waited >= deadline => {
-                    shared.expired.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.expired.incr();
+                    shared.metrics.journal.record(EventKind::DeadlineExpired);
                     pending
                         .slot
                         .fill(Err(DaakgError::DeadlineExceeded { deadline, waited }));
@@ -632,7 +695,7 @@ fn worker_loop<B: IngressBackend>(cfg: IngressConfig, shared: Arc<IngressShared>
         if live.is_empty() {
             continue;
         }
-        shared.batches.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.batches.incr();
         let degrade_nprobe = match &cfg.degrade {
             Some(policy)
                 if shared.degrade_engaged.load(Ordering::Relaxed) && backend.has_index() =>
@@ -641,6 +704,7 @@ fn worker_loop<B: IngressBackend>(cfg: IngressConfig, shared: Arc<IngressShared>
             }
             _ => None,
         };
+        let _execute = shared.metrics.execute.span();
         dispatch(backend.as_ref(), live, degrade_nprobe, &shared);
     }
 }
@@ -666,9 +730,7 @@ fn dispatch<B: IngressBackend + ?Sized>(
         if let Some(nprobe) = degrade_nprobe {
             if effective.mode == QueryMode::Exact {
                 effective.mode = QueryMode::Approx { nprobe };
-                shared
-                    .degraded
-                    .fetch_add(group.len() as u64, Ordering::Relaxed);
+                shared.metrics.degraded.add(group.len() as u64);
             }
         }
         let served = effective.mode;
@@ -702,7 +764,7 @@ fn dispatch<B: IngressBackend + ?Sized>(
                     })) {
                         Ok(answer) => answer.map(|versioned| (versioned, served)),
                         Err(payload) => {
-                            shared.panics.fetch_add(1, Ordering::Relaxed);
+                            shared.metrics.panics.incr();
                             Err(DaakgError::Panicked {
                                 context: "ingress batch",
                                 message: panic_message(payload),
@@ -954,6 +1016,7 @@ mod tests {
                 ..IngressConfig::default()
             },
             backend,
+            &Telemetry::default(),
         ));
         let waiters: Vec<_> = (0..10u32)
             .map(|q| {
@@ -997,7 +1060,11 @@ mod tests {
             max_queue: 4,
             degrade: None,
         };
-        let ingress = Arc::new(Ingress::start(cfg, Arc::new(backend)));
+        let ingress = Arc::new(Ingress::start(
+            cfg,
+            Arc::new(backend),
+            &Telemetry::default(),
+        ));
         // First query occupies the worker (stalled at the gate).
         let first = {
             let ingress = Arc::clone(&ingress);
@@ -1049,6 +1116,7 @@ mod tests {
         let ingress = Ingress::start(
             IngressConfig::default(),
             Arc::new(ChaosBackend::answering(1)),
+            &Telemetry::default(),
         );
         match ingress.submit(0, QueryOptions::rank().with_deadline(Duration::ZERO)) {
             Err(DaakgError::DeadlineExceeded { deadline, waited }) => {
@@ -1070,7 +1138,11 @@ mod tests {
             max_wait: Duration::ZERO,
             ..IngressConfig::default()
         };
-        let ingress = Arc::new(Ingress::start(cfg, Arc::new(backend)));
+        let ingress = Arc::new(Ingress::start(
+            cfg,
+            Arc::new(backend),
+            &Telemetry::default(),
+        ));
         let first = {
             let ingress = Arc::clone(&ingress);
             std::thread::spawn(move || ingress.submit(0, QueryOptions::rank()))
@@ -1130,7 +1202,11 @@ mod tests {
                 nprobe: 1,
             }),
         };
-        let ingress = Arc::new(Ingress::start(cfg, Arc::new(backend)));
+        let ingress = Arc::new(Ingress::start(
+            cfg,
+            Arc::new(backend),
+            &Telemetry::default(),
+        ));
         // Stall the worker on a first query, then pile 8 Exact queries
         // behind it: the next drain observes depth 8, past the high
         // watermark, and engages degradation.
@@ -1202,7 +1278,11 @@ mod tests {
                 nprobe: 1,
             }),
         };
-        let ingress = Arc::new(Ingress::start(cfg, Arc::new(backend)));
+        let ingress = Arc::new(Ingress::start(
+            cfg,
+            Arc::new(backend),
+            &Telemetry::default(),
+        ));
         let first = {
             let ingress = Arc::clone(&ingress);
             std::thread::spawn(move || ingress.submit(100, QueryOptions::rank()))
@@ -1241,7 +1321,7 @@ mod tests {
             max_wait: Duration::ZERO,
             ..IngressConfig::default()
         };
-        let ingress = Ingress::start(cfg, Arc::new(backend));
+        let ingress = Ingress::start(cfg, Arc::new(backend), &Telemetry::default());
         let tickets: Vec<_> = (0..8u32)
             .map(|q| {
                 (
@@ -1274,6 +1354,7 @@ mod tests {
         let ingress = Ingress::start(
             IngressConfig::default(),
             Arc::new(ChaosBackend::answering(1)),
+            &Telemetry::default(),
         );
         // Force the shutdown flag the way Drop does, then submit.
         lock_recover(&ingress.shared.queue).shutdown = true;

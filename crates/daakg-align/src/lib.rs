@@ -69,6 +69,7 @@ pub mod semi;
 pub mod service;
 pub mod shard;
 pub mod snapshot;
+pub(crate) mod telem;
 pub mod weights;
 
 pub use batched::BatchedSimilarity;
@@ -87,3 +88,6 @@ pub use service::{
 };
 pub use shard::ShardedService;
 pub use snapshot::AlignmentSnapshot;
+// Telemetry types surface through the service API
+// (`AlignmentService::telemetry`), so re-export the crate here too.
+pub use daakg_telemetry::{Event, EventJournal, EventKind, Telemetry, TelemetryConfig};

@@ -220,6 +220,13 @@ impl DurableRegistry {
         self.store.dir()
     }
 
+    /// Attach store-stage latency spans: every subsequent [`DurableRegistry::save`]
+    /// records its byte-write and fsync+rename durations separately.
+    /// No-op handles (the default) cost nothing.
+    pub fn set_spans(&mut self, spans: daakg_store::StoreSpans) {
+        self.store.set_spans(spans);
+    }
+
     /// Atomically persist `snap` as `version`. A crash at any byte
     /// boundary leaves previously committed versions intact.
     pub fn save(&self, version: u64, snap: &AlignmentSnapshot) -> Result<(), DaakgError> {

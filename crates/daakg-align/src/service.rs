@@ -49,11 +49,13 @@ use crate::ingress::{lock_recover, IngressStats};
 use crate::joint::{JointModel, LabeledMatches};
 use crate::persist::{DurableRegistry, RecoveryReport};
 use crate::snapshot::{AlignmentSnapshot, SnapshotParts};
+use crate::telem::ServiceTelemetry;
 use daakg_autograd::Tensor;
-use daakg_embed::warm_start_row;
+use daakg_embed::warm_start_row_observed;
 use daakg_graph::{DaakgError, KnowledgeGraph};
 use daakg_index::scan::normalize_rows_cosine;
 use daakg_index::{IvfConfig, QueryMode, QueryOptions};
+use daakg_telemetry::{EventKind, Telemetry, TelemetryConfig};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
@@ -77,6 +79,12 @@ pub struct ServingConfig {
     pub index: Option<IvfConfig>,
     /// Default execution mode of the plain query methods.
     pub mode: QueryMode,
+    /// Telemetry wiring: metrics registry, stage histograms, and the
+    /// event journal surfaced through [`AlignmentService::telemetry`].
+    /// Enabled by default; [`TelemetryConfig::disabled`] makes every
+    /// record a no-op (durability health stays live either way — see
+    /// [`AlignmentService::health`]).
+    pub telemetry: TelemetryConfig,
 }
 
 impl ServingConfig {
@@ -85,6 +93,7 @@ impl ServingConfig {
         Self {
             index: Some(IvfConfig::new(nlist)),
             mode: QueryMode::Exact,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -204,62 +213,71 @@ pub struct ServiceHealth {
     pub live: Option<LiveHealth>,
 }
 
-/// Shared mutable health counters of an [`AlignmentService`] (interior
-/// mutability: persist runs under `&self`).
-#[derive(Debug, Default)]
-struct HealthState {
-    durability_degraded: std::sync::atomic::AtomicBool,
-    persist_failures: std::sync::atomic::AtomicU64,
-    persist_retries: std::sync::atomic::AtomicU64,
+/// The durable store together with the service's telemetry bundle — one
+/// shareable unit, because the background compactor persists folded
+/// publications through exactly the same retry/degradation path as
+/// training publications, and records into the same stage histograms and
+/// journal.
+///
+/// Durability health lives in the bundle's always-live cells
+/// ([`ServiceTelemetry`]); only the most recent persist *error string*
+/// needs interior mutability here.
+#[derive(Debug)]
+struct PersistState {
+    store: Option<DurableRegistry>,
+    telem: ServiceTelemetry,
     last_persist_error: Mutex<Option<String>>,
 }
 
-/// The durable store together with its health counters — one shareable
-/// unit, because the background compactor persists folded publications
-/// through exactly the same retry/degradation path as training
-/// publications.
-#[derive(Debug, Default)]
-struct PersistState {
-    store: Option<DurableRegistry>,
-    health: HealthState,
-}
-
 impl PersistState {
+    fn new(store: Option<DurableRegistry>, telem: ServiceTelemetry) -> Self {
+        Self {
+            store,
+            telem,
+            last_persist_error: Mutex::new(None),
+        }
+    }
+
     /// Persist one publication to the durable store, if configured.
     /// Transient IO failures are retried with bounded exponential backoff
     /// ([`daakg_store::store::retry_with_backoff`]); the final error
     /// still propagates to the caller, but the in-memory publish stands —
     /// readers already serve the new version; only its durability failed,
-    /// which the health counters record so a failing disk is observable
-    /// without taking down serving.
+    /// which the health cells and the event journal record so a failing
+    /// disk is observable without taking down serving.
     fn persist(&self, published: &VersionedSnapshot) -> Result<(), DaakgError> {
-        use std::sync::atomic::Ordering::Relaxed;
         let Some(store) = &self.store else {
             return Ok(());
         };
+        let version = published.version.get();
+        let _span = self.telem.persist.span();
         let result = daakg_store::store::retry_with_backoff(
             3,
             std::time::Duration::from_millis(1),
             |attempt| {
                 if attempt > 0 {
-                    self.health.persist_retries.fetch_add(1, Relaxed);
+                    self.telem.persist_retries.incr();
+                    self.telem.event(EventKind::PersistRetry {
+                        version,
+                        attempt: attempt as u32,
+                    });
                 }
-                store.save(published.version.get(), &published.snapshot)
+                store.save(version, &published.snapshot)
             },
         );
-        let mut last_error = self
-            .health
-            .last_persist_error
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut last_error = lock_recover(&self.last_persist_error);
         match &result {
             Ok(()) => {
-                self.health.durability_degraded.store(false, Relaxed);
+                self.telem.durability_degraded.set(0);
                 *last_error = None;
             }
             Err(e) => {
-                self.health.persist_failures.fetch_add(1, Relaxed);
-                self.health.durability_degraded.store(true, Relaxed);
+                self.telem.persist_failures.incr();
+                self.telem.durability_degraded.set(1);
+                self.telem.event(EventKind::PersistFailure {
+                    version,
+                    error: e.to_string(),
+                });
                 *last_error = Some(e.to_string());
             }
         }
@@ -712,19 +730,22 @@ impl AlignmentService {
         kg2: Arc<KnowledgeGraph>,
     ) -> Result<Self, DaakgError> {
         serving.validate()?;
+        let telem = ServiceTelemetry::new(serving.telemetry.clone());
         let model = JointModel::new(cfg, &kg1, &kg2)?;
         let mut initial = model.snapshot(&kg1, &kg2);
         initial.set_index_config(serving.index.clone());
-        Ok(Self {
+        let svc = Self {
             registry: Arc::new(SnapshotRegistry::new(initial)),
             model: Mutex::new(model),
             kg1,
             kg2,
             serving,
-            durable: Arc::new(PersistState::default()),
+            durable: Arc::new(PersistState::new(None, telem)),
             recovery: None,
             live: None,
-        })
+        };
+        svc.note_publish(svc.registry.current().version.get());
+        Ok(svc)
     }
 
     /// A **durable** service: persist every publication crash-safely to
@@ -757,7 +778,9 @@ impl AlignmentService {
         dir: impl Into<PathBuf>,
     ) -> Result<Self, DaakgError> {
         serving.validate()?;
-        let store = DurableRegistry::open(dir)?;
+        let telem = ServiceTelemetry::new(serving.telemetry.clone());
+        let mut store = DurableRegistry::open(dir)?;
+        store.set_spans(telem.store.clone());
         let (mut entries, report) = store.recover()?;
         let model = JointModel::new(cfg, &kg1, &kg2)?;
         let fresh = entries.is_empty();
@@ -784,18 +807,38 @@ impl AlignmentService {
             kg1,
             kg2,
             serving,
-            durable: Arc::new(PersistState {
-                store: Some(store),
-                health: HealthState::default(),
-            }),
+            durable: Arc::new(PersistState::new(Some(store), telem)),
             recovery: Some(report),
             live: None,
         };
         if fresh {
             let cur = svc.registry.current();
+            svc.note_publish(cur.version.get());
             svc.persist(&cur)?;
         }
         Ok(svc)
+    }
+
+    /// The telemetry surface of this service: the metrics registry
+    /// (counters, gauges, stage histograms), the structured event
+    /// journal, and the Prometheus/JSON exposition built over them. When
+    /// constructed with [`TelemetryConfig::disabled`] every recording is
+    /// a no-op and exposition renders empty.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.durable.telem.telemetry
+    }
+
+    /// The full handle bundle (crate-internal: the sharded front-end and
+    /// its ingress record into the same cells).
+    pub(crate) fn telem(&self) -> &ServiceTelemetry {
+        &self.durable.telem
+    }
+
+    /// Count + journal one snapshot publication.
+    fn note_publish(&self, version: u64) {
+        let t = self.telem();
+        t.snapshot_publish.incr();
+        t.event(EventKind::SnapshotPublish { version });
     }
 
     /// Persist one publication through the shared [`PersistState`] (see
@@ -812,17 +855,12 @@ impl AlignmentService {
     /// operators notice a failing disk (or a lagging compactor) *before*
     /// it matters.
     pub fn health(&self) -> ServiceHealth {
-        use std::sync::atomic::Ordering::Relaxed;
-        let health = &self.durable.health;
+        let t = self.telem();
         ServiceHealth {
-            durability_degraded: health.durability_degraded.load(Relaxed),
-            last_persist_error: health
-                .last_persist_error
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .clone(),
-            persist_failures: health.persist_failures.load(Relaxed),
-            persist_retries: health.persist_retries.load(Relaxed),
+            durability_degraded: t.durability_degraded.get() != 0,
+            last_persist_error: lock_recover(&self.durable.last_persist_error).clone(),
+            persist_failures: t.persist_failures.get(),
+            persist_retries: t.persist_retries.get(),
             degrade_engaged: false,
             ingress: None,
             live: self.live_health(),
@@ -974,22 +1012,30 @@ impl AlignmentService {
     pub fn query(&self, e1: u32, opts: QueryOptions) -> Result<Versioned<Ranking>, DaakgError> {
         self.check_query(e1)?;
         let nprobe = self.resolve_mode(opts.mode)?;
+        let telem = self.telem();
         let cur = self.current();
         let mut value = match (opts.k, nprobe) {
-            (None, None) => cur.snapshot.rank_entities(e1),
-            (Some(k), None) => cur.snapshot.top_k_entities(e1, k),
+            (None, None) => {
+                let _span = telem.exact_scan.span();
+                cur.snapshot.rank_entities(e1)
+            }
+            (Some(k), None) => {
+                let _span = telem.exact_scan.span();
+                cur.snapshot.top_k_entities(e1, k)
+            }
             (None, Some(nprobe)) => cur
                 .snapshot
-                .rank_entities_approx(e1, nprobe)
+                .rank_entities_approx_observed(e1, nprobe, &telem.search)
                 .expect("validated: index configured"),
             (Some(k), Some(nprobe)) => cur
                 .snapshot
-                .top_k_entities_approx(e1, k, nprobe)
+                .top_k_entities_approx_observed(e1, k, nprobe, &telem.search)
                 .expect("validated: index configured"),
         };
         let mut deltas_merged = 0u32;
         let n2 = cur.snapshot.entity_counts().1;
         if let Some(slab) = self.live_slab_for(cur.version.get()) {
+            let _span = telem.delta_merge.span();
             let q = cur.snapshot.entity_engine().normalized_query(e1);
             value = slab
                 .merge_into(q, 1, opts.k, n2, vec![value])
@@ -1019,6 +1065,7 @@ impl AlignmentService {
             self.check_query(q)?;
         }
         let nprobe = self.resolve_mode(opts.mode)?;
+        let telem = self.telem();
         let cur = self.current();
         let snap = &cur.snapshot;
         // Build the index before fanning out, so shards never race the
@@ -1030,16 +1077,22 @@ impl AlignmentService {
         let mut value: Vec<Ranking> = Vec::with_capacity(queries.len());
         for shard in
             daakg_parallel::par_map_ranges(queries.len(), shards, |r| match (opts.k, nprobe) {
-                (Some(k), None) => snap.top_k_entities_block(&queries[r], k),
-                (None, None) => queries[r].iter().map(|&q| snap.rank_entities(q)).collect(),
+                (Some(k), None) => {
+                    let _span = telem.exact_scan.span();
+                    snap.top_k_entities_block(&queries[r], k)
+                }
+                (None, None) => {
+                    let _span = telem.exact_scan.span();
+                    queries[r].iter().map(|&q| snap.rank_entities(q)).collect()
+                }
                 (k, Some(nprobe)) => queries[r]
                     .iter()
                     .map(|&q| match k {
                         Some(k) => snap
-                            .top_k_entities_approx(q, k, nprobe)
+                            .top_k_entities_approx_observed(q, k, nprobe, &telem.search)
                             .expect("validated: index configured"),
                         None => snap
-                            .rank_entities_approx(q, nprobe)
+                            .rank_entities_approx_observed(q, nprobe, &telem.search)
                             .expect("validated: index configured"),
                     })
                     .collect(),
@@ -1050,6 +1103,7 @@ impl AlignmentService {
         let mut deltas_merged = 0u32;
         let n2 = snap.entity_counts().1;
         if let Some(slab) = self.live_slab_for(cur.version.get()) {
+            let _span = telem.delta_merge.span();
             let panel = snap
                 .entity_engine()
                 .normalized_queries()
@@ -1107,7 +1161,14 @@ impl AlignmentService {
     /// the pre-retrain snapshot and replays them intact.
     fn publish_trained(&self, snap: AlignmentSnapshot) -> Result<VersionedSnapshot, DaakgError> {
         let published = self.registry.publish_pinned(snap);
+        self.note_publish(published.version.get());
         let dropped = self.reanchor_live(&published);
+        if !dropped.is_empty() {
+            self.telem().event(EventKind::RetrainSupersede {
+                version: published.version.get(),
+                dropped: dropped.len(),
+            });
+        }
         let persisted = self.persist(&published);
         if persisted.is_ok() {
             self.remove_segments(&dropped);
@@ -1161,7 +1222,7 @@ impl AlignmentService {
     // Live updates: upsert → delta buffer → background compaction
     // -----------------------------------------------------------------
 
-    /// Enable the live-update subsystem: an append-only [`DeltaBuffer`]
+    /// Enable the live-update subsystem: an append-only `DeltaBuffer`
     /// that [`AlignmentService::upsert_entity`] feeds while serving, and
     /// a background compactor thread that periodically folds pending
     /// entries into a newly published snapshot (rebuilt IVF included).
@@ -1211,7 +1272,12 @@ impl AlignmentService {
                 let _ = fold_once(&registry, &durable, &buffer, &stats, index.as_ref());
             })
         };
-        let compactor = Compactor::spawn(cfg.tick, Arc::clone(&stats), task);
+        let compactor = Compactor::spawn(
+            cfg.tick,
+            Arc::clone(&stats),
+            self.telemetry().journal().clone(),
+            task,
+        );
         if buffer.depth() >= cfg.compact_after {
             // Replay alone may already warrant a fold.
             compactor.nudge();
@@ -1421,7 +1487,13 @@ impl AlignmentService {
             })
             .collect::<Result<_, _>>()?;
         let positives = Tensor::from_rows(&rows);
-        warm_start_row(&cur.snapshot.ents2, &positives, global_id as u64, &cfg.warm)
+        warm_start_row_observed(
+            &cur.snapshot.ents2,
+            &positives,
+            global_id as u64,
+            &cfg.warm,
+            &self.telem().warm_start,
+        )
     }
 
     /// A training publish supersedes the pending delta: the retrained
@@ -1494,20 +1566,41 @@ fn fold_once(
     let Some(entries) = buffer.fold_candidates(anchor) else {
         return Ok(None);
     };
+    let telem = &durable.telem;
     let count = entries.len();
-    let mut snap = fold_snapshot(&cur.snapshot, &entries)?;
+    telem.event(EventKind::FoldStart {
+        anchor,
+        pending: count,
+    });
+    let mut snap = {
+        let _span = telem.fold.span();
+        fold_snapshot(&cur.snapshot, &entries)?
+    };
     snap.set_index_config(index.cloned());
     // Compare-and-publish: if training published while the fold was being
     // built, the fold is based on a superseded corpus — drop it and let
     // the next pass re-anchor. Entries stay pending either way.
-    let Some(published) = registry.publish_if_current(snap, cur.version) else {
+    let published = {
+        let _span = telem.republish.span();
+        registry.publish_if_current(snap, cur.version)
+    };
+    let Some(published) = published else {
         return Ok(None);
     };
+    telem.snapshot_publish.incr();
+    telem.event(EventKind::SnapshotPublish {
+        version: published.version.get(),
+    });
     let persisted = durable.persist(&published);
     // Commit before surfacing any persist failure: the publish stands
     // (readers already serve the folded corpus), so the buffer must
     // advance either way.
     buffer.fold_committed(count, published.version.get());
+    telem.compactions.incr();
+    telem.event(EventKind::FoldDone {
+        version: published.version.get(),
+        folded: count,
+    });
     if persisted.is_ok() {
         // Retire segments only behind a successful persist: until the
         // folded snapshot is durably on disk, the segment files are the
@@ -1881,6 +1974,7 @@ mod tests {
         let approx_without_index = ServingConfig {
             index: None,
             mode: daakg_index::QueryMode::Approx { nprobe: 2 },
+            ..ServingConfig::default()
         };
         assert!(approx_without_index.validate().is_err());
         let zero_probe = ServingConfig {
@@ -2753,5 +2847,214 @@ mod tests {
             assert_eq!(got.deltas_merged, 0);
             assert_bitwise(&want.value, &got.value, "race round");
         }
+    }
+
+    // -- telemetry -----------------------------------------------------
+
+    /// Satellite: a fresh service's health must read exactly as the
+    /// all-zero default, for plain and live-enabled builds — including
+    /// after a no-op `compact_now` (nothing pending folds nothing, so
+    /// nothing may count).
+    #[test]
+    fn fresh_service_health_is_default() {
+        assert_eq!(example_service().health(), ServiceHealth::default());
+        let mut svc = example_service();
+        svc.enable_live(manual_live()).unwrap();
+        assert!(svc.compact_now().unwrap().is_none(), "nothing pending");
+        let want = ServiceHealth {
+            live: Some(LiveHealth::default()),
+            ..ServiceHealth::default()
+        };
+        assert_eq!(svc.health(), want);
+    }
+
+    /// The default-enabled telemetry surface: the initial publication is
+    /// counted and journaled, queries land in the stage histograms, and
+    /// both exposition formats render the cells.
+    #[test]
+    fn telemetry_records_stages_counters_and_journal() {
+        let svc = example_indexed_service();
+        let t = svc.telemetry();
+        assert!(t.is_enabled());
+        let counter = |name: &str| {
+            t.registry()
+                .counters()
+                .into_iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v)
+        };
+        assert_eq!(counter("snapshot_publish_total"), Some(1));
+        let publishes: Vec<_> = t
+            .journal()
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e.kind, daakg_telemetry::EventKind::SnapshotPublish { .. }))
+            .collect();
+        assert_eq!(publishes.len(), 1, "initial publication journaled");
+
+        // An exact and an approx query populate their stage histograms.
+        svc.query(0, QueryOptions::top_k(3)).unwrap();
+        svc.query(
+            0,
+            QueryOptions::top_k(3).with_mode(QueryMode::Approx { nprobe: 3 }),
+        )
+        .unwrap();
+        let hist = |name: &str| {
+            t.registry()
+                .histograms()
+                .into_iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, h)| h.count())
+                .unwrap_or(0)
+        };
+        assert_eq!(hist("stage_exact_scan_ns"), 1);
+        assert_eq!(hist("stage_ivf_probe_ns"), 1);
+        assert_eq!(hist("stage_ivf_scan_ns"), 1);
+
+        let text = t.render_prometheus();
+        assert!(text.contains("daakg_snapshot_publish_total 1"), "{text}");
+        assert!(
+            text.contains("daakg_stage_exact_scan_seconds_count 1"),
+            "{text}"
+        );
+        let json = t.render_json();
+        assert!(json.contains("\"snapshot_publish_total\""), "{json}");
+        assert!(json.contains("\"snapshot_publish\""), "{json}");
+    }
+
+    /// Disabled telemetry goes fully dark — no cells, empty exposition —
+    /// while serving itself (and the health surface, backed by private
+    /// always-on cells) keeps working.
+    #[test]
+    fn disabled_telemetry_serves_identically_and_keeps_health() {
+        let enabled = example_service();
+        let disabled = AlignmentService::with_serving(
+            tiny_cfg(),
+            ServingConfig {
+                telemetry: TelemetryConfig::disabled(),
+                ..ServingConfig::default()
+            },
+            Arc::new(example_dbpedia()),
+            Arc::new(example_wikidata()),
+        )
+        .unwrap();
+        assert!(!disabled.telemetry().is_enabled());
+        let want = enabled.query(0, QueryOptions::top_k(3)).unwrap();
+        let got = disabled.query(0, QueryOptions::top_k(3)).unwrap();
+        assert_bitwise(&want.value, &got.value, "telemetry must not perturb");
+        assert!(disabled.telemetry().registry().counters().is_empty());
+        assert!(disabled.telemetry().registry().histograms().is_empty());
+        assert!(disabled.telemetry().journal().events().is_empty());
+        assert_eq!(disabled.health(), ServiceHealth::default());
+    }
+
+    /// Health stays live with telemetry disabled: a failing disk is
+    /// still observable through `health()` even though exposition is
+    /// dark — the health cells come from a private always-on registry.
+    #[test]
+    fn disabled_telemetry_still_reports_persist_faults() {
+        let td = daakg_store::TestDir::new("svc-telem-dark");
+        let svc = AlignmentService::open(
+            tiny_cfg(),
+            ServingConfig {
+                telemetry: TelemetryConfig::disabled(),
+                ..ServingConfig::default()
+            },
+            Arc::new(example_dbpedia()),
+            Arc::new(example_wikidata()),
+            td.path(),
+        )
+        .unwrap();
+        let blocker = td.path().join("v0000000002.snap.tmp");
+        std::fs::create_dir(&blocker).unwrap();
+        let labels = example_labels(&svc);
+        svc.train(&labels).expect_err("persist must fail");
+        let health = svc.health();
+        assert!(health.durability_degraded);
+        assert_eq!(health.persist_failures, 1);
+        assert_eq!(health.persist_retries, 2);
+        assert!(health.last_persist_error.is_some());
+        // Exposition stays dark: the failure is *not* in the public
+        // registry or journal.
+        assert!(svc.telemetry().registry().counters().is_empty());
+        assert!(svc.telemetry().journal().events().is_empty());
+    }
+
+    /// The full live lifecycle lands in the journal in causal order:
+    /// publish (v1) → fold start → publish (v2) → fold done, with
+    /// strictly monotonic sequence numbers and timestamps.
+    #[test]
+    fn journal_orders_fold_lifecycle_causally() {
+        use daakg_telemetry::EventKind as K;
+        let mut svc = example_service();
+        svc.enable_live(manual_live()).unwrap();
+        svc.upsert_entity(&[triple(0, 0)]).unwrap();
+        let published = svc.compact_now().unwrap().expect("one entry folds");
+        assert_eq!(published.version.get(), 2);
+        let events = svc.telemetry().journal().events();
+        let names: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "snapshot_publish",
+                "fold_start",
+                "snapshot_publish",
+                "fold_done"
+            ],
+            "causal order"
+        );
+        assert!(
+            events
+                .windows(2)
+                .all(|w| w[0].seq < w[1].seq && w[0].at_ns <= w[1].at_ns),
+            "monotonic seq + time"
+        );
+        match (&events[1].kind, &events[3].kind) {
+            (K::FoldStart { anchor, pending }, K::FoldDone { version, folded }) => {
+                assert_eq!(*anchor, 1);
+                assert_eq!(*pending, 1);
+                assert_eq!(*version, 2);
+                assert_eq!(*folded, 1);
+            }
+            other => panic!("unexpected fold events: {other:?}"),
+        }
+        // The fold also landed in the maintenance-stage histograms.
+        let hist = |name: &str| {
+            svc.telemetry()
+                .registry()
+                .histograms()
+                .into_iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, h)| h.count())
+                .unwrap_or(0)
+        };
+        assert_eq!(hist("stage_fold_ns"), 1);
+        assert_eq!(hist("stage_republish_ns"), 1);
+        assert_eq!(hist("stage_warm_start_ns"), 1);
+        assert_eq!(hist("stage_delta_merge_ns"), 0, "no query ran");
+    }
+
+    /// A retrain that supersedes pending deltas journals the
+    /// supersession with the dropped count.
+    #[test]
+    fn retrain_supersession_is_journaled() {
+        use daakg_telemetry::EventKind as K;
+        let mut svc = example_service();
+        svc.enable_live(manual_live()).unwrap();
+        svc.upsert_entity(&[triple(0, 0)]).unwrap();
+        svc.upsert_entity(&[triple(0, 1)]).unwrap();
+        let labels = example_labels(&svc);
+        let published = svc.train(&labels).unwrap();
+        let superseded: Vec<_> = svc
+            .telemetry()
+            .journal()
+            .events()
+            .into_iter()
+            .filter_map(|e| match e.kind {
+                K::RetrainSupersede { version, dropped } => Some((version, dropped)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(superseded, vec![(published.version.get(), 2)]);
     }
 }

@@ -46,7 +46,8 @@ use crate::service::{
 use crate::snapshot::AlignmentSnapshot;
 use daakg_autograd::Tensor;
 use daakg_graph::DaakgError;
-use daakg_index::{scan_block, IvfIndex, QueryMode, QueryOptions, TopKSelector};
+use daakg_index::{scan_block, IvfIndex, QueryMode, QueryOptions, SearchSpans, TopKSelector};
+use daakg_telemetry::{HistogramHandle, Telemetry};
 use std::sync::{Arc, Mutex};
 
 /// Queries per gathered panel of the sharded scan — the same blocking the
@@ -122,14 +123,15 @@ impl ShardSlab {
     }
 
     /// Probe this shard's IVF index, offsetting the shard-local result
-    /// ids back into the global id space.
-    fn search(&self, query: &[f32], k: usize, nprobe: usize) -> Ranking {
+    /// ids back into the global id space. Probe and list-scan durations
+    /// go into `spans` (no-op handles cost nothing).
+    fn search(&self, query: &[f32], k: usize, nprobe: usize, spans: &SearchSpans) -> Ranking {
         let index = self
             .index
             .as_ref()
             .expect("validated: index configured before Approx dispatch");
         index
-            .search(query, k, nprobe)
+            .search_observed(query, k, nprobe, spans)
             .into_iter()
             .map(|(id, s)| (self.base as u32 + id, s))
             .collect()
@@ -193,6 +195,12 @@ pub(crate) struct ShardCore {
     /// a request that pinned an older version while a publish was
     /// in-flight rebuilds its own set rather than mixing versions.
     cache: Mutex<Option<(u64, Arc<ShardSet>)>>,
+    /// Per-shard scatter-scan latency (`stage_shard_scan_ns`): one
+    /// sample per slab per dispatch.
+    scan_span: HistogramHandle,
+    /// Gather-merge latency (`stage_shard_merge_ns`): one sample per
+    /// dispatch.
+    merge_span: HistogramHandle,
 }
 
 impl ShardCore {
@@ -245,20 +253,27 @@ impl ShardCore {
         let set = self.shard_set(&cur);
         let engine = cur.snapshot.entity_engine();
         let q = engine.normalized_query(e1);
+        let search_spans = &self.service.telem().search;
         let per_shard = daakg_parallel::par_map_ranges(set.slabs.len(), set.slabs.len(), |sr| {
             sr.map(|si| {
                 let slab = &set.slabs[si];
+                let _span = self.scan_span.span();
                 match nprobe {
                     None => {
                         let k = opts.k.map_or(slab.len, |k| k.min(slab.len));
                         slab.scan(q, set.dim, 1, k).pop().unwrap_or_default()
                     }
-                    Some(nprobe) => slab.search(q, opts.k.unwrap_or(slab.len), nprobe),
+                    Some(nprobe) => {
+                        slab.search(q, opts.k.unwrap_or(slab.len), nprobe, search_spans)
+                    }
                 }
             })
             .collect::<Vec<_>>()
         });
-        let mut value = set.merge(opts.k, per_shard.into_iter().flatten());
+        let mut value = {
+            let _span = self.merge_span.span();
+            set.merge(opts.k, per_shard.into_iter().flatten())
+        };
         // Live deltas are one more (unsharded) scatter target: the slab
         // scan merges through the same bounded selector, so the answer
         // stays bitwise-equal to an exact scan over base ∪ delta. Keyed
@@ -266,6 +281,7 @@ impl ShardCore {
         // pick up the superseded slab.
         let mut deltas_merged = 0u32;
         if let Some(slab) = self.service.live_slab_for(cur.version.get()) {
+            let _span = self.service.telem().delta_merge.span();
             value = slab
                 .merge_into(q, 1, opts.k, set.total, vec![value])
                 .pop()
@@ -298,10 +314,12 @@ impl ShardCore {
             .map(|chunk| engine.normalized_queries().gather_rows(chunk))
             .collect();
         // Scatter: each shard answers every query with global ids.
+        let search_spans = &self.service.telem().search;
         let per_shard: Vec<Vec<Ranking>> =
             daakg_parallel::par_map_ranges(set.slabs.len(), set.slabs.len(), |sr| {
                 sr.map(|si| {
                     let slab = &set.slabs[si];
+                    let _span = self.scan_span.span();
                     let mut out: Vec<Ranking> = Vec::with_capacity(queries.len());
                     match nprobe {
                         None => {
@@ -321,6 +339,7 @@ impl ShardCore {
                                     engine.normalized_query(e1),
                                     opts.k.unwrap_or(slab.len),
                                     nprobe,
+                                    search_spans,
                                 ));
                             }
                         }
@@ -333,6 +352,7 @@ impl ShardCore {
             .flatten()
             .collect();
         // Gather: merge each query's per-shard lists.
+        let merge_span = self.merge_span.span();
         let mut per_shard = per_shard;
         let mut value: Vec<Ranking> = (0..queries.len())
             .map(|qi| {
@@ -344,10 +364,12 @@ impl ShardCore {
                 )
             })
             .collect();
+        drop(merge_span);
         // Merge live deltas per panel chunk (the panels were gathered
         // above for the scatter; the slab reuses them bitwise).
         let mut deltas_merged = 0u32;
         if let Some(slab) = self.service.live_slab_for(cur.version.get()) {
+            let _span = self.service.telem().delta_merge.span();
             let mut vals = value.into_iter();
             let mut merged = Vec::with_capacity(queries.len());
             for (ci, chunk) in queries.chunks(QUERY_BLOCK).enumerate() {
@@ -422,11 +444,14 @@ impl ShardedService {
                 format!("shard count {shards} exceeds the 4096 maximum"),
             ));
         }
+        let reg = service.telemetry().registry().clone();
         let svc = Self {
             core: Arc::new(ShardCore {
-                service,
                 shards,
                 cache: Mutex::new(None),
+                scan_span: reg.histogram("stage_shard_scan_ns"),
+                merge_span: reg.histogram("stage_shard_merge_ns"),
+                service,
             }),
             ingress: None,
         };
@@ -447,8 +472,20 @@ impl ShardedService {
     ) -> Result<Self, DaakgError> {
         ingress.validate()?;
         let mut svc = Self::new(service, shards)?;
-        svc.ingress = Some(Ingress::start(ingress, Arc::clone(&svc.core)));
+        svc.ingress = Some(Ingress::start(
+            ingress,
+            Arc::clone(&svc.core),
+            svc.core.service.telemetry(),
+        ));
         Ok(svc)
+    }
+
+    /// The telemetry surface of the whole front-end: the wrapped
+    /// service's registry and journal, which the sharded scatter/merge
+    /// stages and the ingress also record into — one registry covers the
+    /// full stack (see [`AlignmentService::telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        self.core.service.telemetry()
     }
 
     /// The wrapped service — train and publish through this handle;
@@ -819,5 +856,70 @@ mod tests {
         let health = plain.health();
         assert!(health.ingress.is_none());
         assert!(health.live.is_some());
+    }
+
+    /// A freshly built sharded service reports the same all-clear health
+    /// as a fresh unsharded one: the default view exactly. Attaching an
+    /// ingress only adds a zeroed counter block, and a no-op compaction
+    /// on a live-enabled build leaves the default-live view untouched.
+    #[test]
+    fn fresh_sharded_health_is_default() {
+        let sharded =
+            ShardedService::new(example_service(ServingConfig::default()), 3).expect("sharded");
+        assert_eq!(sharded.health(), crate::service::ServiceHealth::default());
+
+        let with_ingress = ShardedService::with_ingress(
+            example_service(ServingConfig::default()),
+            2,
+            IngressConfig::default(),
+        )
+        .expect("sharded with ingress");
+        let expected_ingress = IngressStats {
+            queries: 0,
+            batches: 0,
+            shed: 0,
+            expired: 0,
+            degraded: 0,
+            panics: 0,
+            max_depth: 0,
+        };
+        assert_eq!(
+            with_ingress.health(),
+            crate::service::ServiceHealth {
+                ingress: Some(expected_ingress),
+                ..Default::default()
+            }
+        );
+
+        let live = ShardedService::new(live_service(), 2).expect("sharded live");
+        live.service().compact_now().expect("no-op compact");
+        assert_eq!(
+            live.health(),
+            crate::service::ServiceHealth {
+                live: Some(crate::delta::LiveHealth::default()),
+                ..Default::default()
+            }
+        );
+    }
+
+    /// Sharded scatter/merge stages record into the service's shared
+    /// registry, and `ShardedService::telemetry()` exposes the same
+    /// handle the underlying [`AlignmentService`] owns.
+    #[test]
+    fn sharded_query_records_scan_and_merge_stages() {
+        let sharded =
+            ShardedService::new(example_service(ServingConfig::default()), 3).expect("sharded");
+        assert!(sharded.telemetry().is_enabled());
+        sharded.query(0, QueryOptions::top_k(3)).expect("query");
+        let hists = sharded.telemetry().registry().histograms();
+        let count_of = |name: &str| {
+            hists
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, h)| h.count())
+                .unwrap_or(0)
+        };
+        assert_eq!(count_of("stage_shard_scan_ns"), 3, "one scan per shard");
+        assert_eq!(count_of("stage_shard_merge_ns"), 1, "one merge per query");
     }
 }

@@ -320,8 +320,22 @@ impl AlignmentSnapshot {
         k: usize,
         nprobe: usize,
     ) -> Option<Vec<(u32, f32)>> {
+        self.top_k_entities_approx_observed(e1, k, nprobe, &daakg_index::SearchSpans::default())
+    }
+
+    /// [`AlignmentSnapshot::top_k_entities_approx`] with stage telemetry:
+    /// the centroid probe and the inverted-list scan are timed into
+    /// `spans` separately. The answer is bitwise identical; no-op handles
+    /// cost nothing.
+    pub fn top_k_entities_approx_observed(
+        &self,
+        e1: u32,
+        k: usize,
+        nprobe: usize,
+        spans: &daakg_index::SearchSpans,
+    ) -> Option<Vec<(u32, f32)>> {
         let index = self.ivf_index()?;
-        Some(index.search(self.entity_engine.normalized_query(e1), k, nprobe))
+        Some(index.search_observed(self.entity_engine.normalized_query(e1), k, nprobe, spans))
     }
 
     /// Approximate ranking of *all* candidates in the probed lists for a
@@ -331,6 +345,17 @@ impl AlignmentSnapshot {
     /// is configured.
     pub fn rank_entities_approx(&self, e1: u32, nprobe: usize) -> Option<Vec<(u32, f32)>> {
         self.top_k_entities_approx(e1, self.ents2.rows(), nprobe)
+    }
+
+    /// [`AlignmentSnapshot::rank_entities_approx`] with stage telemetry
+    /// (see [`AlignmentSnapshot::top_k_entities_approx_observed`]).
+    pub fn rank_entities_approx_observed(
+        &self,
+        e1: u32,
+        nprobe: usize,
+        spans: &daakg_index::SearchSpans,
+    ) -> Option<Vec<(u32, f32)>> {
+        self.top_k_entities_approx_observed(e1, self.ents2.rows(), nprobe, spans)
     }
 
     /// Entity similarity `S(e, e') = cos(A_ent·e, e')` (Eq. 4).

@@ -148,6 +148,18 @@ pub struct BenchConfig {
     /// Delta depth that triggers a background compaction in the
     /// live-upsert scenario (sized so several folds happen mid-run).
     pub live_compact_after: usize,
+    /// Right-corpus entity count of the telemetry-overhead scenario.
+    pub telemetry_entities: usize,
+    /// Queries per timed repetition of the telemetry-overhead scenario
+    /// (each issued twice: once exact, once approximate).
+    pub telemetry_queries: usize,
+    /// Minimum enabled/disabled QPS ratio for the telemetry-overhead
+    /// gate (0.97 = "within 3%"). The full profile keeps the strict
+    /// acceptance bound; the smoke corpus allows a looser one because
+    /// its queries are ~20x shorter, so the fixed per-query span cost
+    /// is a genuinely larger fraction and the noise floor of a ~20 ms
+    /// timed side is higher.
+    pub telemetry_min_qps_ratio: f64,
     /// Embedding dimension used across scenarios.
     pub dim: usize,
     /// Timing repetitions (median-of-N after one untimed warm-up run).
@@ -187,6 +199,9 @@ impl Default for BenchConfig {
             live_entities: 100_000,
             live_upserts: 192,
             live_compact_after: 64,
+            telemetry_entities: 100_000,
+            telemetry_queries: 256,
+            telemetry_min_qps_ratio: 0.97,
             dim: 32,
             reps: 3,
         }
@@ -238,6 +253,26 @@ impl BenchConfig {
             live_entities: 10_000,
             live_upserts: 32,
             live_compact_after: 12,
+            // Large enough that one query costs tens of microseconds:
+            // the 3% criterion is about span cost relative to real
+            // per-query work. On a toy corpus a scan is ~3 µs and two
+            // `Instant::now` calls alone read as a 5–7% "regression" —
+            // that would gate the clock, not the telemetry design.
+            telemetry_entities: 10_000,
+            // Enough queries that one timed side of an overhead pair
+            // runs ~20 ms. At 64 queries a side is ~5 ms — the same
+            // order as a scheduler quantum, so with DAAKG_THREADS
+            // oversubscribing a 1-vCPU runner a single context switch
+            // inside one side reads as a multi-percent "overhead".
+            telemetry_queries: 256,
+            // ~45 µs of work per smoke query leaves the fixed span
+            // cost at ~1-2% before any noise, and a DAAKG_THREADS=2
+            // smoke run oversubscribes a 1-vCPU runner, adding
+            // scheduler cost on top. The smoke bound is a gross-
+            // regression tripwire (a lock on the hot path reads as
+            // 2x); the strict 3% acceptance bound is tracked at the
+            // 100k profile, where a query is ~20x longer.
+            telemetry_min_qps_ratio: 0.93,
             dim: 16,
             // Median-of-3 keeps the smoke run seconds-scale while damping
             // the single-outlier jitter that can trip the `--compare` gate
@@ -265,6 +300,7 @@ pub fn run_all(cfg: &BenchConfig) -> Vec<ScenarioResult> {
         serve_overload(cfg),
         persist_roundtrip(cfg),
         live_upsert(cfg),
+        telemetry_overhead(cfg),
     ]
 }
 
@@ -1129,13 +1165,17 @@ fn serve_while_train(cfg: &BenchConfig) -> ScenarioResult {
 // Scenario: sharded scatter-gather serving with micro-batched ingress
 // ---------------------------------------------------------------------
 
-/// Nearest-rank percentile of an ascending-sorted latency sample (µs).
-fn percentile_us(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
+/// Percentile of a latency sample (µs), computed through the shared
+/// log-scale [`daakg_telemetry::Histogram`] — the same nearest-rank
+/// quantile machinery the serving registry exposes (≤1/32 relative
+/// error), so the harness and the service report latency identically.
+/// The sample need not be sorted.
+fn percentile_us(sample: &[f64], p: f64) -> f64 {
+    let h = daakg_telemetry::Histogram::new();
+    for &us in sample {
+        h.record((us * 1e3).round() as u64);
     }
-    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+    h.quantile(p / 100.0) as f64 / 1e3
 }
 
 /// Closed-loop single-query load: `clients` threads each issue
@@ -1894,6 +1934,274 @@ fn live_upsert(cfg: &BenchConfig) -> ScenarioResult {
         .flag("hits1_unchanged", hits1_unchanged)
 }
 
+// ---------------------------------------------------------------------
+// Scenario: telemetry overhead (registry + spans + journal on hot paths)
+// ---------------------------------------------------------------------
+
+/// Prove the observability layer is effectively free and truthful:
+///
+/// 1. **Overhead rounds of interleaved pairs** — one closed loop of
+///    exact + approximate `top_k` queries against two otherwise-
+///    identical services, telemetry disabled and enabled timed back to
+///    back in each repetition (order alternating per rep), with fresh
+///    service pairs built each round to re-roll allocation layouts.
+///    The QPS ratio — the median across rounds of per-round best-of-N
+///    ratios — must stay within the profile's bound (3% at the
+///    acceptance-tracked 100k size; 7% on the smoke corpus, whose
+///    ~20x-shorter queries magnify the fixed span cost). Interleaving
+///    cancels the slow ambient drift of a shared runner that a
+///    sequential disabled/enabled bracket would misread as cost.
+/// 2. **Bitwise oracle** — enabled and disabled answers are identical to
+///    the score bit: instrumentation must never perturb a result.
+/// 3. **Per-stage breakdown** — p50/p95/p99 of every stage histogram the
+///    enabled run populated, read straight from the registry into
+///    `BENCH_core.json` (exactly what a production scrape would see).
+/// 4. **Overload journal** — a single-threaded burst through a
+///    deliberately tiny degrading ingress; the journal must show the
+///    lifecycle in causal order: admission sheds, a degrade engagement,
+///    strictly increasing sequence numbers, monotonic timestamps, and any
+///    recovery only after the first engagement.
+fn telemetry_overhead(cfg: &BenchConfig) -> ScenarioResult {
+    use daakg::{
+        AlignmentService, DaakgError, DegradePolicy, IngressConfig, QueryOptions, TelemetryConfig,
+    };
+    use daakg_telemetry::EventKind;
+    use std::sync::Arc;
+
+    let entities = cfg.telemetry_entities;
+    let spec = SynthSpec::with_entities(entities, 53);
+    let (kg1, kg2, _gold) = synthetic_pair(spec, 0.15);
+    let (kg1, kg2) = (Arc::new(kg1), Arc::new(kg2));
+    let joint = JointConfig {
+        embed: EmbedConfig {
+            dim: cfg.dim,
+            class_dim: (cfg.dim / 2).max(2),
+            ..EmbedConfig::default()
+        },
+        ..JointConfig::default()
+    };
+    let nlist = cfg.serve_nlist.max(2);
+    let build = |telemetry: TelemetryConfig| -> AlignmentService {
+        Pipeline::builder()
+            .kg1(Arc::clone(&kg1))
+            .kg2(Arc::clone(&kg2))
+            .joint(joint)
+            .index(nlist)
+            .telemetry(telemetry)
+            .build()
+            .expect("valid telemetry pipeline")
+    };
+
+    let k = cfg.rank_k;
+    let queries = cfg.telemetry_queries.max(1);
+    let n1 = kg1.num_entities() as u32;
+    let nprobe = (nlist / 2).max(1);
+    // The measured loop: each query once exact (the batched scan kernel
+    // and its span) and once approximate (IVF probe + scan spans).
+    let run = |svc: &AlignmentService| {
+        let mut answers = Vec::with_capacity(queries * 2);
+        for i in 0..queries {
+            let q = (i as u32).wrapping_mul(2654435761) % n1;
+            answers.push(svc.query(q, QueryOptions::top_k(k)).expect("exact query"));
+            answers.push(
+                svc.query(q, QueryOptions::top_k(k).approx(nprobe))
+                    .expect("approx query"),
+            );
+        }
+        answers
+    };
+
+    let mut verified = true;
+
+    // Phase 1: overhead rounds of interleaved pairs. Three independent
+    // sources of false "overhead" are each addressed structurally:
+    //
+    // * slow ambient drift (thermal, a neighboring tenant) — each pair
+    //   times the disabled and enabled services back to back, order
+    //   alternating per rep, so drift hits both sides equally;
+    // * scheduler hiccups inside one timed side — noise is additive
+    //   and one-sided, so best-of-N per side within a round (the
+    //   repo's `time_best_of` idiom) discards them;
+    // * the per-process layout lottery — on a cache-scale corpus the
+    //   service that draws the worse allocation layout runs a few
+    //   percent slower for its whole lifetime, which no per-pair
+    //   statistic can separate from real span cost. Each round builds
+    //   *fresh* service pairs, re-rolling the layouts; the median
+    //   round ratio survives one bad draw.
+    //
+    // A real ≥3% overhead depresses every round's enabled minimum, so
+    // the gate (median across rounds of per-round best-of ratios) still
+    // catches genuine regressions.
+    let rounds = 3;
+    let pairs = cfg.reps.max(5);
+    let mut round_ratios = Vec::with_capacity(rounds);
+    let mut best_dark_ms = f64::INFINITY;
+    let mut best_lit_ms = f64::INFINITY;
+    let mut dark_answers = Vec::new();
+    let mut lit_answers = Vec::new();
+    let mut last_lit = None;
+    for round in 0..rounds {
+        let dark = build(TelemetryConfig::disabled());
+        let lit = build(TelemetryConfig::default());
+        verified &= !dark.telemetry().is_enabled() && lit.telemetry().is_enabled();
+        let d_warm = run(&dark); // untimed warm-up, kept for the oracle
+        let l_warm = run(&lit);
+        if round == 0 {
+            dark_answers = d_warm;
+            lit_answers = l_warm;
+        }
+        let mut dark_times = Vec::with_capacity(pairs);
+        let mut lit_times = Vec::with_capacity(pairs);
+        for rep in 0..pairs {
+            let (d_ms, l_ms) = if rep % 2 == 0 {
+                let (_, d_ms) = time_once(|| run(&dark));
+                let (_, l_ms) = time_once(|| run(&lit));
+                (d_ms, l_ms)
+            } else {
+                let (_, l_ms) = time_once(|| run(&lit));
+                let (_, d_ms) = time_once(|| run(&dark));
+                (d_ms, l_ms)
+            };
+            dark_times.push(d_ms);
+            lit_times.push(l_ms);
+        }
+        let best = |v: &[f64]| v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let (d_best, l_best) = (best(&dark_times), best(&lit_times));
+        // qps_enabled / qps_disabled of this round's service pair.
+        round_ratios.push(d_best / l_best.max(1e-9));
+        best_dark_ms = best_dark_ms.min(d_best);
+        best_lit_ms = best_lit_ms.min(l_best);
+        last_lit = Some(lit);
+    }
+    let lit = last_lit.expect("at least one round");
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite timing"));
+        v[v.len() / 2]
+    };
+    let qps_ratio = median(&mut round_ratios);
+    let total = (queries * 2) as f64;
+    let qps_of = |ms: f64| total / (ms / 1e3).max(1e-9);
+    let qps_disabled = qps_of(best_dark_ms);
+    let qps_enabled = qps_of(best_lit_ms);
+    let lit_ms = total / qps_enabled * 1e3;
+    let overhead_within_bound = qps_ratio >= cfg.telemetry_min_qps_ratio;
+    // The bench CLI always runs in release; a debug build (the test
+    // suites run this scenario through `run_all`) times the build
+    // profile, not the span design, so there the timing flag is
+    // reported but does not gate verification.
+    if !cfg!(debug_assertions) {
+        verified &= overhead_within_bound;
+    }
+
+    // Phase 2: bitwise oracle across the enabled/disabled builds.
+    let mut bitwise = dark_answers.len() == lit_answers.len();
+    for (d, l) in dark_answers.iter().zip(&lit_answers) {
+        bitwise &= d.version.get() == l.version.get()
+            && d.value.len() == l.value.len()
+            && d.value
+                .iter()
+                .zip(&l.value)
+                .all(|(x, y)| x.0 == y.0 && x.1.to_bits() == y.1.to_bits());
+    }
+    verified &= bitwise;
+
+    // Phase 3: per-stage latency percentiles from the enabled registry.
+    let mut result = ScenarioResult::new(&format!("telemetry_overhead_{}", short_count(entities)));
+    let mut saw_exact_scan = false;
+    for (name, hist) in lit.telemetry().registry().histograms() {
+        if hist.count() == 0 {
+            continue;
+        }
+        saw_exact_scan |= name == "stage_exact_scan_ns";
+        let stage = name.trim_start_matches("stage_").trim_end_matches("_ns");
+        for (q, label) in [(0.5, "p50"), (0.95, "p95"), (0.99, "p99")] {
+            result = result.metric(
+                &format!("{stage}_{label}_us"),
+                hist.quantile(q) as f64 / 1e3,
+            );
+        }
+    }
+    verified &= saw_exact_scan;
+
+    // Phase 4: overload journal causality. The burst stays below the
+    // journal ring capacity so the early engage event cannot be evicted
+    // by the shed events that follow it.
+    let over = Pipeline::builder()
+        .kg1(Arc::clone(&kg1))
+        .kg2(Arc::clone(&kg2))
+        .joint(joint)
+        .index(nlist)
+        .shards(2)
+        .ingress(IngressConfig {
+            max_batch: 4,
+            max_queue: 16,
+            degrade: Some(DegradePolicy {
+                high_watermark: 8,
+                low_watermark: 2,
+                nprobe: 1,
+            }),
+            ..IngressConfig::default()
+        })
+        .build_sharded()
+        .expect("valid overload pipeline");
+    let burst = (queries * 4).clamp(64, 768);
+    let mut pending = Vec::with_capacity(burst);
+    let mut shed_at_admission = 0u64;
+    for i in 0..burst {
+        let q = (i as u32).wrapping_mul(2654435761) % n1;
+        match over.submit(q, QueryOptions::top_k(k)) {
+            Ok(ticket) => pending.push(ticket),
+            Err(DaakgError::Overloaded { .. }) => shed_at_admission += 1,
+            Err(e) => panic!("unexpected admission failure: {e}"),
+        }
+    }
+    for ticket in pending {
+        verified &= ticket.wait().is_ok();
+    }
+    let events = over.telemetry().journal().events();
+    let shed_events = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::QueryShed { .. }))
+        .count() as u64;
+    let first_engage = events
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::DegradeEngage { .. }));
+    let first_recover = events
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::DegradeRecover { .. }));
+    let ordered = events
+        .windows(2)
+        .all(|w| w[0].seq < w[1].seq && w[0].at_ns <= w[1].at_ns);
+    let journal_causal = shed_events > 0
+        && shed_events == shed_at_admission
+        && first_engage.is_some()
+        && match (first_engage, first_recover) {
+            (Some(e), Some(r)) => e.seq < r.seq,
+            _ => true,
+        }
+        && ordered;
+    verified &= journal_causal;
+
+    result
+        .metric("serve_ms", lit_ms)
+        .metric("qps_disabled", qps_disabled)
+        .metric("qps_enabled", qps_enabled)
+        .metric("qps_ratio", qps_ratio)
+        .metric("overhead_pct", (1.0 - qps_ratio) * 100.0)
+        .metric("min_qps_ratio", cfg.telemetry_min_qps_ratio)
+        .metric("rounds", rounds as f64)
+        .metric("pairs_per_round", pairs as f64)
+        .metric("journal_events", events.len() as f64)
+        .metric("shed_admissions", shed_at_admission as f64)
+        .metric("entities", entities as f64)
+        .metric("queries", total)
+        .metric("k", k as f64)
+        .flag("overhead_within_bound", overhead_within_bound)
+        .flag("bitwise_identical", bitwise)
+        .flag("journal_causal", journal_causal)
+        .flag("verified", verified)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1902,7 +2210,7 @@ mod tests {
     fn quick_config_runs_all_scenarios_verified() {
         let cfg = BenchConfig::quick();
         let results = run_all(&cfg);
-        assert_eq!(results.len(), 15);
+        assert_eq!(results.len(), 16);
         for r in &results {
             for (k, v) in &r.metrics {
                 assert!(v.is_finite(), "{}:{k} not finite", r.name);
@@ -1921,6 +2229,16 @@ mod tests {
             assert_eq!(r.get_flag("verified"), Some(true));
             assert!(r.get_metric("speedup").unwrap() > 0.0);
         }
+        // The telemetry scenario must surface the per-stage breakdown,
+        // the bitwise oracle, and the causal overload journal.
+        let telem = results
+            .iter()
+            .find(|r| r.name.starts_with("telemetry_overhead"))
+            .expect("telemetry scenario present");
+        assert_eq!(telem.get_flag("bitwise_identical"), Some(true));
+        assert_eq!(telem.get_flag("journal_causal"), Some(true));
+        assert!(telem.get_metric("exact_scan_p99_us").is_some());
+        assert!(telem.get_metric("ivf_probe_p50_us").is_some());
     }
 
     #[test]

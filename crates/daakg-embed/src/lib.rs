@@ -38,7 +38,7 @@ pub use model::{KgEmbedding, ModelKind, RelationBound, TableParams};
 pub use rotate::RotatE;
 pub use trainer::{EmbedTrainer, TrainStats};
 pub use transe::TransE;
-pub use warm::{warm_start_row, WarmStartConfig};
+pub use warm::{warm_start_row, warm_start_row_observed, WarmStartConfig};
 
 /// Construct a boxed model of the given kind for a KG shape.
 ///

@@ -104,6 +104,26 @@ pub fn warm_start_row(
     salt: u64,
     cfg: &WarmStartConfig,
 ) -> Result<Vec<f32>, DaakgError> {
+    warm_start_row_observed(
+        base,
+        positives,
+        salt,
+        cfg,
+        &daakg_telemetry::HistogramHandle::noop(),
+    )
+}
+
+/// [`warm_start_row`] with a latency histogram: the full fine-tune
+/// (validation, negative presampling, every epoch) is recorded as one
+/// duration into `hist`. A no-op handle costs nothing.
+pub fn warm_start_row_observed(
+    base: &Tensor,
+    positives: &Tensor,
+    salt: u64,
+    cfg: &WarmStartConfig,
+    hist: &daakg_telemetry::HistogramHandle,
+) -> Result<Vec<f32>, DaakgError> {
+    let _span = hist.span();
     cfg.validate()?;
     let d = base.cols();
     if d == 0 || base.rows() == 0 {

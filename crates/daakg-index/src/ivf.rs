@@ -27,6 +27,19 @@ use crate::scan::{scan_block, TopKSelector};
 use daakg_autograd::tensor::dot_unrolled as dot;
 use daakg_autograd::Tensor;
 use daakg_graph::DaakgError;
+use daakg_telemetry::HistogramHandle;
+
+/// Per-stage timing handles for an IVF search: the coarse centroid
+/// **probe** (pick the `nprobe` closest lists) vs. the inverted-list
+/// **scan** (exact cosines over the probed lists). Default handles are
+/// no-ops, so un-instrumented searches pay nothing.
+#[derive(Debug, Clone, Default)]
+pub struct SearchSpans {
+    /// Time spent ranking centroids to choose the probe order.
+    pub probe: HistogramHandle,
+    /// Time spent scanning the probed inverted lists.
+    pub scan: HistogramHandle,
+}
 
 /// Build-time configuration of an [`IvfIndex`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -237,12 +250,29 @@ impl IvfIndex {
     /// engine's. `nprobe` is clamped to `1..=nlist`; at `nprobe == nlist`
     /// the result equals the exhaustive top-k exactly.
     pub fn search(&self, query: &[f32], k: usize, nprobe: usize) -> Vec<(u32, f32)> {
+        self.search_observed(query, k, nprobe, &SearchSpans::default())
+    }
+
+    /// [`IvfIndex::search`] with per-stage spans: `spans.probe` times the
+    /// centroid ranking, `spans.scan` the inverted-list scans. Results
+    /// are bitwise identical to the unobserved path.
+    pub fn search_observed(
+        &self,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+        spans: &SearchSpans,
+    ) -> Vec<(u32, f32)> {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
         if self.num_vectors() == 0 || k == 0 {
             return Vec::new();
         }
+        let probe_span = spans.probe.span();
+        let order = self.probe_order(query, nprobe);
+        drop(probe_span);
+        let _scan_span = spans.scan.span();
         let mut sel = TopKSelector::new(k.min(self.num_vectors()));
-        for (l, _) in self.probe_order(query, nprobe) {
+        for (l, _) in order {
             let l = l as usize;
             let (start, end) = (self.offsets[l], self.offsets[l + 1]);
             let m = end - start;

@@ -35,7 +35,7 @@ pub mod kmeans;
 pub mod persist;
 pub mod scan;
 
-pub use ivf::{IvfConfig, IvfIndex};
+pub use ivf::{IvfConfig, IvfIndex, SearchSpans};
 pub use kmeans::{spherical_kmeans, KMeans};
 pub use scan::{normalize_rows_cosine, scan_block, top_k_of_scores, TopKSelector};
 

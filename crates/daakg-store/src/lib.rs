@@ -36,5 +36,8 @@ pub mod testdir;
 
 pub use crc32::crc32;
 pub use format::{ElemKind, F32Section, SectionReader, SectionWriter, FORMAT_VERSION};
-pub use store::{is_transient_io, retry_with_backoff, write_atomic, VersionStore, MANIFEST_NAME};
+pub use store::{
+    is_transient_io, retry_with_backoff, write_atomic, write_atomic_observed, StoreSpans,
+    VersionStore, MANIFEST_NAME,
+};
 pub use testdir::TestDir;

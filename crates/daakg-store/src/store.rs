@@ -22,6 +22,7 @@
 //! always safe because visible files are immutable once renamed in.
 
 use daakg_graph::DaakgError;
+use daakg_telemetry::HistogramHandle;
 use std::fs::{self, File};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
@@ -40,12 +41,36 @@ const MANIFEST_HEADER: &str = "daakg-store-manifest v1";
 /// on a crash at any point the previous content of `path` (or its
 /// absence) is preserved.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), DaakgError> {
+    write_atomic_observed(path, bytes, &StoreSpans::default())
+}
+
+/// Per-stage timing handles for the durable write protocol. Default
+/// handles are no-ops, so un-instrumented callers pay nothing.
+#[derive(Debug, Clone, Default)]
+pub struct StoreSpans {
+    /// Covers tmp-file creation and the payload `write_all`.
+    pub write: HistogramHandle,
+    /// Covers `fsync` of the tmp file plus the rename and directory
+    /// fsync — the durability half of the protocol.
+    pub fsync: HistogramHandle,
+}
+
+/// [`write_atomic`] with per-stage spans: `spans.write` times the byte
+/// write, `spans.fsync` times the fsync + rename + dir-fsync tail.
+pub fn write_atomic_observed(
+    path: &Path,
+    bytes: &[u8],
+    spans: &StoreSpans,
+) -> Result<(), DaakgError> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(TMP_SUFFIX);
     let tmp = PathBuf::from(tmp);
     let run = || -> io::Result<()> {
+        let write_span = spans.write.span();
         let mut f = File::create(&tmp)?;
         f.write_all(bytes)?;
+        drop(write_span);
+        let _fsync_span = spans.fsync.span();
         f.sync_all()?;
         drop(f);
         fs::rename(&tmp, path)?;
@@ -108,6 +133,7 @@ pub fn retry_with_backoff<T>(
 #[derive(Debug, Clone)]
 pub struct VersionStore {
     dir: PathBuf,
+    spans: StoreSpans,
 }
 
 impl VersionStore {
@@ -115,7 +141,16 @@ impl VersionStore {
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, DaakgError> {
         let dir = dir.into();
         fs::create_dir_all(&dir).map_err(|e| DaakgError::io_at(&dir, e))?;
-        Ok(Self { dir })
+        Ok(Self {
+            dir,
+            spans: StoreSpans::default(),
+        })
+    }
+
+    /// Attach per-stage write/fsync timing handles; subsequent
+    /// [`VersionStore::save`] calls record into them.
+    pub fn set_spans(&mut self, spans: StoreSpans) {
+        self.spans = spans;
     }
 
     /// The store directory.
@@ -139,9 +174,9 @@ impl VersionStore {
     /// durable, so a crash in between leaves a valid store whose manifest
     /// is merely one version behind — exactly what recovery tolerates.
     pub fn save(&self, version: u64, bytes: &[u8]) -> Result<(), DaakgError> {
-        write_atomic(&self.version_path(version), bytes)?;
+        write_atomic_observed(&self.version_path(version), bytes, &self.spans)?;
         let manifest = format!("{MANIFEST_HEADER}\nlatest {version}\n");
-        write_atomic(&self.manifest_path(), manifest.as_bytes())
+        write_atomic_observed(&self.manifest_path(), manifest.as_bytes(), &self.spans)
     }
 
     /// All committed versions on disk, ascending. Stale `*.tmp` files and
@@ -308,6 +343,23 @@ mod tests {
         write_atomic(&path, b"second").unwrap();
         assert_eq!(fs::read(&path).unwrap(), b"second");
         assert!(!path.with_extension("bin.tmp").exists());
+    }
+
+    #[test]
+    fn observed_save_records_write_and_fsync_spans() {
+        let registry = daakg_telemetry::MetricsRegistry::new();
+        let spans = StoreSpans {
+            write: registry.histogram("stage_store_write_ns"),
+            fsync: registry.histogram("stage_store_fsync_ns"),
+        };
+        let td = TestDir::new("store-observed");
+        let mut store = VersionStore::open(td.path()).unwrap();
+        store.set_spans(spans.clone());
+        store.save(1, b"payload").unwrap();
+        // One version file + one manifest, each timed in both stages.
+        assert_eq!(spans.write.histogram().unwrap().count(), 2);
+        assert_eq!(spans.fsync.histogram().unwrap().count(), 2);
+        assert_eq!(store.versions().unwrap(), vec![1]);
     }
 
     #[test]

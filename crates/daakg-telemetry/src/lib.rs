@@ -1,0 +1,194 @@
+//! Low-overhead serving telemetry for the DAAKG stack.
+//!
+//! Three pillars:
+//!
+//! - **[`MetricsRegistry`]** — named atomic [`Counter`]s, [`Gauge`]s, and
+//!   log-scale latency [`Histogram`]s behind cheap cloneable handles.
+//!   Recording is lock-free (relaxed atomics); a disabled registry hands
+//!   out no-op handles whose record path is a single branch, so
+//!   instrumentation costs nothing when telemetry is off.
+//! - **[`Span`]** — scoped stage timers that record elapsed wall-clock
+//!   time into a histogram on drop, for per-stage latency attribution
+//!   (queue-wait vs. execute, scatter vs. merge, fold vs. persist, …).
+//! - **[`EventJournal`]** — a bounded ring buffer of structured
+//!   lifecycle [`Event`]s with monotonic sequence numbers and
+//!   timestamps, answering "what happened, in what order?" for snapshot
+//!   publishes, compaction, overload shedding, degradation transitions,
+//!   and persistence faults.
+//!
+//! [`Telemetry`] bundles all three plus exposition:
+//! [`Telemetry::render_prometheus`] for scrape endpoints and
+//! [`Telemetry::render_json`] for dumps and tooling.
+//!
+//! ```
+//! use daakg_telemetry::{EventKind, Telemetry, TelemetryConfig};
+//!
+//! let t = Telemetry::new(TelemetryConfig::default());
+//! let queries = t.registry().counter("queries_total");
+//! let latency = t.registry().histogram("stage_execute_ns");
+//! for _ in 0..100 {
+//!     let _span = latency.span(); // records on drop
+//!     queries.incr();
+//! }
+//! t.event(EventKind::SnapshotPublish { version: 1 });
+//! assert_eq!(queries.get(), 100);
+//! assert_eq!(latency.histogram().unwrap().count(), 100);
+//! let text = t.render_prometheus();
+//! assert!(text.contains("daakg_queries_total 100"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod expo;
+mod journal;
+mod metrics;
+
+pub use journal::{Event, EventJournal, EventKind};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramHandle, MetricsRegistry, Span, HISTOGRAM_BUCKETS,
+};
+
+/// Configuration for a [`Telemetry`] instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// When false, the registry and journal are no-ops: handles record
+    /// nothing and no memory is retained. Note the serving layer's
+    /// health counters (`ServiceHealth`) read through the registry, so
+    /// disabling telemetry also freezes those at zero.
+    pub enabled: bool,
+    /// Maximum events retained by the journal (oldest evicted first).
+    pub journal_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            journal_capacity: 1024,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// A config with telemetry off (all handles no-ops).
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// The bundled telemetry surface: a metrics registry, an event journal,
+/// and exposition over both. Cloning shares the underlying state.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    config: TelemetryConfig,
+    registry: MetricsRegistry,
+    journal: EventJournal,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new(TelemetryConfig::default())
+    }
+}
+
+impl Telemetry {
+    /// Build from a config: enabled telemetry gets a live registry and a
+    /// journal of `journal_capacity` events; disabled gets no-ops.
+    pub fn new(config: TelemetryConfig) -> Self {
+        if config.enabled {
+            let journal = EventJournal::new(config.journal_capacity);
+            Self {
+                config,
+                registry: MetricsRegistry::new(),
+                journal,
+            }
+        } else {
+            Self {
+                config,
+                registry: MetricsRegistry::disabled(),
+                journal: EventJournal::noop(),
+            }
+        }
+    }
+
+    /// A fully disabled instance (every handle a no-op).
+    pub fn disabled() -> Self {
+        Self::new(TelemetryConfig::disabled())
+    }
+
+    /// The config this instance was built from.
+    pub fn config(&self) -> &TelemetryConfig {
+        &self.config
+    }
+
+    /// Whether recording is live.
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_enabled()
+    }
+
+    /// The metric registry.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The event journal.
+    pub fn journal(&self) -> &EventJournal {
+        &self.journal
+    }
+
+    /// Record a lifecycle event (no-op when disabled).
+    pub fn event(&self, kind: EventKind) {
+        self.journal.record(kind);
+    }
+
+    /// Prometheus text exposition of the registry.
+    pub fn render_prometheus(&self) -> String {
+        expo::render_prometheus(self)
+    }
+
+    /// JSON dump of the registry and journal.
+    pub fn render_json(&self) -> String {
+        expo::render_json(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_enabled_with_bounded_journal() {
+        let cfg = TelemetryConfig::default();
+        assert!(cfg.enabled);
+        assert_eq!(cfg.journal_capacity, 1024);
+        let t = Telemetry::default();
+        assert!(t.is_enabled());
+        assert!(t.journal().is_active());
+    }
+
+    #[test]
+    fn disabled_telemetry_is_inert_end_to_end() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        t.registry().counter("c").add(5);
+        t.registry().histogram("h").record(9);
+        t.event(EventKind::CompactorPanic);
+        assert_eq!(t.registry().counter("c").get(), 0);
+        assert!(t.journal().events().is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = Telemetry::default();
+        let t2 = t.clone();
+        t.registry().counter("shared").incr();
+        t2.registry().counter("shared").incr();
+        assert_eq!(t.registry().counter("shared").get(), 2);
+        t2.event(EventKind::DeadlineExpired);
+        assert_eq!(t.journal().events().len(), 1);
+    }
+}

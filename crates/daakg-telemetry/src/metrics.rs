@@ -1,0 +1,720 @@
+//! The lock-free metric primitives: counters, gauges, log-scale latency
+//! histograms, and the scoped [`Span`] timer.
+//!
+//! Every primitive comes in two halves: the shared atomic **cell** and a
+//! cheap cloneable **handle**. A handle either points at a cell (recording
+//! is one relaxed atomic RMW) or at nothing (the registry was disabled at
+//! construction) — the disabled path is a branch on an `Option`
+//! discriminant, with **no** atomic operation and **no** clock read, so
+//! instrumentation left in a hot loop is measurably free when telemetry
+//! is off.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing counter handle.
+///
+/// Cloning shares the underlying cell; [`Counter::noop`] (or any handle
+/// minted by a disabled registry) records nothing.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// A handle that records nothing and always reads 0.
+    pub fn noop() -> Self {
+        Self { cell: None }
+    }
+
+    pub(crate) fn active(cell: Arc<AtomicU64>) -> Self {
+        Self { cell: Some(cell) }
+    }
+
+    /// Whether this handle records into a live cell.
+    pub fn is_active(&self) -> bool {
+        self.cell.is_some()
+    }
+
+    /// Increment by 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Relaxed);
+        }
+    }
+
+    /// The current total (0 for a no-op handle). Totals are exact under
+    /// concurrent recording: every `add` is one atomic RMW, so no
+    /// increment is ever lost.
+    pub fn get(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| c.load(Relaxed))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+/// A point-in-time value handle (queue depth, 0/1 state flags,
+/// high-water marks).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Gauge {
+    /// A handle that records nothing and always reads 0.
+    pub fn noop() -> Self {
+        Self { cell: None }
+    }
+
+    pub(crate) fn active(cell: Arc<AtomicU64>) -> Self {
+        Self { cell: Some(cell) }
+    }
+
+    /// Whether this handle records into a live cell.
+    pub fn is_active(&self) -> bool {
+        self.cell.is_some()
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if let Some(cell) = &self.cell {
+            cell.store(v, Relaxed);
+        }
+    }
+
+    /// Raise the value to `v` if `v` is larger (high-water mark).
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_max(v, Relaxed);
+        }
+    }
+
+    /// The current value (0 for a no-op handle).
+    pub fn get(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| c.load(Relaxed))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+/// Sub-buckets per power-of-two octave (`2^SUB_BITS`).
+const SUB_BITS: u32 = 5;
+/// Sub-bucket count; also the size of the exact linear region `0..SUB`.
+const SUB: u64 = 1 << SUB_BITS;
+
+/// Total bucket count: the linear region plus 59 octaves of `SUB`
+/// sub-buckets, covering the full `u64` value range.
+pub const HISTOGRAM_BUCKETS: usize = (SUB as usize) * 60;
+
+/// A fixed-bucket log-linear latency histogram over `u64` values
+/// (conventionally nanoseconds).
+///
+/// Values below `32` land in exact unit-width buckets; above that, each
+/// power-of-two octave splits into 32 linear sub-buckets, so a recorded
+/// value is attributed with at most `1/32` (≈ 3.2%) relative error while
+/// the whole `u64` range fits in [`HISTOGRAM_BUCKETS`] fixed cells.
+/// Recording is a handful of relaxed atomic RMWs — no locks, no
+/// allocation — and histograms **merge** by bucket-wise addition, which
+/// is associative and commutative, so per-thread or per-shard histograms
+/// aggregate without coordination.
+///
+/// Quantile queries ([`Histogram::quantile`]) use exact nearest-rank
+/// selection over the recorded counts; only the *returned value* is
+/// quantized to its bucket's upper bound (clamped to the observed
+/// min/max), inheriting the ≤ 3.2% bucket resolution.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..HISTOGRAM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index a value lands in.
+    pub fn bucket_index(v: u64) -> usize {
+        if v < SUB {
+            v as usize
+        } else {
+            // The octave is the position of the most significant bit; the
+            // sub-bucket is the next SUB_BITS bits below it.
+            let msb = 63 - v.leading_zeros();
+            let b = (msb - SUB_BITS + 1) as usize;
+            let sub = ((v >> (b - 1)) - SUB) as usize;
+            (b << SUB_BITS) | sub
+        }
+    }
+
+    /// The inclusive lower bound of bucket `i`.
+    pub fn bucket_lower(i: usize) -> u64 {
+        if i < SUB as usize {
+            i as u64
+        } else {
+            let b = i >> SUB_BITS;
+            let sub = (i as u64) & (SUB - 1);
+            (SUB + sub) << (b - 1)
+        }
+    }
+
+    /// The inclusive upper bound of bucket `i`.
+    pub fn bucket_upper(i: usize) -> u64 {
+        if i < SUB as usize {
+            i as u64
+        } else {
+            let b = i >> SUB_BITS;
+            Self::bucket_lower(i) + ((1u64 << (b - 1)) - 1)
+        }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+        self.min.fetch_min(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    /// Recorded value count.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Relaxed)
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Relaxed);
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Relaxed)
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Exact nearest-rank quantile of the recorded distribution, `q` in
+    /// `[0, 1]`. Rank selection is exact over the bucket counts; the
+    /// returned value is the containing bucket's upper bound, clamped to
+    /// the observed `[min, max]`. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Relaxed);
+            if cum >= rank {
+                return Self::bucket_upper(i).clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Fold `other`'s recorded distribution into `self` (bucket-wise
+    /// addition — associative and commutative, so any merge tree yields
+    /// identical buckets and therefore identical quantiles).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (a, b) in self.buckets.iter().zip(&other.buckets) {
+            let n = b.load(Relaxed);
+            if n != 0 {
+                a.fetch_add(n, Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count(), Relaxed);
+        self.sum.fetch_add(other.sum(), Relaxed);
+        let omin = other.min.load(Relaxed);
+        if omin != u64::MAX {
+            self.min.fetch_min(omin, Relaxed);
+        }
+        self.max.fetch_max(other.max(), Relaxed);
+    }
+
+    /// The non-empty buckets as `(inclusive upper bound, count)` pairs,
+    /// ascending — the raw material of cumulative-bucket exposition.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Relaxed);
+                (n != 0).then(|| (Self::bucket_upper(i), n))
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram handle + Span
+// ---------------------------------------------------------------------------
+
+/// A cheap cloneable handle onto a shared [`Histogram`] (or onto nothing,
+/// when telemetry is disabled).
+#[derive(Debug, Clone, Default)]
+pub struct HistogramHandle {
+    cell: Option<Arc<Histogram>>,
+}
+
+impl HistogramHandle {
+    /// A handle that records nothing.
+    pub fn noop() -> Self {
+        Self { cell: None }
+    }
+
+    pub(crate) fn active(cell: Arc<Histogram>) -> Self {
+        Self { cell: Some(cell) }
+    }
+
+    /// Whether this handle records into a live histogram. Hot paths use
+    /// this to skip *preparing* a measurement (e.g. the clock read that
+    /// anchors a queue-wait) when it would be thrown away.
+    pub fn is_active(&self) -> bool {
+        self.cell.is_some()
+    }
+
+    /// Record a raw value (conventionally nanoseconds).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(h) = &self.cell {
+            h.record(v);
+        }
+    }
+
+    /// Record a duration, as nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        if let Some(h) = &self.cell {
+            h.record(duration_ns(d));
+        }
+    }
+
+    /// Start a scoped [`Span`] that records its elapsed time into this
+    /// histogram when dropped. A no-op handle yields a no-op span — **no
+    /// clock is read** on either end.
+    #[inline]
+    pub fn span(&self) -> Span {
+        Span {
+            state: self.cell.as_ref().map(|h| (Arc::clone(h), Instant::now())),
+        }
+    }
+
+    /// The shared histogram, when active (quantile queries, merging).
+    pub fn histogram(&self) -> Option<&Histogram> {
+        self.cell.as_deref()
+    }
+}
+
+/// Saturating nanosecond count of a duration.
+pub(crate) fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// A scoped stage timer: created by [`HistogramHandle::span`], records
+/// the elapsed wall-clock time into its histogram on drop (or explicitly
+/// via [`Span::finish`]).
+///
+/// Spans nest freely — each one is an independent `(histogram, start)`
+/// pair, so an inner span's recording never perturbs the outer span's
+/// measurement beyond the cost of the inner record itself.
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct Span {
+    state: Option<(Arc<Histogram>, Instant)>,
+}
+
+impl Span {
+    /// A span that records nothing.
+    pub fn noop() -> Self {
+        Self { state: None }
+    }
+
+    /// Whether this span will record on drop.
+    pub fn is_active(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// End the span now, returning the recorded duration (`None` for a
+    /// no-op span).
+    pub fn finish(mut self) -> Option<Duration> {
+        let (h, start) = self.state.take()?;
+        let elapsed = start.elapsed();
+        h.record(duration_ns(elapsed));
+        Some(elapsed)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((h, start)) = self.state.take() {
+            h.record(duration_ns(start.elapsed()));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// The metric registry: named counters, gauges, and histograms behind
+/// cheap handles.
+///
+/// Registration (`counter` / `gauge` / `histogram`) is the cold path and
+/// takes a short mutex; **recording through a handle is lock-free** —
+/// relaxed atomics only. A registry constructed with
+/// [`MetricsRegistry::disabled`] hands out no-op handles: no cells are
+/// allocated, and every record call is a branch on a discriminant.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Option<Arc<RegistryInner>>,
+}
+
+impl MetricsRegistry {
+    /// An enabled registry.
+    pub fn new() -> Self {
+        Self {
+            inner: Some(Arc::new(RegistryInner::default())),
+        }
+    }
+
+    /// A disabled registry: every handle it mints is a no-op.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether handles minted by this registry record anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The counter named `name`, registering it on first use. Handles to
+    /// the same name share one cell.
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            None => Counter::noop(),
+            Some(inner) => {
+                let mut map = lock(&inner.counters);
+                Counter::active(Arc::clone(map.entry(name.to_string()).or_default()))
+            }
+        }
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.inner {
+            None => Gauge::noop(),
+            Some(inner) => {
+                let mut map = lock(&inner.gauges);
+                Gauge::active(Arc::clone(map.entry(name.to_string()).or_default()))
+            }
+        }
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        match &self.inner {
+            None => HistogramHandle::noop(),
+            Some(inner) => {
+                let mut map = lock(&inner.histograms);
+                HistogramHandle::active(Arc::clone(
+                    map.entry(name.to_string())
+                        .or_insert_with(|| Arc::new(Histogram::new())),
+                ))
+            }
+        }
+    }
+
+    /// Snapshot of every counter, name-sorted.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => lock(&inner.counters)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Relaxed)))
+                .collect(),
+        }
+    }
+
+    /// Snapshot of every gauge, name-sorted.
+    pub fn gauges(&self) -> Vec<(String, u64)> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => lock(&inner.gauges)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Relaxed)))
+                .collect(),
+        }
+    }
+
+    /// Shared references to every histogram, name-sorted.
+    pub fn histograms(&self) -> Vec<(String, Arc<Histogram>)> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => lock(&inner.histograms)
+                .iter()
+                .map(|(k, v)| (k.clone(), Arc::clone(v)))
+                .collect(),
+        }
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_below_32_and_log_linear_above() {
+        // Exact unit buckets in the linear region.
+        for v in 0..32u64 {
+            let i = Histogram::bucket_index(v);
+            assert_eq!(i, v as usize);
+            assert_eq!(Histogram::bucket_lower(i), v);
+            assert_eq!(Histogram::bucket_upper(i), v);
+        }
+        // Octave boundaries: 32 begins bucket 32, 64 begins bucket 64.
+        assert_eq!(Histogram::bucket_index(32), 32);
+        assert_eq!(Histogram::bucket_index(63), 63);
+        assert_eq!(Histogram::bucket_index(64), 64);
+        // Every bucket's bounds bracket exactly the values indexing into
+        // it, with no gaps and no overlap across the whole range.
+        for i in 0..HISTOGRAM_BUCKETS {
+            let lo = Histogram::bucket_lower(i);
+            let hi = Histogram::bucket_upper(i);
+            assert!(lo <= hi);
+            assert_eq!(Histogram::bucket_index(lo), i, "lower bound of {i}");
+            assert_eq!(Histogram::bucket_index(hi), i, "upper bound of {i}");
+            if i + 1 < HISTOGRAM_BUCKETS {
+                assert_eq!(Histogram::bucket_lower(i + 1), hi + 1, "gap after {i}");
+            }
+        }
+        // The last bucket reaches the top of the u64 range.
+        assert_eq!(Histogram::bucket_upper(HISTOGRAM_BUCKETS - 1), u64::MAX);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        // Relative bucket width stays within 1/32 above the linear region.
+        for i in 32..HISTOGRAM_BUCKETS {
+            let lo = Histogram::bucket_lower(i) as u128;
+            let width = Histogram::bucket_upper(i) as u128 - lo + 1;
+            assert!(width * 32 <= lo + width, "bucket {i} too wide");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank_over_buckets() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        // p50 rank = 50 → value 50 lands in bucket [48, 49]... i.e. the
+        // bucket holding rank 50; quantization stays within 1/32.
+        let p50 = h.quantile(0.5) as f64;
+        assert!((p50 - 50.0).abs() / 50.0 <= 1.0 / 16.0, "p50 = {p50}");
+        let p99 = h.quantile(0.99) as f64;
+        assert!((p99 - 99.0).abs() / 99.0 <= 1.0 / 16.0, "p99 = {p99}");
+        assert_eq!(h.quantile(1.0), 100);
+        // Empty histogram.
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let mk = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (a, b, c) = (
+            mk(&[1, 5, 900, 77]),
+            mk(&[3, 3, 3, 1_000_000]),
+            mk(&[42, 65_535]),
+        );
+        // (a ⊕ b) ⊕ c
+        let left = Histogram::new();
+        left.merge_from(&a);
+        left.merge_from(&b);
+        left.merge_from(&c);
+        // a ⊕ (b ⊕ c)
+        let bc = Histogram::new();
+        bc.merge_from(&b);
+        bc.merge_from(&c);
+        let right = Histogram::new();
+        right.merge_from(&a);
+        right.merge_from(&bc);
+        assert_eq!(left.count(), right.count());
+        assert_eq!(left.sum(), right.sum());
+        assert_eq!(left.min(), right.min());
+        assert_eq!(left.max(), right.max());
+        assert_eq!(left.nonzero_buckets(), right.nonzero_buckets());
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(left.quantile(q), right.quantile(q));
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let reg = MetricsRegistry::new();
+        let counter = reg.counter("hits");
+        let hist = reg.histogram("lat");
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let (c, h) = (counter.clone(), hist.clone());
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        c.incr();
+                        h.record(t * 10_000 + i);
+                    }
+                });
+            }
+        });
+        // Totals are deterministic under any interleaving.
+        assert_eq!(counter.get(), 80_000);
+        assert_eq!(reg.counter("hits").get(), 80_000);
+        let h = hist.histogram().expect("active");
+        assert_eq!(h.count(), 80_000);
+        let expect: u64 = (0..80_000u64).sum();
+        assert_eq!(h.sum(), expect);
+    }
+
+    #[test]
+    fn disabled_registry_handles_are_noops() {
+        let reg = MetricsRegistry::disabled();
+        assert!(!reg.is_enabled());
+        let c = reg.counter("x");
+        assert!(!c.is_active());
+        c.incr();
+        c.add(100);
+        assert_eq!(c.get(), 0);
+        let g = reg.gauge("y");
+        g.set(7);
+        g.record_max(9);
+        assert_eq!(g.get(), 0);
+        let h = reg.histogram("z");
+        assert!(!h.is_active());
+        h.record(123);
+        h.record_duration(Duration::from_millis(5));
+        assert!(h.histogram().is_none());
+        // A span from a disabled handle never reads the clock and never
+        // records.
+        let span = h.span();
+        assert!(!span.is_active());
+        assert_eq!(span.finish(), None);
+        assert!(reg.counters().is_empty());
+        assert!(reg.gauges().is_empty());
+        assert!(reg.histograms().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_record_on_drop() {
+        let reg = MetricsRegistry::new();
+        let outer = reg.histogram("outer");
+        let inner = reg.histogram("inner");
+        {
+            let _o = outer.span();
+            for _ in 0..3 {
+                let _i = inner.span();
+                std::hint::black_box(());
+            }
+        }
+        let (oh, ih) = (
+            outer.histogram().expect("active"),
+            inner.histogram().expect("active"),
+        );
+        assert_eq!(oh.count(), 1);
+        assert_eq!(ih.count(), 3);
+        // The outer span covers all inner spans: its single recorded
+        // duration is at least the largest inner one.
+        assert!(oh.max() >= ih.max());
+        // Explicit finish records exactly once and returns the duration.
+        let d = outer.span().finish().expect("active span");
+        assert_eq!(oh.count(), 2);
+        assert!(duration_ns(d) <= oh.max() || oh.max() > 0);
+    }
+
+    #[test]
+    fn gauge_records_maxima_and_sets() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("depth");
+        g.record_max(5);
+        g.record_max(3);
+        assert_eq!(g.get(), 5);
+        g.set(1);
+        assert_eq!(g.get(), 1);
+        assert_eq!(reg.gauges(), vec![("depth".to_string(), 1)]);
+    }
+}

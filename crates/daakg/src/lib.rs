@@ -85,6 +85,26 @@
 //!   stamping every answer with the mode actually served
 //!   ([`ShardedService::query_served`], [`ServiceHealth`]).
 //!
+//! ## Observability
+//!
+//! Every service carries a [`Telemetry`] bundle (enabled by default;
+//! `.telemetry(TelemetryConfig::disabled())` on the builder turns every
+//! handle into a branch-only no-op): a lock-free [`MetricsRegistry`] of
+//! counters, gauges, and mergeable log-scale latency [`Histogram`]s; hot-
+//! path [`Span`] timers over every serving and maintenance stage (ingress
+//! queue-wait/execute, per-shard scatter and merge, IVF probe/scan, delta
+//! merge, warm-start, fold/republish/persist, store write/fsync); and a
+//! bounded [`EventJournal`] of structured lifecycle events
+//! ([`EventKind`]: snapshot publishes, fold start/done, retrain
+//! supersession, shed/expired/degrade transitions, persist retries and
+//! failures, compactor panics). Read it via
+//! [`AlignmentService::telemetry`] / [`ShardedService::telemetry`] and
+//! render with `telemetry().render_prometheus()` (Prometheus text
+//! exposition) or `telemetry().render_json()` (raw nanoseconds plus the
+//! journal). [`ServiceHealth`] is a view over the same registry. The full
+//! metric/event taxonomy is tabulated in the README's Observability
+//! section.
+//!
 //! Every fallible entry point of the service API returns the typed
 //! [`DaakgError`] — no `Result<_, String>`s, and construction/validation
 //! never panics. (The retained free-standing snapshot path keeps its
@@ -114,6 +134,9 @@
 //! | `cfg.validate() -> Result<(), String>` | `cfg.validate() -> Result<(), DaakgError>` |
 //! | `daakg_graph::io::IoError` (alias, **removed**) | [`DaakgError`] (same variants) |
 //! | `daakg::bench::...` | depend on `daakg-bench` directly |
+//! | hand-rolled latency percentiles over `Vec<u64>` | [`Histogram`] (`record` / `merge` / `quantile`) |
+//! | `service.health()` polling for persist faults | still works — now a view over [`MetricsRegistry`]; rich detail via [`AlignmentService::telemetry`] |
+//! | scraping logs for lifecycle events | [`EventJournal`] ([`Telemetry::journal`], [`EventKind`]) |
 //!
 //! Holding an `Arc<AlignmentSnapshot>` from [`AlignmentService::current`]
 //! pins that version for as long as needed — retraining never invalidates
@@ -136,6 +159,7 @@ pub use daakg_index as index;
 pub use daakg_infer as infer;
 pub use daakg_parallel as parallel;
 pub use daakg_store as store;
+pub use daakg_telemetry as telemetry;
 
 // The most commonly used types, re-exported flat.
 pub use daakg_active::{ActiveConfig, ActiveLoop, GoldOracle, Strategy};
@@ -150,6 +174,10 @@ pub use daakg_embed::{EmbedConfig, KgEmbedding, ModelKind, TrainMode};
 pub use daakg_graph::{DaakgError, GoldAlignment, KgBuilder, KnowledgeGraph};
 pub use daakg_index::{IvfConfig, IvfIndex, QueryMode, QueryOptions};
 pub use daakg_infer::{InferConfig, InferenceEngine, RelationMatches};
+pub use daakg_telemetry::{
+    Counter, Event, EventJournal, EventKind, Gauge, Histogram, HistogramHandle, MetricsRegistry,
+    Span, Telemetry, TelemetryConfig,
+};
 pub use pipeline::{Pipeline, PipelineBuilder};
 
 #[cfg(test)]

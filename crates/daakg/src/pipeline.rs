@@ -39,6 +39,7 @@ use daakg_embed::{EmbedConfig, ModelKind, TrainMode};
 use daakg_graph::{DaakgError, KnowledgeGraph};
 use daakg_index::{IvfConfig, QueryMode};
 use daakg_infer::InferConfig;
+use daakg_telemetry::TelemetryConfig;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -202,6 +203,23 @@ impl PipelineBuilder {
     /// publication immediately.
     pub fn store(mut self, dir: impl Into<PathBuf>) -> Self {
         self.store = Some(dir.into());
+        self
+    }
+
+    /// Configure telemetry on the built service: metric registry, stage
+    /// latency histograms, and the structured event journal (see
+    /// [`daakg_telemetry`]). Telemetry is **enabled by default**; pass
+    /// [`TelemetryConfig::disabled`] to turn every handle into a no-op —
+    /// the disabled hot path costs one predictable branch per record.
+    /// Inspect the built service through
+    /// [`AlignmentService::telemetry`] (or
+    /// [`ShardedService::telemetry`]) and render with
+    /// [`Telemetry::render_prometheus`] / [`Telemetry::render_json`].
+    ///
+    /// [`Telemetry::render_prometheus`]: daakg_telemetry::Telemetry::render_prometheus
+    /// [`Telemetry::render_json`]: daakg_telemetry::Telemetry::render_json
+    pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.serving.telemetry = cfg;
         self
     }
 
@@ -484,6 +502,42 @@ mod tests {
             .ingress(daakg_align::IngressConfig::default())
             .build_active();
         assert!(matches!(err, Err(DaakgError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn telemetry_hook_configures_the_built_service() {
+        // Default build: telemetry enabled, stages record.
+        let service = fast_builder().build().unwrap();
+        assert!(service.telemetry().is_enabled());
+        service.top_k(0, 3).unwrap();
+        let text = service.telemetry().render_prometheus();
+        assert!(
+            text.contains("daakg_stage_exact_scan_seconds_count 1"),
+            "{text}"
+        );
+        // Disabled build: every handle is a no-op, answers identical.
+        let dark = fast_builder()
+            .telemetry(TelemetryConfig::disabled())
+            .build()
+            .unwrap();
+        assert!(!dark.telemetry().is_enabled());
+        let a = service.top_k(0, 3).unwrap();
+        let b = dark.top_k(0, 3).unwrap();
+        for ((ia, sa), (ib, sb)) in a.value.iter().zip(&b.value) {
+            assert_eq!(ia, ib);
+            assert_eq!(sa.to_bits(), sb.to_bits());
+        }
+        assert!(dark.telemetry().render_prometheus().is_empty());
+        // The hook flows through the sharded build too.
+        let sharded = fast_builder()
+            .telemetry(TelemetryConfig {
+                journal_capacity: 8,
+                ..TelemetryConfig::default()
+            })
+            .shards(2)
+            .build_sharded()
+            .unwrap();
+        assert_eq!(sharded.telemetry().config().journal_capacity, 8);
     }
 
     #[test]

@@ -312,6 +312,28 @@ fn main() -> Result<(), DaakgError> {
          identical answers",
         top.deltas_merged, folded.version,
     );
+
+    // 5f. Observability: every step above left a telemetry trail — stage
+    //     latency histograms (exact scan, warm-start, fold/republish),
+    //     lifecycle counters, and the structured event journal. Dump what
+    //     a Prometheus scrape would collect plus the journal tail.
+    //     Telemetry is on by default; `.telemetry(TelemetryConfig::
+    //     disabled())` on the builder reduces every record to one branch.
+    let telemetry = live.telemetry();
+    let text = telemetry.render_prometheus();
+    assert!(text.contains("daakg_snapshot_publish_total"));
+    assert!(text.contains("daakg_stage_warm_start_seconds_count 1"));
+    println!("\ntelemetry after the serve loop (counters and stage counts):");
+    for line in text
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.contains("quantile") && !l.contains("_sum"))
+    {
+        println!("  {line}");
+    }
+    println!("event journal (structured, monotonic timestamps):");
+    for e in telemetry.journal().events() {
+        println!("  #{} +{:>6}us {}", e.seq, e.at_ns / 1_000, e.kind.name());
+    }
     drop(live);
 
     // 6. Deep active alignment: start over with just one labeled pair and

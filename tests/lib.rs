@@ -172,7 +172,7 @@ fn end_to_end_pipeline_aligns_synthetic_pair() {
 fn bench_harness_verifies_and_serializes() {
     let cfg = BenchConfig::quick();
     let results = run_all(&cfg);
-    assert_eq!(results.len(), 15);
+    assert_eq!(results.len(), 16);
     for r in &results {
         if let Some(v) = r.get_flag("verified") {
             assert!(
@@ -196,6 +196,7 @@ fn bench_harness_verifies_and_serializes() {
     assert!(text.contains("serve_sharded"));
     assert!(text.contains("persist_roundtrip"));
     assert!(text.contains("live_upsert"));
+    assert!(text.contains("telemetry_overhead"));
     // The document round-trips through the parser the regression gate
     // uses, and a self-comparison reports no regression.
     let parsed = daakg_bench::JsonValue::parse(&text).expect("bench JSON must parse");
